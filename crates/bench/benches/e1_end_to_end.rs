@@ -1,0 +1,38 @@
+//! E1 — end-to-end S2SQL query over four heterogeneous source types
+//! (paper Fig. 1 / the §1 headline claim).
+//!
+//! Sweeps catalog size and query selectivity; the expected shape is
+//! roughly linear growth in records with a modest constant semantic
+//! overhead (compare against E2's raw per-source extraction cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2s_bench::deploy_mixed;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_end_to_end");
+    group.sample_size(10);
+
+    for &n in &[100usize, 1000] {
+        let s2s = deploy_mixed(n, 42);
+        group.bench_with_input(BenchmarkId::new("select_all", n), &n, |b, _| {
+            b.iter(|| {
+                let outcome = s2s.query("SELECT watch").unwrap();
+                assert_eq!(outcome.individuals().len(), n * 4);
+                outcome
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brand_filter", n), &n, |b, _| {
+            b.iter(|| s2s.query("SELECT watch WHERE brand='Seiko'").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("conjunctive_filter", n), &n, |b, _| {
+            b.iter(|| {
+                s2s.query("SELECT watch WHERE brand='Seiko' AND case='stainless-steel' AND price<300")
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E3 — scaling with the number of remote sources: serial vs parallel
+//! mediator under simulated WAN latency (paper §1 "distributed
+//! approach", Fig. 5 mediator).
+//!
+//! Wall-clock here measures the real CPU work; the *simulated* network
+//! makespans (reported by `cargo run --bin experiments`) show the
+//! distributed shape: serial grows linearly with sources, parallel
+//! stays near the slowest call once workers ≥ sources.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2s_bench::deploy_sharded;
+use s2s_core::extract::Strategy;
+use s2s_netsim::{CostModel, FailureModel};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_distribution");
+    group.sample_size(10);
+
+    for &sources in &[1usize, 4, 16] {
+        for (label, strategy) in
+            [("serial", Strategy::Serial), ("parallel16", Strategy::Parallel { workers: 16 })]
+        {
+            let s2s = deploy_sharded(
+                sources,
+                50,
+                CostModel::wan(),
+                FailureModel::reliable(),
+                strategy,
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, sources),
+                &sources,
+                |b, &sources| {
+                    b.iter(|| {
+                        let outcome = s2s.query("SELECT watch").unwrap();
+                        assert_eq!(outcome.individuals().len(), sources * 50);
+                        outcome.stats.simulated
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

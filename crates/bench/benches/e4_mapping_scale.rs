@@ -1,0 +1,81 @@
+//! E4 — Mapping Module scale (paper Fig. 3/4): attribute registration
+//! throughput and lookup cost as the attribute repository grows.
+//!
+//! Expected shape: registration ~O(n log n) total (tree inserts),
+//! lookup cost stays flat-ish (ordered-map scan bounded by result
+//! size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2s_bench::synthetic_ontology;
+use s2s_core::mapping::{ExtractionRule, MappingModule, RecordScenario};
+use s2s_owl::AttributePath;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_mapping_scale");
+    group.sample_size(10);
+
+    for &n_classes in &[32usize, 256] {
+        let props = 4usize;
+        let o = synthetic_ontology(n_classes, props);
+        // Precompute all attribute paths.
+        let paths: Vec<AttributePath> = o
+            .classes()
+            .flat_map(|cl| {
+                o.properties_of_class(cl.iri())
+                    .into_iter()
+                    .filter(|p| p.domains().any(|d| d == cl.iri()))
+                    .map(|p| AttributePath::for_attribute(&o, cl.iri(), p.iri()).unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let total = paths.len();
+
+        group.bench_with_input(
+            BenchmarkId::new("register_all", total),
+            &total,
+            |b, _| {
+                b.iter(|| {
+                    let mut m = MappingModule::new();
+                    for p in &paths {
+                        m.register(
+                            &o,
+                            p.clone(),
+                            ExtractionRule::TextRegex { pattern: "x".into(), group: 0 },
+                            "SRC".into(),
+                            RecordScenario::MultiRecord,
+                        )
+                        .unwrap();
+                    }
+                    assert_eq!(m.len(), total);
+                    m
+                })
+            },
+        );
+
+        // Lookup against a populated module.
+        let mut module = MappingModule::new();
+        for p in &paths {
+            module
+                .register(
+                    &o,
+                    p.clone(),
+                    ExtractionRule::TextRegex { pattern: "x".into(), group: 0 },
+                    "SRC".into(),
+                    RecordScenario::MultiRecord,
+                )
+                .unwrap();
+        }
+        let probe = paths[paths.len() / 2].clone();
+        group.bench_with_input(BenchmarkId::new("lookup", total), &total, |b, _| {
+            b.iter(|| {
+                let hits = module.mappings_for(&probe);
+                assert_eq!(hits.len(), 1);
+                hits.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

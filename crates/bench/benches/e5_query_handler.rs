@@ -1,0 +1,57 @@
+//! E5 — Query Handler cost (paper §2.5): S2SQL parse + semantic
+//! validation + planning, swept over predicate count and ontology size.
+//!
+//! Expected shape: microseconds per query, roughly linear in the number
+//! of predicates; planning grows with ontology size (attribute-list
+//! construction dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2s_bench::{ontology, synthetic_ontology};
+use s2s_core::query;
+
+fn query_with(preds: usize) -> String {
+    let mut q = String::from("SELECT watch");
+    for i in 0..preds {
+        q.push_str(if i == 0 { " WHERE " } else { " AND " });
+        q.push_str(if i % 3 == 0 {
+            "brand='Seiko'"
+        } else if i % 3 == 1 {
+            "price<300"
+        } else {
+            "case LIKE '%steel%'"
+        });
+    }
+    q
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_query_handler");
+
+    let o = ontology();
+    for &preds in &[1usize, 4, 16] {
+        let q = query_with(preds);
+        group.bench_with_input(BenchmarkId::new("parse", preds), &preds, |b, _| {
+            b.iter(|| query::parse(&q).unwrap())
+        });
+        let parsed = query::parse(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("plan", preds), &preds, |b, _| {
+            b.iter(|| query::plan(&parsed, &o).unwrap())
+        });
+    }
+
+    // Planning cost vs ontology size (single-predicate query on the
+    // root class of the synthetic tree).
+    for &classes in &[32usize, 256] {
+        let o = synthetic_ontology(classes, 4);
+        let parsed = query::parse("SELECT C0 WHERE p0_0='x'").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("plan_ontology_size", classes),
+            &classes,
+            |b, _| b.iter(|| query::plan(&parsed, &o).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E7 — the two data-extraction scenarios of paper §2.3: one source
+//! with n records (a product database / list page) vs n one-record
+//! sources (individual product pages).
+//!
+//! Expected shape: the n-record cursor extraction amortizes per-call
+//! overhead and wins by roughly the per-call factor; with remote
+//! sources the gap widens by one RTT per page.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2s_bench::{catalog_db, ontology, records};
+use s2s_core::extract::Strategy;
+use s2s_core::mapping::{ExtractionRule, RecordScenario};
+use s2s_core::source::Connection;
+use s2s_core::S2s;
+use s2s_webdoc::WebStore;
+
+/// n-record scenario: one database holding all records.
+fn multi_record(n: usize) -> S2s {
+    let recs = records(n, 11);
+    let mut s2s = S2s::new(ontology());
+    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) })
+        .unwrap();
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::Sql {
+            query: "SELECT brand FROM watches ORDER BY id".into(),
+            column: "brand".into(),
+        },
+        "DB",
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+    s2s
+}
+
+/// 1-record scenario: n individual product pages, one mapping each.
+fn single_record(n: usize) -> S2s {
+    let recs = records(n, 11);
+    let mut web = WebStore::new();
+    for r in &recs {
+        web.register_html(
+            format!("http://shop/{}", r.id),
+            format!("<p><b>{}</b></p>", r.brand),
+        );
+    }
+    let web = Arc::new(web);
+    let mut s2s = S2s::new(ontology()).with_strategy(Strategy::Parallel { workers: 8 });
+    for r in &recs {
+        let id = format!("wpage_{}", r.id);
+        s2s.register_source(
+            &id,
+            Connection::Web { store: web.clone(), url: format!("http://shop/{}", r.id) },
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::Webl { program: "var b = TagTexts(Text(PAGE), \"b\")[0];".into() },
+            &id,
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+    }
+    s2s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_record_scenarios");
+    group.sample_size(10);
+
+    for &n in &[50usize, 200] {
+        let multi = multi_record(n);
+        group.bench_with_input(BenchmarkId::new("one_source_n_records", n), &n, |b, &n| {
+            b.iter(|| {
+                let outcome = multi.query("SELECT watch").unwrap();
+                assert_eq!(outcome.individuals().len(), n);
+                outcome
+            })
+        });
+        let single = single_record(n);
+        group.bench_with_input(BenchmarkId::new("n_sources_one_record", n), &n, |b, &n| {
+            b.iter(|| {
+                let outcome = single.query("SELECT watch").unwrap();
+                assert_eq!(outcome.individuals().len(), n);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

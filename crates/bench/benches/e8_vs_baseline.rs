@@ -1,0 +1,97 @@
+//! E8 — S2S semantic integration vs the syntactic baseline (paper §1 /
+//! §5: "most current middleware only covers syntactical integration").
+//!
+//! Measures the runtime overhead the semantic layer adds over raw
+//! per-source glue on the same three-organization catalog. The
+//! complementary, non-timing comparison (glue count, heterogeneity
+//! errors) is printed by `cargo run --bin experiments`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2s_bench::{catalog_db, catalog_xml, map_db, map_xml, ontology, records};
+use s2s_core::baseline::SyntacticIntegrator;
+use s2s_core::mapping::ExtractionRule;
+use s2s_core::source::{Connection, SourceRegistry};
+use s2s_core::S2s;
+
+fn bench(c: &mut Criterion) {
+    let n = 500usize;
+    let recs_a = records(n, 1);
+    let recs_b = records(n, 2);
+    let recs_c = records(n, 3);
+
+    // --- S2S deployment over three organizations.
+    let mut s2s = S2s::new(ontology());
+    s2s.register_source("ORG_A", Connection::Database { db: Arc::new(catalog_db(&recs_a)) })
+        .unwrap();
+    s2s.register_source("ORG_B", Connection::Database { db: Arc::new(catalog_db(&recs_b)) })
+        .unwrap();
+    s2s.register_source("ORG_C", Connection::Xml { document: Arc::new(catalog_xml(&recs_c)) })
+        .unwrap();
+    map_db(&mut s2s, "ORG_A");
+    map_db(&mut s2s, "ORG_B");
+    map_xml(&mut s2s, "ORG_C");
+
+    // --- the equivalent hand-written glue.
+    let mut registry = SourceRegistry::new();
+    registry
+        .register_local("ORG_A", Connection::Database { db: Arc::new(catalog_db(&recs_a)) })
+        .unwrap();
+    registry
+        .register_local("ORG_B", Connection::Database { db: Arc::new(catalog_db(&recs_b)) })
+        .unwrap();
+    registry
+        .register_local("ORG_C", Connection::Xml { document: Arc::new(catalog_xml(&recs_c)) })
+        .unwrap();
+    let mut baseline = SyntacticIntegrator::new();
+    for org in ["ORG_A", "ORG_B"] {
+        baseline.add_rule(
+            org,
+            "brand",
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM watches WHERE brand='Seiko' ORDER BY id".into(),
+                column: "brand".into(),
+            },
+        );
+        baseline.add_rule(
+            org,
+            "price",
+            ExtractionRule::Sql {
+                query: "SELECT price FROM watches WHERE brand='Seiko' ORDER BY id".into(),
+                column: "price".into(),
+            },
+        );
+    }
+    baseline.add_rule(
+        "ORG_C",
+        "brand",
+        ExtractionRule::XPath { path: "/catalog/watch[brand='Seiko']/brand/text()".into() },
+    );
+    baseline.add_rule(
+        "ORG_C",
+        "price",
+        ExtractionRule::XPath { path: "/catalog/watch[brand='Seiko']/price/text()".into() },
+    );
+
+    let mut group = c.benchmark_group("e8_vs_baseline");
+    group.sample_size(10);
+    group.bench_function("s2s_semantic", |b| {
+        b.iter(|| {
+            let outcome = s2s.query("SELECT watch WHERE brand='Seiko'").unwrap();
+            assert!(!outcome.individuals().is_empty());
+            outcome.individuals().len()
+        })
+    });
+    group.bench_function("syntactic_baseline", |b| {
+        b.iter(|| {
+            let out = baseline.run(&registry);
+            assert!(out.errors.is_empty());
+            out.records.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

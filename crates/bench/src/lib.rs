@@ -1,0 +1,363 @@
+//! Workload generators shared by the experiment benches (E1–E10) and
+//! the `experiments` binary.
+//!
+//! Everything is seeded and deterministic: the same parameters always
+//! produce the same catalog, the same deployment, and (thanks to
+//! per-source endpoint seeding in `s2s-netsim`) the same simulated
+//! network behaviour.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use s2s_core::extract::Strategy;
+use s2s_core::mapping::{ExtractionRule, RecordScenario};
+use s2s_core::source::Connection;
+use s2s_core::S2s;
+use s2s_minidb::Database;
+use s2s_netsim::{CostModel, FailureModel};
+use s2s_owl::Ontology;
+use s2s_webdoc::WebStore;
+use s2s_xml::Document;
+
+/// Brand vocabulary for generated catalogs.
+pub const BRANDS: &[&str] =
+    &["Seiko", "Casio", "Orient", "Tissot", "Fossil", "Timex", "Citizen", "Bulova"];
+
+/// Case-material vocabulary.
+pub const CASES: &[&str] = &["stainless-steel", "resin", "titanium", "leather", "ceramic"];
+
+/// One generated catalog record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Record id.
+    pub id: i64,
+    /// Brand name.
+    pub brand: String,
+    /// Price in USD.
+    pub price: f64,
+    /// Case material.
+    pub case: String,
+}
+
+/// Generates `n` deterministic records.
+pub fn records(n: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Record {
+            id: i as i64 + 1,
+            brand: BRANDS[rng.gen_range(0..BRANDS.len())].to_string(),
+            price: (rng.gen_range(2000..50000) as f64) / 100.0,
+            case: CASES[rng.gen_range(0..CASES.len())].to_string(),
+        })
+        .collect()
+}
+
+/// The watch ontology used by every experiment.
+pub fn ontology() -> Ontology {
+    Ontology::builder("http://bench.example/schema#")
+        .class("Product", None)
+        .unwrap()
+        .class("Watch", Some("Product"))
+        .unwrap()
+        .class("Provider", None)
+        .unwrap()
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .datatype_property("price", "Product", "http://www.w3.org/2001/XMLSchema#decimal")
+        .unwrap()
+        .datatype_property("case", "Watch", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .object_property("provider", "Product", "Provider")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// A synthetic ontology: a balanced class tree of roughly `classes`
+/// classes with `props_per_class` datatype properties each.
+pub fn synthetic_ontology(classes: usize, props_per_class: usize) -> Ontology {
+    let mut b = Ontology::builder("http://bench.example/big#").class("C0", None).unwrap();
+    for i in 1..classes {
+        let parent = format!("C{}", (i - 1) / 2);
+        b = b.class(&format!("C{i}"), Some(&parent)).unwrap();
+    }
+    for i in 0..classes {
+        for p in 0..props_per_class {
+            b = b
+                .datatype_property(
+                    &format!("p{i}_{p}"),
+                    &format!("C{i}"),
+                    "http://www.w3.org/2001/XMLSchema#string",
+                )
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Materializes records as a relational database.
+pub fn catalog_db(records: &[Record]) -> Database {
+    let mut db = Database::new("catalog");
+    db.execute(
+        "CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL, case_m TEXT)",
+    )
+    .unwrap();
+    for chunk in records.chunks(64) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|r| format!("({}, '{}', {}, '{}')", r.id, r.brand, r.price, r.case))
+            .collect();
+        db.execute(&format!("INSERT INTO watches VALUES {}", values.join(", "))).unwrap();
+    }
+    db
+}
+
+/// Materializes records as an XML document.
+pub fn catalog_xml(records: &[Record]) -> Document {
+    let mut xml = String::from("<catalog>");
+    for r in records {
+        xml.push_str(&format!(
+            "<watch id=\"{}\"><brand>{}</brand><price>{}</price><case>{}</case></watch>",
+            r.id, r.brand, r.price, r.case
+        ));
+    }
+    xml.push_str("</catalog>");
+    s2s_xml::parse(&xml).unwrap()
+}
+
+/// Materializes records as one HTML page listing all records (the
+/// n-record web scenario).
+pub fn catalog_html(records: &[Record]) -> String {
+    let mut html = String::from("<html><body><ul>");
+    for r in records {
+        html.push_str(&format!(
+            "<li><b>{}</b> <span class=\"price\">{}</span> <i>{}</i></li>",
+            r.brand, r.price, r.case
+        ));
+    }
+    html.push_str("</ul></body></html>");
+    html
+}
+
+/// Materializes records as a plain-text export.
+pub fn catalog_text(records: &[Record]) -> String {
+    let mut text = String::new();
+    for r in records {
+        text.push_str(&format!("brand: {} | price: {} | case: {}\n", r.brand, r.price, r.case));
+    }
+    text
+}
+
+/// The SQL mappings for a database source.
+pub fn map_db(s2s: &mut S2s, id: &str) {
+    for (attr, col) in [("brand", "brand"), ("price", "price"), ("case", "case_m")] {
+        s2s.register_attribute(
+            &format!("thing.product.watch.{attr}"),
+            ExtractionRule::Sql {
+                query: format!("SELECT {col} FROM watches ORDER BY id"),
+                column: col.into(),
+            },
+            id,
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+    }
+}
+
+/// The XPath mappings for an XML source.
+pub fn map_xml(s2s: &mut S2s, id: &str) {
+    for (attr, el) in [("brand", "brand"), ("price", "price"), ("case", "case")] {
+        s2s.register_attribute(
+            &format!("thing.product.watch.{attr}"),
+            ExtractionRule::XPath { path: format!("/catalog/watch/{el}/text()") },
+            id,
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+    }
+}
+
+/// The WebL mappings for a web-page source (list page, n records).
+pub fn map_web(s2s: &mut S2s, id: &str) {
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::Webl { program: "var b = TagTexts(Text(PAGE), \"b\");".into() },
+        id,
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+    s2s.register_attribute(
+        "thing.product.watch.price",
+        ExtractionRule::Webl {
+            program: r#"
+                var ms = Str_Search(Text(PAGE), `class="price">([0-9.]+)`);
+                var out = ms;
+            "#
+            .into(),
+        },
+        id,
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+    s2s.register_attribute(
+        "thing.product.watch.case",
+        ExtractionRule::Webl { program: "var c = TagTexts(Text(PAGE), \"i\");".into() },
+        id,
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+}
+
+/// The regex mappings for a text source.
+pub fn map_text(s2s: &mut S2s, id: &str) {
+    for (attr, pat) in [
+        ("brand", r"brand: ([\w-]+)"),
+        ("price", r"price: ([0-9.]+)"),
+        ("case", r"case: ([\w-]+)"),
+    ] {
+        s2s.register_attribute(
+            &format!("thing.product.watch.{attr}"),
+            ExtractionRule::TextRegex { pattern: pat.into(), group: 1 },
+            id,
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+    }
+}
+
+/// A mixed deployment: the same `n`-record catalog materialized in all
+/// four source formats, all local (E1, E2, E6).
+pub fn deploy_mixed(n: usize, seed: u64) -> S2s {
+    let recs = records(n, seed);
+    let mut s2s = S2s::new(ontology());
+
+    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) })
+        .unwrap();
+    s2s.register_source("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) })
+        .unwrap();
+
+    let mut web = WebStore::new();
+    web.register_html("http://shop/list", catalog_html(&recs));
+    web.register_text("file:///export.txt", catalog_text(&recs));
+    let web = Arc::new(web);
+    s2s.register_source(
+        "WEB",
+        Connection::Web { store: web.clone(), url: "http://shop/list".into() },
+    )
+    .unwrap();
+    s2s.register_source("TXT", Connection::Text { store: web, url: "file:///export.txt".into() })
+        .unwrap();
+
+    map_db(&mut s2s, "DB");
+    map_xml(&mut s2s, "XML");
+    map_web(&mut s2s, "WEB");
+    map_text(&mut s2s, "TXT");
+    s2s
+}
+
+/// A sharded deployment: `sources` remote databases of `per_source`
+/// records each (E3, E9).
+pub fn deploy_sharded(
+    sources: usize,
+    per_source: usize,
+    cost: CostModel,
+    failure: FailureModel,
+    strategy: Strategy,
+) -> S2s {
+    let mut s2s = S2s::new(ontology()).with_strategy(strategy);
+    for i in 0..sources {
+        let recs = records(per_source, 1000 + i as u64);
+        let id = format!("SHARD_{i:03}");
+        s2s.register_remote_source(
+            &id,
+            Connection::Database { db: Arc::new(catalog_db(&recs)) },
+            cost,
+            failure,
+        )
+        .unwrap();
+        map_db(&mut s2s, &id);
+    }
+    s2s
+}
+
+/// Wall-clock helper for the experiments binary.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let v = f();
+    (v, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(records(50, 7), records(50, 7));
+        assert_ne!(records(50, 7), records(50, 8));
+    }
+
+    #[test]
+    fn all_formats_carry_all_records() {
+        let recs = records(20, 1);
+        let db = catalog_db(&recs);
+        assert_eq!(db.query("SELECT * FROM watches").unwrap().len(), 20);
+        let xml = catalog_xml(&recs);
+        assert_eq!(
+            s2s_xml::xpath::XPath::new("//watch").unwrap().eval_from(&xml.root).len(),
+            20
+        );
+        let html = catalog_html(&recs);
+        assert_eq!(html.matches("<li>").count(), 20);
+        let text = catalog_text(&recs);
+        assert_eq!(text.lines().count(), 20);
+    }
+
+    #[test]
+    fn mixed_deployment_answers_consistently() {
+        let s2s = deploy_mixed(25, 3);
+        let outcome = s2s.query("SELECT watch").unwrap();
+        assert!(outcome.errors().is_empty(), "{:?}", outcome.errors());
+        // 25 records × 4 representations.
+        assert_eq!(outcome.individuals().len(), 100);
+    }
+
+    #[test]
+    fn mixed_deployment_sources_agree_on_filters() {
+        let s2s = deploy_mixed(40, 9);
+        let outcome = s2s.query("SELECT watch WHERE brand='Seiko'").unwrap();
+        // Same catalog in 4 formats → per-source counts are equal.
+        let mut counts = std::collections::BTreeMap::new();
+        for i in outcome.individuals() {
+            *counts.entry(i.source.clone()).or_insert(0usize) += 1;
+        }
+        let vals: Vec<usize> = counts.values().copied().collect();
+        assert!(vals.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn sharded_deployment_counts() {
+        let s2s = deploy_sharded(
+            4,
+            10,
+            CostModel::lan(),
+            FailureModel::reliable(),
+            Strategy::Parallel { workers: 4 },
+        );
+        let outcome = s2s.query("SELECT watch").unwrap();
+        assert_eq!(outcome.individuals().len(), 40);
+    }
+
+    #[test]
+    fn synthetic_ontology_shape() {
+        let o = synthetic_ontology(31, 2);
+        assert_eq!(o.class_count(), 31);
+        assert_eq!(o.property_count(), 62);
+        // Balanced tree: C30's parent chain reaches C0.
+        let c30 = o.class_iri("C30").unwrap();
+        let c0 = o.class_iri("C0").unwrap();
+        assert!(o.is_subclass_of(&c30, &c0));
+    }
+}

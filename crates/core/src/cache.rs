@@ -1,0 +1,163 @@
+//! Extraction-result caching.
+//!
+//! The paper notes mappings "should not need substantial maintenance
+//! after being created" and sources "do not normally change their
+//! structures" — the same stability argument makes extraction results
+//! cacheable across queries. [`ExtractionCache`] memoizes the raw value
+//! lists per `(source, rule)`; a repeat query serves those attributes
+//! with zero simulated network cost.
+//!
+//! Scope and invalidation: registered sources are immutable snapshots
+//! (`Arc`-shared), so entries never go stale within a deployment;
+//! [`ExtractionCache::clear`] supports explicit refresh when an operator
+//! swaps a source.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::mapping::AttributeMapping;
+
+/// Cache key: source id, rule language, rule text, scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    source: String,
+    language: &'static str,
+    rule: String,
+    single_record: bool,
+}
+
+impl Key {
+    fn of(mapping: &AttributeMapping) -> Self {
+        Key {
+            source: mapping.source().to_string(),
+            language: mapping.rule().language(),
+            rule: mapping.rule().text().to_string(),
+            single_record: mapping.scenario() == crate::mapping::RecordScenario::SingleRecord,
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+/// A concurrent memo of extraction results.
+#[derive(Debug, Default)]
+pub struct ExtractionCache {
+    entries: RwLock<HashMap<Key, Arc<Vec<String>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExtractionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ExtractionCache::default()
+    }
+
+    /// Looks up the values for a mapping.
+    pub fn get(&self, mapping: &AttributeMapping) -> Option<Arc<Vec<String>>> {
+        let hit = self.entries.read().get(&Key::of(mapping)).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores the values for a mapping.
+    pub fn insert(&self, mapping: &AttributeMapping, values: Vec<String>) {
+        self.entries.write().insert(Key::of(mapping), Arc::new(values));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops every entry (e.g. after swapping a source snapshot).
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ExtractionRule, MappingModule, RecordScenario};
+    use s2s_owl::Ontology;
+
+    fn mapping(rule_text: &str, source: &str) -> AttributeMapping {
+        let o = Ontology::builder("http://x.example/#")
+            .class("A", None)
+            .unwrap()
+            .datatype_property("p", "A", "http://www.w3.org/2001/XMLSchema#string")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.a.p".parse().unwrap(),
+            ExtractionRule::TextRegex { pattern: rule_text.into(), group: 0 },
+            source.into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let mapping = m.iter().next().unwrap().clone();
+        mapping
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ExtractionCache::new();
+        let m = mapping("x", "S");
+        assert!(cache.get(&m).is_none());
+        cache.insert(&m, vec!["a".into(), "b".into()]);
+        assert_eq!(cache.get(&m).unwrap().as_slice(), ["a", "b"]);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_rules_and_sources_do_not_collide() {
+        let cache = ExtractionCache::new();
+        cache.insert(&mapping("x", "S1"), vec!["1".into()]);
+        cache.insert(&mapping("x", "S2"), vec!["2".into()]);
+        cache.insert(&mapping("y", "S1"), vec!["3".into()]);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&mapping("x", "S2")).unwrap().as_slice(), ["2"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = ExtractionCache::new();
+        cache.insert(&mapping("x", "S"), vec![]);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

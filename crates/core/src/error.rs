@@ -1,0 +1,138 @@
+//! The middleware error type.
+
+use std::error::Error;
+use std::fmt;
+
+use s2s_minidb::DbError;
+use s2s_netsim::NetError;
+use s2s_owl::OwlError;
+use s2s_rdf::RdfError;
+use s2s_webdoc::WebdocError;
+use s2s_xml::XmlError;
+
+/// An error produced by the S2S middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum S2sError {
+    /// A data source id is not registered.
+    UnknownSource {
+        /// The id as given.
+        id: String,
+    },
+    /// A source id was registered twice.
+    DuplicateSource {
+        /// The id.
+        id: String,
+    },
+    /// An attribute path has no mapping.
+    UnmappedAttribute {
+        /// The path text.
+        attribute: String,
+    },
+    /// An extraction rule does not fit the source type (e.g. SQL rule on
+    /// a web page).
+    RuleSourceMismatch {
+        /// The attribute being mapped.
+        attribute: String,
+        /// Explanation.
+        message: String,
+    },
+    /// S2SQL syntax error.
+    QuerySyntax {
+        /// Byte position.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// The query references an unknown class or attribute.
+    QuerySemantics {
+        /// Description.
+        message: String,
+    },
+    /// An ontology-layer error.
+    Owl(OwlError),
+    /// An RDF-layer error.
+    Rdf(RdfError),
+    /// A database error during extraction.
+    Db(DbError),
+    /// An XML error during extraction.
+    Xml(XmlError),
+    /// A web/WebL error during extraction.
+    Webdoc(WebdocError),
+    /// A simulated network failure.
+    Net(NetError),
+}
+
+impl fmt::Display for S2sError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S2sError::UnknownSource { id } => write!(f, "unknown data source `{id}`"),
+            S2sError::DuplicateSource { id } => write!(f, "data source `{id}` already registered"),
+            S2sError::UnmappedAttribute { attribute } => {
+                write!(f, "attribute `{attribute}` has no mapping")
+            }
+            S2sError::RuleSourceMismatch { attribute, message } => {
+                write!(f, "rule/source mismatch for `{attribute}`: {message}")
+            }
+            S2sError::QuerySyntax { position, message } => {
+                write!(f, "s2sql syntax error at byte {position}: {message}")
+            }
+            S2sError::QuerySemantics { message } => write!(f, "s2sql semantic error: {message}"),
+            S2sError::Owl(e) => write!(f, "ontology error: {e}"),
+            S2sError::Rdf(e) => write!(f, "rdf error: {e}"),
+            S2sError::Db(e) => write!(f, "database error: {e}"),
+            S2sError::Xml(e) => write!(f, "xml error: {e}"),
+            S2sError::Webdoc(e) => write!(f, "web error: {e}"),
+            S2sError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for S2sError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            S2sError::Owl(e) => Some(e),
+            S2sError::Rdf(e) => Some(e),
+            S2sError::Db(e) => Some(e),
+            S2sError::Xml(e) => Some(e),
+            S2sError::Webdoc(e) => Some(e),
+            S2sError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OwlError> for S2sError {
+    fn from(e: OwlError) -> Self {
+        S2sError::Owl(e)
+    }
+}
+
+impl From<RdfError> for S2sError {
+    fn from(e: RdfError) -> Self {
+        S2sError::Rdf(e)
+    }
+}
+
+impl From<DbError> for S2sError {
+    fn from(e: DbError) -> Self {
+        S2sError::Db(e)
+    }
+}
+
+impl From<XmlError> for S2sError {
+    fn from(e: XmlError) -> Self {
+        S2sError::Xml(e)
+    }
+}
+
+impl From<WebdocError> for S2sError {
+    fn from(e: WebdocError) -> Self {
+        S2sError::Webdoc(e)
+    }
+}
+
+impl From<NetError> for S2sError {
+    fn from(e: NetError) -> Self {
+        S2sError::Net(e)
+    }
+}

@@ -1,0 +1,627 @@
+//! The Extractor Manager (paper §2.4).
+//!
+//! "This is the hot point in the extraction mechanism. It is supported
+//! by a mediator and a set of wrappers/extractors." The four steps of
+//! Figure 5 map onto this module:
+//!
+//! 1. *know what data to extract* — the query handler produces the
+//!    attribute list ([`crate::query`]);
+//! 2. *obtain extraction schema* — [`ExtractionSchema`] pairs each
+//!    attribute with its rule from the attribute repository;
+//! 3. *obtain data source information* — the source registry supplies
+//!    connection definitions ([`crate::source`]);
+//! 4. *extract data* — the mediator delegates each rule to the wrapper
+//!    for its source type (database extractor, XML extractor, web
+//!    wrapper, text extractor) and collects raw data fragments.
+//!
+//! The mediator runs serially or on a parallel worker pool
+//! ([`Strategy`]); every source access crosses a simulated network
+//! endpoint, so the report carries both real and simulated timings.
+
+use std::collections::BTreeMap;
+
+use s2s_netsim::wire::{encode, FrameKind};
+use s2s_netsim::{makespan, run_parallel, SimDuration};
+use s2s_textmatch::Regex;
+use s2s_webdoc::{WeblProgram, WeblValue};
+use s2s_xml::xpath::XPath;
+
+use crate::error::S2sError;
+use crate::mapping::{AttributeMapping, ExtractionRule, MappingModule, RecordScenario};
+use crate::source::{Connection, SourceRegistry};
+
+/// One unit of extraction work: an attribute, its rule, its source
+/// (paper §2.4.1: "extraction schemas of the required attributes").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionSchema {
+    /// The mapping driving this extraction.
+    pub mapping: AttributeMapping,
+}
+
+/// How the mediator dispatches extraction tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One task at a time, in schema order.
+    Serial,
+    /// Up to `workers` concurrent tasks on real threads.
+    Parallel {
+        /// Worker-thread count (>= 1).
+        workers: usize,
+    },
+}
+
+impl Strategy {
+    fn workers(self) -> usize {
+        match self {
+            Strategy::Serial => 1,
+            Strategy::Parallel { workers } => workers.max(1),
+        }
+    }
+}
+
+/// The values extracted for one attribute from one source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeResult {
+    /// The mapping that produced the values.
+    pub mapping: AttributeMapping,
+    /// The raw data fragments, one per record.
+    pub values: Vec<String>,
+    /// Simulated network + service time of this extraction.
+    pub elapsed: SimDuration,
+}
+
+/// A failed extraction, attributed to its attribute and source (feeds
+/// the Instance Generator's error reporting, §2.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionFailure {
+    /// The attribute path that failed.
+    pub attribute: String,
+    /// The source involved.
+    pub source: String,
+    /// What went wrong.
+    pub error: S2sError,
+}
+
+/// The full outcome of a mediated extraction round.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExtractionReport {
+    /// Successful per-attribute results.
+    pub results: Vec<AttributeResult>,
+    /// Failures (partial results are still returned).
+    pub failures: Vec<ExtractionFailure>,
+    /// Simulated completion time under the strategy used.
+    pub simulated: SimDuration,
+    /// Simulated completion time had the tasks run serially (for
+    /// speed-up reporting).
+    pub simulated_serial: SimDuration,
+}
+
+impl ExtractionReport {
+    /// Total values extracted.
+    pub fn value_count(&self) -> usize {
+        self.results.iter().map(|r| r.values.len()).sum()
+    }
+
+    /// Whether every task succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The mediator: executes extraction schemas against registered sources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractorManager;
+
+impl ExtractorManager {
+    /// Builds extraction schemas for every mapping of the given
+    /// attribute paths (step 2 of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnmappedAttribute`] if any path has no
+    /// mapping at all.
+    pub fn obtain_schemas(
+        module: &MappingModule,
+        paths: &[s2s_owl::AttributePath],
+    ) -> Result<Vec<ExtractionSchema>, S2sError> {
+        let mut schemas = Vec::new();
+        for p in paths {
+            let mappings = module.mappings_for(p);
+            if mappings.is_empty() {
+                return Err(S2sError::UnmappedAttribute { attribute: p.to_string() });
+            }
+            schemas
+                .extend(mappings.into_iter().map(|m| ExtractionSchema { mapping: m.clone() }));
+        }
+        Ok(schemas)
+    }
+
+    /// Runs a batch of schemas (step 4 of Fig. 5), tolerating per-task
+    /// failures.
+    pub fn extract(
+        registry: &SourceRegistry,
+        schemas: Vec<ExtractionSchema>,
+        strategy: Strategy,
+    ) -> ExtractionReport {
+        let workers = strategy.workers();
+        let outcomes = run_parallel(schemas, workers, |schema| {
+            let r = extract_one(registry, &schema.mapping);
+            (schema, r)
+        });
+
+        let mut report = ExtractionReport::default();
+        let mut durations = Vec::new();
+        for (schema, outcome) in outcomes {
+            match outcome {
+                Ok((values, elapsed)) => {
+                    durations.push(elapsed);
+                    report.results.push(AttributeResult {
+                        mapping: schema.mapping,
+                        values,
+                        elapsed,
+                    });
+                }
+                Err(error) => {
+                    report.failures.push(ExtractionFailure {
+                        attribute: schema.mapping.path().to_string(),
+                        source: schema.mapping.source().to_string(),
+                        error,
+                    });
+                }
+            }
+        }
+        report.simulated_serial = durations.iter().copied().sum();
+        report.simulated = makespan(&durations, workers);
+        report
+    }
+}
+
+/// Runs one extraction rule against one source, crossing the source's
+/// simulated endpoint.
+///
+/// Wire accounting: the rule text travels in a request frame, the
+/// extracted values in a response frame; both feed the endpoint cost
+/// model, so larger rules and larger results genuinely cost more
+/// simulated time.
+///
+/// # Errors
+///
+/// Rule/source mismatches, wrapper errors, and injected network
+/// failures all surface as [`S2sError`].
+pub fn extract_one(
+    registry: &SourceRegistry,
+    mapping: &AttributeMapping,
+) -> Result<(Vec<String>, SimDuration), S2sError> {
+    let source = registry.require(mapping.source())?;
+    if !mapping.rule().compatible_with(source.kind()) {
+        return Err(S2sError::RuleSourceMismatch {
+            attribute: mapping.path().to_string(),
+            message: format!(
+                "{} rule cannot run against a {} source",
+                mapping.rule().language(),
+                source.kind()
+            ),
+        });
+    }
+
+    // Run the wrapper for the source type.
+    let mut values = run_wrapper(source.connection(), mapping.rule())?;
+    if mapping.scenario() == RecordScenario::SingleRecord {
+        values.truncate(1);
+    }
+
+    // Account the remote call: request (rule) + response (values).
+    let request = encode(FrameKind::Request, mapping.rule().text().as_bytes());
+    let response_len: usize = values.iter().map(String::len).sum();
+    let response = encode(FrameKind::Response, &vec![0u8; response_len]);
+    let bytes = request.len() + response.len();
+    let call = source.endpoint().invoke(bytes, || ())?;
+    Ok((values, call.elapsed))
+}
+
+/// Dispatches to the per-source-type extractor (paper: "for Web pages,
+/// the extraction rules are delegated to a Web wrapper, for databases to
+/// a database extractor, and so on").
+fn run_wrapper(connection: &Connection, rule: &ExtractionRule) -> Result<Vec<String>, S2sError> {
+    match (connection, rule) {
+        (Connection::Database { db }, ExtractionRule::Sql { query, column }) => {
+            let result = db.query(query)?;
+            let idx = result.column_index(column).ok_or_else(|| {
+                S2sError::Db(s2s_minidb::DbError::UnknownColumn { column: column.clone() })
+            })?;
+            Ok(result
+                .rows()
+                .iter()
+                .filter(|row| !row[idx].is_null())
+                .map(|row| row[idx].render())
+                .collect())
+        }
+        (Connection::Xml { document }, ExtractionRule::XPath { path }) => {
+            let xpath = XPath::new(path)?;
+            Ok(xpath.eval_strings(document))
+        }
+        (Connection::Xml { document }, ExtractionRule::XQuery { query }) => {
+            let xquery = s2s_xml::xquery::XQuery::new(query)?;
+            Ok(xquery.eval(document))
+        }
+        (Connection::Web { store, url }, ExtractionRule::Webl { program }) => {
+            let program = WeblProgram::parse(program)?;
+            let doc = store.fetch(url)?;
+            let mut env = BTreeMap::new();
+            env.insert(
+                "PAGE".to_string(),
+                WeblValue::Page {
+                    url: url.clone(),
+                    source: doc.raw().to_string(),
+                    html: doc.is_html(),
+                },
+            );
+            env.insert("URL".to_string(), WeblValue::Str(url.clone()));
+            let value = program.run_with(store, env)?;
+            Ok(flatten_webl(value))
+        }
+        (Connection::Text { store, url }, ExtractionRule::Webl { program }) => {
+            let program = WeblProgram::parse(program)?;
+            let doc = store.fetch(url)?;
+            let mut env = BTreeMap::new();
+            env.insert(
+                "PAGE".to_string(),
+                WeblValue::Page { url: url.clone(), source: doc.raw().to_string(), html: false },
+            );
+            env.insert("URL".to_string(), WeblValue::Str(url.clone()));
+            let value = program.run_with(store, env)?;
+            Ok(flatten_webl(value))
+        }
+        (Connection::Web { store, url }, ExtractionRule::TextRegex { pattern, group })
+        | (Connection::Text { store, url }, ExtractionRule::TextRegex { pattern, group }) => {
+            let doc = store.fetch(url)?;
+            let re = Regex::new(pattern).map_err(|e| {
+                S2sError::Webdoc(s2s_webdoc::WebdocError::BadRegex {
+                    pattern: pattern.clone(),
+                    message: e.to_string(),
+                })
+            })?;
+            let text = doc.text();
+            Ok(re
+                .find_iter(&text)
+                .filter_map(|m| m.get(*group).map(|c| c.text().to_string()))
+                .collect())
+        }
+        _ => Err(S2sError::RuleSourceMismatch {
+            attribute: String::new(),
+            message: "unsupported rule/source combination".to_string(),
+        }),
+    }
+}
+
+fn flatten_webl(value: WeblValue) -> Vec<String> {
+    match value {
+        WeblValue::List(items) => items.iter().map(WeblValue::to_text).collect(),
+        other => {
+            let t = other.to_text();
+            if t.is_empty() {
+                Vec::new()
+            } else {
+                vec![t]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingModule;
+    use crate::source::Connection;
+    use s2s_minidb::Database;
+    use s2s_netsim::{CostModel, FailureModel};
+    use s2s_owl::Ontology;
+    use s2s_webdoc::WebStore;
+    use std::sync::Arc;
+
+    fn onto() -> Ontology {
+        Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .datatype_property("brand", "Product", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .datatype_property("price", "Product", s2s_rdf::vocab::xsd::DECIMAL)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn registry() -> SourceRegistry {
+        let mut db = Database::new("catalog");
+        db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
+        db.execute("INSERT INTO w VALUES (1,'Seiko',129.99),(2,'Casio',59.5),(3,NULL,1.0)")
+            .unwrap();
+
+        let doc = s2s_xml::parse(
+            "<catalog><w><brand>Orient</brand></w><w><brand>Tissot</brand></w></catalog>",
+        )
+        .unwrap();
+
+        let mut web = WebStore::new();
+        web.register_html("http://shop/81", "<p><b>Seiko Men's Automatic Dive Watch</b></p>");
+        web.register_text("http://files/p.txt", "brand: Fossil\nbrand: Timex\n");
+        let web = Arc::new(web);
+
+        let mut r = SourceRegistry::new();
+        r.register_local("DB_ID_45", Connection::Database { db: Arc::new(db) }).unwrap();
+        r.register_local("XML_7", Connection::Xml { document: Arc::new(doc) }).unwrap();
+        r.register_local(
+            "wpage_81",
+            Connection::Web { store: web.clone(), url: "http://shop/81".into() },
+        )
+        .unwrap();
+        r.register_local(
+            "txt_1",
+            Connection::Text { store: web, url: "http://files/p.txt".into() },
+        )
+        .unwrap();
+        r
+    }
+
+    fn module() -> MappingModule {
+        let o = onto();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT brand FROM w ORDER BY id".into(), column: "brand".into() },
+            "DB_ID_45".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn sql_wrapper_extracts_column_skipping_nulls() {
+        let r = registry();
+        let m = module();
+        let mapping = m.iter().next().unwrap().clone();
+        let (values, _) = extract_one(&r, &mapping).unwrap();
+        assert_eq!(values, ["Seiko", "Casio"]);
+    }
+
+    #[test]
+    fn xpath_wrapper_extracts() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::XPath { path: "//w/brand/text()".into() },
+            "XML_7".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let (values, _) = extract_one(&r, m.iter().next().unwrap()).unwrap();
+        assert_eq!(values, ["Orient", "Tissot"]);
+    }
+
+    #[test]
+    fn webl_wrapper_with_bound_page() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Webl {
+                program: r#"
+                    var m = Str_Search(Text(PAGE), "<p><b>" + `[0-9a-zA-Z']+`);
+                    var parts = Str_Split(m[0][0], "<>");
+                    var brand = parts[2];
+                "#
+                .into(),
+            },
+            "wpage_81".into(),
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+        let (values, _) = extract_one(&r, m.iter().next().unwrap()).unwrap();
+        assert_eq!(values, ["Seiko"]);
+    }
+
+    #[test]
+    fn text_regex_wrapper_multi_match() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::TextRegex { pattern: r"brand: (\w+)".into(), group: 1 },
+            "txt_1".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let (values, _) = extract_one(&r, m.iter().next().unwrap()).unwrap();
+        assert_eq!(values, ["Fossil", "Timex"]);
+    }
+
+    #[test]
+    fn single_record_truncates() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::TextRegex { pattern: r"brand: (\w+)".into(), group: 1 },
+            "txt_1".into(),
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+        let (values, _) = extract_one(&r, m.iter().next().unwrap()).unwrap();
+        assert_eq!(values, ["Fossil"]);
+    }
+
+    #[test]
+    fn rule_source_mismatch_detected() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT 1".into(), column: "a".into() },
+            "wpage_81".into(),
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+        assert!(matches!(
+            extract_one(&r, m.iter().next().unwrap()),
+            Err(S2sError::RuleSourceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn obtain_schemas_requires_mapping() {
+        let m = module();
+        let err = ExtractorManager::obtain_schemas(
+            &m,
+            &["thing.product.price".parse().unwrap()],
+        );
+        assert!(matches!(err, Err(S2sError::UnmappedAttribute { .. })));
+        let ok = ExtractorManager::obtain_schemas(&m, &["thing.product.brand".parse().unwrap()])
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn mediator_collects_results_and_failures() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+            "DB_ID_45".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        m.register(
+            &o,
+            "thing.product.price".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT oops FROM w".into(), column: "oops".into() },
+            "DB_ID_45".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let schemas = ExtractorManager::obtain_schemas(
+            &m,
+            &[
+                "thing.product.brand".parse().unwrap(),
+                "thing.product.price".parse().unwrap(),
+            ],
+        )
+        .unwrap();
+        let report = ExtractorManager::extract(&r, schemas, Strategy::Serial);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(!report.is_complete());
+        assert_eq!(report.value_count(), 2);
+        assert!(report.failures[0].attribute.contains("price"));
+    }
+
+    #[test]
+    fn parallel_equals_serial_results() {
+        let o = onto();
+        let r = registry();
+        let mut m = MappingModule::new();
+        for (i, rule) in [
+            ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+            ExtractionRule::Sql { query: "SELECT price FROM w".into(), column: "price".into() },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let path = if i == 0 { "thing.product.brand" } else { "thing.product.price" };
+            m.register(&o, path.parse().unwrap(), rule, "DB_ID_45".into(), RecordScenario::MultiRecord)
+                .unwrap();
+        }
+        let paths = vec![
+            "thing.product.brand".parse().unwrap(),
+            "thing.product.price".parse().unwrap(),
+        ];
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let serial = ExtractorManager::extract(&r, schemas.clone(), Strategy::Serial);
+        let parallel = ExtractorManager::extract(&r, schemas, Strategy::Parallel { workers: 4 });
+        let values = |rep: &ExtractionReport| {
+            let mut v: Vec<Vec<String>> = rep.results.iter().map(|x| x.values.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(values(&serial), values(&parallel));
+    }
+
+    #[test]
+    fn remote_failure_injection_surfaces_as_net_error() {
+        let o = onto();
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE t (a TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES ('x')").unwrap();
+        let mut r = SourceRegistry::new();
+        r.register_remote(
+            "FLAKY",
+            Connection::Database { db: Arc::new(db) },
+            CostModel::lan(),
+            FailureModel { p_unreachable: 1.0, p_timeout: 0.0, timeout: SimDuration::from_millis(1) },
+        )
+        .unwrap();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT a FROM t".into(), column: "a".into() },
+            "FLAKY".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        assert!(matches!(
+            extract_one(&r, m.iter().next().unwrap()),
+            Err(S2sError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn simulated_time_parallel_not_more_than_serial() {
+        let o = onto();
+        let mut r = SourceRegistry::new();
+        let mut m = MappingModule::new();
+        for i in 0..6 {
+            let mut db = Database::new("d");
+            db.execute("CREATE TABLE t (brand TEXT)").unwrap();
+            db.execute("INSERT INTO t VALUES ('X')").unwrap();
+            let id = format!("DB_{i}");
+            r.register_remote(
+                id.as_str(),
+                Connection::Database { db: Arc::new(db) },
+                CostModel::wan(),
+                FailureModel::reliable(),
+            )
+            .unwrap();
+            m.register(
+                &o,
+                "thing.product.brand".parse().unwrap(),
+                ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() },
+                id.as_str().into(),
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        let schemas =
+            ExtractorManager::obtain_schemas(&m, &["thing.product.brand".parse().unwrap()])
+                .unwrap();
+        assert_eq!(schemas.len(), 6);
+        let report = ExtractorManager::extract(&r, schemas, Strategy::Parallel { workers: 6 });
+        assert!(report.is_complete());
+        assert!(report.simulated < report.simulated_serial);
+    }
+}

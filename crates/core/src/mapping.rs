@@ -1,0 +1,399 @@
+//! The Mapping Module (paper §2.3).
+//!
+//! Mapping is "the result of information crossing between the ontology
+//! schema and the data sources". It is keyed on **attributes** (not
+//! classes), identified by ontology paths (Fig. 4), and performed in the
+//! three steps of Fig. 3:
+//!
+//! 1. **attribute naming** — pick the unique attribute id/path,
+//! 2. **extraction rules** — the per-source-type rule code,
+//! 3. **attribute mapping** — associate id → (rule, source id), e.g.
+//!    `thing.product.brand = watch.webl, wpage_81`.
+//!
+//! §2.3 also distinguishes the two record scenarios: a source may hold
+//! one record (a product page) or *n* records (a product database);
+//! [`RecordScenario`] captures that and drives how extracted values are
+//! grouped into instances.
+
+use std::collections::BTreeMap;
+
+use s2s_owl::paths::ResolvedAttribute;
+use s2s_owl::{AttributePath, Ontology};
+use s2s_rdf::Iri;
+
+use crate::error::S2sError;
+use crate::source::{SourceId, SourceKind};
+
+/// An extraction rule, written in the language fitting the source type
+/// (paper §2.3.1 step 2: SQL for databases, XPath for XML, WebL for web
+/// pages; we add anchored regular expressions for plain text).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractionRule {
+    /// A SQL query; the named column of the result carries the values.
+    Sql {
+        /// The query text.
+        query: String,
+        /// Which result column holds the attribute values.
+        column: String,
+    },
+    /// An XPath expression; each match contributes one value.
+    XPath {
+        /// The path text.
+        path: String,
+    },
+    /// An XQuery-lite FLWOR query (see [`s2s_xml::xquery`]); each
+    /// returned string contributes one value.
+    XQuery {
+        /// The query text.
+        query: String,
+    },
+    /// A WebL program; the final value (list → many values) is the
+    /// extraction result.
+    Webl {
+        /// The program source.
+        program: String,
+    },
+    /// A regular expression for plain text; `group` selects the capture
+    /// group carrying the value, one value per match.
+    TextRegex {
+        /// The pattern.
+        pattern: String,
+        /// Capture group index (0 = whole match).
+        group: usize,
+    },
+}
+
+impl ExtractionRule {
+    /// The source kinds this rule can run against.
+    pub fn compatible_with(&self, kind: SourceKind) -> bool {
+        matches!(
+            (self, kind),
+            (ExtractionRule::Sql { .. }, SourceKind::Database)
+                | (ExtractionRule::XPath { .. }, SourceKind::Xml)
+                | (ExtractionRule::XQuery { .. }, SourceKind::Xml)
+                | (ExtractionRule::Webl { .. }, SourceKind::WebPage)
+                | (ExtractionRule::Webl { .. }, SourceKind::TextFile)
+                | (ExtractionRule::TextRegex { .. }, SourceKind::TextFile)
+                | (ExtractionRule::TextRegex { .. }, SourceKind::WebPage)
+        )
+    }
+
+    /// The rule text (used for wire-size accounting).
+    pub fn text(&self) -> &str {
+        match self {
+            ExtractionRule::Sql { query, .. } => query,
+            ExtractionRule::XPath { path } => path,
+            ExtractionRule::XQuery { query } => query,
+            ExtractionRule::Webl { program } => program,
+            ExtractionRule::TextRegex { pattern, .. } => pattern,
+        }
+    }
+
+    /// A short language label for display.
+    pub fn language(&self) -> &'static str {
+        match self {
+            ExtractionRule::Sql { .. } => "sql",
+            ExtractionRule::XPath { .. } => "xpath",
+            ExtractionRule::XQuery { .. } => "xquery",
+            ExtractionRule::Webl { .. } => "webl",
+            ExtractionRule::TextRegex { .. } => "regex",
+        }
+    }
+}
+
+/// One-record vs n-record source scenario (paper §2.3: "data sources
+/// might have one data record […] or might have n data records").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordScenario {
+    /// The source describes one record; every rule yields at most one
+    /// value and all attributes belong to the same single instance.
+    SingleRecord,
+    /// The source holds many records; rules yield aligned value lists
+    /// (the i-th values of all attributes belong to record i).
+    MultiRecord,
+}
+
+/// A completed attribute mapping (paper Fig. 3 output):
+/// `attribute id = rule, source id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeMapping {
+    path: AttributePath,
+    resolved: ResolvedAttribute,
+    rule: ExtractionRule,
+    source: SourceId,
+    scenario: RecordScenario,
+}
+
+impl AttributeMapping {
+    /// The attribute path (unique id).
+    pub fn path(&self) -> &AttributePath {
+        &self.path
+    }
+
+    /// The ontology class the attribute belongs to.
+    pub fn class(&self) -> &Iri {
+        &self.resolved.class
+    }
+
+    /// The ontology property the attribute maps to.
+    pub fn property(&self) -> &Iri {
+        &self.resolved.property
+    }
+
+    /// The extraction rule.
+    pub fn rule(&self) -> &ExtractionRule {
+        &self.rule
+    }
+
+    /// The data source id.
+    pub fn source(&self) -> &SourceId {
+        &self.source
+    }
+
+    /// The record scenario.
+    pub fn scenario(&self) -> RecordScenario {
+        self.scenario
+    }
+}
+
+/// The attribute repository: all registered mappings, indexed by path
+/// and by class.
+#[derive(Debug, Clone, Default)]
+pub struct MappingModule {
+    by_path: BTreeMap<AttributePath, AttributeMapping>,
+    /// class IRI → paths mapped for that class (including inherited
+    /// attribute registrations made against the class itself).
+    by_class: BTreeMap<Iri, Vec<AttributePath>>,
+}
+
+impl MappingModule {
+    /// An empty module.
+    pub fn new() -> Self {
+        MappingModule::default()
+    }
+
+    /// Registers an attribute mapping, performing the paper's three
+    /// steps: the path is validated against the ontology (naming), the
+    /// rule is stored (extraction rules), and the association to the
+    /// source is recorded (attribute mapping).
+    ///
+    /// Several sources may map the same attribute — each registration is
+    /// keyed by `(path, source)`; re-registering the same pair replaces
+    /// the rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::Owl`] if the path does not resolve against
+    /// `ontology`.
+    pub fn register(
+        &mut self,
+        ontology: &Ontology,
+        path: AttributePath,
+        rule: ExtractionRule,
+        source: SourceId,
+        scenario: RecordScenario,
+    ) -> Result<(), S2sError> {
+        let resolved = path.resolve(ontology)?;
+        // Key by (path, source): extend the path with a source marker in
+        // the by_path map? Paths must stay clean; instead allow one rule
+        // per (path, source) by storing a composite key.
+        let key = composite(&path, &source);
+        let mapping = AttributeMapping {
+            path: path.clone(),
+            resolved: resolved.clone(),
+            rule,
+            source,
+            scenario,
+        };
+        if self.by_path.insert(key, mapping).is_none() {
+            self.by_class.entry(resolved.class).or_default().push(path);
+        }
+        Ok(())
+    }
+
+    /// All mappings for `path`, across sources.
+    pub fn mappings_for(&self, path: &AttributePath) -> Vec<&AttributeMapping> {
+        self.by_path.values().filter(|m| m.path() == path).collect()
+    }
+
+    /// All mappings whose attribute belongs to `class` (exactly — use
+    /// the ontology to expand sub/superclasses first if needed).
+    pub fn mappings_for_class(&self, class: &Iri) -> Vec<&AttributeMapping> {
+        self.by_path.values().filter(|m| m.class() == class).collect()
+    }
+
+    /// All mappings registered against `source`.
+    pub fn mappings_for_source(&self, source: &SourceId) -> Vec<&AttributeMapping> {
+        self.by_path.values().filter(|m| m.source() == source).collect()
+    }
+
+    /// Every mapping, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &AttributeMapping> {
+        self.by_path.values()
+    }
+
+    /// Number of registered mappings.
+    pub fn len(&self) -> usize {
+        self.by_path.len()
+    }
+
+    /// Whether no mappings are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_path.is_empty()
+    }
+
+    /// Whether `path` has at least one mapping.
+    pub fn contains(&self, path: &AttributePath) -> bool {
+        !self.mappings_for(path).is_empty()
+    }
+}
+
+/// Composite key: path plus source id, so one attribute can be fed by
+/// several sources.
+fn composite(path: &AttributePath, source: &SourceId) -> AttributePath {
+    // Paths are ordered maps keys; a parallel composite path with the
+    // source appended keeps ordering stable and unique.
+    let mut segments: Vec<String> = path.class_segments().to_vec();
+    segments.push(format!("src-{}", source.as_str().to_ascii_lowercase().replace('_', "-")));
+    AttributePath::new(segments, path.attribute_name())
+        .unwrap_or_else(|_| path.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_owl::Ontology;
+
+    fn onto() -> Ontology {
+        Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .class("Watch", Some("Product"))
+            .unwrap()
+            .datatype_property("brand", "Product", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .datatype_property("case", "Watch", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn path(s: &str) -> AttributePath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_registration_example() {
+        // thing.product.brand = watch.webl, wpage_81
+        let o = onto();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            path("thing.product.brand"),
+            ExtractionRule::Webl { program: "var x = 1;".into() },
+            "wpage_81".into(),
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+        assert_eq!(m.len(), 1);
+        let found = m.mappings_for(&path("thing.product.brand"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].source().as_str(), "wpage_81");
+        assert_eq!(found[0].rule().language(), "webl");
+        assert_eq!(found[0].class().local_name(), "Product");
+    }
+
+    #[test]
+    fn bad_path_rejected() {
+        let o = onto();
+        let mut m = MappingModule::new();
+        let err = m.register(
+            &o,
+            path("thing.gadget.brand"),
+            ExtractionRule::XPath { path: "//b".into() },
+            "x".into(),
+            RecordScenario::SingleRecord,
+        );
+        assert!(matches!(err, Err(S2sError::Owl(_))));
+    }
+
+    #[test]
+    fn multiple_sources_same_attribute() {
+        let o = onto();
+        let mut m = MappingModule::new();
+        for src in ["DB_ID_45", "wpage_81"] {
+            m.register(
+                &o,
+                path("thing.product.brand"),
+                ExtractionRule::TextRegex { pattern: "x".into(), group: 0 },
+                src.into(),
+                RecordScenario::SingleRecord,
+            )
+            .unwrap();
+        }
+        assert_eq!(m.mappings_for(&path("thing.product.brand")).len(), 2);
+        assert_eq!(m.mappings_for_source(&"DB_ID_45".into()).len(), 1);
+    }
+
+    #[test]
+    fn re_registration_replaces_rule() {
+        let o = onto();
+        let mut m = MappingModule::new();
+        for pattern in ["a", "b"] {
+            m.register(
+                &o,
+                path("thing.product.brand"),
+                ExtractionRule::TextRegex { pattern: pattern.into(), group: 0 },
+                "S".into(),
+                RecordScenario::SingleRecord,
+            )
+            .unwrap();
+        }
+        let found = m.mappings_for(&path("thing.product.brand"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule().text(), "b");
+    }
+
+    #[test]
+    fn class_index() {
+        let o = onto();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            path("thing.product.brand"),
+            ExtractionRule::XPath { path: "//brand".into() },
+            "X".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        m.register(
+            &o,
+            path("thing.product.watch.case"),
+            ExtractionRule::XPath { path: "//case".into() },
+            "X".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let product = o.class_iri("Product").unwrap();
+        let watch = o.class_iri("Watch").unwrap();
+        assert_eq!(m.mappings_for_class(&product).len(), 1);
+        assert_eq!(m.mappings_for_class(&watch).len(), 1);
+    }
+
+    #[test]
+    fn rule_compatibility_matrix() {
+        let sql = ExtractionRule::Sql { query: "SELECT 1".into(), column: "a".into() };
+        assert!(sql.compatible_with(SourceKind::Database));
+        assert!(!sql.compatible_with(SourceKind::WebPage));
+        let xp = ExtractionRule::XPath { path: "//a".into() };
+        assert!(xp.compatible_with(SourceKind::Xml));
+        assert!(!xp.compatible_with(SourceKind::Database));
+        let webl = ExtractionRule::Webl { program: "1;".into() };
+        assert!(webl.compatible_with(SourceKind::WebPage));
+        assert!(webl.compatible_with(SourceKind::TextFile));
+        let rx = ExtractionRule::TextRegex { pattern: "a".into(), group: 0 };
+        assert!(rx.compatible_with(SourceKind::TextFile));
+        assert!(rx.compatible_with(SourceKind::WebPage));
+        assert!(!rx.compatible_with(SourceKind::Xml));
+    }
+}

@@ -1,0 +1,730 @@
+//! The S2S middleware façade.
+//!
+//! Ties the architecture of Figure 1 together: ontology schema, data
+//! sources, mapping module, query handler, extractor manager, instance
+//! generator. One [`S2s`] value is one deployed integration system.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use s2s_netsim::{CostModel, FailureModel, SimDuration};
+use s2s_owl::{AttributePath, Ontology};
+
+use crate::cache::{CacheStats, ExtractionCache};
+use crate::error::S2sError;
+use crate::extract::{AttributeResult, ExtractionFailure, ExtractorManager, Strategy};
+use crate::instance::{self, GenerateOptions, Individual, InstanceSet, OutputFormat};
+use crate::mapping::{ExtractionRule, MappingModule, RecordScenario};
+use crate::query::{self, QueryPlan};
+use crate::source::{Connection, SourceRegistry};
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Number of extraction tasks dispatched.
+    pub tasks: usize,
+    /// Number of failed tasks.
+    pub failed_tasks: usize,
+    /// Tasks answered from the extraction cache (0 when disabled).
+    pub cache_hits: usize,
+    /// Simulated completion time under the configured strategy.
+    pub simulated: SimDuration,
+    /// Simulated completion time had extraction run serially.
+    pub simulated_serial: SimDuration,
+}
+
+/// The outcome of an S2SQL query: the plan, the generated instances,
+/// and execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The validated plan the query handler produced.
+    pub plan: QueryPlan,
+    /// The OWL instances (graph + structured view + errors).
+    pub instances: InstanceSet,
+    /// Execution statistics.
+    pub stats: QueryStats,
+    /// Total simulated extraction time spent per source.
+    pub source_times: std::collections::BTreeMap<String, SimDuration>,
+}
+
+impl QueryOutcome {
+    /// The individuals that satisfied the query.
+    pub fn individuals(&self) -> &[Individual] {
+        &self.instances.individuals
+    }
+
+    /// The extraction failures, if any.
+    pub fn errors(&self) -> &[ExtractionFailure] {
+        &self.instances.errors
+    }
+
+    /// Serializes the result (§2.6 output formats).
+    pub fn render(&self, ontology: &Ontology, format: OutputFormat) -> String {
+        instance::render(&self.instances, ontology, format)
+    }
+}
+
+/// The Syntactic-to-Semantic middleware.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use s2s_core::middleware::S2s;
+/// use s2s_core::mapping::{ExtractionRule, RecordScenario};
+/// use s2s_core::source::Connection;
+/// use s2s_minidb::Database;
+/// use s2s_owl::Ontology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ontology = Ontology::builder("http://example.org/schema#")
+///     .class("Product", None)?
+///     .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")?
+///     .build()?;
+///
+/// let mut db = Database::new("catalog");
+/// db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT)")?;
+/// db.execute("INSERT INTO w VALUES (1, 'Seiko'), (2, 'Casio')")?;
+///
+/// let mut s2s = S2s::new(ontology);
+/// s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) })?;
+/// s2s.register_attribute(
+///     "thing.product.brand",
+///     ExtractionRule::Sql { query: "SELECT brand FROM w ORDER BY id".into(), column: "brand".into() },
+///     "DB_ID_45",
+///     RecordScenario::MultiRecord,
+/// )?;
+///
+/// let outcome = s2s.query("SELECT product WHERE brand='Seiko'")?;
+/// assert_eq!(outcome.individuals().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct S2s {
+    ontology: Arc<Ontology>,
+    registry: RwLock<SourceRegistry>,
+    mappings: RwLock<MappingModule>,
+    strategy: Strategy,
+    cache: Option<Arc<ExtractionCache>>,
+    provenance: bool,
+}
+
+impl S2s {
+    /// Creates a middleware instance over an ontology schema, with a
+    /// serial extraction strategy.
+    pub fn new(ontology: Ontology) -> Self {
+        S2s {
+            ontology: Arc::new(ontology),
+            registry: RwLock::new(SourceRegistry::new()),
+            mappings: RwLock::new(MappingModule::new()),
+            strategy: Strategy::Serial,
+            cache: None,
+            provenance: false,
+        }
+    }
+
+    /// Emits provenance triples
+    /// (`s2sprov:extractedFrom "<source id>"`) on every generated
+    /// individual.
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
+        self
+    }
+
+    /// Enables the extraction cache (see [`crate::cache`]): repeat
+    /// queries serve unchanged `(source, rule)` pairs with zero
+    /// simulated network cost.
+    pub fn with_cache(mut self) -> Self {
+        self.cache = Some(Arc::new(ExtractionCache::new()));
+        self
+    }
+
+    /// Cache hit/miss counters (zeros when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Drops all cached extraction results (no-op when disabled); use
+    /// after swapping a source snapshot.
+    pub fn invalidate_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+
+    /// Sets the mediation strategy (serial or parallel workers).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The ontology schema.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The current extraction strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Registers a local data source (paper §2.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::DuplicateSource`] on id collision.
+    pub fn register_source(
+        &mut self,
+        id: &str,
+        connection: Connection,
+    ) -> Result<(), S2sError> {
+        self.registry.write().register_local(id, connection)
+    }
+
+    /// Registers a remote data source behind a simulated network
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::DuplicateSource`] on id collision.
+    pub fn register_remote_source(
+        &mut self,
+        id: &str,
+        connection: Connection,
+        cost: CostModel,
+        failure: FailureModel,
+    ) -> Result<(), S2sError> {
+        self.registry.write().register_remote(id, connection, cost, failure)
+    }
+
+    /// Registers an attribute mapping — the full 3-step workflow of
+    /// Fig. 3: `attribute path = rule, source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::Owl`] for unresolvable paths and
+    /// [`S2sError::UnknownSource`] when the source id is unregistered.
+    pub fn register_attribute(
+        &mut self,
+        path: &str,
+        rule: ExtractionRule,
+        source: &str,
+        scenario: RecordScenario,
+    ) -> Result<(), S2sError> {
+        let path: AttributePath = path.parse().map_err(S2sError::Owl)?;
+        {
+            let registry = self.registry.read();
+            registry.require(&source.into())?;
+        }
+        self.mappings.write().register(
+            &self.ontology,
+            path,
+            rule,
+            source.into(),
+            scenario,
+        )
+    }
+
+    /// Loads a mapping-specification document (see [`crate::spec`]) and
+    /// registers every entry. All referenced sources must already be
+    /// registered.
+    ///
+    /// Returns the number of mappings registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec parse error, [`S2sError::UnknownSource`] for
+    /// unregistered source ids, or [`S2sError::Owl`] for unresolvable
+    /// paths. Registration is not transactional: entries before the
+    /// failing one remain registered.
+    pub fn load_spec(&mut self, document: &str) -> Result<usize, S2sError> {
+        let specs = crate::spec::parse(document)?;
+        let n = specs.len();
+        for s in specs {
+            self.register_attribute(&s.path, s.rule, &s.source, s.scenario)?;
+        }
+        Ok(n)
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.registry.read().len()
+    }
+
+    /// Number of registered attribute mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.read().len()
+    }
+
+    /// Runs an S2SQL query end-to-end: parse → plan → obtain extraction
+    /// schemas → extract (Fig. 5) → generate instances (§2.6).
+    ///
+    /// Attributes of the plan that have no mapping are simply not
+    /// extracted (open-world); a query whose *condition* attributes are
+    /// unmapped yields an empty result with no error, matching the
+    /// paper's best-effort integration model. Extraction failures are
+    /// reported inside the outcome, not as an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for malformed or semantically invalid
+    /// queries.
+    pub fn query(&self, s2sql: &str) -> Result<QueryOutcome, S2sError> {
+        let parsed = query::parse(s2sql)?;
+        let plan = query::plan(&parsed, &self.ontology)?;
+
+        // Step 1-2 (Fig. 5): attribute list → extraction schemas,
+        // keeping only mapped attributes.
+        let mappings = self.mappings.read();
+        let mapped_paths: Vec<AttributePath> = plan
+            .attributes
+            .iter()
+            .filter(|p| mappings.contains(p))
+            .cloned()
+            .collect();
+        let schemas = ExtractorManager::obtain_schemas(&mappings, &mapped_paths)?;
+        drop(mappings);
+
+        // Cache partition: answered entries skip the mediator entirely.
+        let mut cached_results: Vec<AttributeResult> = Vec::new();
+        let schemas = match &self.cache {
+            Some(cache) => schemas
+                .into_iter()
+                .filter(|s| match cache.get(&s.mapping) {
+                    Some(values) => {
+                        cached_results.push(AttributeResult {
+                            mapping: s.mapping.clone(),
+                            values: values.as_ref().clone(),
+                            elapsed: SimDuration::ZERO,
+                        });
+                        false
+                    }
+                    None => true,
+                })
+                .collect(),
+            None => schemas,
+        };
+        let cache_hits = cached_results.len();
+
+        // Step 3-4: source definitions + extraction.
+        let registry = self.registry.read();
+        let mut report = ExtractorManager::extract(&registry, schemas, self.strategy);
+        drop(registry);
+
+        if let Some(cache) = &self.cache {
+            for r in &report.results {
+                cache.insert(&r.mapping, r.values.clone());
+            }
+        }
+        report.results.extend(cached_results);
+
+        let stats = QueryStats {
+            tasks: report.results.len() + report.failures.len(),
+            failed_tasks: report.failures.len(),
+            cache_hits,
+            simulated: report.simulated,
+            simulated_serial: report.simulated_serial,
+        };
+        let mut source_times: std::collections::BTreeMap<String, SimDuration> =
+            std::collections::BTreeMap::new();
+        for r in &report.results {
+            *source_times.entry(r.mapping.source().to_string()).or_default() += r.elapsed;
+        }
+        let instances = instance::generate_with_options(
+            &self.ontology,
+            &plan,
+            &report,
+            GenerateOptions { provenance: self.provenance },
+        );
+        Ok(QueryOutcome { plan, instances, stats, source_times })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_minidb::Database;
+    use s2s_rdf::vocab::xsd;
+    use s2s_webdoc::WebStore;
+
+    fn ontology() -> Ontology {
+        Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .class("Watch", Some("Product"))
+            .unwrap()
+            .class("Provider", None)
+            .unwrap()
+            .datatype_property("brand", "Product", xsd::STRING)
+            .unwrap()
+            .datatype_property("price", "Product", xsd::DECIMAL)
+            .unwrap()
+            .datatype_property("case", "Watch", xsd::STRING)
+            .unwrap()
+            .object_property("provider", "Product", "Provider")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    /// A full four-source-type deployment mirroring the paper's
+    /// scenario.
+    fn deploy() -> S2s {
+        let mut db = Database::new("catalog");
+        db.execute(
+            "CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL, case_m TEXT)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO watches VALUES \
+             (1,'Seiko',129.99,'stainless-steel'), (2,'Casio',59.5,'resin')",
+        )
+        .unwrap();
+
+        let xml = s2s_xml::parse(
+            "<catalog><watch><brand>Orient</brand><price>189.0</price><case>stainless-steel</case></watch></catalog>",
+        )
+        .unwrap();
+
+        let mut web = WebStore::new();
+        web.register_html(
+            "http://shop/81",
+            "<p><b>Tissot Classic Dream</b></p><span class=\"price\">249.00</span>",
+        );
+        web.register_text("http://files/fossil.txt", "brand: Fossil\nprice: 99.0\ncase: resin\n");
+        let web = Arc::new(web);
+
+        let mut s2s = S2s::new(ontology());
+        s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) }).unwrap();
+        s2s.register_source("XML_7", Connection::Xml { document: Arc::new(xml) }).unwrap();
+        s2s.register_source(
+            "wpage_81",
+            Connection::Web { store: web.clone(), url: "http://shop/81".into() },
+        )
+        .unwrap();
+        s2s.register_source(
+            "txt_9",
+            Connection::Text { store: web, url: "http://files/fossil.txt".into() },
+        )
+        .unwrap();
+
+        // DB mappings (multi-record).
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM watches ORDER BY id".into(),
+                column: "brand".into(),
+            },
+            "DB_ID_45",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.price",
+            ExtractionRule::Sql {
+                query: "SELECT price FROM watches ORDER BY id".into(),
+                column: "price".into(),
+            },
+            "DB_ID_45",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.case",
+            ExtractionRule::Sql {
+                query: "SELECT case_m FROM watches ORDER BY id".into(),
+                column: "case_m".into(),
+            },
+            "DB_ID_45",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+
+        // XML mappings.
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::XPath { path: "//watch/brand/text()".into() },
+            "XML_7",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.price",
+            ExtractionRule::XPath { path: "//watch/price/text()".into() },
+            "XML_7",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.case",
+            ExtractionRule::XPath { path: "//watch/case/text()".into() },
+            "XML_7",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+
+        // Web page mapping (single record, WebL).
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::Webl {
+                program: r#"
+                    var m = Str_Search(Text(PAGE), "<p><b>" + `[0-9a-zA-Z']+`);
+                    var parts = Str_Split(m[0][0], "<>");
+                    var brand = parts[2];
+                "#
+                .into(),
+            },
+            "wpage_81",
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.price",
+            ExtractionRule::Webl {
+                program: r#"
+                    var m = Str_Search(Text(PAGE), `class="price">(\d+\.\d+)`);
+                    var price = m[0][1];
+                "#
+                .into(),
+            },
+            "wpage_81",
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+
+        // Text file mappings (single record, regex).
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::TextRegex { pattern: r"brand: (\w+)".into(), group: 1 },
+            "txt_9",
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.case",
+            ExtractionRule::TextRegex { pattern: r"case: (\w+)".into(), group: 1 },
+            "txt_9",
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+
+        s2s
+    }
+
+    #[test]
+    fn end_to_end_heterogeneous_integration() {
+        // The headline claim: one query, four source types, unified
+        // ontology instances.
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch").unwrap();
+        assert!(outcome.errors().is_empty(), "{:?}", outcome.errors());
+        // 2 (db) + 1 (xml) + 1 (web) + 1 (text) = 5 watches.
+        assert_eq!(outcome.individuals().len(), 5);
+        let brands: Vec<_> = outcome
+            .individuals()
+            .iter()
+            .filter_map(|i| i.value(&s2s.ontology().property_iri("brand").unwrap()))
+            .collect();
+        assert!(brands.contains(&"Seiko"));
+        assert!(brands.contains(&"Orient"));
+        assert!(brands.contains(&"Tissot"));
+        assert!(brands.contains(&"Fossil"));
+    }
+
+    #[test]
+    fn paper_query_filters_across_sources() {
+        let s2s = deploy();
+        let outcome =
+            s2s.query("SELECT watch WHERE case='stainless-steel'").unwrap();
+        // Seiko (db) and Orient (xml) have stainless-steel cases.
+        assert_eq!(outcome.individuals().len(), 2);
+    }
+
+    #[test]
+    fn numeric_condition() {
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch WHERE price<100").unwrap();
+        // Casio 59.5 (db); Fossil has no mapped price → excluded.
+        assert_eq!(outcome.individuals().len(), 1);
+    }
+
+    #[test]
+    fn like_condition() {
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch WHERE brand LIKE 'S%'").unwrap();
+        assert_eq!(outcome.individuals().len(), 1);
+    }
+
+    #[test]
+    fn parallel_strategy_same_answers() {
+        let serial = deploy();
+        let parallel = deploy().with_strategy(Strategy::Parallel { workers: 4 });
+        let a = serial.query("SELECT watch").unwrap();
+        let b = parallel.query("SELECT watch").unwrap();
+        let key = |o: &QueryOutcome| {
+            let mut v: Vec<String> = o.individuals().iter().map(|i| format!("{:?}", i.values)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn output_graph_is_well_typed() {
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch WHERE brand='Seiko'").unwrap();
+        let watch = s2s.ontology().class_iri("Watch").unwrap();
+        let product = s2s.ontology().class_iri("Product").unwrap();
+        assert_eq!(outcome.instances.graph.instances_of(&watch).count(), 1);
+        // Supertype materialized.
+        assert_eq!(outcome.instances.graph.instances_of(&product).count(), 1);
+    }
+
+    #[test]
+    fn unmapped_condition_attribute_gives_empty_result() {
+        let s2s = deploy();
+        // `provider` is a valid attribute but has no mapping.
+        let outcome = s2s.query("SELECT watch WHERE provider='TimeHouse'").unwrap();
+        assert!(outcome.individuals().is_empty());
+    }
+
+    #[test]
+    fn invalid_queries_error() {
+        let s2s = deploy();
+        assert!(matches!(s2s.query("SELECT nope"), Err(S2sError::QuerySemantics { .. })));
+        assert!(matches!(s2s.query("garbage"), Err(S2sError::QuerySyntax { .. })));
+    }
+
+    #[test]
+    fn unknown_source_rejected_at_registration() {
+        let mut s2s = S2s::new(ontology());
+        let err = s2s.register_attribute(
+            "thing.product.brand",
+            ExtractionRule::TextRegex { pattern: "x".into(), group: 0 },
+            "MISSING",
+            RecordScenario::SingleRecord,
+        );
+        assert!(matches!(err, Err(S2sError::UnknownSource { .. })));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch").unwrap();
+        assert_eq!(outcome.stats.tasks, 10);
+        assert_eq!(outcome.stats.failed_tasks, 0);
+        assert_eq!(outcome.stats.simulated, outcome.stats.simulated_serial); // serial strategy
+    }
+
+    #[test]
+    fn provenance_triples_emitted_when_enabled() {
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE w (brand TEXT)").unwrap();
+        db.execute("INSERT INTO w VALUES ('Seiko')").unwrap();
+        let build = |prov: bool| {
+            let mut s2s = S2s::new(ontology());
+            if prov {
+                s2s = s2s.with_provenance();
+            }
+            s2s.register_source("DB", Connection::Database { db: Arc::new(db.clone()) })
+                .unwrap();
+            s2s.register_attribute(
+                "thing.product.brand",
+                ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+                "DB",
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+            s2s.query("SELECT product").unwrap()
+        };
+        let plain = build(false);
+        let prov_prop = crate::instance::provenance_property();
+        assert_eq!(plain.instances.graph.match_pattern(None, Some(&prov_prop), None).count(), 0);
+        let with = build(true);
+        let hits: Vec<_> =
+            with.instances.graph.match_pattern(None, Some(&prov_prop), None).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].object().as_literal().unwrap().lexical(), "DB");
+    }
+
+    #[test]
+    fn source_times_cover_all_sources() {
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch").unwrap();
+        assert_eq!(outcome.source_times.len(), 4);
+        // Local sources cost zero simulated time.
+        assert!(outcome.source_times.values().all(|t| t.as_micros() == 0));
+    }
+
+    #[test]
+    fn cache_serves_repeat_queries() {
+        let s2s = deploy_cached();
+        let first = s2s.query("SELECT watch").unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = s2s.query("SELECT watch").unwrap();
+        assert_eq!(second.stats.cache_hits, second.stats.tasks);
+        // Same answers, zero simulated time on the repeat.
+        assert_eq!(first.instances.graph, second.instances.graph);
+        assert_eq!(second.stats.simulated, SimDuration::ZERO);
+        let stats = s2s.cache_stats();
+        assert!(stats.hits > 0);
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn cache_differentiates_queries_by_rule_not_by_s2sql() {
+        // Two different S2SQL queries over the same mappings share the
+        // cache: the second query is fully served from it.
+        let s2s = deploy_cached();
+        let _ = s2s.query("SELECT watch").unwrap();
+        let filtered = s2s.query("SELECT watch WHERE brand='Seiko'").unwrap();
+        assert_eq!(filtered.stats.cache_hits, filtered.stats.tasks);
+        assert_eq!(filtered.individuals().len(), 1);
+    }
+
+    #[test]
+    fn invalidate_cache_forces_reextraction() {
+        let s2s = deploy_cached();
+        let _ = s2s.query("SELECT watch").unwrap();
+        s2s.invalidate_cache();
+        let third = s2s.query("SELECT watch").unwrap();
+        assert_eq!(third.stats.cache_hits, 0);
+    }
+
+    /// A small remote deployment with the cache enabled.
+    fn deploy_cached() -> S2s {
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT)").unwrap();
+        db.execute("INSERT INTO w VALUES (1,'Seiko'), (2,'Casio')").unwrap();
+        let mut s2s = S2s::new(ontology()).with_cache();
+        s2s.register_remote_source(
+            "DB",
+            Connection::Database { db: Arc::new(db) },
+            CostModel::wan(),
+            FailureModel::reliable(),
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM w ORDER BY id".into(),
+                column: "brand".into(),
+            },
+            "DB",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s
+    }
+
+    #[test]
+    fn renders_owl_output() {
+        let s2s = deploy();
+        let outcome = s2s.query("SELECT watch WHERE brand='Seiko'").unwrap();
+        let owl = outcome.render(s2s.ontology(), OutputFormat::OwlRdfXml);
+        assert!(owl.contains("rdf:RDF"));
+        assert!(owl.contains("Seiko"));
+    }
+}

@@ -1,0 +1,781 @@
+//! The Query Handler and the S2SQL language (paper §2.5).
+//!
+//! "The Syntactic-to-Semantic Query Language (S2SQL) is the query
+//! language based on SQL supported by the extraction module. It is a
+//! simpler version of SQL since data location is transparent […] the
+//! FROM and related operators have no use in S2SQL."
+//!
+//! Syntax:
+//!
+//! ```text
+//! SELECT <ontology class>
+//! WHERE <attribute><operator><constraint> AND <attribute><operator><constraint> …
+//! ```
+//!
+//! The paper's example: `SELECT product WHERE brand='Seiko' AND
+//! case='stainless-steel'`. We additionally support `!=`, `<`, `<=`,
+//! `>`, `>=`, and `LIKE` with `%`/`_` wildcards.
+
+use s2s_owl::{AttributePath, Ontology, PropertyKind, Reasoner};
+use s2s_rdf::Iri;
+
+use crate::error::S2sError;
+
+/// A comparison operator in an S2SQL condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `LIKE`
+    Like,
+}
+
+impl std::fmt::Display for CondOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CondOp::Eq => "=",
+            CondOp::Ne => "!=",
+            CondOp::Lt => "<",
+            CondOp::Le => "<=",
+            CondOp::Gt => ">",
+            CondOp::Ge => ">=",
+            CondOp::Like => "LIKE",
+        })
+    }
+}
+
+/// One `attribute op constraint` condition as written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// The attribute as written (simple name or dotted path).
+    pub attribute: String,
+    /// The operator.
+    pub op: CondOp,
+    /// The constraint text (quotes removed).
+    pub value: String,
+}
+
+/// A boolean combination of conditions (extension beyond the paper's
+/// pure conjunctions: `OR`, `NOT`, and parentheses are accepted too).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionExpr {
+    /// A single `attribute op constraint`.
+    Leaf(Condition),
+    /// Conjunction.
+    And(Box<ConditionExpr>, Box<ConditionExpr>),
+    /// Disjunction.
+    Or(Box<ConditionExpr>, Box<ConditionExpr>),
+    /// Negation.
+    Not(Box<ConditionExpr>),
+}
+
+impl ConditionExpr {
+    /// The leaves in left-to-right order.
+    pub fn leaves(&self) -> Vec<&Condition> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e ConditionExpr, out: &mut Vec<&'e Condition>) {
+            match e {
+                ConditionExpr::Leaf(c) => out.push(c),
+                ConditionExpr::And(a, b) | ConditionExpr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                ConditionExpr::Not(e) => walk(e, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// A parsed (but not yet validated) S2SQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct S2sqlQuery {
+    /// The ontology class selected.
+    pub class: String,
+    /// The WHERE clause, if any.
+    pub condition: Option<ConditionExpr>,
+}
+
+/// A condition resolved against the ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedCondition {
+    /// The property the attribute resolved to.
+    pub property: Iri,
+    /// The operator.
+    pub op: CondOp,
+    /// The constraint text.
+    pub value: String,
+}
+
+/// A resolved boolean condition tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionTree {
+    /// A resolved leaf.
+    Leaf(ResolvedCondition),
+    /// Conjunction.
+    And(Box<ConditionTree>, Box<ConditionTree>),
+    /// Disjunction.
+    Or(Box<ConditionTree>, Box<ConditionTree>),
+    /// Negation.
+    Not(Box<ConditionTree>),
+}
+
+impl ConditionTree {
+    /// Evaluates against one individual's property values. A leaf holds
+    /// when at least one value of its property satisfies the comparison
+    /// (missing properties fail the leaf — best-effort semantics).
+    pub fn matches(
+        &self,
+        values: &std::collections::BTreeMap<Iri, Vec<String>>,
+    ) -> bool {
+        match self {
+            ConditionTree::Leaf(c) => values
+                .get(&c.property)
+                .is_some_and(|vs| vs.iter().any(|v| condition_matches(c, v))),
+            ConditionTree::And(a, b) => a.matches(values) && b.matches(values),
+            ConditionTree::Or(a, b) => a.matches(values) || b.matches(values),
+            ConditionTree::Not(e) => !e.matches(values),
+        }
+    }
+
+    /// The resolved leaves in left-to-right order.
+    pub fn leaves(&self) -> Vec<&ResolvedCondition> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e ConditionTree, out: &mut Vec<&'e ResolvedCondition>) {
+            match e {
+                ConditionTree::Leaf(c) => out.push(c),
+                ConditionTree::And(a, b) | ConditionTree::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                ConditionTree::Not(e) => walk(e, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// The output of query handling: what to extract and what to return
+/// (paper: "the query output will have all their associated classes").
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// The selected class.
+    pub class: Iri,
+    /// The selected class plus every class reachable through object
+    /// properties (the associated classes included in the output).
+    pub output_classes: Vec<Iri>,
+    /// Canonical attribute paths for every property applicable to the
+    /// selected class — the extraction attribute list (Fig. 5 step 1).
+    pub attributes: Vec<AttributePath>,
+    /// The validated condition tree, if the query had a WHERE clause.
+    pub condition: Option<ConditionTree>,
+}
+
+/// Parses S2SQL text.
+///
+/// # Errors
+///
+/// Returns [`S2sError::QuerySyntax`] on malformed input.
+pub fn parse(input: &str) -> Result<S2sqlQuery, S2sError> {
+    let mut p = Parser { chars: input.char_indices().collect(), pos: 0, len: input.len() };
+    p.skip_ws();
+    p.expect_keyword("SELECT")?;
+    p.skip_ws();
+    let class = p.parse_identifier()?;
+    p.skip_ws();
+    let condition = if p.peek_keyword("WHERE") {
+        p.expect_keyword("WHERE")?;
+        Some(p.parse_or_expr()?)
+    } else {
+        None
+    };
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("unexpected trailing content"));
+    }
+    Ok(S2sqlQuery { class, condition })
+}
+
+/// Validates a parsed query against the ontology and produces the
+/// extraction plan.
+///
+/// # Errors
+///
+/// Returns [`S2sError::QuerySemantics`] for unknown classes/attributes
+/// or attributes that do not apply to the selected class.
+pub fn plan(query: &S2sqlQuery, ontology: &Ontology) -> Result<QueryPlan, S2sError> {
+    let class = ontology
+        .classes()
+        .find(|c| c.iri().local_name().eq_ignore_ascii_case(&query.class))
+        .map(|c| c.iri().clone())
+        .ok_or_else(|| S2sError::QuerySemantics {
+            message: format!("unknown class `{}`", query.class),
+        })?;
+
+    let reasoner = Reasoner::new(ontology);
+    let properties = ontology.properties_of_class(&class);
+
+    // Associated output classes: ranges of object properties, followed
+    // transitively (paper: "all products have a Provider, therefore the
+    // output classes will be Product, watch, and Provider").
+    let mut output_classes = vec![class.clone()];
+    let mut frontier = vec![class.clone()];
+    while let Some(c) = frontier.pop() {
+        for p in ontology.properties_of_class(&c) {
+            if p.kind() == PropertyKind::Object {
+                for range in p.ranges() {
+                    if ontology.class(range).is_some() && !output_classes.contains(range) {
+                        output_classes.push(range.clone());
+                        frontier.push(range.clone());
+                    }
+                }
+            }
+        }
+        // Subclasses of the selected class are also part of the answer
+        // space (a query for `product` returns watches too).
+        for sub in ontology.subclasses(&c) {
+            if !output_classes.contains(&sub) {
+                output_classes.push(sub.clone());
+            }
+        }
+    }
+    let _ = reasoner; // closure retained for future subsumption checks
+
+    // Attribute list: one canonical path per applicable property, for
+    // the selected class AND each of its subclasses — a query for
+    // `product` must reach mappings registered at `watch` level, since
+    // every watch is a product.
+    let mut attributes = Vec::new();
+    let mut answer_classes = vec![class.clone()];
+    answer_classes.extend(ontology.subclasses(&class));
+    for c in &answer_classes {
+        for p in ontology.properties_of_class(c) {
+            let path = AttributePath::for_attribute(ontology, c, p.iri())?;
+            if !attributes.contains(&path) {
+                attributes.push(path);
+            }
+        }
+    }
+
+    // Conditions must name attributes applicable to the class (or be
+    // full paths that resolve to one of them).
+    fn resolve_tree(
+        expr: &ConditionExpr,
+        class: &Iri,
+        properties: &[&s2s_owl::PropertyDef],
+        ontology: &Ontology,
+    ) -> Result<ConditionTree, S2sError> {
+        Ok(match expr {
+            ConditionExpr::Leaf(c) => {
+                let property = if c.attribute.contains('.') {
+                    let path: AttributePath = c.attribute.parse().map_err(S2sError::Owl)?;
+                    path.resolve(ontology)?.property
+                } else {
+                    properties
+                        .iter()
+                        .find(|p| p.iri().local_name().eq_ignore_ascii_case(&c.attribute))
+                        .map(|p| p.iri().clone())
+                        .ok_or_else(|| S2sError::QuerySemantics {
+                            message: format!(
+                                "class `{}` has no attribute `{}`",
+                                class.local_name(),
+                                c.attribute
+                            ),
+                        })?
+                };
+                ConditionTree::Leaf(ResolvedCondition {
+                    property,
+                    op: c.op,
+                    value: c.value.clone(),
+                })
+            }
+            ConditionExpr::And(a, b) => ConditionTree::And(
+                Box::new(resolve_tree(a, class, properties, ontology)?),
+                Box::new(resolve_tree(b, class, properties, ontology)?),
+            ),
+            ConditionExpr::Or(a, b) => ConditionTree::Or(
+                Box::new(resolve_tree(a, class, properties, ontology)?),
+                Box::new(resolve_tree(b, class, properties, ontology)?),
+            ),
+            ConditionExpr::Not(e) => {
+                ConditionTree::Not(Box::new(resolve_tree(e, class, properties, ontology)?))
+            }
+        })
+    }
+    let condition = match &query.condition {
+        Some(expr) => Some(resolve_tree(expr, &class, &properties, ontology)?),
+        None => None,
+    };
+
+    Ok(QueryPlan { class, output_classes, attributes, condition })
+}
+
+/// Evaluates one resolved condition against a candidate value. Numeric
+/// comparison applies when both sides parse as numbers; otherwise
+/// string comparison. `LIKE` uses `%`/`_` wildcards.
+pub fn condition_matches(cond: &ResolvedCondition, value: &str) -> bool {
+    if cond.op == CondOp::Like {
+        return s2s_minidb::value::like_match(value, &cond.value);
+    }
+    let ord = match (value.parse::<f64>(), cond.value.parse::<f64>()) {
+        (Ok(a), Ok(b)) => a.partial_cmp(&b),
+        _ => Some(value.cmp(cond.value.as_str())),
+    };
+    let Some(ord) = ord else { return false };
+    match cond.op {
+        CondOp::Eq => ord.is_eq(),
+        CondOp::Ne => !ord.is_eq(),
+        CondOp::Lt => ord.is_lt(),
+        CondOp::Le => ord.is_le(),
+        CondOp::Gt => ord.is_gt(),
+        CondOp::Ge => ord.is_ge(),
+        CondOp::Like => unreachable!("handled above"),
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> S2sError {
+        let position = self.chars.get(self.pos).map(|&(b, _)| b).unwrap_or(self.len);
+        S2sError::QuerySyntax { position, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        let upper: String = self
+            .chars
+            .iter()
+            .skip(self.pos)
+            .take(kw.len())
+            .map(|&(_, c)| c.to_ascii_uppercase())
+            .collect();
+        upper == kw
+            && self
+                .chars
+                .get(self.pos + kw.len())
+                .map(|&(_, c)| !c.is_ascii_alphanumeric())
+                .unwrap_or(true)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), S2sError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<String, S2sError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                s.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(s)
+    }
+
+    // or_expr := and_expr (OR and_expr)*
+    fn parse_or_expr(&mut self) -> Result<ConditionExpr, S2sError> {
+        self.skip_ws();
+        let mut left = self.parse_and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("OR") {
+                let right = self.parse_and_expr()?;
+                left = ConditionExpr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    // and_expr := unary (AND unary)*
+    fn parse_and_expr(&mut self) -> Result<ConditionExpr, S2sError> {
+        self.skip_ws();
+        let mut left = self.parse_unary_expr()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("AND") {
+                let right = self.parse_unary_expr()?;
+                left = ConditionExpr::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    // unary := NOT unary | '(' or_expr ')' | condition
+    fn parse_unary_expr(&mut self) -> Result<ConditionExpr, S2sError> {
+        self.skip_ws();
+        if self.eat_keyword("NOT") {
+            return Ok(ConditionExpr::Not(Box::new(self.parse_unary_expr()?)));
+        }
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            let e = self.parse_or_expr()?;
+            self.skip_ws();
+            if self.peek() != Some(')') {
+                return Err(self.err("expected `)`"));
+            }
+            self.pos += 1;
+            return Ok(e);
+        }
+        Ok(ConditionExpr::Leaf(self.parse_condition()?))
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition, S2sError> {
+        let attribute = self.parse_identifier()?;
+        self.skip_ws();
+        let op = if self.eat_keyword("LIKE") {
+            CondOp::Like
+        } else {
+            match self.peek() {
+                Some('=') => {
+                    self.pos += 1;
+                    CondOp::Eq
+                }
+                Some('!') => {
+                    self.pos += 1;
+                    if self.peek() != Some('=') {
+                        return Err(self.err("expected `=` after `!`"));
+                    }
+                    self.pos += 1;
+                    CondOp::Ne
+                }
+                Some('<') => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        CondOp::Le
+                    } else if self.peek() == Some('>') {
+                        self.pos += 1;
+                        CondOp::Ne
+                    } else {
+                        CondOp::Lt
+                    }
+                }
+                Some('>') => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        CondOp::Ge
+                    } else {
+                        CondOp::Gt
+                    }
+                }
+                _ => return Err(self.err("expected a comparison operator")),
+            }
+        };
+        self.skip_ws();
+        let value = self.parse_constraint()?;
+        Ok(Condition { attribute, op, value })
+    }
+
+    fn parse_constraint(&mut self) -> Result<String, S2sError> {
+        match self.peek() {
+            Some(q @ ('\'' | '"')) => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(self.err("unterminated string constraint")),
+                        Some(c) if c == q => {
+                            self.pos += 1;
+                            // '' escape
+                            if self.peek() == Some(q) {
+                                s.push(q);
+                                self.pos += 1;
+                            } else {
+                                return Ok(s);
+                            }
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            self.pos += 1;
+                        }
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut s = String::new();
+                s.push(c);
+                self.pos += 1;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        s.push(c);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(s)
+            }
+            _ => {
+                // Bare word constraint (paper writes brand="Seiko" but we
+                // tolerate brand=Seiko).
+                let s = self.parse_identifier()?;
+                Ok(s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2s_owl::Ontology;
+
+    fn onto() -> Ontology {
+        Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .class("Watch", Some("Product"))
+            .unwrap()
+            .class("Provider", None)
+            .unwrap()
+            .class("Country", None)
+            .unwrap()
+            .datatype_property("brand", "Product", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .datatype_property("case", "Watch", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .datatype_property("price", "Product", s2s_rdf::vocab::xsd::DECIMAL)
+            .unwrap()
+            .object_property("provider", "Product", "Provider")
+            .unwrap()
+            .object_property("country", "Provider", "Country")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        let q = parse("SELECT product WHERE brand='Seiko' AND case='stainless-steel'").unwrap();
+        assert_eq!(q.class, "product");
+        let tree = q.condition.as_ref().unwrap();
+        assert!(matches!(tree, ConditionExpr::And(_, _)));
+        let leaves = tree.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].attribute, "brand");
+        assert_eq!(leaves[0].op, CondOp::Eq);
+        assert_eq!(leaves[0].value, "Seiko");
+        assert_eq!(leaves[1].value, "stainless-steel");
+    }
+
+    #[test]
+    fn parses_without_where() {
+        let q = parse("SELECT watch").unwrap();
+        assert!(q.condition.is_none());
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        let q = parse(
+            "SELECT product WHERE a=1 AND b!=2 AND c<3 AND d<=4 AND e>5 AND f>=6 AND g<>7 AND h LIKE 'S%'",
+        )
+        .unwrap();
+        let tree = q.condition.unwrap();
+        let ops: Vec<CondOp> = tree.leaves().iter().map(|c| c.op).collect();
+        assert_eq!(
+            ops,
+            [
+                CondOp::Eq,
+                CondOp::Ne,
+                CondOp::Lt,
+                CondOp::Le,
+                CondOp::Gt,
+                CondOp::Ge,
+                CondOp::Ne,
+                CondOp::Like
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_escapes_and_numbers() {
+        let q = parse("SELECT p WHERE a='it''s' AND b=-12.5 AND c=\"x\"").unwrap();
+        let tree = q.condition.unwrap();
+        let leaves = tree.leaves();
+        assert_eq!(leaves[0].value, "it's");
+        assert_eq!(leaves[1].value, "-12.5");
+        assert_eq!(leaves[2].value, "x");
+    }
+
+    #[test]
+    fn or_not_and_parentheses() {
+        // OR binds looser than AND.
+        let q = parse("SELECT p WHERE a=1 OR b=2 AND c=3").unwrap();
+        match q.condition.unwrap() {
+            ConditionExpr::Or(_, right) => assert!(matches!(*right, ConditionExpr::And(_, _))),
+            other => panic!("{other:?}"),
+        }
+        // Parentheses override.
+        let q = parse("SELECT p WHERE (a=1 OR b=2) AND c=3").unwrap();
+        match q.condition.unwrap() {
+            ConditionExpr::And(left, _) => assert!(matches!(*left, ConditionExpr::Or(_, _))),
+            other => panic!("{other:?}"),
+        }
+        // NOT.
+        let q = parse("SELECT p WHERE NOT brand='Seiko'").unwrap();
+        assert!(matches!(q.condition.unwrap(), ConditionExpr::Not(_)));
+        // Unbalanced parens rejected.
+        assert!(parse("SELECT p WHERE (a=1").is_err());
+        assert!(parse("SELECT p WHERE a=1)").is_err());
+    }
+
+    #[test]
+    fn condition_tree_evaluation() {
+        let o = onto();
+        let q = parse("SELECT product WHERE brand='Seiko' OR brand='Casio'").unwrap();
+        let p = plan(&q, &o).unwrap();
+        let tree = p.condition.as_ref().unwrap();
+        let brand = o.property_iri("brand").unwrap();
+        let with = |v: &str| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert(brand.clone(), vec![v.to_string()]);
+            m
+        };
+        assert!(tree.matches(&with("Seiko")));
+        assert!(tree.matches(&with("Casio")));
+        assert!(!tree.matches(&with("Orient")));
+
+        let q = parse("SELECT product WHERE NOT (brand='Seiko' OR price<100)").unwrap();
+        let p = plan(&q, &o).unwrap();
+        let tree = p.condition.as_ref().unwrap();
+        assert!(!tree.matches(&with("Seiko")));
+        // No price value present → `price<100` leaf is false → whole OR
+        // false → NOT true.
+        assert!(tree.matches(&with("Orient")));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!(parse("WHERE x=1"), Err(S2sError::QuerySyntax { .. })));
+        assert!(matches!(parse("SELECT"), Err(S2sError::QuerySyntax { .. })));
+        assert!(matches!(parse("SELECT p WHERE"), Err(S2sError::QuerySyntax { .. })));
+        assert!(matches!(parse("SELECT p WHERE a"), Err(S2sError::QuerySyntax { .. })));
+        assert!(matches!(parse("SELECT p WHERE a='x' extra"), Err(S2sError::QuerySyntax { .. })));
+        assert!(matches!(parse("SELECT p WHERE a='unterminated"), Err(S2sError::QuerySyntax { .. })));
+        // FROM is not part of S2SQL.
+        assert!(parse("SELECT p FROM t").is_err());
+    }
+
+    #[test]
+    fn plan_resolves_class_case_insensitively() {
+        let o = onto();
+        let q = parse("SELECT product").unwrap();
+        let p = plan(&q, &o).unwrap();
+        assert_eq!(p.class.local_name(), "Product");
+    }
+
+    #[test]
+    fn plan_output_classes_follow_object_properties() {
+        // Paper: "all products have a Provider, and therefore the output
+        // classes will be Product, watch, and Provider."
+        let o = onto();
+        let q = parse("SELECT product").unwrap();
+        let p = plan(&q, &o).unwrap();
+        let names: Vec<&str> = p.output_classes.iter().map(|c| c.local_name()).collect();
+        assert!(names.contains(&"Product"));
+        assert!(names.contains(&"Watch"));
+        assert!(names.contains(&"Provider"));
+        // Transitive: Provider → Country.
+        assert!(names.contains(&"Country"));
+    }
+
+    #[test]
+    fn plan_attribute_list_covers_class_properties() {
+        let o = onto();
+        let q = parse("SELECT watch").unwrap();
+        let p = plan(&q, &o).unwrap();
+        let attrs: Vec<String> = p.attributes.iter().map(|a| a.to_string()).collect();
+        assert!(attrs.contains(&"thing.product.watch.brand".to_string()), "{attrs:?}");
+        assert!(attrs.contains(&"thing.product.watch.case".to_string()));
+        assert!(attrs.contains(&"thing.product.watch.price".to_string()));
+        assert!(attrs.contains(&"thing.product.watch.provider".to_string()));
+    }
+
+    #[test]
+    fn plan_rejects_unknown_class_and_attribute() {
+        let o = onto();
+        let q = parse("SELECT gadget").unwrap();
+        assert!(matches!(plan(&q, &o), Err(S2sError::QuerySemantics { .. })));
+        let q = parse("SELECT product WHERE nonexistent='x'").unwrap();
+        assert!(matches!(plan(&q, &o), Err(S2sError::QuerySemantics { .. })));
+        // `case` belongs to Watch, not Product.
+        let q = parse("SELECT provider WHERE case='steel'").unwrap();
+        assert!(matches!(plan(&q, &o), Err(S2sError::QuerySemantics { .. })));
+    }
+
+    #[test]
+    fn plan_accepts_dotted_condition_paths() {
+        let o = onto();
+        let q = parse("SELECT watch WHERE thing.product.watch.case='steel'").unwrap();
+        let p = plan(&q, &o).unwrap();
+        let tree = p.condition.unwrap();
+        assert_eq!(tree.leaves()[0].property.local_name(), "case");
+    }
+
+    #[test]
+    fn condition_matching_semantics() {
+        let c = |op, value: &str| ResolvedCondition {
+            property: Iri::new("http://x.org/p").unwrap(),
+            op,
+            value: value.to_string(),
+        };
+        assert!(condition_matches(&c(CondOp::Eq, "Seiko"), "Seiko"));
+        assert!(!condition_matches(&c(CondOp::Eq, "Seiko"), "seiko"));
+        assert!(condition_matches(&c(CondOp::Lt, "100"), "59.5"));
+        assert!(!condition_matches(&c(CondOp::Lt, "100"), "129.99"));
+        // Numeric compare applies even with different lexemes.
+        assert!(condition_matches(&c(CondOp::Eq, "100"), "100.0"));
+        assert!(condition_matches(&c(CondOp::Like, "stain%"), "stainless-steel"));
+        assert!(condition_matches(&c(CondOp::Ne, "a"), "b"));
+        assert!(condition_matches(&c(CondOp::Ge, "59.5"), "59.5"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Mapping-specification files.
+//!
+//! The paper stores attribute-repository entries as associations like
+//! `thing.product.brand = watch.webl, wpage_81` (§2.3.1 step 3), with
+//! the rule code living in a referenced module. This module provides a
+//! textual format carrying both halves, so a whole deployment's mapping
+//! can be versioned as one document and loaded with
+//! [`crate::middleware::S2s::load_spec`]:
+//!
+//! ```text
+//! # watches.s2smap — comments start with '#'
+//!
+//! map thing.product.brand = webl, wpage_81, single {
+//!     var b = TagTexts(Text(PAGE), "b")[0];
+//! }
+//!
+//! map thing.product.watch.case = sql(case_m), DB_ID_45, multi {
+//!     SELECT case_m FROM watches ORDER BY id
+//! }
+//!
+//! map thing.product.watch.price = xpath, XML_7, multi {
+//!     //watch/price/text()
+//! }
+//!
+//! map thing.product.brand = regex(1), txt_9, multi {
+//!     brand: (\w+)
+//! }
+//! ```
+//!
+//! Header: `map <attribute path> = <language>[(arg)], <source id>,
+//! <single|multi> {`. The rule body runs to a line containing only `}`.
+//! Languages: `sql(column)`, `xpath`, `webl`, `regex(group)`,
+//! `xquery`.
+
+use crate::error::S2sError;
+use crate::mapping::{ExtractionRule, RecordScenario};
+
+/// One parsed `map` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingSpec {
+    /// The attribute path text.
+    pub path: String,
+    /// The extraction rule.
+    pub rule: ExtractionRule,
+    /// The source id.
+    pub source: String,
+    /// Single- or multi-record scenario.
+    pub scenario: RecordScenario,
+}
+
+/// Parses a mapping-specification document.
+///
+/// # Errors
+///
+/// Returns [`S2sError::QuerySyntax`] (reusing the middleware's syntax
+/// error type, with the byte offset of the offending line) for malformed
+/// headers, unknown languages, or unterminated bodies.
+pub fn parse(input: &str) -> Result<Vec<MappingSpec>, S2sError> {
+    let mut specs = Vec::new();
+    let mut lines = input.lines().enumerate().peekable();
+    let mut offset = 0usize;
+    let err = |offset: usize, message: String| S2sError::QuerySyntax { position: offset, message };
+
+    while let Some((_, raw)) = lines.next() {
+        let line_start = offset;
+        offset += raw.len() + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("map ") else {
+            return Err(err(line_start, format!("expected `map`, found `{line}`")));
+        };
+        let Some((path, rest)) = rest.split_once('=') else {
+            return Err(err(line_start, "expected `=` in map header".to_string()));
+        };
+        let path = path.trim().to_string();
+        let rest = rest.trim();
+        let Some(header) = rest.strip_suffix('{') else {
+            return Err(err(line_start, "map header must end with `{`".to_string()));
+        };
+        let parts: Vec<&str> = header.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(err(
+                line_start,
+                format!("expected `language, source, scenario`, found `{header}`"),
+            ));
+        }
+        let (lang, source, scenario) = (parts[0], parts[1], parts[2]);
+        let scenario = match scenario {
+            "single" => RecordScenario::SingleRecord,
+            "multi" => RecordScenario::MultiRecord,
+            other => {
+                return Err(err(
+                    line_start,
+                    format!("scenario must be `single` or `multi`, found `{other}`"),
+                ))
+            }
+        };
+
+        // Body: up to a line that is exactly `}`.
+        let mut body = String::new();
+        let mut closed = false;
+        for (_, raw) in lines.by_ref() {
+            offset += raw.len() + 1;
+            if raw.trim() == "}" {
+                closed = true;
+                break;
+            }
+            body.push_str(raw);
+            body.push('\n');
+        }
+        if !closed {
+            return Err(err(line_start, format!("unterminated body for `{path}`")));
+        }
+        let body_trimmed = body.trim().to_string();
+
+        let rule = parse_language(lang, &body_trimmed, &body)
+            .map_err(|m| err(line_start, m))?;
+        specs.push(MappingSpec { path, rule, source: source.to_string(), scenario });
+    }
+    Ok(specs)
+}
+
+fn parse_language(
+    lang: &str,
+    body_trimmed: &str,
+    body_raw: &str,
+) -> Result<ExtractionRule, String> {
+    let (name, arg) = match lang.split_once('(') {
+        Some((name, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("missing `)` in language `{lang}`"))?;
+            (name.trim(), Some(arg.trim()))
+        }
+        None => (lang, None),
+    };
+    match (name, arg) {
+        ("sql", Some(column)) if !column.is_empty() => Ok(ExtractionRule::Sql {
+            query: body_trimmed.to_string(),
+            column: column.to_string(),
+        }),
+        ("sql", _) => Err("sql requires a column: `sql(column)`".to_string()),
+        ("xpath", None) => Ok(ExtractionRule::XPath { path: body_trimmed.to_string() }),
+        ("xquery", None) => Ok(ExtractionRule::XQuery { query: body_trimmed.to_string() }),
+        ("webl", None) => Ok(ExtractionRule::Webl { program: body_raw.to_string() }),
+        ("regex", arg) => {
+            let group = match arg {
+                Some(g) => g.parse().map_err(|_| format!("bad regex group `{g}`"))?,
+                None => 0,
+            };
+            Ok(ExtractionRule::TextRegex { pattern: body_trimmed.to_string(), group })
+        }
+        (other, _) => Err(format!("unknown rule language `{other}`")),
+    }
+}
+
+/// Serializes specs back to the textual format (round-trip support for
+/// tooling).
+pub fn render(specs: &[MappingSpec]) -> String {
+    let mut out = String::new();
+    for s in specs {
+        let scenario = match s.scenario {
+            RecordScenario::SingleRecord => "single",
+            RecordScenario::MultiRecord => "multi",
+        };
+        let lang = match &s.rule {
+            ExtractionRule::Sql { column, .. } => format!("sql({column})"),
+            ExtractionRule::XPath { .. } => "xpath".to_string(),
+            ExtractionRule::XQuery { .. } => "xquery".to_string(),
+            ExtractionRule::Webl { .. } => "webl".to_string(),
+            ExtractionRule::TextRegex { group, .. } => format!("regex({group})"),
+        };
+        out.push_str(&format!("map {} = {lang}, {}, {scenario} {{\n", s.path, s.source));
+        for line in s.rule.text().lines() {
+            out.push_str("    ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+# test spec
+map thing.product.brand = webl, wpage_81, single {
+    var b = TagTexts(Text(PAGE), "b")[0];
+}
+
+map thing.product.watch.case = sql(case_m), DB_ID_45, multi {
+    SELECT case_m FROM watches ORDER BY id
+}
+
+map thing.product.watch.price = xpath, XML_7, multi {
+    //watch/price/text()
+}
+
+map thing.product.brand = regex(1), txt_9, multi {
+    brand: (\w+)
+}
+"#;
+
+    #[test]
+    fn parses_all_languages() {
+        let specs = parse(DOC).unwrap();
+        assert_eq!(specs.len(), 4);
+        assert!(matches!(specs[0].rule, ExtractionRule::Webl { .. }));
+        assert_eq!(specs[0].scenario, RecordScenario::SingleRecord);
+        assert_eq!(specs[0].source, "wpage_81");
+        match &specs[1].rule {
+            ExtractionRule::Sql { query, column } => {
+                assert_eq!(column, "case_m");
+                assert!(query.starts_with("SELECT"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(specs[2].rule, ExtractionRule::XPath { .. }));
+        match &specs[3].rule {
+            ExtractionRule::TextRegex { pattern, group } => {
+                assert_eq!(pattern, r"brand: (\w+)");
+                assert_eq!(*group, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let specs = parse(DOC).unwrap();
+        let text = render(&specs);
+        let specs2 = parse(&text).unwrap();
+        assert_eq!(specs.len(), specs2.len());
+        for (a, b) in specs.iter().zip(&specs2) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.rule.language(), b.rule.language());
+            assert_eq!(a.rule.text().trim(), b.rule.text().trim());
+        }
+    }
+
+    #[test]
+    fn multiline_webl_body_preserved() {
+        let doc = "map a.b = webl, S, single {\n    var x = \"1\";\n    var y = x + \"2\";\n}\n";
+        let specs = parse(doc).unwrap();
+        assert!(specs[0].rule.text().contains("var y"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("nonsense line").is_err());
+        assert!(parse("map a.b = sql, S, multi {\nSELECT 1\n}").is_err()); // sql without column
+        assert!(parse("map a.b = xpath, S, multi {\n//x").is_err()); // unterminated
+        assert!(parse("map a.b = xpath, S, sometimes {\n//x\n}").is_err()); // bad scenario
+        assert!(parse("map a.b = klingon, S, multi {\nx\n}").is_err()); // bad language
+        assert!(parse("map a.b = xpath, S, multi\n").is_err()); // no brace
+        assert!(parse("map a.b xpath, S, multi {\nx\n}").is_err()); // no `=`
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let doc = "# only comments\n\n# here\n";
+        assert!(parse(doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn regex_default_group() {
+        let specs = parse("map a.b = regex, S, multi {\nfoo\n}").unwrap();
+        assert!(matches!(specs[0].rule, ExtractionRule::TextRegex { group: 0, .. }));
+    }
+}

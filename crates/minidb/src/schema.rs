@@ -1,0 +1,132 @@
+//! Table schemas.
+
+use crate::error::DbError;
+use crate::value::DataType;
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    name: String,
+    data_type: DataType,
+    primary_key: bool,
+}
+
+impl ColumnDef {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, data_type: DataType, primary_key: bool) -> Self {
+        ColumnDef { name: name.into(), data_type, primary_key }
+    }
+
+    /// Column name (case preserved; lookups are case-insensitive).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Whether this column is the primary key.
+    pub fn primary_key(&self) -> bool {
+        self.primary_key
+    }
+}
+
+/// The schema of a table: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TypeMismatch`] if columns are empty or names
+    /// collide case-insensitively.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self, DbError> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(DbError::TypeMismatch {
+                message: format!("table `{name}` must have at least one column"),
+            });
+        }
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name.eq_ignore_ascii_case(&b.name) {
+                    return Err(DbError::TypeMismatch {
+                        message: format!("duplicate column `{}` in table `{name}`", a.name),
+                    });
+                }
+            }
+        }
+        Ok(TableSchema { name, columns })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The primary-key column index, if declared.
+    pub fn primary_key_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer, false),
+                ColumnDef::new("A", DataType::Text, false),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(TableSchema::new("t", vec![]).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("Id", DataType::Integer, true),
+                ColumnDef::new("brand", DataType::Text, false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.column_index("ID"), Some(0));
+        assert_eq!(s.column_index("Brand"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.primary_key_index(), Some(0));
+        assert_eq!(s.arity(), 2);
+    }
+}

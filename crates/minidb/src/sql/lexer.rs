@@ -1,0 +1,272 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// One SQL token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the statement.
+    pub position: usize,
+    /// Token payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (uppercased keywords are matched
+    /// case-insensitively by the parser; the raw text is preserved).
+    Word(String),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// A punctuation/operator symbol: `( ) , . * = != <> < <= > >=`.
+    Symbol(&'static str),
+}
+
+/// Tokenizes a SQL statement.
+///
+/// # Errors
+///
+/// Returns [`DbError::Syntax`] on unterminated strings or unexpected
+/// characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let (pos, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1).map(|&(_, c)| c) == Some('-') => {
+                // Line comment.
+                while i < chars.len() && chars[i].1 != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(DbError::Syntax {
+                                position: pos,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&(_, '\'')) => {
+                            // '' escapes a quote.
+                            if chars.get(i + 1).map(|&(_, c)| c) == Some('\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&(_, c)) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { position: pos, kind: TokenKind::Str(s) });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && chars.get(i + 1).is_some_and(|&(_, d)| d.is_ascii_digit())
+                    && starts_operand(&out)) =>
+            {
+                let mut s = String::new();
+                if c == '-' {
+                    s.push('-');
+                    i += 1;
+                }
+                let mut is_float = false;
+                while let Some(&(_, d)) = chars.get(i) {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        i += 1;
+                    } else if d == '.'
+                        && !is_float
+                        && chars.get(i + 1).is_some_and(|&(_, e)| e.is_ascii_digit())
+                    {
+                        is_float = true;
+                        s.push('.');
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(s.parse().map_err(|_| DbError::Syntax {
+                        position: pos,
+                        message: format!("bad float literal `{s}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(s.parse().map_err(|_| DbError::Syntax {
+                        position: pos,
+                        message: format!("bad integer literal `{s}`"),
+                    })?)
+                };
+                out.push(Token { position: pos, kind });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, d)) = chars.get(i) {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { position: pos, kind: TokenKind::Word(s) });
+            }
+            '(' | ')' | ',' | '.' | '*' | '=' => {
+                out.push(Token {
+                    position: pos,
+                    kind: TokenKind::Symbol(match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        '*' => "*",
+                        _ => "=",
+                    }),
+                });
+                i += 1;
+            }
+            '!' if chars.get(i + 1).map(|&(_, c)| c) == Some('=') => {
+                out.push(Token { position: pos, kind: TokenKind::Symbol("!=") });
+                i += 2;
+            }
+            '<' => {
+                match chars.get(i + 1).map(|&(_, c)| c) {
+                    Some('=') => {
+                        out.push(Token { position: pos, kind: TokenKind::Symbol("<=") });
+                        i += 2;
+                    }
+                    Some('>') => {
+                        out.push(Token { position: pos, kind: TokenKind::Symbol("!=") });
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token { position: pos, kind: TokenKind::Symbol("<") });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
+                    out.push(Token { position: pos, kind: TokenKind::Symbol(">=") });
+                    i += 2;
+                } else {
+                    out.push(Token { position: pos, kind: TokenKind::Symbol(">") });
+                    i += 1;
+                }
+            }
+            ';' => i += 1, // statement terminator is optional noise
+            other => {
+                return Err(DbError::Syntax {
+                    position: pos,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Heuristic: a `-` starts a negative number only where an operand is
+/// expected (after an operator, comma, or opening paren — not after a
+/// word/number/string/closing paren).
+fn starts_operand(tokens: &[Token]) -> bool {
+    match tokens.last() {
+        None => true,
+        Some(t) => matches!(
+            &t.kind,
+            TokenKind::Symbol(s) if *s != ")" && *s != "*"
+        ) || matches!(&t.kind, TokenKind::Word(w) if {
+            let u = w.to_ascii_uppercase();
+            matches!(u.as_str(), "WHERE" | "AND" | "OR" | "NOT" | "VALUES" | "SET" | "LIMIT" | "BY" | "ON" | "LIKE")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_symbols_literals() {
+        let ks = kinds("SELECT brand FROM watches WHERE price <= 99.5");
+        assert_eq!(ks.len(), 8);
+        assert_eq!(ks[0], TokenKind::Word("SELECT".into()));
+        assert_eq!(ks[6], TokenKind::Symbol("<="));
+        assert_eq!(ks[7], TokenKind::Float(99.5));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ks = kinds("SELECT 'it''s'");
+        assert_eq!(ks[1], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(kinds("a != b")[1], TokenKind::Symbol("!="));
+        assert_eq!(kinds("a <> b")[1], TokenKind::Symbol("!="));
+    }
+
+    #[test]
+    fn negative_numbers_in_operand_position() {
+        let ks = kinds("WHERE x = -5");
+        assert_eq!(ks[3], TokenKind::Int(-5));
+        let ks = kinds("VALUES (-1, -2.5)");
+        assert!(ks.contains(&TokenKind::Int(-1)));
+        assert!(ks.contains(&TokenKind::Float(-2.5)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT a -- trailing comment\nFROM t");
+        assert_eq!(ks.len(), 4);
+    }
+
+    #[test]
+    fn qualified_names_tokenize_with_dot() {
+        let ks = kinds("watches.brand");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Word("watches".into()),
+                TokenKind::Symbol("."),
+                TokenKind::Word("brand".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn semicolon_ignored() {
+        assert_eq!(kinds("SELECT a;").len(), 2);
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

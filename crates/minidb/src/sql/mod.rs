@@ -1,0 +1,8 @@
+//! SQL front end: lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, OrderDir, SelectStmt, Statement};
+pub use parser::parse;

@@ -1,0 +1,124 @@
+//! Property tests: the SQL engine agrees with naive in-memory filtering,
+//! and index usage never changes results.
+
+use proptest::prelude::*;
+use s2s_minidb::{Database, Value};
+
+/// Builds a database with one `items` table of `rows` (id, name, qty).
+fn build_db(rows: &[(i64, String, i64)]) -> Database {
+    let mut db = Database::new("p");
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT, qty INTEGER)").unwrap();
+    for (id, name, qty) in rows {
+        let name = name.replace('\'', "''");
+        db.execute(&format!("INSERT INTO items VALUES ({id}, '{name}', {qty})")).unwrap();
+    }
+    db
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, String, i64)>> {
+    proptest::collection::btree_map(0i64..200, ("[a-d]{1,4}", -50i64..50), 0..40)
+        .prop_map(|m| m.into_iter().map(|(id, (n, q))| (id, n, q)).collect())
+}
+
+proptest! {
+    /// WHERE qty comparisons agree with a direct filter.
+    #[test]
+    fn where_filter_agrees(rows in arb_rows(), threshold in -50i64..50) {
+        let db = build_db(&rows);
+        let r = db.query(&format!("SELECT id FROM items WHERE qty > {threshold}")).unwrap();
+        let expect: Vec<i64> = rows.iter().filter(|(_, _, q)| *q > threshold).map(|(i, _, _)| *i).collect();
+        let mut got: Vec<i64> = r.rows().iter().map(|row| row[0].as_int().unwrap()).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Creating an index never changes any equality-query result.
+    #[test]
+    fn index_transparent(rows in arb_rows(), probe in "[a-d]{1,4}") {
+        let mut db = build_db(&rows);
+        let q = format!("SELECT id FROM items WHERE name = '{probe}' ORDER BY id");
+        let before = db.query(&q).unwrap();
+        db.execute("CREATE INDEX ON items (name)").unwrap();
+        let after = db.query(&q).unwrap();
+        prop_assert_eq!(before.rows(), after.rows());
+    }
+
+    /// ORDER BY produces a sorted permutation of the unordered result.
+    #[test]
+    fn order_by_is_sorted_permutation(rows in arb_rows()) {
+        let db = build_db(&rows);
+        let ordered = db.query("SELECT qty FROM items ORDER BY qty").unwrap();
+        let unordered = db.query("SELECT qty FROM items").unwrap();
+        let got: Vec<i64> = ordered.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut expect: Vec<i64> = unordered.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// LIMIT n returns exactly min(n, total) rows, a prefix of the ordered
+    /// result.
+    #[test]
+    fn limit_is_prefix(rows in arb_rows(), n in 0usize..50) {
+        let db = build_db(&rows);
+        let all = db.query("SELECT id FROM items ORDER BY id").unwrap();
+        let limited = db.query(&format!("SELECT id FROM items ORDER BY id LIMIT {n}")).unwrap();
+        prop_assert_eq!(limited.len(), n.min(all.len()));
+        prop_assert_eq!(&all.rows()[..limited.len()], limited.rows());
+    }
+
+    /// DELETE then SELECT never returns deleted rows; counts add up.
+    #[test]
+    fn delete_removes_exactly_matches(rows in arb_rows(), threshold in -50i64..50) {
+        let mut db = build_db(&rows);
+        let total = rows.len();
+        let deleted = db.execute(&format!("DELETE FROM items WHERE qty <= {threshold}")).unwrap();
+        let remaining = db.query("SELECT * FROM items").unwrap();
+        prop_assert_eq!(deleted.0 + remaining.len(), total);
+        for row in remaining.rows() {
+            prop_assert!(row[2].as_int().unwrap() > threshold);
+        }
+    }
+
+    /// UPDATE affects exactly the matching rows.
+    #[test]
+    fn update_affects_matches(rows in arb_rows(), probe in "[a-d]{1,4}") {
+        let mut db = build_db(&rows);
+        let expect = rows.iter().filter(|(_, n, _)| n == &probe).count();
+        let n = db.execute(&format!("UPDATE items SET qty = 999 WHERE name = '{probe}'")).unwrap();
+        prop_assert_eq!(n.0, expect);
+        let r = db.query("SELECT id FROM items WHERE qty = 999").unwrap();
+        prop_assert_eq!(r.len(), expect);
+    }
+
+    /// Join of the table with itself on id yields exactly one row per row.
+    #[test]
+    fn self_join_identity(rows in arb_rows()) {
+        let mut db = Database::new("p");
+        db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+        for (id, _, qty) in &rows {
+            db.execute(&format!("INSERT INTO a VALUES ({id}, {qty})")).unwrap();
+            db.execute(&format!("INSERT INTO b VALUES ({id}, {qty})")).unwrap();
+        }
+        let r = db.query("SELECT a.id FROM a JOIN b ON a.id = b.id").unwrap();
+        prop_assert_eq!(r.len(), rows.len());
+    }
+
+    /// Parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(sql in any::<String>()) {
+        let db = Database::new("p");
+        let _ = db.query(&sql);
+    }
+
+    /// Values with escaped quotes survive a write/read cycle.
+    #[test]
+    fn quoted_text_roundtrip(s in "[a-z' ]{0,12}") {
+        let mut db = Database::new("p");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)").unwrap();
+        let escaped = s.replace('\'', "''");
+        db.execute(&format!("INSERT INTO t VALUES (1, '{escaped}')")).unwrap();
+        let r = db.query("SELECT s FROM t").unwrap();
+        prop_assert_eq!(r.rows()[0][0].clone(), Value::Text(s));
+    }
+}

@@ -1,0 +1,178 @@
+//! Virtual time and latency/bandwidth cost models.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A span of simulated time, in microseconds.
+///
+/// Simulated time never sleeps; endpoints *account* it so experiments
+/// are deterministic and fast.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration {
+    micros: u64,
+}
+
+impl SimDuration {
+    /// Zero time.
+    pub const ZERO: SimDuration = SimDuration { micros: 0 };
+
+    /// From microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { micros }
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration { micros: millis * 1_000 }
+    }
+
+    /// As microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration { micros: self.micros.saturating_sub(other.micros) }
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.micros >= other.micros {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { micros: self.micros.saturating_add(rhs.micros) }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros >= 1_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.micros)
+        }
+    }
+}
+
+/// Latency/bandwidth model of one network path.
+///
+/// Cost of a call = `base + U(0..jitter) + bytes × per_byte`, with the
+/// jitter drawn from a deterministic per-endpoint stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Fixed round-trip base latency.
+    pub base: SimDuration,
+    /// Upper bound of uniform jitter added per call.
+    pub jitter: SimDuration,
+    /// Transfer cost per payload byte (both directions combined).
+    pub per_byte_nanos: u64,
+}
+
+impl CostModel {
+    /// A LAN-ish profile: 0.5 ms ± 0.2 ms, ~1 Gbps.
+    pub fn lan() -> Self {
+        CostModel {
+            base: SimDuration::from_micros(500),
+            jitter: SimDuration::from_micros(200),
+            per_byte_nanos: 8,
+        }
+    }
+
+    /// A WAN-ish profile: 20 ms ± 10 ms, ~50 Mbps.
+    pub fn wan() -> Self {
+        CostModel {
+            base: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(10),
+            per_byte_nanos: 160,
+        }
+    }
+
+    /// Free and instant (for "local" sources).
+    pub fn instant() -> Self {
+        CostModel { base: SimDuration::ZERO, jitter: SimDuration::ZERO, per_byte_nanos: 0 }
+    }
+
+    /// A custom profile.
+    pub fn new(base: SimDuration, jitter: SimDuration, per_byte_nanos: u64) -> Self {
+        CostModel { base, jitter, per_byte_nanos }
+    }
+
+    /// The cost of moving `bytes` over this path, with `jitter_draw` a
+    /// uniform sample in `[0, 1)`.
+    pub fn cost(&self, bytes: usize, jitter_draw: f64) -> SimDuration {
+        let jitter = (self.jitter.as_micros() as f64 * jitter_draw) as u64;
+        let transfer_us = (bytes as u64).saturating_mul(self.per_byte_nanos) / 1_000;
+        self.base + SimDuration::from_micros(jitter) + SimDuration::from_micros(transfer_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!(a.saturating_sub(b).as_micros(), 1_500);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(a.max(b), a);
+        let total: SimDuration = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_micros(), 3_000);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimDuration::from_micros(250).to_string(), "250us");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.00ms");
+    }
+
+    #[test]
+    fn cost_includes_all_components() {
+        let m = CostModel::new(SimDuration::from_millis(10), SimDuration::from_millis(4), 1_000);
+        // zero jitter draw
+        assert_eq!(m.cost(0, 0.0).as_micros(), 10_000);
+        // full jitter
+        assert_eq!(m.cost(0, 0.999).as_micros(), 10_000 + 3_996);
+        // bytes: 2000 bytes × 1000ns = 2ms
+        assert_eq!(m.cost(2_000, 0.0).as_micros(), 12_000);
+    }
+
+    #[test]
+    fn instant_is_free() {
+        assert_eq!(CostModel::instant().cost(1 << 20, 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn profiles_ordered_sensibly() {
+        assert!(CostModel::lan().cost(1024, 0.5) < CostModel::wan().cost(1024, 0.5));
+    }
+}

@@ -1,0 +1,244 @@
+//! Remote endpoints: cost accounting plus failure injection.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost::{CostModel, SimDuration};
+use crate::error::NetError;
+
+/// Failure behaviour of an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Probability a call finds the endpoint unreachable.
+    pub p_unreachable: f64,
+    /// Probability a call times out (after consuming the timeout).
+    pub p_timeout: f64,
+    /// The timeout applied to every call.
+    pub timeout: SimDuration,
+}
+
+impl FailureModel {
+    /// Never fails; generous timeout.
+    pub fn reliable() -> Self {
+        FailureModel {
+            p_unreachable: 0.0,
+            p_timeout: 0.0,
+            timeout: SimDuration::from_millis(30_000),
+        }
+    }
+
+    /// Fails a fraction `p` of calls (half unreachable, half timeout).
+    pub fn flaky(p: f64) -> Self {
+        FailureModel {
+            p_unreachable: p / 2.0,
+            p_timeout: p / 2.0,
+            timeout: SimDuration::from_millis(30_000),
+        }
+    }
+}
+
+/// Per-endpoint counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Calls attempted.
+    pub calls: u64,
+    /// Calls that failed (unreachable or timeout).
+    pub failures: u64,
+    /// Total simulated time spent, including failed calls.
+    pub total_time: SimDuration,
+    /// Total payload bytes moved by successful calls.
+    pub bytes: u64,
+}
+
+/// The outcome of a successful remote call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteCall<T> {
+    /// The value computed at the remote side.
+    pub value: T,
+    /// The simulated network + service time of this call.
+    pub elapsed: SimDuration,
+}
+
+/// A simulated remote endpoint.
+///
+/// Wraps no resource itself; callers pass the "remote computation" as a
+/// closure to [`Endpoint::invoke`], and the endpoint contributes cost
+/// accounting and failure injection. Deterministic: an endpoint seeded
+/// identically produces the identical jitter/failure sequence.
+///
+/// # Examples
+///
+/// ```
+/// use s2s_netsim::{CostModel, Endpoint, FailureModel};
+///
+/// let ep = Endpoint::new("db-eu-1", CostModel::lan(), FailureModel::reliable(), 7);
+/// let reply = ep.invoke(128, || "42 rows").unwrap();
+/// assert_eq!(reply.value, "42 rows");
+/// assert!(reply.elapsed.as_micros() >= 500); // at least base latency
+/// ```
+#[derive(Debug)]
+pub struct Endpoint {
+    id: String,
+    cost: CostModel,
+    failure: FailureModel,
+    rng: Mutex<StdRng>,
+    stats: Mutex<EndpointStats>,
+}
+
+impl Endpoint {
+    /// Creates an endpoint with a deterministic RNG stream.
+    pub fn new(
+        id: impl Into<String>,
+        cost: CostModel,
+        failure: FailureModel,
+        seed: u64,
+    ) -> Self {
+        Endpoint {
+            id: id.into(),
+            cost,
+            failure,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats: Mutex::new(EndpointStats::default()),
+        }
+    }
+
+    /// The endpoint id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Snapshot of the endpoint counters.
+    pub fn stats(&self) -> EndpointStats {
+        *self.stats.lock()
+    }
+
+    /// Performs a remote call moving `bytes` of payload and computing
+    /// `f` at the remote side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unreachable`] or [`NetError::Timeout`] per
+    /// the failure model; on failure `f` is not run.
+    pub fn invoke<T>(&self, bytes: usize, f: impl FnOnce() -> T) -> Result<RemoteCall<T>, NetError> {
+        let (u_draw, t_draw, j_draw) = {
+            let mut rng = self.rng.lock();
+            (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>())
+        };
+        let mut stats = self.stats.lock();
+        stats.calls += 1;
+        if u_draw < self.failure.p_unreachable {
+            stats.failures += 1;
+            // A refused connection costs one base RTT.
+            stats.total_time += self.cost.base;
+            return Err(NetError::Unreachable { endpoint: self.id.clone() });
+        }
+        if t_draw < self.failure.p_timeout {
+            stats.failures += 1;
+            stats.total_time += self.failure.timeout;
+            return Err(NetError::Timeout {
+                endpoint: self.id.clone(),
+                timeout_us: self.failure.timeout.as_micros(),
+            });
+        }
+        let elapsed = self.cost.cost(bytes, j_draw);
+        if elapsed > self.failure.timeout {
+            stats.failures += 1;
+            stats.total_time += self.failure.timeout;
+            return Err(NetError::Timeout {
+                endpoint: self.id.clone(),
+                timeout_us: self.failure.timeout.as_micros(),
+            });
+        }
+        stats.total_time += elapsed;
+        stats.bytes += bytes as u64;
+        drop(stats);
+        Ok(RemoteCall { value: f(), elapsed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_endpoint_never_fails() {
+        let ep = Endpoint::new("a", CostModel::lan(), FailureModel::reliable(), 1);
+        for _ in 0..1000 {
+            ep.invoke(64, || ()).unwrap();
+        }
+        let s = ep.stats();
+        assert_eq!(s.calls, 1000);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.bytes, 64_000);
+        assert!(s.total_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let ep = Endpoint::new("a", CostModel::wan(), FailureModel::flaky(0.3), 42);
+            (0..50)
+                .map(|_| ep.invoke(128, || ()).map(|r| r.elapsed).map_err(|e| format!("{e}")))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flaky_endpoint_fails_about_p() {
+        let ep = Endpoint::new("a", CostModel::lan(), FailureModel::flaky(0.4), 9);
+        let mut failures = 0;
+        for _ in 0..2000 {
+            if ep.invoke(1, || ()).is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / 2000.0;
+        assert!((0.3..0.5).contains(&rate), "rate={rate}");
+        assert_eq!(ep.stats().failures, failures);
+    }
+
+    #[test]
+    fn slow_call_times_out() {
+        let cost = CostModel::new(SimDuration::from_millis(100), SimDuration::ZERO, 0);
+        let failure = FailureModel {
+            p_unreachable: 0.0,
+            p_timeout: 0.0,
+            timeout: SimDuration::from_millis(50),
+        };
+        let ep = Endpoint::new("slow", cost, failure, 1);
+        assert!(matches!(ep.invoke(0, || ()), Err(NetError::Timeout { .. })));
+    }
+
+    #[test]
+    fn closure_not_run_on_failure() {
+        let ep = Endpoint::new(
+            "a",
+            CostModel::lan(),
+            FailureModel { p_unreachable: 1.0, p_timeout: 0.0, timeout: SimDuration::from_millis(1000) },
+            3,
+        );
+        let mut ran = false;
+        let _ = ep.invoke(0, || ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bigger_payloads_cost_more() {
+        let ep = Endpoint::new(
+            "a",
+            CostModel::new(SimDuration::from_millis(1), SimDuration::ZERO, 1_000),
+            FailureModel::reliable(),
+            1,
+        );
+        let small = ep.invoke(100, || ()).unwrap().elapsed;
+        let big = ep.invoke(100_000, || ()).unwrap().elapsed;
+        assert!(big > small);
+    }
+}

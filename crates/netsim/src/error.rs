@@ -1,0 +1,40 @@
+//! Error type for simulated network operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A simulated network failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The endpoint refused the connection.
+    Unreachable {
+        /// Endpoint id.
+        endpoint: String,
+    },
+    /// The call exceeded the endpoint's timeout.
+    Timeout {
+        /// Endpoint id.
+        endpoint: String,
+        /// The configured timeout in microseconds.
+        timeout_us: u64,
+    },
+    /// A frame failed to decode.
+    BadFrame {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable { endpoint } => write!(f, "endpoint `{endpoint}` unreachable"),
+            NetError::Timeout { endpoint, timeout_us } => {
+                write!(f, "call to `{endpoint}` timed out after {timeout_us}us")
+            }
+            NetError::BadFrame { message } => write!(f, "bad frame: {message}"),
+        }
+    }
+}
+
+impl Error for NetError {}

@@ -1,0 +1,36 @@
+//! # s2s-netsim
+//!
+//! A simulated distributed environment for the S2S middleware.
+//!
+//! The paper integrates *distributed* data sources (remote databases, web
+//! sites, file servers). This reproduction cannot reach the 2006
+//! internet, so remote access is simulated — with enough mechanism that
+//! the middleware exercises the same code paths a networked deployment
+//! would:
+//!
+//! * [`cost`] — deterministic latency/bandwidth models (base RTT +
+//!   jitter + per-KiB transfer time) driven by a seeded RNG,
+//! * [`endpoint`] — remote endpoints wrapping a local resource with a
+//!   cost model and failure injection (unreachable / timeout / flaky),
+//! * [`wire`] — length-prefixed request/response framing (the bytes that
+//!   "cross the network"),
+//! * [`sched`] — makespan accounting: how long a set of remote calls
+//!   takes under serial vs k-worker parallel execution, and a real
+//!   crossbeam-based parallel executor for the actual work.
+//!
+//! Time is **virtual**: calls return a [`SimDuration`] cost instead of
+//! sleeping, so experiments are deterministic and fast while preserving
+//! the *shape* of distributed-systems effects (stragglers, crossover
+//! points, partial failure).
+
+pub mod cost;
+pub mod endpoint;
+pub mod error;
+pub mod sched;
+pub mod wire;
+
+pub use cost::{CostModel, SimDuration};
+pub use endpoint::{Endpoint, EndpointStats, FailureModel, RemoteCall};
+pub use error::NetError;
+pub use sched::{makespan, run_parallel};
+pub use wire::{decode, encode, Frame, FrameKind};

@@ -1,0 +1,133 @@
+//! Wire framing: the bytes a remote call would put on the network.
+//!
+//! The S2S extractors serialize their extraction rules into request
+//! frames and results into response frames; frame sizes feed the
+//! endpoint cost models, so bigger results genuinely cost more simulated
+//! transfer time.
+//!
+//! Frame layout: `magic (2) | kind (1) | length (4, BE) | payload`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::NetError;
+
+const MAGIC: u16 = 0x5253; // "S2"-ish
+
+/// The role of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A request carrying an extraction rule.
+    Request,
+    /// A response carrying extracted data.
+    Response,
+    /// An error report.
+    Error,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+            FrameKind::Error => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(FrameKind::Request),
+            2 => Some(FrameKind::Response),
+            3 => Some(FrameKind::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Request, response, or error.
+    pub kind: FrameKind,
+    /// The payload bytes.
+    pub payload: Bytes,
+}
+
+/// Encodes a frame.
+pub fn encode(kind: FrameKind, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(7 + payload.len());
+    buf.put_u16(MAGIC);
+    buf.put_u8(kind.code());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Decodes a frame.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadFrame`] on short input, bad magic, unknown
+/// kind, or length mismatch.
+pub fn decode(mut bytes: Bytes) -> Result<Frame, NetError> {
+    if bytes.len() < 7 {
+        return Err(NetError::BadFrame { message: format!("frame too short: {}", bytes.len()) });
+    }
+    let magic = bytes.get_u16();
+    if magic != MAGIC {
+        return Err(NetError::BadFrame { message: format!("bad magic 0x{magic:04x}") });
+    }
+    let kind = FrameKind::from_code(bytes.get_u8())
+        .ok_or_else(|| NetError::BadFrame { message: "unknown frame kind".to_string() })?;
+    let len = bytes.get_u32() as usize;
+    if bytes.len() != len {
+        return Err(NetError::BadFrame {
+            message: format!("length mismatch: header {len}, body {}", bytes.len()),
+        });
+    }
+    Ok(Frame { kind, payload: bytes })
+}
+
+/// Total on-wire size of a frame with `payload_len` payload bytes.
+pub fn frame_size(payload_len: usize) -> usize {
+    7 + payload_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [FrameKind::Request, FrameKind::Response, FrameKind::Error] {
+            let f = decode(encode(kind, b"hello")).unwrap();
+            assert_eq!(f.kind, kind);
+            assert_eq!(&f.payload[..], b"hello");
+        }
+    }
+
+    #[test]
+    fn empty_payload() {
+        let f = decode(encode(FrameKind::Request, b"")).unwrap();
+        assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let e = encode(FrameKind::Response, &[0u8; 100]);
+        assert_eq!(e.len(), frame_size(100));
+    }
+
+    #[test]
+    fn corrupt_frames_rejected() {
+        assert!(decode(Bytes::from_static(b"")).is_err());
+        assert!(decode(Bytes::from_static(b"\x00\x00\x01\x00\x00\x00\x00")).is_err());
+        // Truncated payload.
+        let mut good = encode(FrameKind::Request, b"abcdef").to_vec();
+        good.truncate(good.len() - 2);
+        assert!(decode(Bytes::from(good)).is_err());
+        // Unknown kind.
+        let mut bad = encode(FrameKind::Request, b"x").to_vec();
+        bad[2] = 99;
+        assert!(decode(Bytes::from(bad)).is_err());
+    }
+}

@@ -1,0 +1,617 @@
+//! Fluent construction of [`Ontology`] values.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use s2s_rdf::{Iri, Literal};
+
+use crate::error::OwlError;
+use crate::model::{ClassParts, Ontology, PropertyKind, PropertyParts, Restriction};
+
+/// Builds an [`Ontology`] incrementally.
+///
+/// Names may be given as local names (resolved against the builder's
+/// namespace) or as full IRIs. Classes must be declared before they are
+/// referenced as parents or domains, which rules out dangling references
+/// and — together with the cycle check in [`OntologyBuilder::build`] —
+/// guarantees a well-formed hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use s2s_owl::Ontology;
+///
+/// # fn main() -> Result<(), s2s_owl::OwlError> {
+/// let onto = Ontology::builder("http://example.org/schema#")
+///     .class("Product", None)?
+///     .class("Watch", Some("Product"))?
+///     .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")?
+///     .build()?;
+/// assert_eq!(onto.class_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OntologyBuilder {
+    namespace: String,
+    classes: BTreeMap<Iri, ClassBuild>,
+    properties: BTreeMap<Iri, PropertyBuild>,
+}
+
+#[derive(Debug)]
+struct ClassBuild {
+    label: Option<String>,
+    comment: Option<String>,
+    parents: BTreeSet<Iri>,
+    disjoint_with: BTreeSet<Iri>,
+    equivalent_to: BTreeSet<Iri>,
+    restrictions: Vec<Restriction>,
+}
+
+#[derive(Debug)]
+struct PropertyBuild {
+    kind: PropertyKind,
+    label: Option<String>,
+    domains: BTreeSet<Iri>,
+    ranges: BTreeSet<Iri>,
+    functional: bool,
+    parents: BTreeSet<Iri>,
+    inverse_of: Option<Iri>,
+}
+
+impl OntologyBuilder {
+    pub(crate) fn new(namespace: impl Into<String>) -> Self {
+        OntologyBuilder {
+            namespace: namespace.into(),
+            classes: BTreeMap::new(),
+            properties: BTreeMap::new(),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<Iri, OwlError> {
+        let iri = if name.contains(':') {
+            Iri::new(name)?
+        } else {
+            Iri::new(format!("{}{}", self.namespace, name))?
+        };
+        Ok(iri)
+    }
+
+    fn known_class(&self, name: &str) -> Result<Iri, OwlError> {
+        let iri = self.resolve(name)?;
+        if self.classes.contains_key(&iri) {
+            Ok(iri)
+        } else {
+            Err(OwlError::UnknownClass { name: name.to_string() })
+        }
+    }
+
+    fn known_property(&self, name: &str) -> Result<Iri, OwlError> {
+        let iri = self.resolve(name)?;
+        if self.properties.contains_key(&iri) {
+            Ok(iri)
+        } else {
+            Err(OwlError::UnknownProperty { name: name.to_string() })
+        }
+    }
+
+    /// Declares a class, optionally as a subclass of `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::Duplicate`] if the class was already declared
+    /// and [`OwlError::UnknownClass`] if `parent` has not been declared.
+    pub fn class(mut self, name: &str, parent: Option<&str>) -> Result<Self, OwlError> {
+        let iri = self.resolve(name)?;
+        if self.classes.contains_key(&iri) {
+            return Err(OwlError::Duplicate { name: name.to_string() });
+        }
+        let mut parents = BTreeSet::new();
+        if let Some(parent) = parent {
+            parents.insert(self.known_class(parent)?);
+        }
+        self.classes.insert(
+            iri,
+            ClassBuild {
+                label: None,
+                comment: None,
+                parents,
+                disjoint_with: BTreeSet::new(),
+                equivalent_to: BTreeSet::new(),
+                restrictions: Vec::new(),
+            },
+        );
+        Ok(self)
+    }
+
+    /// Adds an additional superclass to an existing class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`] if either class is undeclared.
+    pub fn subclass_of(mut self, class: &str, parent: &str) -> Result<Self, OwlError> {
+        let class_iri = self.known_class(class)?;
+        let parent_iri = self.known_class(parent)?;
+        self.classes.get_mut(&class_iri).expect("checked").parents.insert(parent_iri);
+        Ok(self)
+    }
+
+    /// Sets `rdfs:label` on a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`] if the class is undeclared.
+    pub fn class_label(mut self, class: &str, label: &str) -> Result<Self, OwlError> {
+        let iri = self.known_class(class)?;
+        self.classes.get_mut(&iri).expect("checked").label = Some(label.to_string());
+        Ok(self)
+    }
+
+    /// Sets `rdfs:comment` on a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`] if the class is undeclared.
+    pub fn class_comment(mut self, class: &str, comment: &str) -> Result<Self, OwlError> {
+        let iri = self.known_class(class)?;
+        self.classes.get_mut(&iri).expect("checked").comment = Some(comment.to_string());
+        Ok(self)
+    }
+
+    /// Declares two classes disjoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`] if either class is undeclared.
+    pub fn disjoint(mut self, a: &str, b: &str) -> Result<Self, OwlError> {
+        let ia = self.known_class(a)?;
+        let ib = self.known_class(b)?;
+        self.classes.get_mut(&ia).expect("checked").disjoint_with.insert(ib.clone());
+        self.classes.get_mut(&ib).expect("checked").disjoint_with.insert(ia);
+        Ok(self)
+    }
+
+    /// Declares two classes equivalent (`owl:equivalentClass`):
+    /// mutual subsumption, shared attributes, shared instances under
+    /// materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`] if either class is undeclared.
+    pub fn equivalent(mut self, a: &str, b: &str) -> Result<Self, OwlError> {
+        let ia = self.known_class(a)?;
+        let ib = self.known_class(b)?;
+        if ia != ib {
+            self.classes.get_mut(&ia).expect("checked").equivalent_to.insert(ib.clone());
+            self.classes.get_mut(&ib).expect("checked").equivalent_to.insert(ia);
+        }
+        Ok(self)
+    }
+
+    /// Declares two object properties inverse of each other
+    /// (`owl:inverseOf`); materialization mirrors every triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownProperty`] if either property is
+    /// undeclared.
+    pub fn inverse(mut self, a: &str, b: &str) -> Result<Self, OwlError> {
+        let ia = self.known_property(a)?;
+        let ib = self.known_property(b)?;
+        self.properties.get_mut(&ia).expect("checked").inverse_of = Some(ib.clone());
+        self.properties.get_mut(&ib).expect("checked").inverse_of = Some(ia);
+        Ok(self)
+    }
+
+    /// Declares a datatype property with one domain class and a datatype
+    /// range IRI (e.g. `xsd:string`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::Duplicate`] on redeclaration and
+    /// [`OwlError::UnknownClass`] if the domain is undeclared.
+    pub fn datatype_property(
+        mut self,
+        name: &str,
+        domain: &str,
+        range: &str,
+    ) -> Result<Self, OwlError> {
+        let iri = self.resolve(name)?;
+        if self.properties.contains_key(&iri) {
+            return Err(OwlError::Duplicate { name: name.to_string() });
+        }
+        let domain = self.known_class(domain)?;
+        let range = Iri::new(range)?;
+        self.properties.insert(
+            iri,
+            PropertyBuild {
+                kind: PropertyKind::Datatype,
+                label: None,
+                domains: BTreeSet::from([domain]),
+                ranges: BTreeSet::from([range]),
+                functional: false,
+                parents: BTreeSet::new(),
+                inverse_of: None,
+            },
+        );
+        Ok(self)
+    }
+
+    /// Declares an object property between two declared classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::Duplicate`] on redeclaration and
+    /// [`OwlError::UnknownClass`] if domain or range is undeclared.
+    pub fn object_property(
+        mut self,
+        name: &str,
+        domain: &str,
+        range: &str,
+    ) -> Result<Self, OwlError> {
+        let iri = self.resolve(name)?;
+        if self.properties.contains_key(&iri) {
+            return Err(OwlError::Duplicate { name: name.to_string() });
+        }
+        let domain = self.known_class(domain)?;
+        let range = self.known_class(range)?;
+        self.properties.insert(
+            iri,
+            PropertyBuild {
+                kind: PropertyKind::Object,
+                label: None,
+                domains: BTreeSet::from([domain]),
+                ranges: BTreeSet::from([range]),
+                functional: false,
+                parents: BTreeSet::new(),
+                inverse_of: None,
+            },
+        );
+        Ok(self)
+    }
+
+    /// Marks a property functional (at most one value per individual).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownProperty`] if the property is
+    /// undeclared.
+    pub fn functional(mut self, property: &str) -> Result<Self, OwlError> {
+        let iri = self.known_property(property)?;
+        self.properties.get_mut(&iri).expect("checked").functional = true;
+        Ok(self)
+    }
+
+    /// Declares `sub` a subproperty of `sup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownProperty`] if either is undeclared.
+    pub fn subproperty_of(mut self, sub: &str, sup: &str) -> Result<Self, OwlError> {
+        let sub_iri = self.known_property(sub)?;
+        let sup_iri = self.known_property(sup)?;
+        self.properties.get_mut(&sub_iri).expect("checked").parents.insert(sup_iri);
+        Ok(self)
+    }
+
+    /// Adds an additional domain class to a property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownProperty`]/[`OwlError::UnknownClass`] as
+    /// appropriate.
+    pub fn property_domain(mut self, property: &str, domain: &str) -> Result<Self, OwlError> {
+        let p = self.known_property(property)?;
+        let d = self.known_class(domain)?;
+        self.properties.get_mut(&p).expect("checked").domains.insert(d);
+        Ok(self)
+    }
+
+    /// Attaches a minimum-cardinality restriction to a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`]/[`OwlError::UnknownProperty`] as
+    /// appropriate.
+    pub fn min_cardinality(
+        mut self,
+        class: &str,
+        property: &str,
+        min: u32,
+    ) -> Result<Self, OwlError> {
+        let c = self.known_class(class)?;
+        let p = self.known_property(property)?;
+        self.classes
+            .get_mut(&c)
+            .expect("checked")
+            .restrictions
+            .push(Restriction::MinCardinality { property: p, min });
+        Ok(self)
+    }
+
+    /// Attaches a maximum-cardinality restriction to a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`]/[`OwlError::UnknownProperty`] as
+    /// appropriate.
+    pub fn max_cardinality(
+        mut self,
+        class: &str,
+        property: &str,
+        max: u32,
+    ) -> Result<Self, OwlError> {
+        let c = self.known_class(class)?;
+        let p = self.known_property(property)?;
+        self.classes
+            .get_mut(&c)
+            .expect("checked")
+            .restrictions
+            .push(Restriction::MaxCardinality { property: p, max });
+        Ok(self)
+    }
+
+    /// Attaches an `owl:hasValue` restriction to a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`]/[`OwlError::UnknownProperty`] as
+    /// appropriate.
+    pub fn has_value(
+        mut self,
+        class: &str,
+        property: &str,
+        value: Literal,
+    ) -> Result<Self, OwlError> {
+        let c = self.known_class(class)?;
+        let p = self.known_property(property)?;
+        self.classes
+            .get_mut(&c)
+            .expect("checked")
+            .restrictions
+            .push(Restriction::HasValue { property: p, value });
+        Ok(self)
+    }
+
+    /// Attaches an `owl:someValuesFrom` restriction to a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::UnknownClass`]/[`OwlError::UnknownProperty`] as
+    /// appropriate.
+    pub fn some_values_from(
+        mut self,
+        class: &str,
+        property: &str,
+        filler: &str,
+    ) -> Result<Self, OwlError> {
+        let c = self.known_class(class)?;
+        let p = self.known_property(property)?;
+        let f = self.known_class(filler)?;
+        self.classes
+            .get_mut(&c)
+            .expect("checked")
+            .restrictions
+            .push(Restriction::SomeValuesFrom { property: p, class: f });
+        Ok(self)
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OwlError::HierarchyCycle`] if the subclass graph is
+    /// cyclic.
+    pub fn build(self) -> Result<Ontology, OwlError> {
+        // Cycle detection over the subclass graph (depth-first, 3-color).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: BTreeMap<&Iri, Color> =
+            self.classes.keys().map(|k| (k, Color::White)).collect();
+
+        fn visit<'a>(
+            node: &'a Iri,
+            classes: &'a BTreeMap<Iri, ClassBuild>,
+            color: &mut BTreeMap<&'a Iri, Color>,
+        ) -> Result<(), OwlError> {
+            match color.get(node).copied() {
+                Some(Color::Black) | None => return Ok(()),
+                Some(Color::Grey) => {
+                    return Err(OwlError::HierarchyCycle { on: node.as_str().to_string() })
+                }
+                Some(Color::White) => {}
+            }
+            color.insert(node, Color::Grey);
+            if let Some(def) = classes.get(node) {
+                for parent in &def.parents {
+                    visit(parent, classes, color)?;
+                }
+            }
+            color.insert(node, Color::Black);
+            Ok(())
+        }
+
+        let keys: Vec<&Iri> = self.classes.keys().collect();
+        for k in keys {
+            visit(k, &self.classes, &mut color)?;
+        }
+
+        let classes = self
+            .classes
+            .into_iter()
+            .map(|(iri, b)| {
+                (
+                    iri.clone(),
+                    ClassParts {
+                        iri,
+                        label: b.label,
+                        comment: b.comment,
+                        parents: b.parents,
+                        disjoint_with: b.disjoint_with,
+                        equivalent_to: b.equivalent_to,
+                        restrictions: b.restrictions,
+                    }
+                    .into(),
+                )
+            })
+            .collect();
+        let properties = self
+            .properties
+            .into_iter()
+            .map(|(iri, b)| {
+                (
+                    iri.clone(),
+                    PropertyParts {
+                        iri,
+                        kind: b.kind,
+                        label: b.label,
+                        domains: b.domains,
+                        ranges: b.ranges,
+                        functional: b.functional,
+                        parents: b.parents,
+                        inverse_of: b.inverse_of,
+                    }
+                    .into(),
+                )
+            })
+            .collect();
+        Ok(Ontology::from_parts(self.namespace, classes, properties))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let r = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .class("A", None);
+        assert!(matches!(r, Err(OwlError::Duplicate { .. })));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let r = Ontology::builder("http://x.org/#").class("A", Some("Missing"));
+        assert!(matches!(r, Err(OwlError::UnknownClass { .. })));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let r = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .class("B", Some("A"))
+            .unwrap()
+            .subclass_of("A", "B")
+            .unwrap()
+            .build();
+        assert!(matches!(r, Err(OwlError::HierarchyCycle { .. })));
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let r = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .subclass_of("A", "A")
+            .unwrap()
+            .build();
+        assert!(matches!(r, Err(OwlError::HierarchyCycle { .. })));
+    }
+
+    #[test]
+    fn multiple_inheritance_allowed() {
+        let o = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .class("B", None)
+            .unwrap()
+            .class("C", Some("A"))
+            .unwrap()
+            .subclass_of("C", "B")
+            .unwrap()
+            .build()
+            .unwrap();
+        let c = o.class_iri("C").unwrap();
+        assert_eq!(o.superclasses(&c).len(), 2);
+    }
+
+    #[test]
+    fn restrictions_attach() {
+        let o = Ontology::builder("http://x.org/#")
+            .class("Watch", None)
+            .unwrap()
+            .datatype_property("brand", "Watch", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .min_cardinality("Watch", "brand", 1)
+            .unwrap()
+            .max_cardinality("Watch", "brand", 1)
+            .unwrap()
+            .has_value("Watch", "brand", Literal::string("Seiko"))
+            .unwrap()
+            .build()
+            .unwrap();
+        let w = o.class_iri("Watch").unwrap();
+        assert_eq!(o.class(&w).unwrap().restrictions().len(), 3);
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let o = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .class_label("A", "Class A")
+            .unwrap()
+            .class_comment("A", "first class")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = o.class_iri("A").unwrap();
+        assert_eq!(o.class(&a).unwrap().label(), Some("Class A"));
+        assert_eq!(o.class(&a).unwrap().comment(), Some("first class"));
+    }
+
+    #[test]
+    fn functional_and_subproperty() {
+        let o = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .datatype_property("id", "A", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .datatype_property("key", "A", s2s_rdf::vocab::xsd::STRING)
+            .unwrap()
+            .functional("id")
+            .unwrap()
+            .subproperty_of("key", "id")
+            .unwrap()
+            .build()
+            .unwrap();
+        let id = o.property_iri("id").unwrap();
+        assert!(o.property(&id).unwrap().functional());
+        let key = o.property_iri("key").unwrap();
+        assert_eq!(o.property(&key).unwrap().parents().count(), 1);
+    }
+
+    #[test]
+    fn disjointness_recorded_symmetrically() {
+        let o = Ontology::builder("http://x.org/#")
+            .class("A", None)
+            .unwrap()
+            .class("B", None)
+            .unwrap()
+            .disjoint("A", "B")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = o.class_iri("A").unwrap();
+        let b = o.class_iri("B").unwrap();
+        assert!(o.class(&a).unwrap().disjoint_with().any(|x| x == &b));
+        assert!(o.class(&b).unwrap().disjoint_with().any(|x| x == &a));
+    }
+}

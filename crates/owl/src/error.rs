@@ -1,0 +1,72 @@
+//! Error type for ontology construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+use s2s_rdf::RdfError;
+
+/// An error produced while building, parsing, or querying an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwlError {
+    /// A class was referenced that is not defined in the ontology.
+    UnknownClass {
+        /// Name or IRI as given by the caller.
+        name: String,
+    },
+    /// A property was referenced that is not defined in the ontology.
+    UnknownProperty {
+        /// Name or IRI as given by the caller.
+        name: String,
+    },
+    /// A definition was added twice.
+    Duplicate {
+        /// What was duplicated (class or property IRI).
+        name: String,
+    },
+    /// The subclass graph contains a cycle.
+    HierarchyCycle {
+        /// A class on the cycle.
+        on: String,
+    },
+    /// An attribute path failed to resolve against the ontology.
+    BadPath {
+        /// The path text.
+        path: String,
+        /// Why resolution failed.
+        reason: String,
+    },
+    /// An underlying RDF error (invalid IRI, parse failure).
+    Rdf(RdfError),
+}
+
+impl fmt::Display for OwlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwlError::UnknownClass { name } => write!(f, "unknown class `{name}`"),
+            OwlError::UnknownProperty { name } => write!(f, "unknown property `{name}`"),
+            OwlError::Duplicate { name } => write!(f, "duplicate definition of `{name}`"),
+            OwlError::HierarchyCycle { on } => {
+                write!(f, "class hierarchy contains a cycle through `{on}`")
+            }
+            OwlError::BadPath { path, reason } => {
+                write!(f, "attribute path `{path}` does not resolve: {reason}")
+            }
+            OwlError::Rdf(e) => write!(f, "rdf error: {e}"),
+        }
+    }
+}
+
+impl Error for OwlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OwlError::Rdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RdfError> for OwlError {
+    fn from(e: RdfError) -> Self {
+        OwlError::Rdf(e)
+    }
+}

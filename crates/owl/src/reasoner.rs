@@ -1,0 +1,692 @@
+//! Structural reasoner over an [`Ontology`] and instance graphs.
+//!
+//! The reproduction bands note the Rust ecosystem has "ontology reasoning
+//! missing" — so this module supplies the reasoning the S2S middleware
+//! needs, implemented from scratch:
+//!
+//! * **subsumption closure** — materialize all transitive
+//!   `rdfs:subClassOf` facts,
+//! * **type inference** — `rdfs:domain`/`rdfs:range` based typing of
+//!   individuals plus supertype propagation,
+//! * **realization** — most-specific classes of each individual,
+//! * **consistency checking** — disjointness, functional-property,
+//!   cardinality, and datatype-range violations over an instance graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use s2s_rdf::vocab::{rdf, xsd};
+use s2s_rdf::{Graph, Iri, Literal, Term, Triple};
+
+use crate::model::{Ontology, PropertyKind, Restriction};
+
+/// A consistency problem found in an instance graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyIssue {
+    /// An individual is typed by two disjoint classes.
+    DisjointViolation {
+        /// The individual.
+        individual: Term,
+        /// First class.
+        class_a: Iri,
+        /// Second (disjoint) class.
+        class_b: Iri,
+    },
+    /// A functional property has more than one value.
+    FunctionalViolation {
+        /// The individual.
+        individual: Term,
+        /// The functional property.
+        property: Iri,
+        /// Number of distinct values found.
+        count: usize,
+    },
+    /// A cardinality restriction is violated.
+    CardinalityViolation {
+        /// The individual.
+        individual: Term,
+        /// The restricted property.
+        property: Iri,
+        /// The class carrying the restriction.
+        on_class: Iri,
+        /// Number of values found.
+        found: usize,
+        /// Human-readable bound description (e.g. `min 1`, `max 1`).
+        bound: String,
+    },
+    /// A datatype-property value does not conform to the declared range.
+    RangeViolation {
+        /// The individual.
+        individual: Term,
+        /// The property.
+        property: Iri,
+        /// The offending value.
+        value: Literal,
+        /// The expected datatype.
+        expected: Iri,
+    },
+}
+
+impl std::fmt::Display for ConsistencyIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyIssue::DisjointViolation { individual, class_a, class_b } => write!(
+                f,
+                "{individual} is typed by disjoint classes {} and {}",
+                class_a.local_name(),
+                class_b.local_name()
+            ),
+            ConsistencyIssue::FunctionalViolation { individual, property, count } => write!(
+                f,
+                "{individual} has {count} values for functional property {}",
+                property.local_name()
+            ),
+            ConsistencyIssue::CardinalityViolation {
+                individual,
+                property,
+                on_class,
+                found,
+                bound,
+            } => write!(
+                f,
+                "{individual} violates {bound} on {} (class {}): found {found}",
+                property.local_name(),
+                on_class.local_name()
+            ),
+            ConsistencyIssue::RangeViolation { individual, property, value, expected } => write!(
+                f,
+                "{individual}.{} = {value} does not conform to {}",
+                property.local_name(),
+                expected.local_name()
+            ),
+        }
+    }
+}
+
+/// A reasoner bound to one ontology.
+///
+/// Precomputes the subsumption closure at construction; all query methods
+/// are then cheap lookups.
+///
+/// # Examples
+///
+/// ```
+/// use s2s_owl::{Ontology, Reasoner};
+///
+/// # fn main() -> Result<(), s2s_owl::OwlError> {
+/// let onto = Ontology::builder("http://example.org/schema#")
+///     .class("Product", None)?
+///     .class("Watch", Some("Product"))?
+///     .build()?;
+/// let reasoner = Reasoner::new(&onto);
+/// let watch = onto.class_iri("Watch")?;
+/// let product = onto.class_iri("Product")?;
+/// assert!(reasoner.subsumes(&product, &watch));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reasoner<'o> {
+    ontology: &'o Ontology,
+    /// class → all transitive superclasses (excluding itself).
+    closure: BTreeMap<Iri, BTreeSet<Iri>>,
+}
+
+impl<'o> Reasoner<'o> {
+    /// Builds the reasoner, computing the subsumption closure.
+    pub fn new(ontology: &'o Ontology) -> Self {
+        let mut closure: BTreeMap<Iri, BTreeSet<Iri>> = BTreeMap::new();
+        for class in ontology.classes() {
+            let supers: BTreeSet<Iri> = ontology.superclasses(class.iri()).into_iter().collect();
+            closure.insert(class.iri().clone(), supers);
+        }
+        Reasoner { ontology, closure }
+    }
+
+    /// The ontology this reasoner is bound to.
+    pub fn ontology(&self) -> &Ontology {
+        self.ontology
+    }
+
+    /// Whether `sup` subsumes `sub` (reflexive).
+    pub fn subsumes(&self, sup: &Iri, sub: &Iri) -> bool {
+        sup == sub || self.closure.get(sub).is_some_and(|s| s.contains(sup))
+    }
+
+    /// All superclasses of `class` from the precomputed closure.
+    pub fn superclasses(&self, class: &Iri) -> impl Iterator<Item = &Iri> {
+        self.closure.get(class).into_iter().flatten()
+    }
+
+    /// Materializes inferred triples into `graph`:
+    ///
+    /// 1. domain typing: `(s, p, o)` with `p` having domain `C` adds
+    ///    `(s, rdf:type, C)`;
+    /// 2. range typing for object properties: adds `(o, rdf:type, R)`;
+    /// 3. supertype propagation: `(s, rdf:type, C)` and `C ⊑ D` adds
+    ///    `(s, rdf:type, D)` (equivalent classes are in the closure, so
+    ///    their members are cross-typed too);
+    /// 4. subproperty and inverse-property propagation.
+    ///
+    /// Returns the number of triples added. Runs passes to fixpoint
+    /// (inverse-property triples can enable further domain/range
+    /// typings).
+    pub fn materialize(&self, graph: &mut Graph) -> usize {
+        let mut total = 0;
+        loop {
+            let added = self.materialize_pass(graph);
+            total += added;
+            if added == 0 {
+                return total;
+            }
+        }
+    }
+
+    fn materialize_pass(&self, graph: &mut Graph) -> usize {
+        let rdf_type = rdf::type_();
+        let mut new_triples: Vec<Triple> = Vec::new();
+
+        for t in graph.iter() {
+            if t.predicate() == &rdf_type {
+                if let Some(class) = t.object().as_iri() {
+                    for sup in self.superclasses(class) {
+                        new_triples.push(Triple::new(
+                            t.subject().clone(),
+                            rdf_type.clone(),
+                            sup.clone(),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if let Some(prop) = self.ontology.property(t.predicate()) {
+                for domain in prop.domains() {
+                    new_triples.push(Triple::new(
+                        t.subject().clone(),
+                        rdf_type.clone(),
+                        domain.clone(),
+                    ));
+                    for sup in self.superclasses(domain) {
+                        new_triples.push(Triple::new(
+                            t.subject().clone(),
+                            rdf_type.clone(),
+                            sup.clone(),
+                        ));
+                    }
+                }
+                if prop.kind() == PropertyKind::Object && t.object().is_subject() {
+                    for range in prop.ranges() {
+                        if self.ontology.class(range).is_some() {
+                            new_triples.push(Triple::new(
+                                t.object().clone(),
+                                rdf_type.clone(),
+                                range.clone(),
+                            ));
+                            for sup in self.superclasses(range) {
+                                new_triples.push(Triple::new(
+                                    t.object().clone(),
+                                    rdf_type.clone(),
+                                    sup.clone(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Subproperty propagation: p ⊑ q ⇒ (s, q, o).
+                for parent in prop.parents() {
+                    new_triples.push(Triple::new(
+                        t.subject().clone(),
+                        parent.clone(),
+                        t.object().clone(),
+                    ));
+                }
+                // Inverse propagation: p ≡ q⁻ ⇒ (o, q, s).
+                if let Some(inverse) = prop.inverse_of() {
+                    if t.object().is_subject() {
+                        if let Some(triple) = Triple::try_new(
+                            t.object().clone(),
+                            inverse.clone(),
+                            t.subject().clone(),
+                        ) {
+                            new_triples.push(triple);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut added = 0;
+        for t in new_triples {
+            if graph.insert(t) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// The most specific classes of `individual` in `graph` (asserted or
+    /// materialized types with no asserted subtype also present).
+    pub fn realize(&self, graph: &Graph, individual: &Term) -> Vec<Iri> {
+        let rdf_type = rdf::type_();
+        let types: BTreeSet<Iri> = graph
+            .objects(individual, &rdf_type)
+            .filter_map(|o| o.as_iri().cloned())
+            .collect();
+        types
+            .iter()
+            .filter(|c| {
+                // keep c iff no other asserted type is a strict subclass of c
+                !types.iter().any(|d| d != *c && self.subsumes(c, d))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Checks `graph` for consistency issues against the ontology.
+    ///
+    /// Assumes types have been [`materialize`](Reasoner::materialize)d;
+    /// call that first for complete results.
+    pub fn check_consistency(&self, graph: &Graph) -> Vec<ConsistencyIssue> {
+        let rdf_type = rdf::type_();
+        let mut issues = Vec::new();
+
+        // Collect (individual → asserted classes).
+        let mut types: BTreeMap<Term, BTreeSet<Iri>> = BTreeMap::new();
+        for t in graph.match_pattern(None, Some(&rdf_type), None) {
+            if let Some(c) = t.object().as_iri() {
+                types.entry(t.subject().clone()).or_default().insert(c.clone());
+            }
+        }
+
+        // Disjointness.
+        for (individual, classes) in &types {
+            for a in classes {
+                if let Some(def) = self.ontology.class(a) {
+                    for b in def.disjoint_with() {
+                        if classes.contains(b) && a < b {
+                            issues.push(ConsistencyIssue::DisjointViolation {
+                                individual: individual.clone(),
+                                class_a: a.clone(),
+                                class_b: b.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Functional properties + datatype ranges.
+        for prop in self.ontology.properties() {
+            let subjects: BTreeSet<Term> = graph
+                .match_pattern(None, Some(prop.iri()), None)
+                .map(|t| t.subject().clone())
+                .collect();
+            for s in subjects {
+                let values: Vec<Term> = graph.objects(&s, prop.iri()).collect();
+                if prop.functional() && values.len() > 1 {
+                    issues.push(ConsistencyIssue::FunctionalViolation {
+                        individual: s.clone(),
+                        property: prop.iri().clone(),
+                        count: values.len(),
+                    });
+                }
+                if prop.kind() == PropertyKind::Datatype {
+                    for range in prop.ranges() {
+                        for v in &values {
+                            if let Some(lit) = v.as_literal() {
+                                if !literal_conforms(lit, range) {
+                                    issues.push(ConsistencyIssue::RangeViolation {
+                                        individual: s.clone(),
+                                        property: prop.iri().clone(),
+                                        value: lit.clone(),
+                                        expected: range.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cardinality restrictions: apply to every individual typed by the
+        // restricted class.
+        for class in self.ontology.classes() {
+            if class.restrictions().is_empty() {
+                continue;
+            }
+            let class_term = Term::from(class.iri().clone());
+            let members: Vec<Term> =
+                graph.subjects(&rdf_type, &class_term).collect();
+            for r in class.restrictions() {
+                for m in &members {
+                    let count = graph.objects(m, r.property()).count();
+                    match r {
+                        Restriction::MinCardinality { min, .. } if (count as u32) < *min => {
+                            issues.push(ConsistencyIssue::CardinalityViolation {
+                                individual: m.clone(),
+                                property: r.property().clone(),
+                                on_class: class.iri().clone(),
+                                found: count,
+                                bound: format!("min {min}"),
+                            });
+                        }
+                        Restriction::MaxCardinality { max, .. } if (count as u32) > *max => {
+                            issues.push(ConsistencyIssue::CardinalityViolation {
+                                individual: m.clone(),
+                                property: r.property().clone(),
+                                on_class: class.iri().clone(),
+                                found: count,
+                                bound: format!("max {max}"),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        issues
+    }
+}
+
+/// Whether a literal's lexical form conforms to a datatype IRI.
+///
+/// Unknown datatypes conform trivially (open-world).
+pub fn literal_conforms(lit: &Literal, datatype: &Iri) -> bool {
+    match datatype.as_str() {
+        xsd::STRING => true,
+        xsd::INTEGER => lit.as_integer().is_some(),
+        xsd::DECIMAL | xsd::DOUBLE => lit.as_decimal().is_some(),
+        xsd::BOOLEAN => lit.as_boolean().is_some(),
+        xsd::DATE => {
+            let s = lit.lexical();
+            let b: Vec<&str> = s.split('-').collect();
+            b.len() == 3
+                && b[0].len() == 4
+                && b.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()))
+        }
+        xsd::ANY_URI => Iri::new(lit.lexical()).is_ok(),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Ontology;
+
+    fn onto() -> Ontology {
+        Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .class("Watch", Some("Product"))
+            .unwrap()
+            .class("Provider", None)
+            .unwrap()
+            .disjoint("Product", "Provider")
+            .unwrap()
+            .datatype_property("brand", "Product", xsd::STRING)
+            .unwrap()
+            .datatype_property("price", "Product", xsd::DECIMAL)
+            .unwrap()
+            .object_property("provider", "Product", "Provider")
+            .unwrap()
+            .functional("price")
+            .unwrap()
+            .min_cardinality("Watch", "brand", 1)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn ex(name: &str) -> Iri {
+        iri(&format!("http://example.org/schema#{name}"))
+    }
+
+    fn ind(name: &str) -> Term {
+        Term::from(iri(&format!("http://example.org/data/{name}")))
+    }
+
+    #[test]
+    fn closure_subsumption() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        assert!(r.subsumes(&ex("Product"), &ex("Watch")));
+        assert!(r.subsumes(&ex("Watch"), &ex("Watch")));
+        assert!(!r.subsumes(&ex("Watch"), &ex("Product")));
+    }
+
+    #[test]
+    fn materialize_domain_and_supertypes() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            ind("w1").as_iri().unwrap().clone(),
+            ex("brand"),
+            Literal::string("Seiko"),
+        ));
+        let added = r.materialize(&mut g);
+        assert!(added >= 1, "added={added}");
+        let types: Vec<_> = g.objects(&ind("w1"), &rdf::type_()).collect();
+        assert!(types.contains(&Term::from(ex("Product"))));
+    }
+
+    #[test]
+    fn materialize_range_typing_for_object_property() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            ind("w1").as_iri().unwrap().clone(),
+            ex("provider"),
+            ind("casio").as_iri().unwrap().clone(),
+        ));
+        r.materialize(&mut g);
+        let types: Vec<_> = g.objects(&ind("casio"), &rdf::type_()).collect();
+        assert!(types.contains(&Term::from(ex("Provider"))));
+    }
+
+    #[test]
+    fn materialize_supertype_propagation_from_asserted_type() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(ind("w1").as_iri().unwrap().clone(), rdf::type_(), ex("Watch")));
+        r.materialize(&mut g);
+        let types: Vec<_> = g.objects(&ind("w1"), &rdf::type_()).collect();
+        assert!(types.contains(&Term::from(ex("Product"))));
+    }
+
+    #[test]
+    fn materialize_is_idempotent() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(ind("w1").as_iri().unwrap().clone(), rdf::type_(), ex("Watch")));
+        r.materialize(&mut g);
+        let len = g.len();
+        assert_eq!(r.materialize(&mut g), 0);
+        assert_eq!(g.len(), len);
+    }
+
+    #[test]
+    fn realization_picks_most_specific() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(ind("w1").as_iri().unwrap().clone(), rdf::type_(), ex("Watch")));
+        r.materialize(&mut g);
+        let real = r.realize(&g, &ind("w1"));
+        assert_eq!(real, vec![ex("Watch")]);
+    }
+
+    #[test]
+    fn disjointness_detected() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        let w = ind("x").as_iri().unwrap().clone();
+        g.insert(Triple::new(w.clone(), rdf::type_(), ex("Product")));
+        g.insert(Triple::new(w, rdf::type_(), ex("Provider")));
+        let issues = r.check_consistency(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConsistencyIssue::DisjointViolation { .. })), "{issues:?}");
+    }
+
+    #[test]
+    fn functional_violation_detected() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        let w = ind("w1").as_iri().unwrap().clone();
+        g.insert(Triple::new(w.clone(), ex("price"), Literal::decimal(10.0)));
+        g.insert(Triple::new(w, ex("price"), Literal::decimal(12.0)));
+        let issues = r.check_consistency(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConsistencyIssue::FunctionalViolation { count: 2, .. })));
+    }
+
+    #[test]
+    fn min_cardinality_violation_detected() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        // A Watch with no brand violates min 1 brand.
+        g.insert(Triple::new(ind("w1").as_iri().unwrap().clone(), rdf::type_(), ex("Watch")));
+        let issues = r.check_consistency(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ConsistencyIssue::CardinalityViolation { found: 0, .. })), "{issues:?}");
+    }
+
+    #[test]
+    fn range_violation_detected() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            ind("w1").as_iri().unwrap().clone(),
+            ex("price"),
+            Literal::string("cheap"),
+        ));
+        let issues = r.check_consistency(&g);
+        assert!(issues.iter().any(|i| matches!(i, ConsistencyIssue::RangeViolation { .. })));
+    }
+
+    #[test]
+    fn consistent_graph_has_no_issues() {
+        let o = onto();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        let w = ind("w1").as_iri().unwrap().clone();
+        g.insert(Triple::new(w.clone(), rdf::type_(), ex("Watch")));
+        g.insert(Triple::new(w.clone(), ex("brand"), Literal::string("Seiko")));
+        g.insert(Triple::new(w, ex("price"), Literal::decimal(129.99)));
+        r.materialize(&mut g);
+        let issues = r.check_consistency(&g);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn literal_conformance_rules() {
+        assert!(literal_conforms(&Literal::string("x"), &iri(xsd::STRING)));
+        assert!(literal_conforms(&Literal::string("42"), &iri(xsd::INTEGER)));
+        assert!(!literal_conforms(&Literal::string("x"), &iri(xsd::INTEGER)));
+        assert!(literal_conforms(&Literal::string("1.5"), &iri(xsd::DECIMAL)));
+        assert!(literal_conforms(&Literal::string("true"), &iri(xsd::BOOLEAN)));
+        assert!(literal_conforms(&Literal::string("2026-07-04"), &iri(xsd::DATE)));
+        assert!(!literal_conforms(&Literal::string("July 4"), &iri(xsd::DATE)));
+        assert!(literal_conforms(&Literal::string("http://x.org/"), &iri(xsd::ANY_URI)));
+        assert!(!literal_conforms(&Literal::string("not a uri"), &iri(xsd::ANY_URI)));
+        // Unknown datatype: open world.
+        assert!(literal_conforms(&Literal::string("?"), &iri("http://x.org/custom")));
+    }
+
+    #[test]
+    fn inverse_property_mirrored() {
+        let o = Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .class("Provider", None)
+            .unwrap()
+            .object_property("suppliedBy", "Product", "Provider")
+            .unwrap()
+            .object_property("supplies", "Provider", "Product")
+            .unwrap()
+            .inverse("suppliedBy", "supplies")
+            .unwrap()
+            .build()
+            .unwrap();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        let w = iri("http://example.org/data/w1");
+        let p = iri("http://example.org/data/acme");
+        g.insert(Triple::new(w.clone(), ex("suppliedBy"), p.clone()));
+        r.materialize(&mut g);
+        // Mirror triple exists...
+        assert!(g.contains(&Triple::new(p.clone(), ex("supplies"), w.clone())));
+        // ...and its domain typing was applied in the fixpoint loop.
+        let types: Vec<_> = g.objects(&Term::from(p), &rdf::type_()).collect();
+        assert!(types.contains(&Term::from(ex("Provider"))), "{types:?}");
+        // Idempotent.
+        assert_eq!(r.materialize(&mut g), 0);
+    }
+
+    #[test]
+    fn equivalent_classes_share_instances_and_attributes() {
+        let o = Ontology::builder("http://example.org/schema#")
+            .class("Car", None)
+            .unwrap()
+            .class("Automobile", None)
+            .unwrap()
+            .equivalent("Car", "Automobile")
+            .unwrap()
+            .datatype_property("vin", "Car", xsd::STRING)
+            .unwrap()
+            .build()
+            .unwrap();
+        // Mutual subsumption.
+        assert!(o.is_subclass_of(&ex("Car"), &ex("Automobile")));
+        assert!(o.is_subclass_of(&ex("Automobile"), &ex("Car")));
+        // Attributes flow across the equivalence.
+        let attrs = o.properties_of_class(&ex("Automobile"));
+        assert!(attrs.iter().any(|p| p.iri().local_name() == "vin"));
+        // Instances are cross-typed by materialization.
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://example.org/data/c1"), rdf::type_(), ex("Car")));
+        r.materialize(&mut g);
+        let types: Vec<_> =
+            g.objects(&Term::from(iri("http://example.org/data/c1")), &rdf::type_()).collect();
+        assert!(types.contains(&Term::from(ex("Automobile"))), "{types:?}");
+    }
+
+    #[test]
+    fn subproperty_values_propagate() {
+        let o = Ontology::builder("http://example.org/schema#")
+            .class("A", None)
+            .unwrap()
+            .datatype_property("id", "A", xsd::STRING)
+            .unwrap()
+            .datatype_property("key", "A", xsd::STRING)
+            .unwrap()
+            .subproperty_of("key", "id")
+            .unwrap()
+            .build()
+            .unwrap();
+        let r = Reasoner::new(&o);
+        let mut g = Graph::new();
+        let a = iri("http://example.org/data/a1");
+        g.insert(Triple::new(a.clone(), ex("key"), Literal::string("k1")));
+        r.materialize(&mut g);
+        let vals: Vec<_> = g.objects(&Term::from(a), &ex("id")).collect();
+        assert_eq!(vals.len(), 1);
+    }
+}

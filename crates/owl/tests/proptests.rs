@@ -1,0 +1,140 @@
+//! Property tests for the ontology layer: hierarchy laws, closure
+//! consistency, serialization round-trips, path resolution.
+
+use proptest::prelude::*;
+use s2s_owl::{AttributePath, Ontology, Reasoner};
+
+/// Strategy: a random class tree of 1..=20 classes (each class's parent
+/// is an earlier class or none), with 0..=2 properties per class.
+fn arb_ontology() -> impl Strategy<Value = Ontology> {
+    (
+        proptest::collection::vec(proptest::option::of(0usize..20), 1..20),
+        proptest::collection::vec(0usize..3, 1..20),
+    )
+        .prop_map(|(parents, prop_counts)| {
+            let n = parents.len();
+            let mut b = Ontology::builder("http://prop.example/#");
+            for (i, parent_pick) in parents.iter().enumerate().take(n) {
+                let parent = parent_pick.filter(|&p| p < i).map(|p| format!("K{p}"));
+                b = b.class(&format!("K{i}"), parent.as_deref()).unwrap();
+            }
+            for (i, &count) in prop_counts.iter().take(n).enumerate() {
+                for j in 0..count {
+                    b = b
+                        .datatype_property(
+                            &format!("q{i}x{j}"),
+                            &format!("K{i}"),
+                            "http://www.w3.org/2001/XMLSchema#string",
+                        )
+                        .unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    /// Subsumption is reflexive and transitive; the reasoner closure
+    /// agrees with the ontology's on-demand computation.
+    #[test]
+    fn subsumption_laws(o in arb_ontology()) {
+        let r = Reasoner::new(&o);
+        let classes: Vec<_> = o.classes().map(|c| c.iri().clone()).collect();
+        for a in &classes {
+            prop_assert!(o.is_subclass_of(a, a));
+            prop_assert!(r.subsumes(a, a));
+            for b in &classes {
+                prop_assert_eq!(o.is_subclass_of(a, b), r.subsumes(b, a));
+                for c in &classes {
+                    if o.is_subclass_of(a, b) && o.is_subclass_of(b, c) {
+                        prop_assert!(o.is_subclass_of(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// subclasses() and superclasses() are inverse relations.
+    #[test]
+    fn sub_super_inverse(o in arb_ontology()) {
+        let classes: Vec<_> = o.classes().map(|c| c.iri().clone()).collect();
+        for a in &classes {
+            for b in o.subclasses(a) {
+                prop_assert!(o.superclasses(&b).contains(a));
+            }
+            for s in o.superclasses(a) {
+                prop_assert!(o.subclasses(&s).contains(a));
+            }
+        }
+    }
+
+    /// RDF serialization round-trips the structure.
+    #[test]
+    fn rdf_roundtrip(o in arb_ontology()) {
+        let g = s2s_owl::serialize::to_graph(&o);
+        let o2 = s2s_owl::serialize::from_graph(&g, "http://prop.example/#").unwrap();
+        prop_assert_eq!(o2.class_count(), o.class_count());
+        prop_assert_eq!(o2.property_count(), o.property_count());
+        // Subsumption preserved.
+        let classes: Vec<_> = o.classes().map(|c| c.iri().clone()).collect();
+        for a in &classes {
+            for b in &classes {
+                prop_assert_eq!(o.is_subclass_of(a, b), o2.is_subclass_of(a, b));
+            }
+        }
+    }
+
+    /// Every generated canonical path resolves back to its own
+    /// class/property pair.
+    #[test]
+    fn path_roundtrip(o in arb_ontology()) {
+        for class in o.classes() {
+            for prop in o.properties_of_class(class.iri()) {
+                let path =
+                    AttributePath::for_attribute(&o, class.iri(), prop.iri()).unwrap();
+                let resolved = path.resolve(&o).unwrap();
+                prop_assert_eq!(&resolved.class, class.iri());
+                prop_assert_eq!(&resolved.property, prop.iri());
+                // And the textual form re-parses to the same path.
+                let reparsed: AttributePath = path.to_string().parse().unwrap();
+                prop_assert_eq!(reparsed, path);
+            }
+        }
+    }
+
+    /// properties_of_class grows monotonically down the hierarchy: a
+    /// subclass sees at least its superclass's attributes.
+    #[test]
+    fn attribute_inheritance_monotone(o in arb_ontology()) {
+        for class in o.classes() {
+            let own: Vec<_> =
+                o.properties_of_class(class.iri()).iter().map(|p| p.iri().clone()).collect();
+            for sub in o.subclasses(class.iri()) {
+                let sub_props: Vec<_> =
+                    o.properties_of_class(&sub).iter().map(|p| p.iri().clone()).collect();
+                for p in &own {
+                    prop_assert!(sub_props.contains(p));
+                }
+            }
+        }
+    }
+
+    /// Materialization is idempotent and only ever adds type triples for
+    /// superclasses of asserted types.
+    #[test]
+    fn materialization_idempotent(o in arb_ontology(), picks in proptest::collection::vec(0usize..20, 0..6)) {
+        use s2s_rdf::{Graph, Iri, Triple};
+        let classes: Vec<_> = o.classes().map(|c| c.iri().clone()).collect();
+        let mut g = Graph::new();
+        for (i, &pick) in picks.iter().enumerate() {
+            let class = &classes[pick % classes.len()];
+            let ind = Iri::new(format!("http://prop.example/data/i{i}")).unwrap();
+            g.insert(Triple::new(ind, s2s_rdf::vocab::rdf::type_(), class.clone()));
+        }
+        let r = Reasoner::new(&o);
+        r.materialize(&mut g);
+        let len = g.len();
+        prop_assert_eq!(r.materialize(&mut g), 0);
+        prop_assert_eq!(g.len(), len);
+    }
+}

@@ -1,0 +1,423 @@
+//! In-memory indexed triple store.
+//!
+//! [`Graph`] keeps three `BTreeSet` orderings — SPO, POS, OSP — so that any
+//! triple pattern with at least one bound position resolves to a range
+//! scan rather than a full scan.
+
+use std::collections::BTreeSet;
+
+use crate::term::{Iri, Term};
+use crate::triple::Triple;
+
+/// An in-memory RDF graph with SPO/POS/OSP indexes.
+///
+/// # Examples
+///
+/// ```
+/// use s2s_rdf::{Graph, Iri, Literal, Triple, Term};
+///
+/// # fn main() -> Result<(), s2s_rdf::RdfError> {
+/// let mut g = Graph::new();
+/// let s = Iri::new("http://x.org/s")?;
+/// let p = Iri::new("http://x.org/p")?;
+/// g.insert(Triple::new(s.clone(), p.clone(), Literal::string("v")));
+/// assert_eq!(g.len(), 1);
+/// assert_eq!(g.objects(&Term::from(s), &p).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    spo: BTreeSet<(Term, Iri, Term)>,
+    pos: BTreeSet<(Iri, Term, Term)>,
+    osp: BTreeSet<(Term, Term, Iri)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let (s, p, o) = triple.into_parts();
+        let fresh = self.spo.insert((s.clone(), p.clone(), o.clone()));
+        if fresh {
+            self.pos.insert((p.clone(), o.clone(), s.clone()));
+            self.osp.insert((o, s, p));
+        }
+        fresh
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let key = (triple.subject().clone(), triple.predicate().clone(), triple.object().clone());
+        let removed = self.spo.remove(&key);
+        if removed {
+            let (s, p, o) = key;
+            self.pos.remove(&(p.clone(), o.clone(), s.clone()));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Whether the graph contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.spo.contains(&(
+            triple.subject().clone(),
+            triple.predicate().clone(),
+            triple.object().clone(),
+        ))
+    }
+
+    /// Iterates over all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|(s, p, o)| Triple::new(s.clone(), p.clone(), o.clone()))
+    }
+
+    /// Answers a triple pattern; `None` positions are wildcards.
+    ///
+    /// Chooses the index giving the tightest range for the bound positions.
+    pub fn match_pattern<'g>(
+        &'g self,
+        subject: Option<&'g Term>,
+        predicate: Option<&'g Iri>,
+        object: Option<&'g Term>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'g> {
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s.clone(), p.clone(), o.clone());
+                if self.contains(&t) {
+                    Box::new(std::iter::once(t))
+                } else {
+                    Box::new(std::iter::empty())
+                }
+            }
+            (Some(s), Some(p), None) => Box::new(
+                self.spo
+                    .range((s.clone(), p.clone(), Term::min_value())..)
+                    .take_while(move |(ts, tp, _)| ts == s && tp == p)
+                    .map(|(s, p, o)| Triple::new(s.clone(), p.clone(), o.clone())),
+            ),
+            (Some(s), None, None) => Box::new(
+                self.spo
+                    .range((s.clone(), Iri::min_value(), Term::min_value())..)
+                    .take_while(move |(ts, _, _)| ts == s)
+                    .map(|(s, p, o)| Triple::new(s.clone(), p.clone(), o.clone())),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((p.clone(), o.clone(), Term::min_value())..)
+                    .take_while(move |(tp, to, _)| tp == p && to == o)
+                    .map(|(p, o, s)| Triple::new(s.clone(), p.clone(), o.clone())),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((p.clone(), Term::min_value(), Term::min_value())..)
+                    .take_while(move |(tp, _, _)| tp == p)
+                    .map(|(p, o, s)| Triple::new(s.clone(), p.clone(), o.clone())),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((o.clone(), Term::min_value(), Iri::min_value())..)
+                    .take_while(move |(to, _, _)| to == o)
+                    .map(|(o, s, p)| Triple::new(s.clone(), p.clone(), o.clone())),
+            ),
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((o.clone(), s.clone(), Iri::min_value())..)
+                    .take_while(move |(to, ts, _)| to == o && ts == s)
+                    .map(|(o, s, p)| Triple::new(s.clone(), p.clone(), o.clone())),
+            ),
+            (None, None, None) => Box::new(self.iter()),
+        }
+    }
+
+    /// The objects of all `(subject, predicate, ?)` triples.
+    pub fn objects<'g>(
+        &'g self,
+        subject: &'g Term,
+        predicate: &'g Iri,
+    ) -> impl Iterator<Item = Term> + 'g {
+        self.match_pattern(Some(subject), Some(predicate), None)
+            .map(|t| t.object().clone())
+    }
+
+    /// The first object of `(subject, predicate, ?)`, if any.
+    pub fn object(&self, subject: &Term, predicate: &Iri) -> Option<Term> {
+        self.objects(subject, predicate).next()
+    }
+
+    /// The subjects of all `(?, predicate, object)` triples.
+    pub fn subjects<'g>(
+        &'g self,
+        predicate: &'g Iri,
+        object: &'g Term,
+    ) -> impl Iterator<Item = Term> + 'g {
+        self.match_pattern(None, Some(predicate), Some(object))
+            .map(|t| t.subject().clone())
+    }
+
+    /// All subjects with an `rdf:type` of `class`.
+    pub fn instances_of<'g>(&'g self, class: &'g Iri) -> impl Iterator<Item = Term> + 'g {
+        let ty = crate::vocab::rdf::type_();
+        self.match_pattern(None, None, None)
+            .filter(move |t| {
+                t.predicate() == &ty && t.object().as_iri() == Some(class)
+            })
+            .map(|t| t.subject().clone())
+    }
+
+    /// Merges all triples of `other` into `self`; returns how many were new.
+    pub fn extend_from(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.iter() {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// All distinct predicates in the graph.
+    pub fn predicates(&self) -> impl Iterator<Item = Iri> + '_ {
+        let mut last: Option<Iri> = None;
+        self.pos.iter().filter_map(move |(p, _, _)| {
+            if last.as_ref() == Some(p) {
+                None
+            } else {
+                last = Some(p.clone());
+                Some(p.clone())
+            }
+        })
+    }
+
+    /// All distinct subjects in the graph.
+    pub fn subjects_distinct(&self) -> impl Iterator<Item = Term> + '_ {
+        let mut last: Option<Term> = None;
+        self.spo.iter().filter_map(move |(s, _, _)| {
+            if last.as_ref() == Some(s) {
+                None
+            } else {
+                last = Some(s.clone());
+                Some(s.clone())
+            }
+        })
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+impl IntoIterator for Graph {
+    type Item = Triple;
+    type IntoIter = IntoIter;
+
+    fn into_iter(self) -> IntoIter {
+        IntoIter { inner: self.spo.into_iter() }
+    }
+}
+
+/// Owning iterator for [`Graph`].
+#[derive(Debug)]
+pub struct IntoIter {
+    inner: std::collections::btree_set::IntoIter<(Term, Iri, Term)>,
+}
+
+impl Iterator for IntoIter {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        self.inner.next().map(|(s, p, o)| Triple::new(s, p, o))
+    }
+}
+
+// Range-scan sentinels: the smallest possible values in each ordering.
+// `Term` orders its variants Iri < Blank < Literal, and the empty-string
+// sentinel IRI sorts before every valid IRI, so these bound every key.
+trait MinValue {
+    fn min_value() -> Self;
+}
+
+impl MinValue for Term {
+    fn min_value() -> Term {
+        Term::Iri(Iri::min_value())
+    }
+}
+
+impl MinValue for Iri {
+    fn min_value() -> Iri {
+        Iri::sentinel_min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let s1 = iri("http://x.org/s1");
+        let s2 = iri("http://x.org/s2");
+        let p1 = iri("http://x.org/p1");
+        let p2 = iri("http://x.org/p2");
+        g.insert(Triple::new(s1.clone(), p1.clone(), Literal::string("a")));
+        g.insert(Triple::new(s1.clone(), p2.clone(), Literal::string("b")));
+        g.insert(Triple::new(s2.clone(), p1.clone(), Literal::string("a")));
+        g.insert(Triple::new(s2, p2, iri("http://x.org/s1")));
+        g
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut g = Graph::new();
+        let t = Triple::new(iri("http://x.org/s"), iri("http://x.org/p"), Literal::string("v"));
+        assert!(g.insert(t.clone()));
+        assert!(!g.insert(t));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut g = sample();
+        let t = Triple::new(iri("http://x.org/s1"), iri("http://x.org/p1"), Literal::string("a"));
+        assert!(g.remove(&t));
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 3);
+        assert!(!g.contains(&t));
+        // POS index no longer finds it.
+        let p1 = iri("http://x.org/p1");
+        let obj = Term::from(Literal::string("a"));
+        let subs: Vec<_> = g.subjects(&p1, &obj).collect();
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn pattern_sp() {
+        let g = sample();
+        let s = Term::from(iri("http://x.org/s1"));
+        let p = iri("http://x.org/p1");
+        let hits: Vec<_> = g.match_pattern(Some(&s), Some(&p), None).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].object().as_literal().unwrap().lexical(), "a");
+    }
+
+    #[test]
+    fn pattern_s_only() {
+        let g = sample();
+        let s = Term::from(iri("http://x.org/s1"));
+        assert_eq!(g.match_pattern(Some(&s), None, None).count(), 2);
+    }
+
+    #[test]
+    fn pattern_p_only() {
+        let g = sample();
+        let p = iri("http://x.org/p1");
+        assert_eq!(g.match_pattern(None, Some(&p), None).count(), 2);
+    }
+
+    #[test]
+    fn pattern_o_only() {
+        let g = sample();
+        let o = Term::from(Literal::string("a"));
+        assert_eq!(g.match_pattern(None, None, Some(&o)).count(), 2);
+    }
+
+    #[test]
+    fn pattern_po() {
+        let g = sample();
+        let p = iri("http://x.org/p1");
+        let o = Term::from(Literal::string("a"));
+        let subs: Vec<_> = g.subjects(&p, &o).collect();
+        assert_eq!(subs.len(), 2);
+    }
+
+    #[test]
+    fn pattern_so() {
+        let g = sample();
+        let s = Term::from(iri("http://x.org/s2"));
+        let o = Term::from(iri("http://x.org/s1"));
+        assert_eq!(g.match_pattern(Some(&s), None, Some(&o)).count(), 1);
+    }
+
+    #[test]
+    fn pattern_full_wildcard() {
+        let g = sample();
+        assert_eq!(g.match_pattern(None, None, None).count(), 4);
+    }
+
+    #[test]
+    fn pattern_exact() {
+        let g = sample();
+        let s = Term::from(iri("http://x.org/s1"));
+        let p = iri("http://x.org/p1");
+        let o = Term::from(Literal::string("a"));
+        assert_eq!(g.match_pattern(Some(&s), Some(&p), Some(&o)).count(), 1);
+        let o2 = Term::from(Literal::string("zzz"));
+        assert_eq!(g.match_pattern(Some(&s), Some(&p), Some(&o2)).count(), 0);
+    }
+
+    #[test]
+    fn distinct_predicates_and_subjects() {
+        let g = sample();
+        assert_eq!(g.predicates().count(), 2);
+        assert_eq!(g.subjects_distinct().count(), 2);
+    }
+
+    #[test]
+    fn extend_from_counts_new_only() {
+        let mut g = sample();
+        let mut h = Graph::new();
+        h.insert(Triple::new(iri("http://x.org/s1"), iri("http://x.org/p1"), Literal::string("a")));
+        h.insert(Triple::new(iri("http://x.org/new"), iri("http://x.org/p1"), Literal::string("n")));
+        assert_eq!(g.extend_from(&h), 1);
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let g = sample();
+        let triples: Vec<_> = g.clone().into_iter().collect();
+        let g2: Graph = triples.into_iter().collect();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn instances_of_finds_typed_subjects() {
+        let mut g = Graph::new();
+        let c = iri("http://x.org/Watch");
+        g.insert(Triple::new(iri("http://x.org/w1"), crate::vocab::rdf::type_(), c.clone()));
+        g.insert(Triple::new(iri("http://x.org/w2"), crate::vocab::rdf::type_(), c.clone()));
+        g.insert(Triple::new(iri("http://x.org/p"), crate::vocab::rdf::type_(), iri("http://x.org/Provider")));
+        assert_eq!(g.instances_of(&c).count(), 2);
+    }
+}

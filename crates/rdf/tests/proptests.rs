@@ -1,0 +1,131 @@
+//! Property-based tests: serialization roundtrips and store invariants
+//! over randomly generated graphs.
+
+use proptest::prelude::*;
+use s2s_rdf::turtle::PrefixMap;
+use s2s_rdf::{ntriples, turtle, Graph, Iri, Literal, Term, Triple};
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    ("[a-z][a-z0-9]{0,6}", "[A-Za-z0-9_]{1,8}")
+        .prop_map(|(host, local)| Iri::new(format!("http://{host}.org/ns#{local}")).unwrap())
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Strings including characters that need escaping.
+        "[ -~\\n\\t]{0,20}".prop_map(Literal::string),
+        any::<i64>().prop_map(Literal::integer),
+        any::<bool>().prop_map(Literal::boolean),
+        ("[a-z0-9 ]{0,10}", "[a-z]{2}").prop_map(|(s, l)| Literal::lang(s, l).unwrap()),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri().prop_map(Term::from), arb_literal().prop_map(Term::from)]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_iri(), arb_iri(), arb_term()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(arb_triple(), 0..40).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// N-Triples roundtrips losslessly.
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph()) {
+        let text = ntriples::serialize(&g);
+        let g2 = ntriples::parse(&text).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Turtle roundtrips losslessly, with and without prefixes.
+    #[test]
+    fn turtle_roundtrip(g in arb_graph()) {
+        let text = turtle::serialize(&g, &PrefixMap::new());
+        let g2 = turtle::parse(&text).unwrap();
+        prop_assert_eq!(&g, &g2);
+
+        let mut p = PrefixMap::with_well_known();
+        p.insert("t", "http://t.org/ns#");
+        let text = turtle::serialize(&g, &p);
+        let g3 = turtle::parse(&text).unwrap();
+        prop_assert_eq!(&g, &g3);
+    }
+
+    /// RDF/XML round-trips losslessly through serialize → parse.
+    #[test]
+    fn rdfxml_roundtrip(g in arb_graph()) {
+        let mut prefixes = PrefixMap::with_well_known();
+        prefixes.insert("t", "http://t.org/ns#");
+        let xml = s2s_rdf::rdfxml::serialize(&g, &prefixes);
+        let g2 = s2s_rdf::rdfxml::parse(&xml).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Every pattern query returns exactly the triples matching the filter
+    /// semantics of a naive scan.
+    #[test]
+    fn pattern_matches_naive_scan(g in arb_graph(), probe in arb_triple()) {
+        let s = probe.subject().clone();
+        let p = probe.predicate().clone();
+        let o = probe.object().clone();
+
+        let cases: Vec<(Option<&Term>, Option<&Iri>, Option<&Term>)> = vec![
+            (Some(&s), None, None),
+            (None, Some(&p), None),
+            (None, None, Some(&o)),
+            (Some(&s), Some(&p), None),
+            (None, Some(&p), Some(&o)),
+            (Some(&s), None, Some(&o)),
+            (Some(&s), Some(&p), Some(&o)),
+            (None, None, None),
+        ];
+        for (qs, qp, qo) in cases {
+            let expect: Vec<Triple> = g
+                .iter()
+                .filter(|t| {
+                    qs.map(|x| t.subject() == x).unwrap_or(true)
+                        && qp.map(|x| t.predicate() == x).unwrap_or(true)
+                        && qo.map(|x| t.object() == x).unwrap_or(true)
+                })
+                .collect();
+            let mut got: Vec<Triple> = g.match_pattern(qs, qp, qo).collect();
+            let mut expect = expect;
+            got.sort();
+            expect.sort();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Insert/remove keep len consistent and contains() truthful.
+    #[test]
+    fn insert_remove_consistency(triples in proptest::collection::vec(arb_triple(), 0..30)) {
+        let mut g = Graph::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for t in &triples {
+            prop_assert_eq!(g.insert(t.clone()), reference.insert(t.clone()));
+        }
+        prop_assert_eq!(g.len(), reference.len());
+        for t in &triples {
+            prop_assert!(g.contains(t));
+        }
+        for t in &triples {
+            prop_assert_eq!(g.remove(t), reference.remove(t));
+        }
+        prop_assert!(g.is_empty());
+        // All indexes drained: full scan yields nothing.
+        prop_assert_eq!(g.match_pattern(None, None, None).count(), 0);
+    }
+
+    /// Graph equality is insertion-order independent.
+    #[test]
+    fn order_independence(mut triples in proptest::collection::vec(arb_triple(), 0..25)) {
+        let g1: Graph = triples.clone().into_iter().collect();
+        triples.reverse();
+        let g2: Graph = triples.into_iter().collect();
+        prop_assert_eq!(g1, g2);
+    }
+}

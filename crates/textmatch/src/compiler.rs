@@ -1,0 +1,259 @@
+//! Compilation of a pattern [`Ast`] into a linear NFA instruction
+//! program executed by the [`vm`](crate::vm).
+
+use crate::ast::{Ast, ClassSet};
+use crate::error::RegexError;
+
+/// One NFA instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match a specific character and advance.
+    Char(char),
+    /// Match any character except `\n` and advance.
+    Any,
+    /// Match a character class and advance.
+    Class(ClassSet),
+    /// Try `a` first, then `b` (priority encodes greediness).
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Record the current haystack offset in capture slot `n`.
+    Save(usize),
+    /// Assert start of haystack.
+    AssertStart,
+    /// Assert end of haystack.
+    AssertEnd,
+    /// Assert a word boundary.
+    AssertWordBoundary,
+    /// Assert not a word boundary.
+    AssertNotWordBoundary,
+    /// Successful match.
+    Match,
+}
+
+/// A compiled program plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Instruction sequence; entry point is index 0.
+    pub insts: Vec<Inst>,
+    /// Number of explicit capture groups (group 0 excluded).
+    pub captures: usize,
+    /// Total number of save slots = `2 * (captures + 1)`.
+    pub slots: usize,
+}
+
+/// Upper bound on compiled program size, guarding against pathological
+/// counted repetitions like `(a{1000}){1000}`.
+const MAX_PROGRAM: usize = 1 << 20;
+
+/// Compiles `ast` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`RegexError`] if expansion of counted repetitions would exceed
+/// the program-size limit.
+pub fn compile(ast: &Ast) -> Result<Program, RegexError> {
+    let mut c = Compiler { insts: Vec::new(), max_group: 0 };
+    // Whole-match group 0.
+    c.push(Inst::Save(0))?;
+    c.emit(ast)?;
+    c.push(Inst::Save(1))?;
+    c.push(Inst::Match)?;
+    let captures = c.max_group as usize;
+    Ok(Program { insts: c.insts, captures, slots: 2 * (captures + 1) })
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    max_group: u32,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<usize, RegexError> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(RegexError::new(0, "compiled pattern too large"));
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, ast: &Ast) -> Result<(), RegexError> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => self.push(Inst::Char(*c)).map(drop),
+            Ast::AnyChar => self.push(Inst::Any).map(drop),
+            Ast::Class(set) => self.push(Inst::Class(set.clone())).map(drop),
+            Ast::AnchorStart => self.push(Inst::AssertStart).map(drop),
+            Ast::AnchorEnd => self.push(Inst::AssertEnd).map(drop),
+            Ast::WordBoundary => self.push(Inst::AssertWordBoundary).map(drop),
+            Ast::NotWordBoundary => self.push(Inst::AssertNotWordBoundary).map(drop),
+            Ast::Concat(items) => {
+                for item in items {
+                    self.emit(item)?;
+                }
+                Ok(())
+            }
+            Ast::NonCapturing(node) => self.emit(node),
+            Ast::Group { index, node } => {
+                self.max_group = self.max_group.max(*index);
+                self.push(Inst::Save(2 * *index as usize))?;
+                self.emit(node)?;
+                self.push(Inst::Save(2 * *index as usize + 1))?;
+                Ok(())
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max, lazy } => self.emit_repeat(node, *min, *max, *lazy),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) -> Result<(), RegexError> {
+        // Chain of splits; each branch jumps to the common exit.
+        let mut jmp_fixups = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split = self.push(Inst::Split(0, 0))?;
+                let branch_start = self.here();
+                self.emit(branch)?;
+                jmp_fixups.push(self.push(Inst::Jmp(0))?);
+                let next = self.here();
+                self.insts[split] = Inst::Split(branch_start, next);
+            } else {
+                self.emit(branch)?;
+            }
+        }
+        let end = self.here();
+        for fixup in jmp_fixups {
+            self.insts[fixup] = Inst::Jmp(end);
+        }
+        Ok(())
+    }
+
+    fn emit_repeat(
+        &mut self,
+        node: &Ast,
+        min: u32,
+        max: Option<u32>,
+        lazy: bool,
+    ) -> Result<(), RegexError> {
+        match (min, max) {
+            (0, Some(1)) => {
+                // e?
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.here();
+                self.emit(node)?;
+                let end = self.here();
+                self.insts[split] =
+                    if lazy { Inst::Split(end, body) } else { Inst::Split(body, end) };
+                Ok(())
+            }
+            (0, None) => {
+                // e*
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.here();
+                self.emit(node)?;
+                self.push(Inst::Jmp(split))?;
+                let end = self.here();
+                self.insts[split] =
+                    if lazy { Inst::Split(end, body) } else { Inst::Split(body, end) };
+                Ok(())
+            }
+            (1, None) => {
+                // e+
+                let body = self.here();
+                self.emit(node)?;
+                let split = self.push(Inst::Split(0, 0))?;
+                let end = self.here();
+                self.insts[split] =
+                    if lazy { Inst::Split(end, body) } else { Inst::Split(body, end) };
+                Ok(())
+            }
+            (min, None) => {
+                // e{min,} = e^(min-1) e+
+                for _ in 0..min.saturating_sub(1) {
+                    self.emit(node)?;
+                }
+                self.emit_repeat(node, 1, None, lazy)
+            }
+            (min, Some(max)) => {
+                // e{min,max} = e^min (e?)^(max-min), nested so that each
+                // optional tail only applies if the previous matched.
+                for _ in 0..min {
+                    self.emit(node)?;
+                }
+                let optional = max - min;
+                let mut splits = Vec::with_capacity(optional as usize);
+                for _ in 0..optional {
+                    let split = self.push(Inst::Split(0, 0))?;
+                    let body = self.here();
+                    self.emit(node)?;
+                    splits.push((split, body));
+                }
+                let end = self.here();
+                for (split, body) in splits {
+                    self.insts[split] =
+                        if lazy { Inst::Split(end, body) } else { Inst::Split(body, end) };
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+
+    fn prog(p: &str) -> Program {
+        compile(&ast::parse(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(
+            p.insts,
+            vec![Inst::Save(0), Inst::Char('a'), Inst::Char('b'), Inst::Save(1), Inst::Match]
+        );
+    }
+
+    #[test]
+    fn star_is_split_loop() {
+        let p = prog("a*");
+        assert!(matches!(p.insts[1], Inst::Split(2, 4)));
+        assert!(matches!(p.insts[3], Inst::Jmp(1)));
+    }
+
+    #[test]
+    fn lazy_star_flips_priority() {
+        let p = prog("a*?");
+        assert!(matches!(p.insts[1], Inst::Split(4, 2)));
+    }
+
+    #[test]
+    fn capture_slots_counted() {
+        let p = prog("(a)(b)");
+        assert_eq!(p.captures, 2);
+        assert_eq!(p.slots, 6);
+    }
+
+    #[test]
+    fn counted_repetition_expands() {
+        let p = prog("a{3}");
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn huge_repetition_rejected() {
+        let tree = ast::parse("(a{10000}){10000}");
+        // Parser caps bounds at 10000, compile must hit program cap.
+        if let Ok(tree) = tree {
+            assert!(compile(&tree).is_err());
+        }
+    }
+}

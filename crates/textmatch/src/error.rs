@@ -1,0 +1,27 @@
+//! Error type for pattern parsing and compilation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing or compiling a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset in the pattern where the problem was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl RegexError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        RegexError { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regex at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for RegexError {}

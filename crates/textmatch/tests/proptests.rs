@@ -1,0 +1,117 @@
+//! Property-based tests for the regex engine: matches agree with a naive
+//! reference implementation for a restricted pattern family, and invariants
+//! hold for arbitrary haystacks.
+
+use proptest::prelude::*;
+use s2s_textmatch::Regex;
+
+/// Escapes a string so it matches literally.
+fn escape(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        if "\\.+*?()|[]{}^$".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// A literal pattern finds exactly what `str::find` finds.
+    #[test]
+    fn literal_agrees_with_str_find(needle in "[a-c]{1,4}", hay in "[a-d]{0,30}") {
+        let re = Regex::new(&escape(&needle)).unwrap();
+        match (re.find(&hay), hay.find(&needle)) {
+            (Some(m), Some(i)) => {
+                prop_assert_eq!(m.start(), i);
+                prop_assert_eq!(m.text(), needle.as_str());
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "disagreement: regex={a:?} str={b:?}"),
+        }
+    }
+
+    /// `find` results always lie within the haystack and on char boundaries.
+    #[test]
+    fn match_spans_are_valid(hay in any::<String>()) {
+        let re = Regex::new(r"[a-z]+\d*").unwrap();
+        if let Some(m) = re.find(&hay) {
+            prop_assert!(m.end() <= hay.len());
+            prop_assert!(hay.is_char_boundary(m.start()));
+            prop_assert!(hay.is_char_boundary(m.end()));
+            prop_assert!(re.is_match(m.text()));
+        }
+    }
+
+    /// Splitting then re-joining with a fixed separator preserves all
+    /// non-separator content in order.
+    #[test]
+    fn split_preserves_content(fields in proptest::collection::vec("[a-z]{0,5}", 0..8)) {
+        let joined = fields.join(",");
+        let re = Regex::new(",").unwrap();
+        let parts: Vec<&str> = re.split(&joined).collect();
+        if fields.is_empty() {
+            prop_assert_eq!(parts, vec![""]);
+        } else {
+            let owned: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+            prop_assert_eq!(parts, owned);
+        }
+    }
+
+    /// find_iter yields non-overlapping, strictly ordered matches.
+    #[test]
+    fn find_iter_is_ordered_and_disjoint(hay in "[ab0-9]{0,40}") {
+        let re = Regex::new(r"\d+").unwrap();
+        let mut last_end = 0usize;
+        for m in re.find_iter(&hay) {
+            prop_assert!(m.start() >= last_end);
+            prop_assert!(m.end() > m.start());
+            last_end = m.end();
+        }
+    }
+
+    /// replace_all with an empty replacement removes every match.
+    #[test]
+    fn replace_all_removes_matches(hay in "[a-z0-9]{0,40}") {
+        let re = Regex::new(r"\d").unwrap();
+        let out = re.replace_all(&hay, "");
+        prop_assert!(!re.is_match(&out));
+    }
+
+    /// Anchored whole-string match agrees with full-equality for literals.
+    #[test]
+    fn anchored_literal_is_equality(a in "[a-b]{0,6}", b in "[a-b]{0,6}") {
+        let re = Regex::new(&format!("^{}$", escape(&a))).unwrap();
+        prop_assert_eq!(re.is_match(&b), a == b);
+    }
+
+    /// Alternation of two literals matches iff either matches.
+    #[test]
+    fn alternation_is_union(a in "[a-c]{1,3}", b in "[a-c]{1,3}", hay in "[a-d]{0,20}") {
+        let re = Regex::new(&format!("{}|{}", escape(&a), escape(&b))).unwrap();
+        let expect = hay.contains(&a) || hay.contains(&b);
+        prop_assert_eq!(re.is_match(&hay), expect);
+    }
+
+    /// Bounded repetition a{n} matches n consecutive 'a's exactly.
+    #[test]
+    fn counted_repetition(n in 1u32..6, extra in 0usize..4) {
+        let hay = "a".repeat(n as usize + extra);
+        let re = Regex::new(&format!("^a{{{n}}}$")).unwrap();
+        prop_assert_eq!(re.is_match(&hay), extra == 0);
+    }
+
+    /// Any parse failure is an error, never a panic.
+    #[test]
+    fn parser_never_panics(pat in any::<String>()) {
+        let _ = Regex::new(&pat);
+    }
+
+    /// Matching never panics on arbitrary input.
+    #[test]
+    fn matcher_never_panics(hay in any::<String>()) {
+        let re = Regex::new(r"(\w+)\s+(\w+)|x{2,5}[^a-f]?").unwrap();
+        let _ = re.find(&hay);
+    }
+}

@@ -1,0 +1,144 @@
+//! The simulated web: a URL → document registry.
+//!
+//! The paper's Web wrapper connects to live sites
+//! (`GetURL("http://www.shop.com/...")`). Reproduction substitution: a
+//! deterministic in-process store plays the web, so the same `GetURL`
+//! code path is exercised without network access. Latency and failure
+//! are injected one level up, by `s2s-netsim`.
+
+use std::collections::BTreeMap;
+
+use crate::error::WebdocError;
+use crate::html::HtmlDocument;
+
+/// A document retrievable by URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WebDocument {
+    /// An HTML page (raw markup).
+    Html(String),
+    /// A plain-text file.
+    PlainText(String),
+}
+
+impl WebDocument {
+    /// The raw bytes-as-text of the document.
+    pub fn raw(&self) -> &str {
+        match self {
+            WebDocument::Html(s) | WebDocument::PlainText(s) => s,
+        }
+    }
+
+    /// The human-visible text: tag-stripped for HTML, identity for plain
+    /// text.
+    pub fn text(&self) -> String {
+        match self {
+            WebDocument::Html(s) => HtmlDocument::parse(s).text(),
+            WebDocument::PlainText(s) => s.clone(),
+        }
+    }
+
+    /// Whether this is an HTML page.
+    pub fn is_html(&self) -> bool {
+        matches!(self, WebDocument::Html(_))
+    }
+}
+
+/// A URL-addressed document store.
+///
+/// # Examples
+///
+/// ```
+/// use s2s_webdoc::store::WebStore;
+///
+/// let mut web = WebStore::new();
+/// web.register_html("http://shop.example/w1", "<b>Seiko</b>");
+/// assert!(web.fetch("http://shop.example/w1").is_ok());
+/// assert!(web.fetch("http://shop.example/missing").is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WebStore {
+    documents: BTreeMap<String, WebDocument>,
+}
+
+impl WebStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        WebStore::default()
+    }
+
+    /// Registers an HTML page under `url`, replacing any previous
+    /// document.
+    pub fn register_html(&mut self, url: impl Into<String>, html: impl Into<String>) {
+        self.documents.insert(url.into(), WebDocument::Html(html.into()));
+    }
+
+    /// Registers a plain-text file under `url`.
+    pub fn register_text(&mut self, url: impl Into<String>, text: impl Into<String>) {
+        self.documents.insert(url.into(), WebDocument::PlainText(text.into()));
+    }
+
+    /// Fetches a document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebdocError::UrlNotFound`] for unregistered URLs.
+    pub fn fetch(&self, url: &str) -> Result<&WebDocument, WebdocError> {
+        self.documents
+            .get(url)
+            .ok_or_else(|| WebdocError::UrlNotFound { url: url.to_string() })
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Iterates over `(url, document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &WebDocument)> {
+        self.documents.iter().map(|(u, d)| (u.as_str(), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_fetch() {
+        let mut w = WebStore::new();
+        w.register_html("http://x/1", "<b>hi</b>");
+        w.register_text("http://x/2", "plain");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.fetch("http://x/1").unwrap().text(), "hi");
+        assert_eq!(w.fetch("http://x/2").unwrap().text(), "plain");
+        assert!(w.fetch("http://x/1").unwrap().is_html());
+        assert!(!w.fetch("http://x/2").unwrap().is_html());
+    }
+
+    #[test]
+    fn missing_url_errors() {
+        let w = WebStore::new();
+        assert!(matches!(w.fetch("http://nope"), Err(WebdocError::UrlNotFound { .. })));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut w = WebStore::new();
+        w.register_html("http://x", "<b>old</b>");
+        w.register_html("http://x", "<b>new</b>");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.fetch("http://x").unwrap().text(), "new");
+    }
+
+    #[test]
+    fn raw_preserves_markup() {
+        let mut w = WebStore::new();
+        w.register_html("http://x", "<b>hi</b>");
+        assert_eq!(w.fetch("http://x").unwrap().raw(), "<b>hi</b>");
+    }
+}

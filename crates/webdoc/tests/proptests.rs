@@ -1,0 +1,120 @@
+//! Property tests for the unstructured-source substrate: the HTML
+//! parser is total and text-faithful, and the WebL built-ins obey
+//! simple algebraic laws.
+
+use proptest::prelude::*;
+use s2s_webdoc::{HtmlDocument, WebStore, WeblProgram};
+
+proptest! {
+    /// The HTML parser never panics, whatever the input.
+    #[test]
+    fn html_parser_total(s in any::<String>()) {
+        let doc = HtmlDocument::parse(&s);
+        let _ = doc.text();
+        let _ = doc.tag_texts("b");
+        let _ = doc.tag_attributes("a", "href");
+    }
+
+    /// Plain text without markup characters passes through text()
+    /// unchanged.
+    #[test]
+    fn plain_text_identity(s in "[ -~&&[^<>&]]{0,40}") {
+        prop_assert_eq!(HtmlDocument::parse(&s).text(), s);
+    }
+
+    /// Wrapping text in bold tags preserves the text and indexes it
+    /// under the tag.
+    #[test]
+    fn tag_wrapping(s in "[a-zA-Z0-9 ]{1,20}") {
+        let html = format!("<p><b>{s}</b></p>");
+        let doc = HtmlDocument::parse(&html);
+        prop_assert_eq!(doc.text(), s.clone());
+        prop_assert_eq!(doc.tag_texts("b"), vec![s]);
+    }
+
+    /// WebL: Select(s, a, b) returns exactly the char range [a, b).
+    #[test]
+    fn webl_select_range(s in "[a-z]{0,20}", a in 0i64..25, b in 0i64..25) {
+        let web = WebStore::new();
+        let program =
+            WeblProgram::parse(&format!(r#"Select("{s}", {a}, {b});"#)).unwrap();
+        let out = program.run(&web).unwrap();
+        let expect: String = s
+            .chars()
+            .skip(a.max(0) as usize)
+            .take((b - a).max(0) as usize)
+            .collect();
+        prop_assert_eq!(out.as_str().unwrap(), expect);
+    }
+
+    /// WebL: Str_Split never returns empty fields and re-joining
+    /// recovers every non-separator character in order.
+    #[test]
+    fn webl_split_law(s in "[a-z,;]{0,24}") {
+        let web = WebStore::new();
+        let program =
+            WeblProgram::parse(&format!(r#"Str_Split("{s}", ",;");"#)).unwrap();
+        let out = program.run(&web).unwrap();
+        let fields: Vec<String> =
+            out.as_list().unwrap().iter().map(|v| v.as_str().unwrap().to_string()).collect();
+        for f in &fields {
+            prop_assert!(!f.is_empty());
+            prop_assert!(!f.contains([',', ';']));
+        }
+        let rejoined: String = fields.concat();
+        let expect: String = s.chars().filter(|c| !matches!(c, ',' | ';')).collect();
+        prop_assert_eq!(rejoined, expect);
+    }
+
+    /// WebL: Length(Str_Split(s, c)) counts the non-empty fields.
+    #[test]
+    fn webl_length_split(s in "[ab ]{0,20}") {
+        let web = WebStore::new();
+        let program =
+            WeblProgram::parse(&format!(r#"Length(Str_Split("{s}", " "));"#)).unwrap();
+        let out = program.run(&web).unwrap();
+        prop_assert_eq!(out.as_int().unwrap() as usize, s.split(' ').filter(|f| !f.is_empty()).count());
+    }
+
+    /// WebL: Upper(Lower(x)) == Upper(x) for ASCII.
+    #[test]
+    fn webl_case_idempotent(s in "[a-zA-Z]{0,16}") {
+        let web = WebStore::new();
+        let run = |src: String| {
+            WeblProgram::parse(&src).unwrap().run(&web).unwrap().to_text()
+        };
+        let a = run(format!(r#"Upper(Lower("{s}"));"#));
+        let b = run(format!(r#"Upper("{s}");"#));
+        prop_assert_eq!(a, b);
+    }
+
+    /// WebL: string concatenation matches Rust's.
+    #[test]
+    fn webl_concat(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let web = WebStore::new();
+        let program = WeblProgram::parse(&format!(r#""{a}" + "{b}";"#)).unwrap();
+        prop_assert_eq!(program.run(&web).unwrap().to_text(), format!("{a}{b}"));
+    }
+
+    /// The WebL parser is total over arbitrary input.
+    #[test]
+    fn webl_parser_total(src in any::<String>()) {
+        let _ = WeblProgram::parse(&src);
+    }
+
+    /// Str_Search over a store document finds exactly the regex's
+    /// matches.
+    #[test]
+    fn webl_search_count(words in proptest::collection::vec("[a-z]{1,6}", 0..8)) {
+        let text = words.join(" 42 ");
+        let mut web = WebStore::new();
+        web.register_text("http://t", text.clone());
+        let program = WeblProgram::parse(
+            r#"Str_Search(Text(GetURL("http://t")), `42`);"#,
+        )
+        .unwrap();
+        let out = program.run(&web).unwrap();
+        let expect = text.matches("42").count();
+        prop_assert_eq!(out.as_list().unwrap().len(), expect);
+    }
+}

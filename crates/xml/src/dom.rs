@@ -1,0 +1,193 @@
+//! A lightweight owned DOM.
+
+use std::fmt;
+
+/// An XML document: an optional declaration plus the root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The root element.
+    pub root: Element,
+    /// Whether the document had an `<?xml …?>` declaration.
+    pub had_declaration: bool,
+}
+
+impl Document {
+    /// Wraps a root element as a document.
+    pub fn new(root: Element) -> Self {
+        Document { root, had_declaration: false }
+    }
+}
+
+/// An element: name, attributes, ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name (prefix retained verbatim, e.g. `rdf:RDF`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A text run (entity-decoded).
+    Text(String),
+    /// A comment (without the `<!--` `-->` delimiters).
+    Comment(String),
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// The value of an attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements in document order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All descendant elements (excluding self), depth-first document
+    /// order.
+    pub fn descendants(&self) -> Vec<&Element> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e Element, out: &mut Vec<&'e Element>) {
+            for c in e.child_elements() {
+                out.push(c);
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// The concatenated text content of this element and its descendants.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            for c in &e.children {
+                match c {
+                    Node::Text(t) => out.push_str(t),
+                    Node::Element(el) => walk(el, out),
+                    Node::Comment(_) => {}
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Direct text children only, concatenated.
+    pub fn own_text(&self) -> String {
+        self.children
+            .iter()
+            .filter_map(|n| match n {
+                Node::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The local part of the (possibly prefixed) name.
+    pub fn local_name(&self) -> &str {
+        self.name.rsplit(':').next().unwrap_or(&self.name)
+    }
+
+    /// Appends a child element and returns `self` for chaining.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Appends a text child and returns `self` for chaining.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Adds an attribute and returns `self` for chaining.
+    pub fn with_attribute(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::serialize_element(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("catalog")
+            .with_child(
+                Element::new("watch")
+                    .with_attribute("id", "81")
+                    .with_child(Element::new("brand").with_text("Seiko"))
+                    .with_child(Element::new("price").with_text("129.99")),
+            )
+            .with_child(
+                Element::new("watch")
+                    .with_attribute("id", "82")
+                    .with_child(Element::new("brand").with_text("Casio")),
+            )
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        let w = e.child("watch").unwrap();
+        assert_eq!(w.attribute("id"), Some("81"));
+        assert_eq!(w.attribute("none"), None);
+    }
+
+    #[test]
+    fn descendants_depth_first() {
+        let e = sample();
+        let names: Vec<_> = e.descendants().iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names, ["watch", "brand", "price", "watch", "brand"]);
+    }
+
+    #[test]
+    fn text_aggregation() {
+        let e = sample();
+        assert_eq!(e.child("watch").unwrap().text(), "Seiko129.99");
+        assert_eq!(e.child("watch").unwrap().child("brand").unwrap().own_text(), "Seiko");
+    }
+
+    #[test]
+    fn local_name_strips_prefix() {
+        let e = Element::new("rdf:RDF");
+        assert_eq!(e.local_name(), "RDF");
+        assert_eq!(Element::new("plain").local_name(), "plain");
+    }
+
+    #[test]
+    fn comments_excluded_from_text() {
+        let mut e = Element::new("x");
+        e.children.push(Node::Comment("hidden".into()));
+        e.children.push(Node::Text("shown".into()));
+        assert_eq!(e.text(), "shown");
+    }
+}

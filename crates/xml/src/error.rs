@@ -1,0 +1,38 @@
+//! Error type for XML parsing and XPath evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from the XML parser or XPath compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed XML.
+    Parse {
+        /// Byte offset of the problem.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Malformed XPath expression.
+    BadXPath {
+        /// The path text.
+        path: String,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { position, message } => {
+                write!(f, "xml parse error at byte {position}: {message}")
+            }
+            XmlError::BadXPath { path, message } => {
+                write!(f, "bad xpath `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for XmlError {}

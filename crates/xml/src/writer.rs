@@ -1,0 +1,154 @@
+//! XML serializer.
+
+use crate::dom::{Document, Element, Node};
+
+/// Serializes a document with an XML declaration.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element(&doc.root, &mut out, 0, true);
+    out
+}
+
+/// Serializes a single element (no declaration, no indentation).
+pub fn serialize_element(element: &Element) -> String {
+    let mut out = String::new();
+    write_element(element, &mut out, 0, false);
+    out
+}
+
+fn write_element(e: &Element, out: &mut String, depth: usize, pretty: bool) {
+    let pad = |out: &mut String, depth: usize| {
+        if pretty {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    };
+    pad(out, depth);
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attributes {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_into(v, out, true);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    // Mixed or text-only content is written inline; element-only content
+    // is indented.
+    let element_only =
+        pretty && e.children.iter().all(|c| matches!(c, Node::Element(_) | Node::Comment(_)));
+    if element_only {
+        out.push('\n');
+    }
+    for c in &e.children {
+        match c {
+            Node::Element(child) => {
+                if element_only {
+                    write_element(child, out, depth + 1, pretty);
+                } else {
+                    write_element(child, out, 0, false);
+                }
+            }
+            Node::Text(t) => escape_into(t, out, false),
+            Node::Comment(t) => {
+                if element_only {
+                    pad(out, depth + 1);
+                }
+                out.push_str("<!--");
+                out.push_str(t);
+                out.push_str("-->");
+                if element_only {
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    if element_only {
+        pad(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+    if pretty {
+        out.push('\n');
+    }
+}
+
+fn escape_into(s: &str, out: &mut String, attr: bool) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Drops whitespace-only text nodes (introduced by pretty-printing).
+    fn strip_ws(e: &mut crate::Element) {
+        e.children.retain(|c| match c {
+            crate::Node::Text(t) => !t.trim().is_empty(),
+            _ => true,
+        });
+        for c in &mut e.children {
+            if let crate::Node::Element(el) = c {
+                strip_ws(el);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<catalog><watch id=\"81\"><brand>Seiko</brand></watch></catalog>";
+        let doc = parse(src).unwrap();
+        let text = serialize(&doc);
+        let mut doc2 = parse(&text).unwrap();
+        strip_ws(&mut doc2.root);
+        assert_eq!(doc.root, doc2.root);
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let src = "<a x=\"a&amp;b\">1 &lt; 2 &amp; 3 &gt; 2</a>";
+        let doc = parse(src).unwrap();
+        let doc2 = parse(&serialize(&doc)).unwrap();
+        assert_eq!(doc.root, doc2.root);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(serialize_element(&crate::Element::new("a")), "<a/>");
+    }
+
+    #[test]
+    fn text_content_inline() {
+        let doc = parse("<a><b>x</b></a>").unwrap();
+        let s = serialize(&doc);
+        assert!(s.contains("<b>x</b>"), "{s}");
+    }
+
+    #[test]
+    fn attribute_quotes_escaped() {
+        let e = crate::Element::new("a").with_attribute("t", "say \"hi\"");
+        let s = serialize_element(&e);
+        assert_eq!(s, "<a t=\"say &quot;hi&quot;\"/>");
+        let doc2 = parse(&s).unwrap();
+        assert_eq!(doc2.root.attribute("t"), Some("say \"hi\""));
+    }
+}

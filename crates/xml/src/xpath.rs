@@ -1,0 +1,575 @@
+//! An XPath subset for extraction rules.
+//!
+//! Supported grammar (enough for the paper's §2.3.1 XML extraction
+//! rules):
+//!
+//! ```text
+//! path      := '/'? step ( '/' step | '//' step )*  |  '//' step ( … )*
+//! step      := nametest predicate* | '@' name | 'text()'
+//! nametest  := name | '*'
+//! predicate := '[' N ']'                      positional (1-based)
+//!            | '[@name="v"]'                   attribute equality
+//!            | '[name="v"]'                    child-element text equality
+//!            | '[text()="v"]'                  own-text equality
+//!            | '[contains(., "v")]'            substring on text content
+//!            | '[contains(@name, "v")]'        substring on attribute
+//! ```
+//!
+//! Both `'` and `"` string quotes are accepted. A leading `/` anchors at
+//! the document root (the first step must match the root element);
+//! a leading `//` searches all elements.
+
+use crate::dom::{Document, Element};
+use crate::error::XmlError;
+
+/// A compiled XPath expression.
+///
+/// # Examples
+///
+/// ```
+/// use s2s_xml::{parse, xpath::XPath};
+///
+/// # fn main() -> Result<(), s2s_xml::XmlError> {
+/// let doc = parse(r#"<c><w id="1"><b>Seiko</b></w><w id="2"><b>Casio</b></w></c>"#)?;
+/// assert_eq!(XPath::new("//w[@id='2']/b/text()")?.eval_strings(&doc), ["Casio"]);
+/// assert_eq!(XPath::new("/c/w/@id")?.eval_strings(&doc), ["1", "2"]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPath {
+    source: String,
+    steps: Vec<Step>,
+    /// Absolute paths (`/a/b`, `//a`) anchor the first step at the
+    /// document root element; relative paths select among the context
+    /// node's children.
+    absolute: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Step {
+    /// Element step along the child axis.
+    Child { name: NameTest, predicates: Vec<Predicate> },
+    /// Element step along the descendant-or-self axis (`//name`).
+    Descendant { name: NameTest, predicates: Vec<Predicate> },
+    /// Terminal attribute step.
+    Attribute(String),
+    /// Terminal `text()` step.
+    Text,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NameTest {
+    Any,
+    Named(String),
+}
+
+impl NameTest {
+    fn matches(&self, e: &Element) -> bool {
+        match self {
+            NameTest::Any => true,
+            NameTest::Named(n) => &e.name == n || e.local_name() == n,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Predicate {
+    Position(usize),
+    AttrEq { name: String, value: String },
+    ChildEq { name: String, value: String },
+    TextEq(String),
+    ContainsText(String),
+    ContainsAttr { name: String, value: String },
+}
+
+impl XPath {
+    /// Compiles an XPath expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError::BadXPath`] on syntax errors or on steps after
+    /// a terminal `@attr`/`text()` step.
+    pub fn new(path: &str) -> Result<Self, XmlError> {
+        let bad = |m: &str| XmlError::BadXPath { path: path.to_string(), message: m.to_string() };
+        let src = path.trim();
+        if src.is_empty() {
+            return Err(bad("empty path"));
+        }
+        let mut steps = Vec::new();
+        let mut rest = src;
+        let mut first = true;
+        let absolute = src.starts_with('/');
+        loop {
+            let descendant = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                true
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                if first {
+                    // leading single slash: child axis from root
+                }
+                false
+            } else if first {
+                // relative path: child axis
+                false
+            } else {
+                return Err(bad("expected `/`"));
+            };
+            first = false;
+            if rest.is_empty() {
+                return Err(bad("trailing slash"));
+            }
+            // Terminal steps.
+            if let Some(r) = rest.strip_prefix('@') {
+                let (name, r) = take_name(r);
+                if name.is_empty() {
+                    return Err(bad("expected attribute name after `@`"));
+                }
+                if !r.is_empty() {
+                    return Err(bad("`@attr` must be the final step"));
+                }
+                steps.push(Step::Attribute(name.to_string()));
+                return Ok(XPath { source: src.to_string(), steps, absolute });
+            }
+            if let Some(r) = rest.strip_prefix("text()") {
+                if !r.is_empty() {
+                    return Err(bad("`text()` must be the final step"));
+                }
+                steps.push(Step::Text);
+                return Ok(XPath { source: src.to_string(), steps, absolute });
+            }
+            // Name test.
+            let (name, mut r) = take_name(rest);
+            let test = if name.is_empty() {
+                if let Some(rr) = r.strip_prefix('*') {
+                    r = rr;
+                    NameTest::Any
+                } else {
+                    return Err(bad("expected a step name, `*`, `@attr`, or `text()`"));
+                }
+            } else {
+                NameTest::Named(name.to_string())
+            };
+            // Predicates.
+            let mut predicates = Vec::new();
+            while let Some(rr) = r.strip_prefix('[') {
+                let end = rr.find(']').ok_or_else(|| bad("unterminated predicate"))?;
+                let body = &rr[..end];
+                predicates.push(parse_predicate(body, path)?);
+                r = &rr[end + 1..];
+            }
+            if descendant {
+                steps.push(Step::Descendant { name: test, predicates });
+            } else {
+                steps.push(Step::Child { name: test, predicates });
+            }
+            if r.is_empty() {
+                return Ok(XPath { source: src.to_string(), steps, absolute });
+            }
+            rest = r;
+        }
+    }
+
+    /// The original expression text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Evaluates against a document, returning matching elements.
+    ///
+    /// Terminal `@attr`/`text()` steps yield no elements — use
+    /// [`XPath::eval_strings`] for those.
+    pub fn eval<'d>(&self, doc: &'d Document) -> Vec<&'d Element> {
+        self.eval_from(&doc.root)
+    }
+
+    /// Evaluates with `root` as the context root element.
+    pub fn eval_from<'d>(&self, root: &'d Element) -> Vec<&'d Element> {
+        let (elements, _) = self.run(root);
+        elements
+    }
+
+    /// Evaluates and renders results as strings: attribute values for
+    /// `@attr`, text content for `text()`, full text content for element
+    /// results.
+    pub fn eval_strings(&self, doc: &Document) -> Vec<String> {
+        self.eval_strings_from(&doc.root)
+    }
+
+    /// String evaluation with an explicit context root.
+    pub fn eval_strings_from(&self, root: &Element) -> Vec<String> {
+        let (elements, strings) = self.run(root);
+        match strings {
+            Some(s) => s,
+            None => elements.into_iter().map(|e| e.text()).collect(),
+        }
+    }
+
+    /// Runs the steps; returns surviving elements and, if the final step
+    /// was terminal, the string results.
+    fn run<'d>(&self, root: &'d Element) -> (Vec<&'d Element>, Option<Vec<String>>) {
+        // Absolute paths start at a virtual node whose only child is the
+        // root (so the first step names the root element); relative paths
+        // start at the context node itself.
+        let mut current: Vec<&'d Element> = Vec::new();
+        let mut virtual_root = true;
+        if !self.absolute {
+            current.push(root);
+            virtual_root = false;
+        }
+
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                Step::Child { name, predicates } => {
+                    let mut next: Vec<&'d Element> = Vec::new();
+                    if virtual_root {
+                        let candidates = vec![root];
+                        select(&candidates, name, predicates, &mut next);
+                        virtual_root = false;
+                    } else {
+                        for ctx in &current {
+                            let candidates: Vec<&Element> = ctx.child_elements().collect();
+                            select(&candidates, name, predicates, &mut next);
+                        }
+                    }
+                    current = next;
+                }
+                Step::Descendant { name, predicates } => {
+                    let mut next: Vec<&'d Element> = Vec::new();
+                    if virtual_root {
+                        let mut candidates = vec![root];
+                        candidates.extend(root.descendants());
+                        select(&candidates, name, predicates, &mut next);
+                        virtual_root = false;
+                    } else {
+                        for ctx in &current {
+                            let candidates = ctx.descendants();
+                            select(&candidates, name, predicates, &mut next);
+                        }
+                    }
+                    current = next;
+                }
+                Step::Attribute(name) => {
+                    debug_assert_eq!(i, self.steps.len() - 1);
+                    let base: Vec<&Element> = if virtual_root { vec![root] } else { current };
+                    let strings = base
+                        .into_iter()
+                        .filter_map(|e| e.attribute(name).map(str::to_string))
+                        .collect();
+                    return (Vec::new(), Some(strings));
+                }
+                Step::Text => {
+                    debug_assert_eq!(i, self.steps.len() - 1);
+                    let base: Vec<&Element> = if virtual_root { vec![root] } else { current };
+                    let strings = base
+                        .into_iter()
+                        .map(|e| e.own_text())
+                        .filter(|t| !t.is_empty())
+                        .collect();
+                    return (Vec::new(), Some(strings));
+                }
+            }
+        }
+        (current, None)
+    }
+}
+
+impl std::fmt::Display for XPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl std::str::FromStr for XPath {
+    type Err = XmlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        XPath::new(s)
+    }
+}
+
+/// Applies a name test and predicates to candidates; positional
+/// predicates index into the name-filtered candidate list per context
+/// (standard XPath `[n]` semantics for the common case).
+fn select<'d>(
+    candidates: &[&'d Element],
+    name: &NameTest,
+    predicates: &[Predicate],
+    out: &mut Vec<&'d Element>,
+) {
+    let mut matched: Vec<&'d Element> =
+        candidates.iter().copied().filter(|e| name.matches(e)).collect();
+    for p in predicates {
+        matched = apply_predicate(&matched, p);
+    }
+    out.extend(matched);
+}
+
+fn apply_predicate<'d>(elements: &[&'d Element], p: &Predicate) -> Vec<&'d Element> {
+    match p {
+        Predicate::Position(n) => {
+            elements.get(n.wrapping_sub(1)).map(|e| vec![*e]).unwrap_or_default()
+        }
+        Predicate::AttrEq { name, value } => elements
+            .iter()
+            .copied()
+            .filter(|e| e.attribute(name) == Some(value.as_str()))
+            .collect(),
+        Predicate::ChildEq { name, value } => elements
+            .iter()
+            .copied()
+            .filter(|e| e.child_elements().any(|c| c.name == *name && c.text() == *value))
+            .collect(),
+        Predicate::TextEq(value) => {
+            elements.iter().copied().filter(|e| e.own_text() == *value).collect()
+        }
+        Predicate::ContainsText(value) => {
+            elements.iter().copied().filter(|e| e.text().contains(value.as_str())).collect()
+        }
+        Predicate::ContainsAttr { name, value } => elements
+            .iter()
+            .copied()
+            .filter(|e| e.attribute(name).is_some_and(|v| v.contains(value.as_str())))
+            .collect(),
+    }
+}
+
+fn take_name(s: &str) -> (&str, &str) {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    // A name must not start with a digit or punctuation-only chars.
+    let name = &s[..end];
+    if name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+        (name, &s[end..])
+    } else {
+        ("", s)
+    }
+}
+
+fn parse_predicate(body: &str, path: &str) -> Result<Predicate, XmlError> {
+    let bad = |m: String| XmlError::BadXPath { path: path.to_string(), message: m };
+    let body = body.trim();
+    if let Ok(n) = body.parse::<usize>() {
+        if n == 0 {
+            return Err(bad("positional predicates are 1-based".into()));
+        }
+        return Ok(Predicate::Position(n));
+    }
+    if let Some(rest) = body.strip_prefix("contains(") {
+        let rest = rest.strip_suffix(')').ok_or_else(|| bad("expected `)` in contains".into()))?;
+        let (target, value) =
+            rest.split_once(',').ok_or_else(|| bad("contains needs two arguments".into()))?;
+        let value = parse_quoted(value.trim()).ok_or_else(|| bad("bad string literal".into()))?;
+        let target = target.trim();
+        if target == "." {
+            return Ok(Predicate::ContainsText(value));
+        }
+        if let Some(attr) = target.strip_prefix('@') {
+            return Ok(Predicate::ContainsAttr { name: attr.to_string(), value });
+        }
+        return Err(bad(format!("unsupported contains() target `{target}`")));
+    }
+    if let Some((lhs, rhs)) = body.split_once('=') {
+        let value =
+            parse_quoted(rhs.trim()).ok_or_else(|| bad("expected quoted string".into()))?;
+        let lhs = lhs.trim();
+        if let Some(attr) = lhs.strip_prefix('@') {
+            return Ok(Predicate::AttrEq { name: attr.to_string(), value });
+        }
+        if lhs == "text()" {
+            return Ok(Predicate::TextEq(value));
+        }
+        if !lhs.is_empty() && lhs.chars().all(|c| c.is_alphanumeric() || "_-.:".contains(c)) {
+            return Ok(Predicate::ChildEq { name: lhs.to_string(), value });
+        }
+        return Err(bad(format!("unsupported predicate lhs `{lhs}`")));
+    }
+    Err(bad(format!("unsupported predicate `{body}`")))
+}
+
+fn parse_quoted(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    if s.len() >= 2 && (bytes[0] == b'\'' || bytes[0] == b'"') && bytes[s.len() - 1] == bytes[0] {
+        Some(s[1..s.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<catalog>
+                <watch id="81" series="dive">
+                    <brand>Seiko</brand>
+                    <case>stainless-steel</case>
+                    <price currency="USD">129.99</price>
+                </watch>
+                <watch id="82">
+                    <brand>Casio</brand>
+                    <case>resin</case>
+                </watch>
+                <provider><name>WatchWorld</name></provider>
+            </catalog>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let d = doc();
+        let r = XPath::new("/catalog/watch/brand").unwrap().eval(&d);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].text(), "Seiko");
+    }
+
+    #[test]
+    fn text_step() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("/catalog/watch/brand/text()").unwrap().eval_strings(&d),
+            ["Seiko", "Casio"]
+        );
+    }
+
+    #[test]
+    fn attribute_step() {
+        let d = doc();
+        assert_eq!(XPath::new("/catalog/watch/@id").unwrap().eval_strings(&d), ["81", "82"]);
+        // Missing attributes are skipped.
+        assert_eq!(XPath::new("/catalog/watch/@series").unwrap().eval_strings(&d), ["dive"]);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        assert_eq!(XPath::new("//brand/text()").unwrap().eval_strings(&d), ["Seiko", "Casio"]);
+        assert_eq!(XPath::new("//name/text()").unwrap().eval_strings(&d), ["WatchWorld"]);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        let r = XPath::new("/catalog/*").unwrap().eval(&d);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("/catalog/watch[2]/brand/text()").unwrap().eval_strings(&d),
+            ["Casio"]
+        );
+        assert!(XPath::new("/catalog/watch[5]").unwrap().eval(&d).is_empty());
+    }
+
+    #[test]
+    fn attr_equality_predicate() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("//watch[@id='81']/brand/text()").unwrap().eval_strings(&d),
+            ["Seiko"]
+        );
+        assert_eq!(
+            XPath::new("//watch[@id=\"82\"]/case/text()").unwrap().eval_strings(&d),
+            ["resin"]
+        );
+    }
+
+    #[test]
+    fn child_equality_predicate() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("//watch[brand='Casio']/@id").unwrap().eval_strings(&d),
+            ["82"]
+        );
+    }
+
+    #[test]
+    fn contains_predicates() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("//case[contains(., 'steel')]/text()").unwrap().eval_strings(&d),
+            ["stainless-steel"]
+        );
+        assert_eq!(
+            XPath::new("//price[contains(@currency, 'US')]/text()").unwrap().eval_strings(&d),
+            ["129.99"]
+        );
+    }
+
+    #[test]
+    fn text_equality_predicate() {
+        let d = doc();
+        assert_eq!(XPath::new("//brand[text()='Seiko']").unwrap().eval(&d).len(), 1);
+    }
+
+    #[test]
+    fn chained_predicates() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("//watch[@series='dive'][1]/brand/text()").unwrap().eval_strings(&d),
+            ["Seiko"]
+        );
+    }
+
+    #[test]
+    fn relative_path_from_element() {
+        let d = doc();
+        let watches = XPath::new("//watch").unwrap().eval(&d);
+        let brand = XPath::new("brand/text()").unwrap();
+        assert_eq!(brand.eval_strings_from(watches[1]), ["Casio"]);
+    }
+
+    #[test]
+    fn element_result_renders_text() {
+        let d = doc();
+        assert_eq!(
+            XPath::new("//provider").unwrap().eval_strings(&d),
+            ["WatchWorld"]
+        );
+    }
+
+    #[test]
+    fn root_name_must_match_absolute_path() {
+        let d = doc();
+        assert!(XPath::new("/wrong/watch").unwrap().eval(&d).is_empty());
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        assert!(XPath::new("").is_err());
+        assert!(XPath::new("/").is_err());
+        assert!(XPath::new("//").is_err());
+        assert!(XPath::new("/a/@id/b").is_err());
+        assert!(XPath::new("/a/text()/b").is_err());
+        assert!(XPath::new("/a[").is_err());
+        assert!(XPath::new("/a[0]").is_err());
+        assert!(XPath::new("/a[@x=unquoted]").is_err());
+        assert!(XPath::new("/a[contains(x, 'y')]").is_err());
+    }
+
+    #[test]
+    fn display_and_fromstr() {
+        let p: XPath = "//watch/@id".parse().unwrap();
+        assert_eq!(p.to_string(), "//watch/@id");
+        assert_eq!(p.source(), "//watch/@id");
+    }
+
+    #[test]
+    fn namespaced_local_name_matching() {
+        let d = parse("<x:root xmlns:x=\"urn:x\"><x:item>v</x:item></x:root>").unwrap();
+        // Both prefixed and local names match.
+        assert_eq!(XPath::new("/root/item/text()").unwrap().eval_strings(&d), ["v"]);
+        assert_eq!(XPath::new("/x:root/x:item/text()").unwrap().eval_strings(&d), ["v"]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: DOM serialization round-trips and XPath agrees with
+//! naive tree walks over random documents.
+
+use proptest::prelude::*;
+use s2s_xml::xpath::XPath;
+use s2s_xml::{parse, serialize_element, Document, Element, Node};
+
+/// A random element tree, depth <= 3, tag names from a small alphabet so
+/// XPath queries have hits.
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = ("[abc]", "[ -~]{0,8}").prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if !text.is_empty() {
+            e.children.push(Node::Text(text));
+        }
+        e
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            "[abc]",
+            proptest::collection::vec(("[a-z]{1,3}", "[ -~&&[^<\"]]{0,6}"), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (i, (n, v)) in attrs.into_iter().enumerate() {
+                    // De-duplicate attribute names.
+                    e.attributes.push((format!("{n}{i}"), v));
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+/// Strips whitespace-only text nodes added by pretty-printing.
+fn strip_ws(e: &mut Element) {
+    e.children.retain(|c| match c {
+        Node::Text(t) => !t.trim().is_empty(),
+        _ => true,
+    });
+    for c in &mut e.children {
+        if let Node::Element(el) = c {
+            strip_ws(el);
+        }
+    }
+}
+
+/// Also strip from the reference when comparing round-trips (the
+/// original may itself contain whitespace-only text nodes).
+fn normalized(mut e: Element) -> Element {
+    strip_ws(&mut e);
+    e
+}
+
+fn count_named(e: &Element, name: &str) -> usize {
+    e.descendants().iter().filter(|d| d.name == name).count()
+}
+
+proptest! {
+    /// serialize → parse is the identity on normalized trees.
+    #[test]
+    fn roundtrip(root in arb_element()) {
+        let text = serialize_element(&root);
+        let doc = parse(&text).unwrap();
+        prop_assert_eq!(normalized(doc.root), normalized(root));
+    }
+
+    /// Full-document serialization round-trips too.
+    #[test]
+    fn document_roundtrip(root in arb_element()) {
+        let doc = Document::new(root);
+        let text = s2s_xml::serialize(&doc);
+        let doc2 = parse(&text).unwrap();
+        prop_assert_eq!(normalized(doc2.root), normalized(doc.root));
+    }
+
+    /// `//name` matches exactly the descendants with that name.
+    #[test]
+    fn descendant_axis_counts(root in arb_element()) {
+        let doc = Document::new(root);
+        for name in ["a", "b", "c"] {
+            let xpath = XPath::new(&format!("//{name}")).unwrap();
+            let got = xpath.eval(&doc).len();
+            let mut expect = count_named(&doc.root, name);
+            if doc.root.name == name {
+                expect += 1; // descendant-or-self includes the root
+            }
+            prop_assert_eq!(got, expect, "name={}", name);
+        }
+    }
+
+    /// `/root/*` returns exactly the root's child elements.
+    #[test]
+    fn child_wildcard(root in arb_element()) {
+        let path = format!("/{}/*", root.name);
+        let doc = Document::new(root);
+        let got = XPath::new(&path).unwrap().eval(&doc).len();
+        prop_assert_eq!(got, doc.root.child_elements().count());
+    }
+
+    /// Positional predicates partition: [1], [2], … together cover all
+    /// matches of the unpredicated step.
+    #[test]
+    fn positional_partition(root in arb_element()) {
+        let doc = Document::new(root);
+        let all = XPath::new("//a").unwrap().eval(&doc);
+        // NB: `//a[n]` under our semantics indexes per context; the root
+        // context `//a` is one candidate list, so positions are global.
+        let mut recovered = 0;
+        for i in 1..=all.len() {
+            recovered += XPath::new(&format!("//a[{i}]")).unwrap().eval(&doc).len();
+        }
+        prop_assert_eq!(recovered, all.len());
+    }
+
+    /// text() never exceeds the element's aggregated text.
+    #[test]
+    fn text_step_is_own_text(root in arb_element()) {
+        let doc = Document::new(root);
+        let own: Vec<String> = XPath::new("//a/text()").unwrap().eval_strings(&doc);
+        for t in &own {
+            prop_assert!(!t.is_empty());
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(s in any::<String>()) {
+        let _ = parse(&s);
+    }
+
+    /// Attribute values with XML-special characters survive.
+    #[test]
+    fn attribute_escaping(v in "[ -~&&[^<]]{0,12}") {
+        let e = Element::new("a").with_attribute("x", v.clone());
+        let text = serialize_element(&e);
+        let doc = parse(&text).unwrap();
+        prop_assert_eq!(doc.root.attribute("x"), Some(v.as_str()));
+    }
+
+    /// Text content with XML-special characters survives.
+    #[test]
+    fn text_escaping(v in "[ -~&&[^<]]{0,12}") {
+        let e = Element::new("a").with_text(v.clone());
+        let text = serialize_element(&e);
+        let doc = parse(&text).unwrap();
+        prop_assert_eq!(doc.root.own_text(), v);
+    }
+}

@@ -1,0 +1,317 @@
+//! B2B procurement across three organizations — the paper's motivating
+//! scenario (§1): "Business-to-business data exchange and integration is
+//! a common daily operation in today's organizations."
+//!
+//! Three partners expose part catalogs with different schemas,
+//! nomenclature, and technology; all three are *remote* (simulated WAN
+//! latency). The example contrasts:
+//!
+//! * the S2S semantic layer: one ontology, per-source mappings that
+//!   normalize names/units at registration time, any S2SQL query after;
+//! * the syntactic baseline: hand-written per-source accessors whose
+//!   results disagree with each other.
+//!
+//! Run with: `cargo run --example b2b_procurement`
+
+use std::sync::Arc;
+
+use s2s::core::baseline::SyntacticIntegrator;
+use s2s::core::extract::Strategy;
+use s2s::core::mapping::{ExtractionRule, RecordScenario};
+use s2s::core::source::Connection;
+use s2s::minidb::Database;
+use s2s::netsim::{CostModel, FailureModel};
+use s2s::owl::Ontology;
+use s2s::S2s;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the shared procurement ontology -----------------------------
+    let ontology = Ontology::builder("http://b2b.example/schema#")
+        .class("Part", None)?
+        .class("Supplier", None)?
+        .datatype_property("name", "Part", "http://www.w3.org/2001/XMLSchema#string")?
+        .datatype_property("priceUsd", "Part", "http://www.w3.org/2001/XMLSchema#decimal")?
+        .datatype_property("stock", "Part", "http://www.w3.org/2001/XMLSchema#integer")?
+        .object_property("supplier", "Part", "Supplier")?
+        .build()?;
+
+    // --- three organizations, three schemas --------------------------
+
+    // Org A: English column names, prices in USD.
+    let mut org_a = Database::new("org_a");
+    org_a.execute("CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)")?;
+    org_a.execute(
+        "INSERT INTO parts VALUES (1,'bezel',12.5,400), (2,'crown',4.75,1200), (3,'crystal',22.0,150)",
+    )?;
+
+    // Org B: German column names, prices in EUR cents (needs unit
+    // normalization — done in the mapping's SQL rule, where the
+    // semantics live).
+    let mut org_b = Database::new("org_b");
+    org_b.execute(
+        "CREATE TABLE artikel (nr INTEGER PRIMARY KEY, bezeichnung TEXT, preis_cent INTEGER, bestand INTEGER)",
+    )?;
+    org_b.execute(
+        "INSERT INTO artikel VALUES (10,'bezel',1150,80), (11,'strap',890,300)",
+    )?;
+
+    // Org C: XML export.
+    let org_c = s2s::xml::parse(
+        r#"<export>
+             <item><desc>crown</desc><price currency="USD">4.20</price><onhand>900</onhand></item>
+             <item><desc>movement</desc><price currency="USD">85.00</price><onhand>40</onhand></item>
+           </export>"#,
+    )?;
+
+    // --- S2S deployment: remote sources, parallel mediator ----------
+    let mut s2s = S2s::new(ontology).with_strategy(Strategy::Parallel { workers: 8 });
+    let wan = CostModel::wan();
+    s2s.register_remote_source(
+        "ORG_A",
+        Connection::Database { db: Arc::new(org_a.clone()) },
+        wan,
+        FailureModel::reliable(),
+    )?;
+    s2s.register_remote_source(
+        "ORG_B",
+        Connection::Database { db: Arc::new(org_b.clone()) },
+        wan,
+        FailureModel::reliable(),
+    )?;
+    s2s.register_remote_source(
+        "ORG_C",
+        Connection::Xml { document: Arc::new(org_c) },
+        wan,
+        FailureModel::reliable(),
+    )?;
+
+    // Org A mappings: direct.
+    s2s.register_attribute(
+        "thing.part.name",
+        ExtractionRule::Sql { query: "SELECT part_name FROM parts ORDER BY pid".into(), column: "part_name".into() },
+        "ORG_A",
+        RecordScenario::MultiRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.part.priceusd",
+        ExtractionRule::Sql { query: "SELECT usd FROM parts ORDER BY pid".into(), column: "usd".into() },
+        "ORG_A",
+        RecordScenario::MultiRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.part.stock",
+        ExtractionRule::Sql { query: "SELECT qty FROM parts ORDER BY pid".into(), column: "qty".into() },
+        "ORG_A",
+        RecordScenario::MultiRecord,
+    )?;
+
+    // Org B mappings: nomenclature AND unit conversion happen here,
+    // once, at mapping-registration time. EUR cents → USD at a fixed
+    // 1.08 rate, precomputed into the extraction view kept in org B's
+    // own schema. (minidb has no arithmetic expressions, so the
+    // conversion table is materialized — the paper's point stands: the
+    // mapping, not the consumer, owns the conversion.)
+    org_b.execute("CREATE TABLE artikel_usd (nr INTEGER PRIMARY KEY, usd REAL)")?;
+    org_b.execute("INSERT INTO artikel_usd VALUES (10, 12.42), (11, 9.61)")?;
+    // Re-register with the converted view attached.
+    let mut s2s = rebuild_with_org_b(s2s, org_b)?;
+
+    // Org C mappings: XPath.
+    s2s.register_attribute(
+        "thing.part.name",
+        ExtractionRule::XPath { path: "//item/desc/text()".into() },
+        "ORG_C",
+        RecordScenario::MultiRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.part.priceusd",
+        ExtractionRule::XPath { path: "//item/price/text()".into() },
+        "ORG_C",
+        RecordScenario::MultiRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.part.stock",
+        ExtractionRule::XPath { path: "//item/onhand/text()".into() },
+        "ORG_C",
+        RecordScenario::MultiRecord,
+    )?;
+
+    // --- the procurement question ------------------------------------
+    let q = "SELECT part WHERE name='crown' AND priceUsd < 5.00";
+    println!("S2SQL> {q}\n");
+    let outcome = s2s.query(q)?;
+    let name = s2s.ontology().property_iri("name")?;
+    let price = s2s.ontology().property_iri("priceUsd")?;
+    let stock = s2s.ontology().property_iri("stock")?;
+    for ind in outcome.individuals() {
+        println!(
+            "  {:10} ${:<6} stock {:>5}   [{}]",
+            ind.value(&name).unwrap_or("?"),
+            ind.value(&price).unwrap_or("?"),
+            ind.value(&stock).unwrap_or("?"),
+            ind.source
+        );
+    }
+    println!(
+        "\nmediator: {} tasks, simulated {} parallel vs {} serial ({}x speed-up)\n",
+        outcome.stats.tasks,
+        outcome.stats.simulated,
+        outcome.stats.simulated_serial,
+        outcome.stats.simulated_serial.as_micros().max(1) / outcome.stats.simulated.as_micros().max(1),
+    );
+
+    // --- the syntactic baseline on the same question ------------------
+    println!("--- syntactic baseline (per-source glue, raw fields) ---");
+    let registry = build_baseline_registry()?;
+    let mut baseline = SyntacticIntegrator::new();
+    baseline
+        .add_rule(
+            "ORG_A",
+            "part_name/usd",
+            ExtractionRule::Sql { query: "SELECT part_name FROM parts WHERE part_name='crown' AND usd<5.0".into(), column: "part_name".into() },
+        )
+        .add_rule(
+            "ORG_B",
+            "bezeichnung/preis_cent",
+            // The baseline developer must remember cents and EUR — and
+            // here gets it wrong, comparing cents against dollars.
+            ExtractionRule::Sql { query: "SELECT bezeichnung FROM artikel WHERE bezeichnung='crown' AND preis_cent<5".into(), column: "bezeichnung".into() },
+        )
+        .add_rule(
+            "ORG_C",
+            "desc/price",
+            ExtractionRule::XPath { path: "//item[desc='crown']/desc/text()".into() },
+        );
+    let raw = baseline.run(&registry);
+    println!(
+        "glue rules written: {} (for ONE query shape; S2S wrote {} mappings for ALL queries)",
+        baseline.glue_count(),
+        s2s.mapping_count()
+    );
+    for r in &raw.records {
+        println!("  raw record from {}: {:?}", r.source, r.fields);
+    }
+    println!("(note: the baseline silently lost org C's price filter and org B entirely)");
+    Ok(())
+}
+
+/// Rebuilds the middleware with org B's converted price view registered.
+fn rebuild_with_org_b(
+    s2s: S2s,
+    org_b: Database,
+) -> Result<S2s, Box<dyn std::error::Error>> {
+    let mut next = S2s::new(s2s.ontology().clone()).with_strategy(s2s.strategy());
+    // Re-register all sources A and C exactly as before is not possible
+    // without the original connections; in a real deployment the source
+    // registry is mutable. For this example we simply register B's
+    // updated snapshot under a new id and move on.
+    let _ = s2s;
+    let wan = CostModel::wan();
+
+    // Recreate A and C (small enough to rebuild here).
+    let mut org_a = Database::new("org_a");
+    org_a.execute("CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)")?;
+    org_a.execute(
+        "INSERT INTO parts VALUES (1,'bezel',12.5,400), (2,'crown',4.75,1200), (3,'crystal',22.0,150)",
+    )?;
+    let org_c = s2s::xml::parse(
+        r#"<export>
+             <item><desc>crown</desc><price currency="USD">4.20</price><onhand>900</onhand></item>
+             <item><desc>movement</desc><price currency="USD">85.00</price><onhand>40</onhand></item>
+           </export>"#,
+    )?;
+
+    next.register_remote_source(
+        "ORG_A",
+        Connection::Database { db: Arc::new(org_a) },
+        wan,
+        FailureModel::reliable(),
+    )?;
+    next.register_remote_source(
+        "ORG_B",
+        Connection::Database { db: Arc::new(org_b) },
+        wan,
+        FailureModel::reliable(),
+    )?;
+    next.register_remote_source(
+        "ORG_C",
+        Connection::Xml { document: Arc::new(org_c) },
+        wan,
+        FailureModel::reliable(),
+    )?;
+
+    // Org A mappings.
+    next.register_attribute(
+        "thing.part.name",
+        ExtractionRule::Sql { query: "SELECT part_name FROM parts ORDER BY pid".into(), column: "part_name".into() },
+        "ORG_A",
+        RecordScenario::MultiRecord,
+    )?;
+    next.register_attribute(
+        "thing.part.priceusd",
+        ExtractionRule::Sql { query: "SELECT usd FROM parts ORDER BY pid".into(), column: "usd".into() },
+        "ORG_A",
+        RecordScenario::MultiRecord,
+    )?;
+    next.register_attribute(
+        "thing.part.stock",
+        ExtractionRule::Sql { query: "SELECT qty FROM parts ORDER BY pid".into(), column: "qty".into() },
+        "ORG_A",
+        RecordScenario::MultiRecord,
+    )?;
+
+    // Org B mappings: the JOIN pulls the normalized USD price; the
+    // nomenclature mapping (bezeichnung → name, bestand → stock) lives
+    // in the rule.
+    next.register_attribute(
+        "thing.part.name",
+        ExtractionRule::Sql { query: "SELECT bezeichnung FROM artikel ORDER BY nr".into(), column: "bezeichnung".into() },
+        "ORG_B",
+        RecordScenario::MultiRecord,
+    )?;
+    next.register_attribute(
+        "thing.part.priceusd",
+        ExtractionRule::Sql {
+            query: "SELECT artikel_usd.usd FROM artikel JOIN artikel_usd ON artikel.nr = artikel_usd.nr ORDER BY artikel.nr".into(),
+            column: "usd".into(),
+        },
+        "ORG_B",
+        RecordScenario::MultiRecord,
+    )?;
+    next.register_attribute(
+        "thing.part.stock",
+        ExtractionRule::Sql { query: "SELECT bestand FROM artikel ORDER BY nr".into(), column: "bestand".into() },
+        "ORG_B",
+        RecordScenario::MultiRecord,
+    )?;
+
+    Ok(next)
+}
+
+/// The registry the baseline runs against (same data, same wrappers).
+fn build_baseline_registry(
+) -> Result<s2s::core::source::SourceRegistry, Box<dyn std::error::Error>> {
+    use s2s::core::source::SourceRegistry;
+    let mut org_a = Database::new("org_a");
+    org_a.execute("CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)")?;
+    org_a.execute(
+        "INSERT INTO parts VALUES (1,'bezel',12.5,400), (2,'crown',4.75,1200), (3,'crystal',22.0,150)",
+    )?;
+    let mut org_b = Database::new("org_b");
+    org_b.execute(
+        "CREATE TABLE artikel (nr INTEGER PRIMARY KEY, bezeichnung TEXT, preis_cent INTEGER, bestand INTEGER)",
+    )?;
+    org_b.execute("INSERT INTO artikel VALUES (10,'bezel',1150,80), (11,'strap',890,300)")?;
+    let org_c = s2s::xml::parse(
+        r#"<export>
+             <item><desc>crown</desc><price currency="USD">4.20</price><onhand>900</onhand></item>
+             <item><desc>movement</desc><price currency="USD">85.00</price><onhand>40</onhand></item>
+           </export>"#,
+    )?;
+
+    let mut r = SourceRegistry::new();
+    r.register_local("ORG_A", Connection::Database { db: Arc::new(org_a) })?;
+    r.register_local("ORG_B", Connection::Database { db: Arc::new(org_b) })?;
+    r.register_local("ORG_C", Connection::Xml { document: Arc::new(org_c) })?;
+    Ok(r)
+}

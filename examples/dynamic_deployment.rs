@@ -1,0 +1,117 @@
+//! Dynamic deployment: mapping-specification files and sources that
+//! join at runtime.
+//!
+//! The venue (IWDDS — *Dynamic* Distributed Systems) cares about systems
+//! whose membership changes. This example keeps the whole integration
+//! contract in a versionable spec document, then grows the deployment:
+//! a new partner's XML feed joins *after* the first queries ran, served
+//! by an XQuery rule, with zero changes to existing mappings or
+//! consumers.
+//!
+//! Run with: `cargo run --example dynamic_deployment`
+
+use std::sync::Arc;
+
+use s2s::core::mapping::{ExtractionRule, RecordScenario};
+use s2s::core::source::Connection;
+use s2s::minidb::Database;
+use s2s::owl::Ontology;
+use s2s::webdoc::WebStore;
+use s2s::S2s;
+
+const SPEC: &str = r#"
+# watches.s2smap — the integration contract, one file.
+
+map thing.product.watch.brand = sql(brand), DB_ID_45, multi {
+    SELECT brand FROM watches ORDER BY id
+}
+
+map thing.product.watch.price = sql(price), DB_ID_45, multi {
+    SELECT price FROM watches ORDER BY id
+}
+
+map thing.product.watch.brand = webl, wpage_81, single {
+    var b = TagTexts(Text(PAGE), "b")[0];
+}
+
+map thing.product.watch.price = regex(1), wpage_81, single {
+    price: (\d+\.\d+)
+}
+"#;
+
+/// The late-joining partner's mappings: XQuery rules (paper §2.3.1:
+/// "For XML data sources, XPath and XQuery can be used").
+const PARTNER_SPEC: &str = r#"
+map thing.product.watch.brand = xquery, XML_PARTNER, multi {
+    for $w in //watch where $w/status = 'active' return $w/brand/text()
+}
+
+map thing.product.watch.price = xquery, XML_PARTNER, multi {
+    for $w in //watch where $w/status = 'active' return $w/price/text()
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ontology = Ontology::builder("http://example.org/schema#")
+        .class("Product", None)?
+        .class("Watch", Some("Product"))?
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")?
+        .datatype_property("price", "Product", "http://www.w3.org/2001/XMLSchema#decimal")?
+        .build()?;
+
+    // Initial deployment: a database and a web page.
+    let mut db = Database::new("catalog");
+    db.execute("CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL)")?;
+    db.execute("INSERT INTO watches VALUES (1,'Seiko',129.99), (2,'Casio',59.5)")?;
+
+    let mut web = WebStore::new();
+    web.register_html("http://shop/81", "<p><b>Tissot</b></p><p>price: 249.00</p>");
+    let web = Arc::new(web);
+
+    let mut s2s = S2s::new(ontology);
+    s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) })?;
+    s2s.register_source(
+        "wpage_81",
+        Connection::Web { store: web, url: "http://shop/81".into() },
+    )?;
+
+    let n = s2s.load_spec(SPEC)?;
+    println!("loaded {n} mappings from the spec document");
+
+    let outcome = s2s.query("SELECT watch")?;
+    println!("before the partner joined: {} watches", outcome.individuals().len());
+
+    // --- a new partner joins at runtime -------------------------------
+    let partner_feed = s2s::xml::parse(
+        r#"<feed>
+             <watch><brand>Orient</brand><price>189.0</price><status>active</status></watch>
+             <watch><brand>Junk</brand><price>1.0</price><status>discontinued</status></watch>
+             <watch><brand>Citizen</brand><price>159.0</price><status>active</status></watch>
+           </feed>"#,
+    )?;
+    s2s.register_source("XML_PARTNER", Connection::Xml { document: Arc::new(partner_feed) })?;
+    let n = s2s.load_spec(PARTNER_SPEC)?;
+    println!("partner joined: +1 source, +{n} mappings (XQuery rules, discontinued items filtered at the mapping)");
+
+    let outcome = s2s.query("SELECT watch")?;
+    println!("after: {} watches", outcome.individuals().len());
+    let brand = s2s.ontology().property_iri("brand")?;
+    for ind in outcome.individuals() {
+        println!("  {:10} [{}]", ind.value(&brand).unwrap_or("?"), ind.source);
+    }
+
+    // Existing consumers and mappings were untouched; the same query now
+    // spans the new source.
+    let cheap = s2s.query("SELECT watch WHERE price < 200")?;
+    println!("\nSELECT watch WHERE price < 200 → {} hits", cheap.individuals().len());
+
+    // Programmatic registration still composes with spec-loaded ones.
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::TextRegex { pattern: "unused".into(), group: 0 },
+        "wpage_81",
+        RecordScenario::SingleRecord,
+    )?;
+    println!("total mappings now: {}", s2s.mapping_count());
+    Ok(())
+}

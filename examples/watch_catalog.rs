@@ -1,0 +1,229 @@
+//! The paper's watch-catalog scenario, end to end.
+//!
+//! Four heterogeneous sources — a relational database, an XML feed, an
+//! HTML shop page wrapped with WebL, and a plain-text price list —
+//! integrated under one ontology and queried with the paper's own
+//! example query:
+//!
+//! ```text
+//! SELECT product WHERE brand='Seiko' AND case='stainless-steel'
+//! ```
+//!
+//! Run with: `cargo run --example watch_catalog`
+
+use std::sync::Arc;
+
+use s2s::core::instance::OutputFormat;
+use s2s::core::mapping::{ExtractionRule, RecordScenario};
+use s2s::core::source::Connection;
+use s2s::minidb::Database;
+use s2s::owl::Ontology;
+use s2s::webdoc::WebStore;
+use s2s::S2s;
+
+fn ontology() -> Result<Ontology, Box<dyn std::error::Error>> {
+    Ok(Ontology::builder("http://example.org/schema#")
+        .class("Product", None)?
+        .class("Watch", Some("Product"))?
+        .class("Provider", None)?
+        .class_label("Watch", "Wrist watch")?
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")?
+        .datatype_property("price", "Product", "http://www.w3.org/2001/XMLSchema#decimal")?
+        .datatype_property("case", "Watch", "http://www.w3.org/2001/XMLSchema#string")?
+        .object_property("provider", "Product", "Provider")?
+        .build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the four sources -------------------------------------------
+
+    // Structured: a supplier database.
+    let mut db = Database::new("supplier");
+    db.execute(
+        "CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL, \
+         case_material TEXT, supplier TEXT)",
+    )?;
+    db.execute(
+        "INSERT INTO watches VALUES \
+         (1, 'Seiko', 129.99, 'stainless-steel', 'WatchWorld'), \
+         (2, 'Casio', 59.50, 'resin', 'WatchWorld'), \
+         (3, 'Seiko', 299.00, 'titanium', 'TimeHouse')",
+    )?;
+
+    // Semi-structured: a partner's XML catalog feed.
+    let xml = s2s::xml::parse(
+        r#"<catalog>
+             <watch sku="O-1"><brand>Orient</brand><price>189.0</price><case>stainless-steel</case></watch>
+             <watch sku="S-9"><brand>Seiko</brand><price>449.0</price><case>stainless-steel</case></watch>
+           </catalog>"#,
+    )?;
+
+    // Unstructured: a shop web page (wrapped with WebL, paper Fig. 3)
+    // and a plain-text price list.
+    let mut web = WebStore::new();
+    web.register_html(
+        "http://www.shop.com/watch81",
+        r#"<html><body>
+             <p> <b>Seiko Men's Automatic Dive Watch</b> </p>
+             <p>Case: <span class="case">stainless-steel</span></p>
+             <p>Price: <span class="price">129.99</span> USD</p>
+           </body></html>"#,
+    );
+    web.register_text(
+        "file:///exports/pricelist.txt",
+        "item: Fossil Grant | case: leather | usd: 99.00\n\
+         item: Seiko 5 | case: stainless-steel | usd: 109.00\n",
+    );
+    let web = Arc::new(web);
+
+    // --- middleware assembly ----------------------------------------
+
+    let mut s2s = S2s::new(ontology()?);
+    s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) })?;
+    s2s.register_source("XML_7", Connection::Xml { document: Arc::new(xml) })?;
+    s2s.register_source(
+        "wpage_81",
+        Connection::Web { store: web.clone(), url: "http://www.shop.com/watch81".into() },
+    )?;
+    s2s.register_source(
+        "txt_pricelist",
+        Connection::Text { store: web, url: "file:///exports/pricelist.txt".into() },
+    )?;
+
+    // Database mappings (n-record scenario, SQL rules).
+    for (attr, col) in [("brand", "brand"), ("price", "price"), ("case", "case_material"), ("provider", "supplier")] {
+        s2s.register_attribute(
+            &format!("thing.product.watch.{attr}"),
+            ExtractionRule::Sql {
+                query: format!("SELECT {col} FROM watches ORDER BY id"),
+                column: col.into(),
+            },
+            "DB_ID_45",
+            RecordScenario::MultiRecord,
+        )?;
+    }
+
+    // XML mappings (n-record scenario, XPath rules — §2.3.1: "For XML
+    // data sources, XPath and XQuery can be used").
+    for (attr, el) in [("brand", "brand"), ("price", "price"), ("case", "case")] {
+        s2s.register_attribute(
+            &format!("thing.product.watch.{attr}"),
+            ExtractionRule::XPath { path: format!("/catalog/watch/{el}/text()") },
+            "XML_7",
+            RecordScenario::MultiRecord,
+        )?;
+    }
+
+    // Web page mappings (one-record scenario, WebL rules). The brand
+    // rule is the paper's own Figure 3 program, modulo the pre-bound
+    // PAGE variable.
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::Webl {
+            program: r#"
+                var pText = Text(PAGE);
+                var regexpr = "<b>" + `[0-9a-zA-Z']+`;
+                var St = Str_Search(pText, regexpr);
+                var spliter = Str_Split(St[0][0], "<>");
+                var brand = spliter[1];
+            "#
+            .into(),
+        },
+        "wpage_81",
+        RecordScenario::SingleRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.product.watch.case",
+        ExtractionRule::Webl {
+            program: r#"
+                var m = Str_Search(Text(PAGE), `class="case">([a-z-]+)`);
+                var c = m[0][1];
+            "#
+            .into(),
+        },
+        "wpage_81",
+        RecordScenario::SingleRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.product.watch.price",
+        ExtractionRule::Webl {
+            program: r#"
+                var m = Str_Search(Text(PAGE), `class="price">(\d+\.\d+)`);
+                var p = m[0][1];
+            "#
+            .into(),
+        },
+        "wpage_81",
+        RecordScenario::SingleRecord,
+    )?;
+
+    // Text-file mappings (n-record scenario, regex rules).
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::TextRegex { pattern: r"item: ([\w ]+) \|".into(), group: 1 },
+        "txt_pricelist",
+        RecordScenario::MultiRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.product.watch.case",
+        ExtractionRule::TextRegex { pattern: r"case: ([\w-]+)".into(), group: 1 },
+        "txt_pricelist",
+        RecordScenario::MultiRecord,
+    )?;
+    s2s.register_attribute(
+        "thing.product.watch.price",
+        ExtractionRule::TextRegex { pattern: r"usd: (\d+\.\d+)".into(), group: 1 },
+        "txt_pricelist",
+        RecordScenario::MultiRecord,
+    )?;
+
+    println!(
+        "deployed: {} sources, {} attribute mappings\n",
+        s2s.source_count(),
+        s2s.mapping_count()
+    );
+
+    // --- queries -----------------------------------------------------
+
+    // The paper's example query (§2.5).
+    let q = "SELECT watch WHERE brand='Seiko' AND case='stainless-steel'";
+    println!("S2SQL> {q}");
+    let outcome = s2s.query(q)?;
+    println!(
+        "{} instances from {} extraction tasks ({} simulated)\n",
+        outcome.individuals().len(),
+        outcome.stats.tasks,
+        outcome.stats.simulated
+    );
+    println!("{}", outcome.render(s2s.ontology(), OutputFormat::Text));
+
+    // Output classes include associated classes (paper: Product, watch,
+    // Provider).
+    println!(
+        "output classes: {:?}\n",
+        outcome.plan.output_classes.iter().map(|c| c.local_name()).collect::<Vec<_>>()
+    );
+
+    // A ranged query across all four sources.
+    let q = "SELECT watch WHERE price <= 130";
+    println!("S2SQL> {q}");
+    let outcome = s2s.query(q)?;
+    for ind in outcome.individuals() {
+        let brand = s2s.ontology().property_iri("brand")?;
+        let price = s2s.ontology().property_iri("price")?;
+        println!(
+            "  {:30} {:>8}  [{}]",
+            ind.value(&brand).unwrap_or("?"),
+            ind.value(&price).unwrap_or("?"),
+            ind.source
+        );
+    }
+
+    // The native OWL output of the Instance Generator (§2.6).
+    println!("\n--- OWL / RDF-XML (first 15 lines) ---");
+    let owl = outcome.render(s2s.ontology(), OutputFormat::OwlRdfXml);
+    for line in owl.lines().take(15) {
+        println!("{line}");
+    }
+    Ok(())
+}

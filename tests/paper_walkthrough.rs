@@ -1,0 +1,252 @@
+//! Section-by-section verification against the paper's text: every
+//! concrete behaviour, example, or artifact the paper describes is
+//! checked here, with the section it comes from.
+
+use std::sync::Arc;
+
+use s2s::core::instance::OutputFormat;
+use s2s::core::mapping::{ExtractionRule, RecordScenario};
+use s2s::core::source::{Connection, SourceKind};
+use s2s::minidb::Database;
+use s2s::owl::{AttributePath, Ontology};
+use s2s::webdoc::{WebStore, WeblProgram};
+use s2s::S2s;
+
+/// §2.2 / Fig. 2: the ontology schema — Product with brand, Watch with
+/// case, Provider associated to every Product.
+fn figure2_ontology() -> Ontology {
+    Ontology::builder("http://example.org/schema#")
+        .class("Product", None)
+        .unwrap()
+        .class("Watch", Some("Product"))
+        .unwrap()
+        .class("Provider", None)
+        .unwrap()
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .datatype_property("case", "Watch", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .object_property("provider", "Product", "Provider")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// §2.1: "S2S middleware can connect to B2B traditional data source
+/// formats, such as structured (e.g. relational databases),
+/// semistructured (e.g. XML) and unstructured (e.g. Web pages and plain
+/// text files)."
+#[test]
+fn section_2_1_source_taxonomy() {
+    let store = Arc::new(WebStore::new());
+    let cases = [
+        (
+            Connection::Database {
+                db: Arc::new({
+                    let mut d = Database::new("d");
+                    d.execute("CREATE TABLE t (a INTEGER)").unwrap();
+                    d
+                }),
+            },
+            SourceKind::Database,
+        ),
+        (
+            Connection::Xml { document: Arc::new(s2s::xml::parse("<a/>").unwrap()) },
+            SourceKind::Xml,
+        ),
+        (
+            Connection::Web { store: store.clone(), url: "http://x".into() },
+            SourceKind::WebPage,
+        ),
+        (Connection::Text { store, url: "file:///x".into() }, SourceKind::TextFile),
+    ];
+    for (conn, kind) in cases {
+        assert_eq!(conn.kind(), kind);
+    }
+}
+
+/// §2.3.1 Fig. 4: "The mapping system first selects a unique identifier
+/// for each attribute […] it is possible to have a path to the
+/// attributes (through the ontology classes) keeping a notion of the
+/// ontology hierarchy."
+#[test]
+fn figure4_attribute_naming() {
+    let o = figure2_ontology();
+    let watch = o.class_iri("Watch").unwrap();
+    let case = o.property_iri("case").unwrap();
+    let path = AttributePath::for_attribute(&o, &watch, &case).unwrap();
+    // The paper's own id for this attribute.
+    assert_eq!(path.to_string(), "thing.product.watch.case");
+
+    let product = o.class_iri("Product").unwrap();
+    let brand = o.property_iri("brand").unwrap();
+    let path = AttributePath::for_attribute(&o, &product, &brand).unwrap();
+    assert_eq!(path.to_string(), "thing.product.brand");
+}
+
+/// §2.3.1 step 2: the paper's WebL extraction rule, transcribed, pulls
+/// the watch brand out of the HTML fragment the paper shows.
+#[test]
+fn figure3_webl_extraction_rule() {
+    let mut web = WebStore::new();
+    web.register_html(
+        "http://www.shop.com/watch81",
+        "<p> <b>Seiko Men's Automatic Dive Watch</b> </p>",
+    );
+    let program = WeblProgram::parse(
+        r#"
+        var P = GetURL("http://www.shop.com/watch81");
+        var pText = Text(P);
+        var regexpr = "<b>" + `[0-9a-zA-Z']+`;
+        var St = Str_Search(pText, regexpr);
+        var spliter = Str_Split(St[0][0], "<>");
+        var brand = spliter[1];
+    "#,
+    )
+    .unwrap();
+    assert_eq!(program.run(&web).unwrap().as_str(), Some("Seiko"));
+}
+
+/// §2.3.1 step 3: "thing.product.brand = watch.webl, wpage_81" and
+/// "thing.product.watch.case = SELECT …, DB_ID_45".
+#[test]
+fn figure3_attribute_mapping_association() {
+    let o = figure2_ontology();
+    let mut s2s = S2s::new(o);
+
+    let mut web = WebStore::new();
+    web.register_html("http://shop/81", "<b>Seiko</b>");
+    s2s.register_source(
+        "wpage_81",
+        Connection::Web { store: Arc::new(web), url: "http://shop/81".into() },
+    )
+    .unwrap();
+
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE atable (aattribute TEXT, acase TEXT)").unwrap();
+    db.execute("INSERT INTO atable VALUES ('avalue', 'stainless-steel')").unwrap();
+    s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) }).unwrap();
+
+    s2s.register_attribute(
+        "thing.product.brand",
+        ExtractionRule::Webl { program: "var b = TagTexts(Text(PAGE), \"b\")[0];".into() },
+        "wpage_81",
+        RecordScenario::SingleRecord,
+    )
+    .unwrap();
+    // The paper's second example, almost verbatim.
+    s2s.register_attribute(
+        "thing.product.watch.case",
+        ExtractionRule::Sql {
+            query: "SELECT acase FROM atable WHERE aattribute='avalue'".into(),
+            column: "acase".into(),
+        },
+        "DB_ID_45",
+        RecordScenario::SingleRecord,
+    )
+    .unwrap();
+    assert_eq!(s2s.mapping_count(), 2);
+}
+
+/// §2.5: the S2SQL example query and its expected output classes:
+/// "the output classes will be Product, watch, and Provider."
+#[test]
+fn section_2_5_query_and_output_classes() {
+    let o = figure2_ontology();
+    let parsed =
+        s2s::core::query::parse("SELECT product WHERE brand='Seiko' AND case='stainless-steel'")
+            .unwrap();
+    // `case` is a Watch attribute; the paper still poses this query
+    // against product. Under strict validation that is an error; the
+    // dotted-path form expresses it precisely:
+    let strict = s2s::core::query::plan(&parsed, &o);
+    assert!(strict.is_err());
+
+    let parsed = s2s::core::query::parse(
+        "SELECT watch WHERE brand='Seiko' AND case='stainless-steel'",
+    )
+    .unwrap();
+    let plan = s2s::core::query::plan(&parsed, &o).unwrap();
+    let names: Vec<&str> = plan.output_classes.iter().map(|c| c.local_name()).collect();
+    assert!(names.contains(&"Watch"));
+    assert!(names.contains(&"Provider"));
+}
+
+/// §2.5: "the FROM and related operators have no use in S2SQL and are
+/// thus not supported."
+#[test]
+fn section_2_5_no_from_clause() {
+    assert!(s2s::core::query::parse("SELECT product FROM sources").is_err());
+}
+
+/// §2.6: "The S2S middleware supports the output format OWL, but other
+/// outputs can easily be adapted to export plain text to XML, and so
+/// on."
+#[test]
+fn section_2_6_output_formats() {
+    let o = figure2_ontology();
+    let mut s2s = S2s::new(o);
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE w (brand TEXT)").unwrap();
+    db.execute("INSERT INTO w VALUES ('Seiko')").unwrap();
+    s2s.register_source("DB", Connection::Database { db: Arc::new(db) }).unwrap();
+    s2s.register_attribute(
+        "thing.product.brand",
+        ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+        "DB",
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+    let outcome = s2s.query("SELECT product").unwrap();
+
+    let owl = outcome.render(s2s.ontology(), OutputFormat::OwlRdfXml);
+    assert!(owl.contains("rdf:RDF") && owl.contains("Seiko"));
+    let ttl = outcome.render(s2s.ontology(), OutputFormat::Turtle);
+    assert!(ttl.contains("@prefix") && ttl.contains("Seiko"));
+    let nt = outcome.render(s2s.ontology(), OutputFormat::NTriples);
+    assert!(nt.contains("Seiko"));
+    let xml = outcome.render(s2s.ontology(), OutputFormat::Xml);
+    assert!(xml.starts_with("<?xml") && xml.contains("Seiko"));
+    let txt = outcome.render(s2s.ontology(), OutputFormat::Text);
+    assert!(txt.contains("brand = Seiko"));
+}
+
+/// §2.6: "Data semantics is set in the ontology schema and maintained
+/// in the output since the whole extraction process is based on the
+/// same ontology schema."
+#[test]
+fn section_2_6_semantics_maintained() {
+    let o = figure2_ontology();
+    let mut s2s = S2s::new(o);
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE w (brand TEXT)").unwrap();
+    db.execute("INSERT INTO w VALUES ('Seiko')").unwrap();
+    s2s.register_source("DB", Connection::Database { db: Arc::new(db) }).unwrap();
+    s2s.register_attribute(
+        "thing.product.brand",
+        ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+        "DB",
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+    let outcome = s2s.query("SELECT product").unwrap();
+    // The output graph uses the ontology's own property IRI.
+    let brand = s2s.ontology().property_iri("brand").unwrap();
+    assert_eq!(outcome.instances.graph.match_pattern(None, Some(&brand), None).count(), 1);
+}
+
+/// §2.2: the ontology itself round-trips through OWL (RDF) — "S2S
+/// middleware represents ontologies using the Web Ontology Language."
+#[test]
+fn section_2_2_ontology_owl_roundtrip() {
+    let o = figure2_ontology();
+    let g = s2s::owl::serialize::to_graph(&o);
+    let ttl = s2s::rdf::turtle::serialize(&g, &s2s::rdf::turtle::PrefixMap::with_well_known());
+    let g2 = s2s::rdf::turtle::parse(&ttl).unwrap();
+    let o2 = s2s::owl::serialize::from_graph(&g2, "http://example.org/schema#").unwrap();
+    assert_eq!(o2.class_count(), o.class_count());
+    assert_eq!(o2.property_count(), o.property_count());
+    let watch = o2.class_iri("Watch").unwrap();
+    let product = o2.class_iri("Product").unwrap();
+    assert!(o2.is_subclass_of(&watch, &product));
+}

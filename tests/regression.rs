@@ -1,0 +1,150 @@
+//! Cross-crate regression pins: behaviours that were tuned during
+//! development and must not drift.
+
+use std::sync::Arc;
+
+use s2s::core::mapping::{ExtractionRule, RecordScenario};
+use s2s::core::source::Connection;
+use s2s::minidb::Database;
+use s2s::owl::Ontology;
+use s2s::textmatch::Regex;
+use s2s::S2s;
+
+/// The find_iter fast path must stay linear: a 200 KB haystack with
+/// thousands of matches completes quickly and yields the exact count.
+#[test]
+fn regex_find_iter_linear_at_scale() {
+    let hay: String = "brand: Seiko | ".repeat(10_000);
+    let re = Regex::new(r"brand: (\w+)").unwrap();
+    let start = std::time::Instant::now();
+    let n = re.find_iter(&hay).count();
+    assert_eq!(n, 10_000);
+    // Generous bound: the pre-fix quadratic version took seconds.
+    assert!(start.elapsed().as_millis() < 2_000, "find_iter regressed: {:?}", start.elapsed());
+}
+
+/// Minted individual IRIs are stable across runs (downstream systems key
+/// on them).
+#[test]
+fn minted_iris_are_stable() {
+    let run = || {
+        let ontology = Ontology::builder("http://example.org/schema#")
+            .class("Product", None)
+            .unwrap()
+            .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE w (brand TEXT)").unwrap();
+        db.execute("INSERT INTO w VALUES ('Seiko')").unwrap();
+        let mut s2s = S2s::new(ontology);
+        s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) }).unwrap();
+        s2s.register_attribute(
+            "thing.product.brand",
+            ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+            "DB_ID_45",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let outcome = s2s.query("SELECT product").unwrap();
+        outcome.individuals()[0].iri.as_str().to_string()
+    };
+    let iri = run();
+    assert_eq!(iri, "http://example.org/schema/data/product/db_id_45/0");
+    assert_eq!(run(), iri);
+}
+
+/// The paper's attribute-id format stays exactly `thing.<classes>.<attr>`.
+#[test]
+fn attribute_path_format_pinned() {
+    let o = Ontology::builder("http://example.org/schema#")
+        .class("Product", None)
+        .unwrap()
+        .class("Watch", Some("Product"))
+        .unwrap()
+        .datatype_property("case", "Watch", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .build()
+        .unwrap();
+    let watch = o.class_iri("Watch").unwrap();
+    let case = o.property_iri("case").unwrap();
+    let p = s2s::owl::AttributePath::for_attribute(&o, &watch, &case).unwrap();
+    assert_eq!(p.to_string(), "thing.product.watch.case");
+}
+
+/// Graph pattern queries must keep using indexes: a bound-subject probe
+/// into a large graph is far below full-scan cost.
+#[test]
+fn graph_index_probe_scales() {
+    use s2s::rdf::{Graph, Iri, Literal, Term, Triple};
+    let mut g = Graph::new();
+    let p = Iri::new("http://x.org/p").unwrap();
+    for i in 0..50_000 {
+        g.insert(Triple::new(
+            Iri::new(format!("http://x.org/s{i}")).unwrap(),
+            p.clone(),
+            Literal::integer(i),
+        ));
+    }
+    let probe = Term::from(Iri::new("http://x.org/s25000").unwrap());
+    let start = std::time::Instant::now();
+    for _ in 0..1_000 {
+        assert_eq!(g.match_pattern(Some(&probe), None, None).count(), 1);
+    }
+    assert!(start.elapsed().as_millis() < 1_000, "index probe regressed");
+}
+
+/// Turtle escaping pins: strings with every escapable character survive
+/// the render used by the Instance Generator.
+#[test]
+fn turtle_escape_pins() {
+    use s2s::rdf::{turtle, Graph, Iri, Literal, Triple};
+    let nasty = "tab\t quote\" backslash\\ newline\n end";
+    let mut g = Graph::new();
+    g.insert(Triple::new(
+        Iri::new("http://x.org/s").unwrap(),
+        Iri::new("http://x.org/p").unwrap(),
+        Literal::string(nasty),
+    ));
+    let text = turtle::serialize(&g, &turtle::PrefixMap::new());
+    let g2 = turtle::parse(&text).unwrap();
+    let lit = g2.iter().next().unwrap().object().as_literal().cloned().unwrap();
+    assert_eq!(lit.lexical(), nasty);
+}
+
+/// WebL Select() semantics are end-exclusive char ranges — mappings in
+/// the wild depend on it.
+#[test]
+fn webl_select_is_end_exclusive() {
+    use s2s::webdoc::{WebStore, WeblProgram};
+    let p = WeblProgram::parse(r#"Select("Seiko Men's", 0, 5);"#).unwrap();
+    assert_eq!(p.run(&WebStore::new()).unwrap().as_str(), Some("Seiko"));
+}
+
+/// SQL LIKE must treat `%`/`_` per SQL, not as regex.
+#[test]
+fn sql_like_wildcards_pinned() {
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE t (s TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES ('a.c'), ('abc'), ('axc'), ('ac')").unwrap();
+    // `.` is literal in LIKE.
+    assert_eq!(db.query("SELECT s FROM t WHERE s LIKE 'a.c'").unwrap().len(), 1);
+    // `_` matches exactly one char.
+    assert_eq!(db.query("SELECT s FROM t WHERE s LIKE 'a_c'").unwrap().len(), 3);
+    // `%` matches any run including empty.
+    assert_eq!(db.query("SELECT s FROM t WHERE s LIKE 'a%c'").unwrap().len(), 4);
+}
+
+/// Simulated endpoint behaviour is pinned to source-id seeds: the same
+/// deployment always observes the same failures (tests and EXPERIMENTS.md
+/// depend on this).
+#[test]
+fn netsim_seed_pinning() {
+    use s2s::netsim::{CostModel, Endpoint, FailureModel};
+    let ep = Endpoint::new("SHARD_00", CostModel::wan(), FailureModel::reliable(), 42);
+    let t1 = ep.invoke(100, || ()).unwrap().elapsed;
+    let ep2 = Endpoint::new("SHARD_00", CostModel::wan(), FailureModel::reliable(), 42);
+    let t2 = ep2.invoke(100, || ()).unwrap().elapsed;
+    assert_eq!(t1, t2);
+}

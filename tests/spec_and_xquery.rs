@@ -1,0 +1,146 @@
+//! Integration tests for the extension features: mapping-specification
+//! documents, XQuery extraction rules, and the equivalence/inverse
+//! reasoning in the output graph.
+
+use std::sync::Arc;
+
+use s2s::core::source::Connection;
+use s2s::minidb::Database;
+use s2s::owl::Ontology;
+use s2s::S2s;
+
+fn ontology() -> Ontology {
+    Ontology::builder("http://example.org/schema#")
+        .class("Product", None)
+        .unwrap()
+        .class("Merchandise", None)
+        .unwrap()
+        .class("Provider", None)
+        .unwrap()
+        .equivalent("Product", "Merchandise")
+        .unwrap()
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .datatype_property("price", "Product", "http://www.w3.org/2001/XMLSchema#decimal")
+        .unwrap()
+        .object_property("suppliedBy", "Product", "Provider")
+        .unwrap()
+        .object_property("supplies", "Provider", "Product")
+        .unwrap()
+        .inverse("suppliedBy", "supplies")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+const SPEC: &str = r#"
+map thing.product.brand = sql(brand), DB, multi {
+    SELECT brand FROM items ORDER BY id
+}
+map thing.product.price = sql(price), DB, multi {
+    SELECT price FROM items ORDER BY id
+}
+map thing.product.suppliedby = sql(vendor), DB, multi {
+    SELECT vendor FROM items ORDER BY id
+}
+map thing.product.brand = xquery, FEED, multi {
+    for $i in //item where $i/live = 'yes' return $i/name/text()
+}
+map thing.product.price = xquery, FEED, multi {
+    for $i in //item where $i/live = 'yes' return $i/cost/text()
+}
+"#;
+
+fn deploy() -> S2s {
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, brand TEXT, price REAL, vendor TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO items VALUES (1,'Seiko',129.99,'Acme'), (2,'Casio',59.5,'Acme')")
+        .unwrap();
+
+    let feed = s2s::xml::parse(
+        r#"<feed>
+             <item><name>Orient</name><cost>189.0</cost><live>yes</live></item>
+             <item><name>Dead</name><cost>1.0</cost><live>no</live></item>
+           </feed>"#,
+    )
+    .unwrap();
+
+    let mut s2s = S2s::new(ontology());
+    s2s.register_source("DB", Connection::Database { db: Arc::new(db) }).unwrap();
+    s2s.register_source("FEED", Connection::Xml { document: Arc::new(feed) }).unwrap();
+    let n = s2s.load_spec(SPEC).unwrap();
+    assert_eq!(n, 5);
+    s2s
+}
+
+#[test]
+fn spec_loaded_deployment_answers_queries() {
+    let s2s = deploy();
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert!(outcome.errors().is_empty(), "{:?}", outcome.errors());
+    // 2 db + 1 live feed item (the dead one is filtered by the XQuery
+    // where-clause at the mapping, not by the consumer).
+    assert_eq!(outcome.individuals().len(), 3);
+}
+
+#[test]
+fn xquery_rule_filters_at_extraction() {
+    let s2s = deploy();
+    let outcome = s2s.query("SELECT product").unwrap();
+    let brand = s2s.ontology().property_iri("brand").unwrap();
+    let brands: Vec<_> =
+        outcome.individuals().iter().filter_map(|i| i.value(&brand)).collect();
+    assert!(brands.contains(&"Orient"));
+    assert!(!brands.contains(&"Dead"));
+}
+
+#[test]
+fn equivalent_class_answers_same_query() {
+    // Mappings were registered against `thing.product.*`; querying the
+    // equivalent class returns the same individuals.
+    let s2s = deploy();
+    let via_product = s2s.query("SELECT product").unwrap();
+    let via_merch = s2s.query("SELECT merchandise").unwrap();
+    assert_eq!(via_product.individuals().len(), via_merch.individuals().len());
+}
+
+#[test]
+fn inverse_property_materialized_in_output() {
+    let s2s = deploy();
+    let outcome = s2s.query("SELECT product WHERE brand='Seiko'").unwrap();
+    let graph = &outcome.instances.graph;
+    let supplies = s2s.ontology().property_iri("supplies").unwrap();
+    // The provider individual gained the mirrored `supplies` triple.
+    assert_eq!(graph.match_pattern(None, Some(&supplies), None).count(), 1);
+    let t = graph.match_pattern(None, Some(&supplies), None).next().unwrap();
+    assert!(t.subject().as_iri().unwrap().as_str().contains("provider/acme"));
+}
+
+#[test]
+fn s2sql_or_and_not_end_to_end() {
+    let s2s = deploy();
+    // OR spans sources: Seiko (db) or Orient (feed).
+    let either = s2s.query("SELECT product WHERE brand='Seiko' OR brand='Orient'").unwrap();
+    assert_eq!(either.individuals().len(), 2);
+    // NOT excludes.
+    let not_seiko = s2s.query("SELECT product WHERE NOT brand='Seiko'").unwrap();
+    assert_eq!(not_seiko.individuals().len(), 2); // Casio + Orient
+    // Parenthesized combination.
+    let combo = s2s
+        .query("SELECT product WHERE (brand='Seiko' OR brand='Casio') AND price<100")
+        .unwrap();
+    assert_eq!(combo.individuals().len(), 1); // Casio at 59.5
+}
+
+#[test]
+fn bad_spec_reports_error() {
+    let mut s2s = S2s::new(ontology());
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE t (a TEXT)").unwrap();
+    s2s.register_source("DB", Connection::Database { db: Arc::new(db) }).unwrap();
+    // Unknown source id in the spec.
+    assert!(s2s.load_spec("map thing.product.brand = xpath, NOPE, multi {\n//x\n}").is_err());
+    // Unresolvable attribute path.
+    assert!(s2s.load_spec("map thing.gadget.brand = sql(a), DB, multi {\nSELECT a FROM t\n}").is_err());
+}
