@@ -1,41 +1,57 @@
 //! E9 — graceful degradation under source failure (paper §2.6: the
 //! Instance Generator reports errors from the extraction phases).
 //!
-//! Sweeps failure probability over a 32-shard deployment; results stay
-//! partial (never empty, never total failure at moderate p) and error
-//! reports are attributed. Timing measures the overhead of handling
-//! failures on the mediator path.
+//! Sweeps failure probability × retry budget over a 32-shard
+//! deployment; results stay partial (never empty, never total failure
+//! at moderate p) and error reports are attributed. Timing measures the
+//! overhead of failure handling and of the retry schedule on the
+//! mediator path; the returned completeness shows what the budget
+//! buys.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use s2s_bench::deploy_sharded;
 use s2s_core::extract::Strategy;
-use s2s_netsim::{CostModel, FailureModel};
+use s2s_core::ResiliencePolicy;
+use s2s_netsim::{CostModel, FailureModel, RetryPolicy};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_fault_injection");
     group.sample_size(10);
 
-    for &p in &[0.0f64, 0.2, 0.5] {
-        let s2s = deploy_sharded(
-            32,
-            20,
-            CostModel::lan(),
-            FailureModel::flaky(p),
-            Strategy::Parallel { workers: 8 },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("query_under_failures", format!("p{:02}", (p * 100.0) as u32)),
-            &p,
-            |b, &p| {
-                b.iter(|| {
-                    let outcome = s2s.query("SELECT watch").unwrap();
-                    if p == 0.0 {
-                        assert_eq!(outcome.stats.failed_tasks, 0);
-                    }
-                    (outcome.individuals().len(), outcome.stats.failed_tasks)
-                })
-            },
-        );
+    // Retry budget = attempts beyond the first call.
+    for &budget in &[0u32, 1, 3] {
+        for &p in &[0.0f64, 0.2, 0.5] {
+            let policy =
+                ResiliencePolicy::default().with_retry(RetryPolicy::attempts(budget + 1));
+            let s2s = deploy_sharded(
+                32,
+                20,
+                CostModel::lan(),
+                FailureModel::flaky(p),
+                Strategy::Parallel { workers: 8 },
+            )
+            .with_resilience(policy);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    "query_under_failures",
+                    format!("r{budget}_p{:02}", (p * 100.0) as u32),
+                ),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let outcome = s2s.query("SELECT watch").unwrap();
+                        if p == 0.0 {
+                            assert_eq!(outcome.stats.failed_tasks, 0);
+                        }
+                        (
+                            outcome.individuals().len(),
+                            outcome.stats.failed_tasks,
+                            outcome.stats.completeness,
+                        )
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -442,31 +442,43 @@ fn e8() {
 }
 
 fn e9() {
-    header("E9", "fault injection: partial results & attribution (§2.6)");
-    println!("{:>6} {:>8} {:>8} {:>10} {:>14}", "p", "ok", "failed", "coverage", "sim-time");
+    header("E9", "fault injection: retry budgets vs completeness (§2.6)");
+    println!(
+        "{:>6} {:>7} {:>8} {:>8} {:>13} {:>8} {:>14}",
+        "p", "budget", "ok", "failed", "completeness", "retries", "sim-time"
+    );
+    // Retry budget = attempts beyond the first call (0 = legacy
+    // single-shot behaviour).
     for p in [0.0f64, 0.1, 0.25, 0.5] {
-        let s2s = deploy_sharded(
-            32,
-            20,
-            CostModel::lan(),
-            FailureModel::flaky(p),
-            Strategy::Parallel { workers: 8 },
-        );
-        let outcome = s2s.query("SELECT watch").unwrap();
-        let sources_ok = 32 - outcome
-            .errors()
-            .iter()
-            .map(|e| e.source.clone())
-            .collect::<std::collections::BTreeSet<_>>()
-            .len();
-        println!(
-            "{:>6.2} {:>8} {:>8} {:>9.0}% {:>14}",
-            p,
-            sources_ok,
-            32 - sources_ok,
-            outcome.individuals().len() as f64 / (32.0 * 20.0) * 100.0,
-            outcome.stats.simulated.to_string()
-        );
+        for budget in [0u32, 1, 3] {
+            let policy = s2s_core::ResiliencePolicy::default()
+                .with_retry(s2s_netsim::RetryPolicy::attempts(budget + 1));
+            let s2s = deploy_sharded(
+                32,
+                20,
+                CostModel::lan(),
+                FailureModel::flaky(p),
+                Strategy::Parallel { workers: 8 },
+            )
+            .with_resilience(policy);
+            let outcome = s2s.query("SELECT watch").unwrap();
+            let sources_ok = 32 - outcome
+                .errors()
+                .iter()
+                .map(|e| e.source.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            println!(
+                "{:>6.2} {:>7} {:>8} {:>8} {:>12.1}% {:>8} {:>14}",
+                p,
+                budget,
+                sources_ok,
+                32 - sources_ok,
+                outcome.stats.completeness * 100.0,
+                outcome.stats.retries,
+                outcome.stats.simulated.to_string()
+            );
+        }
     }
 }
 

@@ -10,6 +10,28 @@ use s2s_rdf::RdfError;
 use s2s_webdoc::WebdocError;
 use s2s_xml::XmlError;
 
+/// Whether a failed operation could plausibly succeed if repeated.
+///
+/// Drives the resilience layer: transient failures are worth a retry
+/// or a failover to a replica; permanent ones (bad rules, missing
+/// columns, protocol bugs) would fail identically everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A retry or a different replica could succeed.
+    Transient,
+    /// Retrying the same operation cannot help.
+    Permanent,
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureClass::Transient => "transient",
+            FailureClass::Permanent => "permanent",
+        })
+    }
+}
+
 /// An error produced by the S2S middleware.
 #[derive(Debug, Clone, PartialEq)]
 pub enum S2sError {
@@ -60,6 +82,30 @@ pub enum S2sError {
     Webdoc(WebdocError),
     /// A simulated network failure.
     Net(NetError),
+    /// The circuit breaker for a source is open: every endpoint was
+    /// rejected without being called.
+    CircuitOpen {
+        /// The source whose endpoints are gated.
+        source: String,
+    },
+}
+
+impl S2sError {
+    /// Classifies the failure for the resilience layer.
+    ///
+    /// Transient: injected network failures a retry could dodge
+    /// ([`NetError::is_transient`]) and open circuit breakers (a later
+    /// call after the cooldown may be admitted). Everything else —
+    /// wrapper errors, bad rules, unknown sources, protocol bugs — is
+    /// permanent: replicas hold the same data and would fail the same
+    /// way.
+    pub fn failure_class(&self) -> FailureClass {
+        match self {
+            S2sError::Net(e) if e.is_transient() => FailureClass::Transient,
+            S2sError::CircuitOpen { .. } => FailureClass::Transient,
+            _ => FailureClass::Permanent,
+        }
+    }
 }
 
 impl fmt::Display for S2sError {
@@ -83,6 +129,9 @@ impl fmt::Display for S2sError {
             S2sError::Xml(e) => write!(f, "xml error: {e}"),
             S2sError::Webdoc(e) => write!(f, "web error: {e}"),
             S2sError::Net(e) => write!(f, "network error: {e}"),
+            S2sError::CircuitOpen { source } => {
+                write!(f, "circuit breaker open for source `{source}`")
+            }
         }
     }
 }
@@ -134,5 +183,30 @@ impl From<WebdocError> for S2sError {
 impl From<NetError> for S2sError {
     fn from(e: NetError) -> Self {
         S2sError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_failures_classify_transient() {
+        let unreachable = S2sError::Net(NetError::Unreachable { endpoint: "e".into() });
+        let timeout = S2sError::Net(NetError::Timeout { endpoint: "e".into(), timeout_us: 1 });
+        assert_eq!(unreachable.failure_class(), FailureClass::Transient);
+        assert_eq!(timeout.failure_class(), FailureClass::Transient);
+        let open = S2sError::CircuitOpen { source: "s".into() };
+        assert_eq!(open.failure_class(), FailureClass::Transient);
+    }
+
+    #[test]
+    fn logic_failures_classify_permanent() {
+        let bad_frame = S2sError::Net(NetError::BadFrame { message: "m".into() });
+        assert_eq!(bad_frame.failure_class(), FailureClass::Permanent);
+        let unknown = S2sError::UnknownSource { id: "x".into() };
+        assert_eq!(unknown.failure_class(), FailureClass::Permanent);
+        let unmapped = S2sError::UnmappedAttribute { attribute: "a.b".into() };
+        assert_eq!(unmapped.failure_class(), FailureClass::Permanent);
     }
 }

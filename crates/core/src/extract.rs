@@ -19,14 +19,19 @@
 //! endpoint, so the report carries both real and simulated timings.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use s2s_netsim::wire::{encode, FrameKind};
-use s2s_netsim::{makespan, run_parallel, SimDuration};
+use s2s_netsim::{
+    invoke_with_retry, makespan, run_parallel, BreakerConfig, BreakerState, CircuitBreaker,
+    Endpoint, RetryPolicy, SimDuration,
+};
 use s2s_textmatch::Regex;
 use s2s_webdoc::{WeblProgram, WeblValue};
 use s2s_xml::xpath::XPath;
 
-use crate::error::S2sError;
+use crate::error::{FailureClass, S2sError};
 use crate::mapping::{AttributeMapping, ExtractionRule, MappingModule, RecordScenario};
 use crate::source::{Connection, SourceRegistry};
 
@@ -70,6 +75,138 @@ pub struct AttributeResult {
     pub elapsed: SimDuration,
 }
 
+/// How the mediator copes with failing endpoints (the resilience
+/// layer): per-call retries, failover across replica endpoints, and an
+/// optional circuit breaker per endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Retry schedule for each endpoint attempt.
+    pub retry: RetryPolicy,
+    /// Whether a transient failure moves on to the next replica.
+    pub failover: bool,
+    /// Circuit-breaker tuning; `None` disables breakers.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl ResiliencePolicy {
+    /// The legacy behaviour: one attempt, primary endpoint only, no
+    /// breaker.
+    pub fn none() -> Self {
+        ResiliencePolicy { retry: RetryPolicy::none(), failover: false, breaker: None }
+    }
+
+    /// Replaces the retry schedule.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables or disables replica failover.
+    pub fn with_failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Enables per-endpoint circuit breakers.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+}
+
+impl Default for ResiliencePolicy {
+    /// No retries, failover enabled, no breaker — replicas are used
+    /// when registered, nothing else changes.
+    fn default() -> Self {
+        ResiliencePolicy { retry: RetryPolicy::none(), failover: true, breaker: None }
+    }
+}
+
+/// Shared state of the resilience layer for one middleware instance:
+/// the policy, one lazily created circuit breaker per endpoint, and a
+/// virtual clock (accumulated simulated time) that drives breaker
+/// cooldowns.
+#[derive(Debug, Default)]
+pub struct ResilienceContext {
+    policy: ResiliencePolicy,
+    breakers: Mutex<BTreeMap<String, Arc<CircuitBreaker>>>,
+    clock: Mutex<SimDuration>,
+}
+
+impl ResilienceContext {
+    /// A fresh context (closed breakers, clock at zero).
+    pub fn new(policy: ResiliencePolicy) -> Self {
+        ResilienceContext { policy, ..ResilienceContext::default() }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// The breaker guarding `endpoint_id`, if one has been created.
+    pub fn breaker(&self, endpoint_id: &str) -> Option<Arc<CircuitBreaker>> {
+        self.breakers.lock().get(endpoint_id).cloned()
+    }
+
+    /// Accumulated virtual time across all resilient calls so far.
+    pub fn virtual_now(&self) -> SimDuration {
+        *self.clock.lock()
+    }
+
+    /// Advances the virtual clock without performing a call (e.g. to
+    /// let a breaker cooldown expire in tests or experiments).
+    pub fn advance_clock(&self, elapsed: SimDuration) {
+        *self.clock.lock() += elapsed;
+    }
+
+    fn breaker_for(&self, endpoint_id: &str) -> Option<Arc<CircuitBreaker>> {
+        let config = self.policy.breaker?;
+        Some(Arc::clone(
+            self.breakers
+                .lock()
+                .entry(endpoint_id.to_string())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(config))),
+        ))
+    }
+
+    fn advance(&self, elapsed: SimDuration) -> SimDuration {
+        let mut clock = self.clock.lock();
+        *clock += elapsed;
+        *clock
+    }
+}
+
+/// Degraded-mode telemetry for one source, aggregated over all of a
+/// query's extraction tasks against it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceHealth {
+    /// Extraction tasks dispatched to this source.
+    pub tasks: usize,
+    /// Tasks that still failed after retries and failover.
+    pub failed_tasks: usize,
+    /// Endpoint attempts made (every retry and failover call counts).
+    pub attempts: u64,
+    /// Attempts beyond the first per endpoint.
+    pub retries: u64,
+    /// Switches to a replica endpoint.
+    pub failovers: u64,
+    /// Calls rejected by an open circuit breaker.
+    pub breaker_rejections: u64,
+    /// State of the primary endpoint's breaker after the query
+    /// (`None` when breakers are disabled).
+    pub breaker_state: Option<BreakerState>,
+}
+
+/// Per-task resilience counters, folded into [`SourceHealth`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TaskTrace {
+    attempts: u64,
+    retries: u64,
+    failovers: u64,
+    breaker_rejections: u64,
+}
+
 /// A failed extraction, attributed to its attribute and source (feeds
 /// the Instance Generator's error reporting, §2.6).
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +231,8 @@ pub struct ExtractionReport {
     /// Simulated completion time had the tasks run serially (for
     /// speed-up reporting).
     pub simulated_serial: SimDuration,
+    /// Degraded-mode telemetry per source id.
+    pub resilience: BTreeMap<String, SourceHealth>,
 }
 
 impl ExtractionReport {
@@ -105,6 +244,17 @@ impl ExtractionReport {
     /// Whether every task succeeded.
     pub fn is_complete(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Fraction of tasks answered: `results / (results + failures)`,
+    /// `1.0` when nothing was requested.
+    pub fn completeness(&self) -> f64 {
+        let requested = self.results.len() + self.failures.len();
+        if requested == 0 {
+            1.0
+        } else {
+            self.results.len() as f64 / requested as f64
+        }
     }
 }
 
@@ -137,21 +287,47 @@ impl ExtractorManager {
     }
 
     /// Runs a batch of schemas (step 4 of Fig. 5), tolerating per-task
-    /// failures.
+    /// failures. Legacy single-shot behaviour: one attempt against the
+    /// primary endpoint, no failover, no breaker.
     pub fn extract(
         registry: &SourceRegistry,
         schemas: Vec<ExtractionSchema>,
         strategy: Strategy,
     ) -> ExtractionReport {
+        Self::extract_with(
+            registry,
+            schemas,
+            strategy,
+            &ResilienceContext::new(ResiliencePolicy::none()),
+        )
+    }
+
+    /// Like [`ExtractorManager::extract`] but driven by a resilience
+    /// context: each task retries per the policy, fails over across
+    /// replica endpoints, and respects circuit breakers. The report's
+    /// `resilience` map carries the degraded-mode telemetry.
+    pub fn extract_with(
+        registry: &SourceRegistry,
+        schemas: Vec<ExtractionSchema>,
+        strategy: Strategy,
+        ctx: &ResilienceContext,
+    ) -> ExtractionReport {
         let workers = strategy.workers();
         let outcomes = run_parallel(schemas, workers, |schema| {
-            let r = extract_one(registry, &schema.mapping);
+            let r = extract_one_resilient(registry, &schema.mapping, ctx);
             (schema, r)
         });
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
-        for (schema, outcome) in outcomes {
+        for (schema, (outcome, trace)) in outcomes {
+            let health =
+                report.resilience.entry(schema.mapping.source().to_string()).or_default();
+            health.tasks += 1;
+            health.attempts += trace.attempts;
+            health.retries += trace.retries;
+            health.failovers += trace.failovers;
+            health.breaker_rejections += trace.breaker_rejections;
             match outcome {
                 Ok((values, elapsed)) => {
                     durations.push(elapsed);
@@ -162,6 +338,7 @@ impl ExtractorManager {
                     });
                 }
                 Err(error) => {
+                    health.failed_tasks += 1;
                     report.failures.push(ExtractionFailure {
                         attribute: schema.mapping.path().to_string(),
                         source: schema.mapping.source().to_string(),
@@ -169,6 +346,12 @@ impl ExtractorManager {
                     });
                 }
             }
+        }
+        for (source_id, health) in &mut report.resilience {
+            health.breaker_state = registry
+                .get(&source_id.as_str().into())
+                .and_then(|s| ctx.breaker(s.endpoint().id()))
+                .map(|b| b.state());
         }
         report.simulated_serial = durations.iter().copied().sum();
         report.simulated = makespan(&durations, workers);
@@ -192,6 +375,93 @@ pub fn extract_one(
     registry: &SourceRegistry,
     mapping: &AttributeMapping,
 ) -> Result<(Vec<String>, SimDuration), S2sError> {
+    let (source, values, bytes) = prepare_task(registry, mapping)?;
+    let call = source.endpoint().invoke(bytes, || ())?;
+    Ok((values, call.elapsed))
+}
+
+/// Like [`extract_one`] but under a [`ResilienceContext`]: the network
+/// leg retries per the policy, fails over along the source's replica
+/// list on transient failures, and is gated by per-endpoint circuit
+/// breakers. Wrapper errors (bad rules, missing columns) are permanent
+/// — replicas serve the same data, so neither retry nor failover is
+/// attempted for them.
+///
+/// Returns the task outcome plus its resilience counters. The elapsed
+/// time of a success includes every failed attempt and backoff wait
+/// that led up to it.
+fn extract_one_resilient(
+    registry: &SourceRegistry,
+    mapping: &AttributeMapping,
+    ctx: &ResilienceContext,
+) -> (Result<(Vec<String>, SimDuration), S2sError>, TaskTrace) {
+    let mut trace = TaskTrace::default();
+    let (source, values, bytes) = match prepare_task(registry, mapping) {
+        Ok(prepared) => prepared,
+        Err(e) => return (Err(e), trace),
+    };
+
+    let endpoints: Vec<&Arc<Endpoint>> = if ctx.policy.failover {
+        source.endpoints().collect()
+    } else {
+        vec![source.endpoint()]
+    };
+
+    let mut elapsed_total = SimDuration::ZERO;
+    let mut last_err = None;
+    for (i, endpoint) in endpoints.into_iter().enumerate() {
+        if i > 0 {
+            trace.failovers += 1;
+        }
+        let breaker = ctx.breaker_for(endpoint.id());
+        if let Some(b) = &breaker {
+            if !b.allow(ctx.virtual_now()) {
+                trace.breaker_rejections += 1;
+                last_err =
+                    Some(S2sError::CircuitOpen { source: mapping.source().to_string() });
+                continue;
+            }
+        }
+        let seed = crate::source::stable_seed(endpoint.id())
+            ^ crate::source::stable_seed(&mapping.path().to_string());
+        let out = invoke_with_retry(endpoint, &ctx.policy.retry, seed, bytes, || ());
+        trace.attempts += u64::from(out.attempts);
+        trace.retries += u64::from(out.retries());
+        elapsed_total += out.elapsed;
+        let now = ctx.advance(out.elapsed);
+        match out.result {
+            Ok(()) => {
+                if let Some(b) = &breaker {
+                    b.record_success(now);
+                }
+                return (Ok((values, elapsed_total)), trace);
+            }
+            Err(e) => {
+                if let Some(b) = &breaker {
+                    b.record_failure(now);
+                }
+                let error = S2sError::Net(e);
+                let transient = error.failure_class() == FailureClass::Transient;
+                last_err = Some(error);
+                if !transient {
+                    break;
+                }
+            }
+        }
+    }
+    let error = last_err.unwrap_or_else(|| S2sError::CircuitOpen {
+        source: mapping.source().to_string(),
+    });
+    (Err(error), trace)
+}
+
+/// The local half of a task: source lookup, rule/kind check, wrapper
+/// run, and wire-size accounting (request frame carrying the rule text
+/// plus response frame carrying the values).
+fn prepare_task<'a>(
+    registry: &'a SourceRegistry,
+    mapping: &AttributeMapping,
+) -> Result<(&'a crate::source::RegisteredSource, Vec<String>, usize), S2sError> {
     let source = registry.require(mapping.source())?;
     if !mapping.rule().compatible_with(source.kind()) {
         return Err(S2sError::RuleSourceMismatch {
@@ -204,19 +474,16 @@ pub fn extract_one(
         });
     }
 
-    // Run the wrapper for the source type.
     let mut values = run_wrapper(source.connection(), mapping.rule())?;
     if mapping.scenario() == RecordScenario::SingleRecord {
         values.truncate(1);
     }
 
-    // Account the remote call: request (rule) + response (values).
     let request = encode(FrameKind::Request, mapping.rule().text().as_bytes());
     let response_len: usize = values.iter().map(String::len).sum();
     let response = encode(FrameKind::Response, &vec![0u8; response_len]);
     let bytes = request.len() + response.len();
-    let call = source.endpoint().invoke(bytes, || ())?;
-    Ok((values, call.elapsed))
+    Ok((source, values, bytes))
 }
 
 /// Dispatches to the per-source-type extractor (paper: "for Web pages,
@@ -588,6 +855,145 @@ mod tests {
             extract_one(&r, m.iter().next().unwrap()),
             Err(S2sError::Net(_))
         ));
+    }
+
+    /// A registry with one remote database source `R`: primary with the
+    /// given failure model, plus any replicas.
+    fn flaky_registry(
+        primary: FailureModel,
+        replicas: &[FailureModel],
+    ) -> (SourceRegistry, MappingModule) {
+        let o = onto();
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE t (brand TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES ('X')").unwrap();
+        let mut r = SourceRegistry::new();
+        r.register_remote_with_replicas(
+            "R",
+            Connection::Database { db: Arc::new(db) },
+            CostModel::lan(),
+            primary,
+            replicas,
+        )
+        .unwrap();
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() },
+            "R".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        (r, m)
+    }
+
+    fn brand_schemas(m: &MappingModule) -> Vec<ExtractionSchema> {
+        ExtractorManager::obtain_schemas(m, &["thing.product.brand".parse().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn failover_reaches_healthy_replica() {
+        let (r, m) = flaky_registry(FailureModel::unreachable(), &[FailureModel::reliable()]);
+        let ctx = ResilienceContext::new(ResiliencePolicy::default());
+        let report = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        assert!(report.is_complete(), "{:?}", report.failures);
+        assert_eq!(report.completeness(), 1.0);
+        let health = &report.resilience["R"];
+        assert_eq!(health.failovers, 1);
+        assert_eq!(health.attempts, 2);
+        assert_eq!(health.failed_tasks, 0);
+    }
+
+    #[test]
+    fn failover_disabled_keeps_failure_on_primary() {
+        let (r, m) = flaky_registry(FailureModel::unreachable(), &[FailureModel::reliable()]);
+        let ctx = ResilienceContext::new(ResiliencePolicy::none());
+        let report = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        assert!(!report.is_complete());
+        assert_eq!(report.completeness(), 0.0);
+        let health = &report.resilience["R"];
+        assert_eq!(health.failovers, 0);
+        assert_eq!(health.failed_tasks, 1);
+        assert!(matches!(
+            report.failures[0].error,
+            S2sError::Net(s2s_netsim::NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn open_breaker_stops_calling_a_dead_source() {
+        let (r, m) = flaky_registry(FailureModel::unreachable(), &[]);
+        let policy = ResiliencePolicy::none()
+            .with_breaker(BreakerConfig::new(2, SimDuration::from_millis(60_000)));
+        let ctx = ResilienceContext::new(policy);
+        let mut failures = Vec::new();
+        for _ in 0..8 {
+            let report =
+                ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+            failures.extend(report.failures);
+        }
+        // Two real attempts tripped the breaker; the remaining six tasks
+        // were rejected without touching the endpoint.
+        let endpoint = r.get(&"R".into()).unwrap().endpoint().clone();
+        assert_eq!(endpoint.stats().calls, 2, "breaker failed to short-circuit");
+        assert_eq!(ctx.breaker("R").unwrap().state(), BreakerState::Open);
+        assert_eq!(failures.len(), 8);
+        assert!(failures[7..].iter().all(|f| matches!(f.error, S2sError::CircuitOpen { .. })));
+    }
+
+    #[test]
+    fn breaker_cooldown_admits_probe_after_clock_advance() {
+        let (r, m) = flaky_registry(FailureModel::unreachable(), &[]);
+        let policy = ResiliencePolicy::none()
+            .with_breaker(BreakerConfig::new(1, SimDuration::from_millis(100)));
+        let ctx = ResilienceContext::new(policy);
+        let _ = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        assert_eq!(ctx.breaker("R").unwrap().state(), BreakerState::Open);
+        ctx.advance_clock(SimDuration::from_millis(200));
+        let _ = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        // The probe was admitted (and failed again): the endpoint saw a
+        // second real call.
+        let endpoint = r.get(&"R".into()).unwrap().endpoint().clone();
+        assert_eq!(endpoint.stats().calls, 2);
+        assert_eq!(ctx.breaker("R").unwrap().counters().half_opened, 1);
+    }
+
+    #[test]
+    fn wrapper_errors_are_permanent_and_skip_failover() {
+        let o = onto();
+        let (r, _) = flaky_registry(FailureModel::reliable(), &[FailureModel::reliable()]);
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT oops FROM t".into(), column: "oops".into() },
+            "R".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let ctx = ResilienceContext::new(
+            ResiliencePolicy::default().with_retry(RetryPolicy::attempts(3)),
+        );
+        let report = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        assert!(!report.is_complete());
+        let health = &report.resilience["R"];
+        // The failure happened in the wrapper, before any network leg:
+        // no attempts, no retries, no failover.
+        assert_eq!((health.attempts, health.retries, health.failovers), (0, 0, 0));
+        assert_eq!(report.failures[0].error.failure_class(), FailureClass::Permanent);
+    }
+
+    #[test]
+    fn completeness_ratio_reflects_partial_results() {
+        let report = ExtractionReport::default();
+        assert_eq!(report.completeness(), 1.0);
+        let (r, m) = flaky_registry(FailureModel::unreachable(), &[]);
+        let mut schemas = brand_schemas(&m);
+        schemas.extend(brand_schemas(&m));
+        let ctx = ResilienceContext::new(ResiliencePolicy::none());
+        let report = ExtractorManager::extract_with(&r, schemas, Strategy::Serial, &ctx);
+        assert_eq!(report.completeness(), 0.0);
     }
 
     #[test]

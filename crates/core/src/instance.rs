@@ -59,6 +59,9 @@ pub struct InstanceSet {
     /// error that has occurred during the extraction process or in the
     /// query").
     pub errors: Vec<ExtractionFailure>,
+    /// Fraction of requested attributes answered (`1.0` = complete);
+    /// degraded results annotate their rendered output with it.
+    pub completeness: f64,
 }
 
 /// Output serialization formats (§2.6: "the S2S middleware supports the
@@ -216,7 +219,12 @@ pub fn generate_with_options(
     let reasoner = Reasoner::new(ontology);
     reasoner.materialize(&mut graph);
 
-    InstanceSet { graph, individuals, errors: report.failures.clone() }
+    InstanceSet {
+        graph,
+        individuals,
+        errors: report.failures.clone(),
+        completeness: report.completeness(),
+    }
 }
 
 /// Serializes an instance set in the requested format.
@@ -236,6 +244,11 @@ pub fn render(set: &InstanceSet, ontology: &Ontology, format: OutputFormat) -> S
 fn render_xml(set: &InstanceSet) -> String {
     use s2s_xml::Element;
     let mut root = Element::new("instances");
+    // Degraded results carry their completeness so consumers can tell
+    // a partial answer from a full one (§2.6 error reporting).
+    if set.completeness < 1.0 {
+        root = root.with_attribute("completeness", format!("{:.3}", set.completeness));
+    }
     for ind in &set.individuals {
         let mut e = Element::new(ind.class.local_name().to_string())
             .with_attribute("about", ind.iri.as_str())
@@ -272,6 +285,9 @@ fn render_text(set: &InstanceSet) -> String {
     }
     for err in &set.errors {
         out.push_str(&format!("! {}/{}: {}\n", err.source, err.attribute, err.error));
+    }
+    if set.completeness < 1.0 {
+        out.push_str(&format!("! degraded result: completeness {:.3}\n", set.completeness));
     }
     out
 }

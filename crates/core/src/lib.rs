@@ -41,5 +41,6 @@ pub mod query;
 pub mod source;
 pub mod spec;
 
-pub use error::S2sError;
+pub use error::{FailureClass, S2sError};
+pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};
 pub use middleware::S2s;

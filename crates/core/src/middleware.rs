@@ -13,14 +13,17 @@ use s2s_owl::{AttributePath, Ontology};
 
 use crate::cache::{CacheStats, ExtractionCache};
 use crate::error::S2sError;
-use crate::extract::{AttributeResult, ExtractionFailure, ExtractorManager, Strategy};
+use crate::extract::{
+    AttributeResult, ExtractionFailure, ExtractorManager, ResilienceContext, ResiliencePolicy,
+    SourceHealth, Strategy,
+};
 use crate::instance::{self, GenerateOptions, Individual, InstanceSet, OutputFormat};
 use crate::mapping::{ExtractionRule, MappingModule, RecordScenario};
 use crate::query::{self, QueryPlan};
 use crate::source::{Connection, SourceRegistry};
 
 /// Statistics of one query execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueryStats {
     /// Number of extraction tasks dispatched.
     pub tasks: usize,
@@ -28,6 +31,13 @@ pub struct QueryStats {
     pub failed_tasks: usize,
     /// Tasks answered from the extraction cache (0 when disabled).
     pub cache_hits: usize,
+    /// Endpoint retries spent across all tasks (resilience layer).
+    pub retries: u64,
+    /// Failovers to replica endpoints across all tasks.
+    pub failovers: u64,
+    /// Fraction of requested (mapped) attributes answered, in
+    /// `[0, 1]`; `1.0` means no degradation.
+    pub completeness: f64,
     /// Simulated completion time under the configured strategy.
     pub simulated: SimDuration,
     /// Simulated completion time had extraction run serially.
@@ -46,6 +56,9 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
     /// Total simulated extraction time spent per source.
     pub source_times: std::collections::BTreeMap<String, SimDuration>,
+    /// Degraded-mode report: per-source attempts, retries, failovers,
+    /// breaker rejections, and breaker state.
+    pub resilience: std::collections::BTreeMap<String, SourceHealth>,
 }
 
 impl QueryOutcome {
@@ -109,6 +122,7 @@ pub struct S2s {
     strategy: Strategy,
     cache: Option<Arc<ExtractionCache>>,
     provenance: bool,
+    resilience: Arc<ResilienceContext>,
 }
 
 impl S2s {
@@ -122,7 +136,28 @@ impl S2s {
             strategy: Strategy::Serial,
             cache: None,
             provenance: false,
+            resilience: Arc::new(ResilienceContext::default()),
         }
+    }
+
+    /// Installs a resilience policy: retry/backoff per endpoint call,
+    /// failover across replica endpoints, optional circuit breakers.
+    /// Breaker state and the virtual clock persist across queries on
+    /// this instance.
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Arc::new(ResilienceContext::new(policy));
+        self
+    }
+
+    /// The resilience policy in force.
+    pub fn resilience_policy(&self) -> ResiliencePolicy {
+        *self.resilience.policy()
+    }
+
+    /// The resilience context (breaker board + virtual clock), for
+    /// inspection or clock manipulation in experiments.
+    pub fn resilience(&self) -> &ResilienceContext {
+        &self.resilience
     }
 
     /// Emits provenance triples
@@ -197,6 +232,28 @@ impl S2s {
         failure: FailureModel,
     ) -> Result<(), S2sError> {
         self.registry.write().register_remote(id, connection, cost, failure)
+    }
+
+    /// Registers a remote data source with replica endpoints: the
+    /// primary uses `failure`, and each entry of `replicas` adds one
+    /// endpoint (`"<id>#r<k>"`) serving the same data. The resilience
+    /// layer fails over along this list when
+    /// [`ResiliencePolicy::failover`] is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::DuplicateSource`] on id collision.
+    pub fn register_remote_source_with_replicas(
+        &mut self,
+        id: &str,
+        connection: Connection,
+        cost: CostModel,
+        failure: FailureModel,
+        replicas: &[FailureModel],
+    ) -> Result<(), S2sError> {
+        self.registry
+            .write()
+            .register_remote_with_replicas(id, connection, cost, failure, replicas)
     }
 
     /// Registers an attribute mapping — the full 3-step workflow of
@@ -308,9 +365,11 @@ impl S2s {
         };
         let cache_hits = cached_results.len();
 
-        // Step 3-4: source definitions + extraction.
+        // Step 3-4: source definitions + extraction, under the
+        // resilience policy.
         let registry = self.registry.read();
-        let mut report = ExtractorManager::extract(&registry, schemas, self.strategy);
+        let mut report =
+            ExtractorManager::extract_with(&registry, schemas, self.strategy, &self.resilience);
         drop(registry);
 
         if let Some(cache) = &self.cache {
@@ -324,6 +383,11 @@ impl S2s {
             tasks: report.results.len() + report.failures.len(),
             failed_tasks: report.failures.len(),
             cache_hits,
+            retries: report.resilience.values().map(|h| h.retries).sum(),
+            failovers: report.resilience.values().map(|h| h.failovers).sum(),
+            // Cached answers count as answered: they were requested and
+            // served, just not over the network this time.
+            completeness: report.completeness(),
             simulated: report.simulated,
             simulated_serial: report.simulated_serial,
         };
@@ -338,7 +402,7 @@ impl S2s {
             &report,
             GenerateOptions { provenance: self.provenance },
         );
-        Ok(QueryOutcome { plan, instances, stats, source_times })
+        Ok(QueryOutcome { plan, instances, stats, source_times, resilience: report.resilience })
     }
 }
 

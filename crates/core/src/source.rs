@@ -111,12 +111,14 @@ impl Connection {
     }
 }
 
-/// A registered source: connection plus its (possibly remote) endpoint.
+/// A registered source: connection plus its (possibly remote) endpoint
+/// and any replica endpoints serving the same data.
 #[derive(Debug, Clone)]
 pub struct RegisteredSource {
     id: SourceId,
     connection: Connection,
     endpoint: Arc<Endpoint>,
+    replicas: Vec<Arc<Endpoint>>,
 }
 
 impl RegisteredSource {
@@ -130,9 +132,19 @@ impl RegisteredSource {
         &self.connection
     }
 
-    /// The network endpoint fronting the source.
+    /// The primary network endpoint fronting the source.
     pub fn endpoint(&self) -> &Arc<Endpoint> {
         &self.endpoint
+    }
+
+    /// Replica endpoints, in failover order (may be empty).
+    pub fn replicas(&self) -> &[Arc<Endpoint>] {
+        &self.replicas
+    }
+
+    /// Primary endpoint followed by the replicas — the failover order.
+    pub fn endpoints(&self) -> impl Iterator<Item = &Arc<Endpoint>> {
+        std::iter::once(&self.endpoint).chain(self.replicas.iter())
     }
 
     /// The source kind.
@@ -208,6 +220,57 @@ impl SourceRegistry {
         self.insert(id, connection, endpoint)
     }
 
+    /// Registers a remote source with replica endpoints: the primary
+    /// uses `failure`, each entry of `replicas` adds one more endpoint
+    /// (id `"<id>#r<k>"`, same cost model, its own failure model and
+    /// deterministic seed) serving the same connection. The resilience
+    /// layer fails over along this list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::DuplicateSource`] if the id is taken.
+    pub fn register_remote_with_replicas(
+        &mut self,
+        id: impl Into<SourceId>,
+        connection: Connection,
+        cost: CostModel,
+        failure: FailureModel,
+        replicas: &[FailureModel],
+    ) -> Result<(), S2sError> {
+        let id = id.into();
+        self.register_remote(id.clone(), connection, cost, failure)?;
+        for replica in replicas {
+            self.add_replica(&id, *replica)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one replica endpoint to an already registered source,
+    /// reusing the primary's cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnknownSource`] if `id` is not registered.
+    pub fn add_replica(
+        &mut self,
+        id: &SourceId,
+        failure: FailureModel,
+    ) -> Result<(), S2sError> {
+        let source = self
+            .sources
+            .get_mut(id)
+            .ok_or_else(|| S2sError::UnknownSource { id: id.as_str().to_string() })?;
+        let replica_id = format!("{}#r{}", id.as_str(), source.replicas.len() + 1);
+        let cost = *source.endpoint.cost_model();
+        source.replicas.push(Arc::new(Endpoint::new(
+            replica_id.as_str(),
+            cost,
+            failure,
+            stable_seed(&replica_id),
+        )));
+        Ok(())
+    }
+
     fn insert(
         &mut self,
         id: SourceId,
@@ -218,7 +281,7 @@ impl SourceRegistry {
             return Err(S2sError::DuplicateSource { id: id.as_str().to_string() });
         }
         self.sources
-            .insert(id.clone(), RegisteredSource { id, connection, endpoint });
+            .insert(id.clone(), RegisteredSource { id, connection, endpoint, replicas: Vec::new() });
         Ok(())
     }
 
@@ -255,7 +318,7 @@ impl SourceRegistry {
 
 /// Deterministic seed from a source id, so endpoint behaviour is stable
 /// across runs without global state.
-fn stable_seed(id: &str) -> u64 {
+pub(crate) fn stable_seed(id: &str) -> u64 {
     // FNV-1a.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in id.bytes() {
@@ -329,5 +392,32 @@ mod tests {
         r.register_remote("W", db_conn(), CostModel::wan(), FailureModel::reliable()).unwrap();
         let ep = r.get(&"W".into()).unwrap().endpoint();
         assert_eq!(ep.cost_model(), &CostModel::wan());
+    }
+
+    #[test]
+    fn replicas_get_derived_ids_and_primary_cost() {
+        let mut r = SourceRegistry::new();
+        r.register_remote_with_replicas(
+            "DB",
+            db_conn(),
+            CostModel::wan(),
+            FailureModel::unreachable(),
+            &[FailureModel::reliable(), FailureModel::flaky(0.2)],
+        )
+        .unwrap();
+        let s = r.get(&"DB".into()).unwrap();
+        assert_eq!(s.replicas().len(), 2);
+        let ids: Vec<_> = s.endpoints().map(|e| e.id().to_string()).collect();
+        assert_eq!(ids, ["DB", "DB#r1", "DB#r2"]);
+        assert!(s.endpoints().all(|e| e.cost_model() == &CostModel::wan()));
+    }
+
+    #[test]
+    fn add_replica_requires_registered_source() {
+        let mut r = SourceRegistry::new();
+        assert!(matches!(
+            r.add_replica(&"nope".into(), FailureModel::reliable()),
+            Err(S2sError::UnknownSource { .. })
+        ));
     }
 }

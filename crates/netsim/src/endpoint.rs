@@ -19,22 +19,47 @@ pub struct FailureModel {
 }
 
 impl FailureModel {
+    const DEFAULT_TIMEOUT: SimDuration = SimDuration::from_millis(30_000);
+
+    /// A validated model: probabilities are clamped into `[0, 1]`
+    /// (NaN becomes 0), so nonsense inputs cannot produce a model that
+    /// fails more than always or less than never.
+    pub fn new(p_unreachable: f64, p_timeout: f64, timeout: SimDuration) -> Self {
+        FailureModel {
+            p_unreachable: clamp_probability(p_unreachable),
+            p_timeout: clamp_probability(p_timeout),
+            timeout,
+        }
+    }
+
     /// Never fails; generous timeout.
     pub fn reliable() -> Self {
         FailureModel {
             p_unreachable: 0.0,
             p_timeout: 0.0,
-            timeout: SimDuration::from_millis(30_000),
+            timeout: Self::DEFAULT_TIMEOUT,
         }
     }
 
     /// Fails a fraction `p` of calls (half unreachable, half timeout).
+    /// `p` is clamped into `[0, 1]` first, so `flaky(3.0)` is simply
+    /// always-failing rather than nonsense.
     pub fn flaky(p: f64) -> Self {
-        FailureModel {
-            p_unreachable: p / 2.0,
-            p_timeout: p / 2.0,
-            timeout: SimDuration::from_millis(30_000),
-        }
+        let p = clamp_probability(p);
+        FailureModel::new(p / 2.0, p / 2.0, Self::DEFAULT_TIMEOUT)
+    }
+
+    /// Every call finds the endpoint down (a hard outage).
+    pub fn unreachable() -> Self {
+        FailureModel::new(1.0, 0.0, Self::DEFAULT_TIMEOUT)
+    }
+}
+
+fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
     }
 }
 
@@ -165,6 +190,29 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn failure_probabilities_are_clamped() {
+        let over = FailureModel::flaky(3.0);
+        assert_eq!((over.p_unreachable, over.p_timeout), (0.5, 0.5));
+        let under = FailureModel::flaky(-1.0);
+        assert_eq!((under.p_unreachable, under.p_timeout), (0.0, 0.0));
+        let mixed = FailureModel::new(1.5, -0.25, SimDuration::from_millis(10));
+        assert_eq!((mixed.p_unreachable, mixed.p_timeout), (1.0, 0.0));
+        let nan = FailureModel::new(f64::NAN, f64::NAN, SimDuration::from_millis(10));
+        assert_eq!((nan.p_unreachable, nan.p_timeout), (0.0, 0.0));
+        // Exact boundaries survive untouched.
+        let exact = FailureModel::new(0.0, 1.0, SimDuration::from_millis(10));
+        assert_eq!((exact.p_unreachable, exact.p_timeout), (0.0, 1.0));
+    }
+
+    #[test]
+    fn unreachable_is_hard_down() {
+        let down = Endpoint::new("b", CostModel::lan(), FailureModel::unreachable(), 5);
+        for _ in 0..100 {
+            assert!(matches!(down.invoke(1, || ()), Err(NetError::Unreachable { .. })));
+        }
+    }
 
     #[test]
     fn reliable_endpoint_never_fails() {

@@ -25,6 +25,19 @@ pub enum NetError {
     },
 }
 
+impl NetError {
+    /// Whether a retry could plausibly succeed: connection refusals
+    /// and timeouts are transient conditions of the path or the remote
+    /// process; a malformed frame is a protocol bug and retrying the
+    /// same bytes cannot help.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            NetError::Unreachable { .. } | NetError::Timeout { .. } => true,
+            NetError::BadFrame { .. } => false,
+        }
+    }
+}
+
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -16,21 +16,31 @@
 //!   "cross the network"),
 //! * [`sched`] — makespan accounting: how long a set of remote calls
 //!   takes under serial vs k-worker parallel execution, and a real
-//!   crossbeam-based parallel executor for the actual work.
+//!   crossbeam-based parallel executor for the actual work,
+//! * [`retry`] — retry policies: exponential backoff with deterministic
+//!   seeded jitter, per-attempt timeouts, and overall deadlines, all in
+//!   virtual time,
+//! * [`breaker`] — per-endpoint circuit breakers (Closed → Open →
+//!   HalfOpen) driven by explicit virtual `now`, with transition
+//!   counters.
 //!
 //! Time is **virtual**: calls return a [`SimDuration`] cost instead of
 //! sleeping, so experiments are deterministic and fast while preserving
 //! the *shape* of distributed-systems effects (stragglers, crossover
 //! points, partial failure).
 
+pub mod breaker;
 pub mod cost;
 pub mod endpoint;
 pub mod error;
+pub mod retry;
 pub mod sched;
 pub mod wire;
 
+pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use cost::{CostModel, SimDuration};
 pub use endpoint::{Endpoint, EndpointStats, FailureModel, RemoteCall};
 pub use error::NetError;
+pub use retry::{invoke_with_retry, RetryOutcome, RetryPolicy};
 pub use sched::{makespan, run_parallel};
 pub use wire::{decode, encode, Frame, FrameKind};

@@ -1,0 +1,285 @@
+//! Resilience-layer acceptance tests: retry/backoff restoring
+//! completeness, replica failover, circuit breaking, and degraded-mode
+//! reporting (partial results with attributed failures).
+//!
+//! Everything here is deterministic: endpoints derive their RNG streams
+//! from their ids, so a given deployment always produces the same
+//! failure pattern.
+
+use std::sync::Arc;
+
+use s2s_core::error::FailureClass;
+use s2s_core::instance::OutputFormat;
+use s2s_core::mapping::{ExtractionRule, RecordScenario};
+use s2s_core::source::Connection;
+use s2s_core::{ResiliencePolicy, S2s, S2sError};
+use s2s_minidb::Database;
+use s2s_netsim::{
+    BreakerConfig, BreakerState, CostModel, FailureModel, RetryPolicy, SimDuration,
+};
+use s2s_owl::Ontology;
+
+fn ontology() -> Ontology {
+    Ontology::builder("http://example.org/schema#")
+        .class("Product", None)
+        .unwrap()
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn brand_db(brand: &str) -> Connection {
+    let mut db = Database::new("d");
+    db.execute("CREATE TABLE t (brand TEXT)").unwrap();
+    db.execute(&format!("INSERT INTO t VALUES ('{brand}')")).unwrap();
+    Connection::Database { db: Arc::new(db) }
+}
+
+fn brand_rule() -> ExtractionRule {
+    ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() }
+}
+
+/// Eight remote sources, each `flaky(0.3)`. With these ids the seeded
+/// failure streams are such that exactly one source (`SRC_0`) fails its
+/// first call and every source succeeds within three attempts.
+fn flaky_fleet(policy: ResiliencePolicy) -> S2s {
+    let mut s2s = S2s::new(ontology()).with_resilience(policy);
+    for i in 0..8 {
+        let id = format!("SRC_{i}");
+        s2s.register_remote_source(
+            &id,
+            brand_db(&format!("B{i}")),
+            CostModel::lan(),
+            FailureModel::flaky(0.3),
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.brand",
+            brand_rule(),
+            &id,
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+    }
+    s2s
+}
+
+#[test]
+fn no_retry_reports_degraded_completeness_with_transient_failure() {
+    let s2s = flaky_fleet(ResiliencePolicy::none());
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert_eq!(outcome.stats.tasks, 8);
+    assert_eq!(outcome.stats.failed_tasks, 1);
+    assert!(outcome.stats.completeness < 1.0);
+    assert_eq!(outcome.stats.completeness, 7.0 / 8.0);
+    assert_eq!(outcome.stats.retries, 0);
+    // The surviving sources still answered.
+    assert_eq!(outcome.individuals().len(), 7);
+    // The failure is attributed and classified transient: a retry
+    // could have rescued it.
+    let failure = &outcome.errors()[0];
+    assert_eq!(failure.source, "SRC_0");
+    assert_eq!(failure.error.failure_class(), FailureClass::Transient);
+    assert!(matches!(failure.error, S2sError::Net(_)));
+}
+
+#[test]
+fn three_attempt_retry_restores_full_completeness() {
+    let policy = ResiliencePolicy::default().with_retry(RetryPolicy::attempts(3));
+    let s2s = flaky_fleet(policy);
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert_eq!(outcome.stats.completeness, 1.0);
+    assert_eq!(outcome.stats.failed_tasks, 0);
+    assert_eq!(outcome.individuals().len(), 8);
+    // The rescue is visible in the stats: SRC_0 needed one retry.
+    assert_eq!(outcome.stats.retries, 1);
+    assert_eq!(outcome.resilience["SRC_0"].retries, 1);
+    assert!(outcome.errors().is_empty());
+}
+
+#[test]
+fn one_attempt_budget_matches_no_retry_policy() {
+    // A retry budget of 1 attempt is exactly the no-retry behaviour.
+    let s2s = flaky_fleet(ResiliencePolicy::default().with_retry(RetryPolicy::attempts(1)));
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert_eq!(outcome.stats.completeness, 7.0 / 8.0);
+    assert_eq!(outcome.stats.retries, 0);
+}
+
+#[test]
+fn replica_failover_rescues_hard_down_primary() {
+    let mut s2s = S2s::new(ontology()); // default policy: failover on
+    s2s.register_remote_source_with_replicas(
+        "DB",
+        brand_db("Seiko"),
+        CostModel::wan(),
+        FailureModel::unreachable(),
+        &[FailureModel::reliable()],
+    )
+    .unwrap();
+    s2s.register_attribute("thing.product.brand", brand_rule(), "DB", RecordScenario::SingleRecord)
+        .unwrap();
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert!(outcome.errors().is_empty(), "{:?}", outcome.errors());
+    assert_eq!(outcome.individuals().len(), 1);
+    assert_eq!(outcome.stats.completeness, 1.0);
+    // Exactly one failover: primary refused, first replica answered.
+    assert_eq!(outcome.stats.failovers, 1);
+    let health = &outcome.resilience["DB"];
+    assert_eq!(health.failovers, 1);
+    assert_eq!(health.attempts, 2);
+    assert_eq!(health.failed_tasks, 0);
+}
+
+#[test]
+fn failover_disabled_leaves_primary_failure_in_place() {
+    let mut s2s = S2s::new(ontology()).with_resilience(ResiliencePolicy::none());
+    s2s.register_remote_source_with_replicas(
+        "DB",
+        brand_db("Seiko"),
+        CostModel::wan(),
+        FailureModel::unreachable(),
+        &[FailureModel::reliable()],
+    )
+    .unwrap();
+    s2s.register_attribute("thing.product.brand", brand_rule(), "DB", RecordScenario::SingleRecord)
+        .unwrap();
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert_eq!(outcome.stats.failovers, 0);
+    assert_eq!(outcome.stats.completeness, 0.0);
+    assert!(outcome.individuals().is_empty());
+}
+
+/// Satellite: partial-result attribution. One dead source among healthy
+/// ones must not poison the query — individuals from the healthy
+/// sources are returned alongside exactly one failure naming the dead
+/// source.
+#[test]
+fn dead_source_yields_partial_results_with_attribution() {
+    let mut s2s = S2s::new(ontology());
+    s2s.register_source("LOCAL_A", brand_db("Casio")).unwrap();
+    s2s.register_remote_source(
+        "REMOTE_OK",
+        brand_db("Orient"),
+        CostModel::lan(),
+        FailureModel::reliable(),
+    )
+    .unwrap();
+    s2s.register_remote_source(
+        "REMOTE_DEAD",
+        brand_db("Ghost"),
+        CostModel::lan(),
+        FailureModel::unreachable(),
+    )
+    .unwrap();
+    for id in ["LOCAL_A", "REMOTE_OK", "REMOTE_DEAD"] {
+        s2s.register_attribute(
+            "thing.product.brand",
+            brand_rule(),
+            id,
+            RecordScenario::SingleRecord,
+        )
+        .unwrap();
+    }
+
+    let outcome = s2s.query("SELECT product").unwrap();
+    // Healthy sources answered.
+    let brands: Vec<_> = outcome
+        .individuals()
+        .iter()
+        .filter_map(|i| i.value(&s2s.ontology().property_iri("brand").unwrap()))
+        .collect();
+    assert!(brands.contains(&"Casio"));
+    assert!(brands.contains(&"Orient"));
+    assert!(!brands.contains(&"Ghost"));
+    // Exactly one failure, naming the dead source.
+    assert_eq!(outcome.errors().len(), 1);
+    assert_eq!(outcome.errors()[0].source, "REMOTE_DEAD");
+    assert_eq!(outcome.stats.completeness, 2.0 / 3.0);
+
+    // The degradation is annotated in the rendered output.
+    let text = outcome.render(s2s.ontology(), OutputFormat::Text);
+    assert!(text.contains("REMOTE_DEAD"), "{text}");
+    assert!(text.contains("completeness 0.667"), "{text}");
+    let xml = outcome.render(s2s.ontology(), OutputFormat::Xml);
+    assert!(xml.contains("completeness=\"0.667\""), "{xml}");
+}
+
+#[test]
+fn complete_results_are_not_annotated() {
+    let mut s2s = S2s::new(ontology());
+    s2s.register_source("LOCAL_A", brand_db("Casio")).unwrap();
+    s2s.register_attribute(
+        "thing.product.brand",
+        brand_rule(),
+        "LOCAL_A",
+        RecordScenario::SingleRecord,
+    )
+    .unwrap();
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert_eq!(outcome.stats.completeness, 1.0);
+    let text = outcome.render(s2s.ontology(), OutputFormat::Text);
+    assert!(!text.contains("degraded"), "{text}");
+    let xml = outcome.render(s2s.ontology(), OutputFormat::Xml);
+    assert!(!xml.contains("completeness"), "{xml}");
+}
+
+#[test]
+fn breaker_trips_end_to_end_and_recovers_after_cooldown() {
+    let policy = ResiliencePolicy::default()
+        .with_breaker(BreakerConfig::new(2, SimDuration::from_millis(50_000)));
+    let mut s2s = S2s::new(ontology()).with_resilience(policy);
+    s2s.register_remote_source(
+        "DEAD",
+        brand_db("Ghost"),
+        CostModel::lan(),
+        FailureModel::unreachable(),
+    )
+    .unwrap();
+    s2s.register_attribute("thing.product.brand", brand_rule(), "DEAD", RecordScenario::SingleRecord)
+        .unwrap();
+
+    for _ in 0..6 {
+        let outcome = s2s.query("SELECT product").unwrap();
+        assert_eq!(outcome.stats.failed_tasks, 1);
+    }
+    // Two real calls tripped the breaker; the other four queries were
+    // short-circuited without touching the endpoint.
+    let health = s2s.query("SELECT product").unwrap().resilience["DEAD"];
+    assert_eq!(health.breaker_state, Some(BreakerState::Open));
+    let breaker = s2s.resilience().breaker("DEAD").unwrap();
+    assert_eq!(breaker.counters().opened, 1);
+    assert!(breaker.counters().rejected >= 4);
+
+    // Advance the virtual clock past the cooldown: the next query's
+    // probe is admitted (and fails again, reopening the breaker).
+    let rejected_before = breaker.counters().rejected;
+    s2s.resilience().advance_clock(SimDuration::from_millis(60_000));
+    let outcome = s2s.query("SELECT product").unwrap();
+    assert_eq!(outcome.resilience["DEAD"].breaker_rejections, 0);
+    assert_eq!(breaker.counters().half_opened, 1);
+    assert_eq!(breaker.counters().rejected, rejected_before);
+}
+
+#[test]
+fn circuit_open_failures_classify_transient() {
+    let policy = ResiliencePolicy::none()
+        .with_breaker(BreakerConfig::new(1, SimDuration::from_millis(50_000)));
+    let mut s2s = S2s::new(ontology()).with_resilience(policy);
+    s2s.register_remote_source(
+        "DEAD",
+        brand_db("Ghost"),
+        CostModel::lan(),
+        FailureModel::unreachable(),
+    )
+    .unwrap();
+    s2s.register_attribute("thing.product.brand", brand_rule(), "DEAD", RecordScenario::SingleRecord)
+        .unwrap();
+    let _ = s2s.query("SELECT product").unwrap(); // trips the breaker
+    let outcome = s2s.query("SELECT product").unwrap();
+    let failure = &outcome.errors()[0];
+    assert!(matches!(failure.error, S2sError::CircuitOpen { .. }));
+    assert_eq!(failure.error.failure_class(), FailureClass::Transient);
+    assert!(failure.error.to_string().contains("DEAD"));
+}

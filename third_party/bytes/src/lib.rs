@@ -1,0 +1,256 @@
+//! Minimal stand-in for the `bytes` crate covering the subset used by
+//! the wire-framing layer: `Bytes` (cheaply cloneable, front-consuming
+//! reads via [`Buf`]), `BytesMut` (append-only builder via [`BufMut`]),
+//! and `freeze`. Integers are big-endian, matching upstream.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read access that consumes bytes from the front of a buffer.
+pub trait Buf {
+    /// Removes and returns the first byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Removes and returns the first two bytes as a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+
+    /// Removes and returns the first four bytes as a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+}
+
+/// Write access that appends bytes at the end of a buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a `u16` in big-endian order.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a `u32` in big-endian order.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable, cheaply cloneable byte buffer.
+///
+/// Clones share the underlying allocation; [`Buf`] reads advance a
+/// per-handle cursor without copying.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::new(Vec::new()), start: 0 }
+    }
+
+    /// Creates a buffer borrowing nothing from a static slice (copied
+    /// here; upstream borrows, which callers cannot observe).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: Arc::new(bytes.to_vec()), start: 0 }
+    }
+
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow: need {n}, have {}", self.len());
+        let slice = &self.data[self.start..self.start + n];
+        self.start += n;
+        slice
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: Arc::new(data), start: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Buf for Bytes {
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let s = self.take_front(2);
+        u16::from_be_bytes([s[0], s[1]])
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let s = self.take_front(4);
+        u32::from_be_bytes([s[0], s[1], s[2], s[3]])
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with at least `capacity` reserved bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::from(self.data.clone()), f)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn build_and_read_back() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u16(0x5253);
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_slice(b"xyz");
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 10);
+        assert_eq!(frozen.get_u16(), 0x5253);
+        assert_eq!(frozen.get_u8(), 7);
+        assert_eq!(frozen.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(&frozen[..], b"xyz");
+        assert_eq!(frozen.to_vec(), b"xyz".to_vec());
+    }
+
+    #[test]
+    fn clones_share_but_cursor_is_per_handle() {
+        let mut a = Bytes::from(vec![0, 1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.get_u16(), 0x0001);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"\x01");
+        let _ = b.get_u32();
+    }
+}

@@ -1,0 +1,760 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait
+//! with `prop_map`/`prop_recursive`/`boxed`, strategies for ranges,
+//! tuples, and a regex-subset `&str` pattern language, `any::<T>()`,
+//! `proptest::collection::{vec, btree_map}`, `proptest::option::of`,
+//! and the `proptest!`/`prop_assert*`/`prop_oneof!` macros.
+//!
+//! Unlike upstream there is no shrinking and no persistence: each
+//! `proptest!` test runs a fixed number of deterministic cases seeded
+//! from the test's name (`PROPTEST_CASES` overrides the count). That
+//! preserves the regression value of the properties while keeping the
+//! build free of network dependencies.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Failure type produced by the `prop_assert*` macros.
+
+    use std::fmt;
+
+    /// A failed property-test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// Deterministic per-test random source (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test name, so every run of a given
+    /// test explores the same cases.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in [0, bound); bound must be positive.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES` env
+/// var, default 64).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `func`.
+    fn prop_map<U, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, func }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for
+    /// the inner level and returns the composite level. The stub
+    /// composes `recurse` exactly `depth` times over the base strategy
+    /// (the `_desired_size`/`_expected_branch_size` tuning knobs are
+    /// accepted for signature compatibility and ignored).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let mut composed = self.boxed();
+        for _ in 0..depth {
+            composed = recurse(composed).boxed();
+        }
+        composed
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Produces an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        arbitrary_char(rng)
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(25);
+        (0..len).map(|_| arbitrary_char(rng)).collect()
+    }
+}
+
+/// Mixed-pool character generator: mostly printable ASCII, with
+/// control characters and multi-byte scalars mixed in so parsers see
+/// escaping and char-boundary edge cases.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => ['\n', '\t', '\r', '\0', '\x1b'][rng.below(5)],
+        1 | 2 => {
+            // Any valid scalar value (skip the surrogate gap).
+            loop {
+                let v = (rng.next_u64() % 0x11_0000) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+        _ => (0x20 + rng.below(0x5f) as u8) as char,
+    }
+}
+
+/// Types uniformly samplable from a half-open range.
+pub trait UniformSample: Sized + Copy {
+    /// Samples from `[start, end)`.
+    fn uniform(rng: &mut TestRng, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty as $wide:ty),*) => {
+        $(impl UniformSample for $t {
+            fn uniform(rng: &mut TestRng, start: Self, end: Self) -> Self {
+                assert!(start < end, "empty range strategy");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        })*
+    };
+}
+
+impl_uniform_int!(
+    u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
+    i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64
+);
+
+impl UniformSample for f64 {
+    fn uniform(rng: &mut TestRng, start: Self, end: Self) -> Self {
+        assert!(start < end, "empty range strategy");
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+impl UniformSample for f32 {
+    fn uniform(rng: &mut TestRng, start: Self, end: Self) -> Self {
+        assert!(start < end, "empty range strategy");
+        start + (rng.next_f64() as f32) * (end - start)
+    }
+}
+
+impl<T: UniformSample> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        })*
+    };
+}
+
+impl_strategy_tuple! { (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+// ---------------------------------------------------------------------
+// Pattern strategies: `"[a-z]{1,4}"`-style &str literals.
+// ---------------------------------------------------------------------
+
+struct PatternItem {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_escape(iter: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+    match iter.next().expect("pattern ends in backslash") {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses one bracket class (cursor past the opening `[`), returning
+/// the concrete character choices. Supports ranges, escapes, leading
+/// `^` negation, and `&&[...]` intersection — the subset the
+/// workspace's patterns use.
+fn parse_class(iter: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let negated = iter.peek() == Some(&'^') && {
+        iter.next();
+        true
+    };
+    let mut members: Vec<(char, char)> = Vec::new();
+    let mut intersections: Vec<Vec<char>> = Vec::new();
+    loop {
+        match iter.next().expect("unterminated character class") {
+            ']' => break,
+            '&' if iter.peek() == Some(&'&') => {
+                iter.next();
+                assert_eq!(iter.next(), Some('['), "`&&` must be followed by a class");
+                intersections.push(parse_class(iter));
+            }
+            raw => {
+                let lo = if raw == '\\' { parse_escape(iter) } else { raw };
+                // A `-` is a range only when sandwiched between atoms.
+                if iter.peek() == Some(&'-') {
+                    let mut ahead = iter.clone();
+                    ahead.next();
+                    if ahead.peek() != Some(&']') {
+                        iter.next();
+                        let next = iter.next().expect("unterminated range");
+                        let hi = if next == '\\' { parse_escape(iter) } else { next };
+                        members.push((lo, hi));
+                        continue;
+                    }
+                }
+                members.push((lo, lo));
+            }
+        }
+    }
+    let in_members = |c: char| members.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+    // Enumerate over the ASCII domain; the workspace's patterns only
+    // name ASCII characters.
+    let mut choices: Vec<char> = (0u8..=0x7f)
+        .map(char::from)
+        .filter(|&c| if negated { !in_members(c) } else { in_members(c) })
+        .filter(|&c| intersections.iter().all(|set| set.contains(&c)))
+        .collect();
+    if negated {
+        // Keep negated classes printable unless intersected away.
+        choices.retain(|&c| !c.is_control() || c == '\n' || c == '\t');
+    }
+    choices
+}
+
+fn parse_quantifier(iter: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if iter.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    iter.next();
+    let mut spec = String::new();
+    for c in iter.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("bad quantifier lower bound"),
+            hi.parse().expect("bad quantifier upper bound"),
+        ),
+        None => {
+            let n = spec.parse().expect("bad quantifier count");
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternItem> {
+    let mut iter = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = iter.next() {
+        let choices = match c {
+            '[' => parse_class(&mut iter),
+            '\\' => vec![parse_escape(&mut iter)],
+            other => vec![other],
+        };
+        assert!(!choices.is_empty(), "empty character class in pattern {pattern:?}");
+        let (min, max) = parse_quantifier(&mut iter);
+        items.push(PatternItem { choices, min, max });
+    }
+    items
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for item in parse_pattern(self) {
+            let count = item.min + rng.below(item.max - item.min + 1);
+            for _ in 0..count {
+                out.push(item.choices[rng.below(item.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Vector of `size` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Map strategy; duplicate keys collapse, so the generated map can
+    /// be smaller than the drawn size (matching upstream semantics).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Strategy producing `BTreeMap<K::Value, V::Value>`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.clone().generate(rng);
+            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Wraps values of `inner` in `Some` three times out of four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Strategy producing `Option<S::Value>`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::for_test(stringify!($name));
+                let __proptest_cases = $crate::cases();
+                for __proptest_case in 0..__proptest_cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __proptest_rng);)+
+                    let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __proptest_result {
+                        panic!("case {}/{} failed: {}", __proptest_case + 1, __proptest_cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left != *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*),
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between the listed strategies (all must yield the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{cases, TestRng};
+    // The self-tests exercise the same `proptest::…` paths downstream
+    // crates write.
+    use crate as proptest;
+
+    #[test]
+    fn pattern_class_range_and_quantifier() {
+        let mut rng = TestRng::for_test("pattern1");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-d]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_intersection_and_escape() {
+        let mut rng = TestRng::for_test("pattern2");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~&&[^<\"]]{0,6}", &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '<' && c != '"'), "{s:?}");
+            let t = Strategy::generate(&"[ -~\\n\\t]{0,20}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn pattern_sequence() {
+        let mut rng = TestRng::for_test("pattern3");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    proptest! {
+        /// The macro itself: patterns, ranges, tuples, maps, oneof.
+        #[test]
+        fn macro_smoke(v in proptest::collection::vec((0u64..50).prop_map(|x| x * 2), 0..10),
+                       s in "[x-z]{2}",
+                       pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert_eq!(s.len(), 2);
+            prop_assert_ne!(pick, 0, "pick was {}", pick);
+        }
+
+        #[test]
+        fn recursive_terminates(depths in proptest::collection::vec(0usize..3, 0..4)) {
+            #[derive(Debug, Clone)]
+            struct Node {
+                children: Vec<Node>,
+            }
+            fn depth(n: &Node) -> usize {
+                1 + n.children.iter().map(depth).max().unwrap_or(0)
+            }
+            let leaf = (0u64..3).prop_map(|_| Node { children: vec![] });
+            let tree = leaf.prop_recursive(3, 24, 4, |inner| {
+                proptest::collection::vec(inner, 0..3).prop_map(|children| Node { children })
+            });
+            let mut rng = TestRng::for_test("recursive_inner");
+            for _ in 0..(depths.len() + 5) {
+                let node = Strategy::generate(&tree, &mut rng);
+                prop_assert!(depth(&node) <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn case_count_configurable() {
+        assert!(cases() > 0);
+    }
+}

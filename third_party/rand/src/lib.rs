@@ -1,0 +1,217 @@
+//! Minimal, API-compatible stand-in for the parts of the `rand` crate
+//! this workspace uses: `StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension methods `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The container building this repository has no network access to
+//! crates.io, so external dependencies are vendored as small local
+//! crates. The generator is a SplitMix64 stream: deterministic per
+//! seed, statistically solid for simulation workloads, and fast. The
+//! bit streams differ from upstream `rand`, which is fine here — the
+//! workspace only relies on determinism and uniformity, never on the
+//! exact upstream sequences.
+
+use std::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The core source of randomness: a 64-bit stream.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Values samplable uniformly from the full type domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Builds a value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types samplable uniformly from a half-open `start..end` range.
+pub trait SampleUniform: Sized {
+    /// Samples from `[start, end)` given 64 random bits.
+    fn sample_range(bits: u64, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $wide:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_range(bits: u64, start: Self, end: Self) -> Self {
+                assert!(start < end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                start.wrapping_add((bits % span) as $t)
+            }
+        })*
+    };
+}
+
+impl_sample_uniform_int!(
+    u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
+    i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_range(bits: u64, start: Self, end: Self) -> Self {
+        assert!(start < end, "gen_range: empty range");
+        start + f64::from_bits_standard(bits) * (end - start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(bits: u64, start: Self, end: Self) -> Self {
+        assert!(start < end, "gen_range: empty range");
+        start + f32::from_bits_standard(bits) * (end - start)
+    }
+}
+
+trait FromBitsStandard {
+    fn from_bits_standard(bits: u64) -> Self;
+}
+
+impl FromBitsStandard for f64 {
+    fn from_bits_standard(bits: u64) -> Self {
+        Standard::from_bits(bits)
+    }
+}
+
+impl FromBitsStandard for f32 {
+    fn from_bits_standard(bits: u64) -> Self {
+        Standard::from_bits(bits)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's full domain (for
+    /// floats: `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 stream).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..10).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..10).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..8);
+            seen[v] = true;
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean={mean}");
+    }
+}
