@@ -53,7 +53,7 @@ fn bench_workers(c: &mut Criterion) {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    use s2s_bench::{deploy_mixed, ontology, map_db, records, catalog_db};
+    use s2s_bench::{catalog_db, deploy_mixed, map_db, ontology, records};
     use s2s_core::source::Connection;
     use s2s_core::S2s;
     use std::sync::Arc;

@@ -17,21 +17,15 @@ fn bench(c: &mut Criterion) {
 
     for &classes in &[64usize, 512] {
         let o = synthetic_ontology(classes, 2);
-        group.bench_with_input(
-            BenchmarkId::new("closure_build", classes),
-            &classes,
-            |b, _| b.iter(|| Reasoner::new(&o)),
-        );
+        group.bench_with_input(BenchmarkId::new("closure_build", classes), &classes, |b, _| {
+            b.iter(|| Reasoner::new(&o))
+        });
 
         // An instance graph: one individual per class, typed with it.
         let mut base = Graph::new();
         for (i, cl) in o.classes().enumerate() {
             let ind = Iri::new(format!("http://bench.example/data/i{i}")).unwrap();
-            base.insert(Triple::new(
-                ind.clone(),
-                s2s_rdf::vocab::rdf::type_(),
-                cl.iri().clone(),
-            ));
+            base.insert(Triple::new(ind.clone(), s2s_rdf::vocab::rdf::type_(), cl.iri().clone()));
             base.insert(Triple::new(
                 ind,
                 Iri::new(format!("http://bench.example/big#p{i}_0")).unwrap(),
@@ -39,25 +33,19 @@ fn bench(c: &mut Criterion) {
             ));
         }
         let reasoner = Reasoner::new(&o);
-        group.bench_with_input(
-            BenchmarkId::new("materialize", classes),
-            &classes,
-            |b, _| {
-                b.iter(|| {
-                    let mut g = base.clone();
-                    reasoner.materialize(&mut g);
-                    g.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("materialize", classes), &classes, |b, _| {
+            b.iter(|| {
+                let mut g = base.clone();
+                reasoner.materialize(&mut g);
+                g.len()
+            })
+        });
 
         let mut materialized = base.clone();
         reasoner.materialize(&mut materialized);
-        group.bench_with_input(
-            BenchmarkId::new("consistency_check", classes),
-            &classes,
-            |b, _| b.iter(|| reasoner.check_consistency(&materialized).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("consistency_check", classes), &classes, |b, _| {
+            b.iter(|| reasoner.check_consistency(&materialized).len())
+        });
     }
     group.finish();
 }

@@ -26,8 +26,10 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("conjunctive_filter", n), &n, |b, _| {
             b.iter(|| {
-                s2s.query("SELECT watch WHERE brand='Seiko' AND case='stainless-steel' AND price<300")
-                    .unwrap()
+                s2s.query(
+                    "SELECT watch WHERE brand='Seiko' AND case='stainless-steel' AND price<300",
+                )
+                .unwrap()
             })
         });
     }

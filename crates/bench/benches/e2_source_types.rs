@@ -9,7 +9,10 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use s2s_bench::{catalog_db, catalog_html, catalog_text, catalog_xml, map_db, map_text, map_web, map_xml, ontology, records};
+use s2s_bench::{
+    catalog_db, catalog_html, catalog_text, catalog_xml, map_db, map_text, map_web, map_xml,
+    ontology, records,
+};
 use s2s_core::extract::extract_one;
 use s2s_core::source::{Connection, SourceRegistry};
 use s2s_core::S2s;
@@ -21,18 +24,22 @@ fn bench(c: &mut Criterion) {
     // Build one registry + one mapping per source type through a
     // throwaway middleware (reusing the canonical mapping sets).
     let mut s2s = S2s::new(ontology());
-    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) })
-        .unwrap();
-    s2s.register_source("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) })
-        .unwrap();
+    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) }).unwrap();
+    s2s.register_source("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) }).unwrap();
     let mut web = WebStore::new();
     web.register_html("http://shop/list", catalog_html(&recs));
     web.register_text("file:///export.txt", catalog_text(&recs));
     let web = Arc::new(web);
-    s2s.register_source("WEB", Connection::Web { store: web.clone(), url: "http://shop/list".into() })
-        .unwrap();
-    s2s.register_source("TXT", Connection::Text { store: web.clone(), url: "file:///export.txt".into() })
-        .unwrap();
+    s2s.register_source(
+        "WEB",
+        Connection::Web { store: web.clone(), url: "http://shop/list".into() },
+    )
+    .unwrap();
+    s2s.register_source(
+        "TXT",
+        Connection::Text { store: web.clone(), url: "file:///export.txt".into() },
+    )
+    .unwrap();
     map_db(&mut s2s, "DB");
     map_xml(&mut s2s, "XML");
     map_web(&mut s2s, "WEB");
@@ -47,7 +54,10 @@ fn bench(c: &mut Criterion) {
         .register_local("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) })
         .unwrap();
     registry
-        .register_local("WEB", Connection::Web { store: web.clone(), url: "http://shop/list".into() })
+        .register_local(
+            "WEB",
+            Connection::Web { store: web.clone(), url: "http://shop/list".into() },
+        )
         .unwrap();
     registry
         .register_local("TXT", Connection::Text { store: web, url: "file:///export.txt".into() })

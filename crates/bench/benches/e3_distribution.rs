@@ -8,7 +8,7 @@
 //! stays near the slowest call once workers ≥ sources.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use s2s_bench::deploy_sharded;
+use s2s_bench::{deploy_sharded, deploy_wide};
 use s2s_core::extract::Strategy;
 use s2s_netsim::{CostModel, FailureModel};
 
@@ -20,24 +20,35 @@ fn bench(c: &mut Criterion) {
         for (label, strategy) in
             [("serial", Strategy::Serial), ("parallel16", Strategy::Parallel { workers: 16 })]
         {
-            let s2s = deploy_sharded(
-                sources,
-                50,
-                CostModel::wan(),
-                FailureModel::reliable(),
-                strategy,
-            );
-            group.bench_with_input(
-                BenchmarkId::new(label, sources),
-                &sources,
-                |b, &sources| {
-                    b.iter(|| {
-                        let outcome = s2s.query("SELECT watch").unwrap();
-                        assert_eq!(outcome.individuals().len(), sources * 50);
-                        outcome.stats.simulated
-                    })
-                },
-            );
+            let s2s =
+                deploy_sharded(sources, 50, CostModel::wan(), FailureModel::reliable(), strategy);
+            group.bench_with_input(BenchmarkId::new(label, sources), &sources, |b, &sources| {
+                b.iter(|| {
+                    let outcome = s2s.query("SELECT watch").unwrap();
+                    assert_eq!(outcome.individuals().len(), sources * 50);
+                    outcome.stats.simulated
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Batched vs per-attribute extraction across cost models: 8 sources
+    // × 4 attributes each, LAN and WAN. Wall-clock tracks the CPU cost
+    // of the planner + coalesced exchange; the simulated makespans are
+    // reported by the experiments binary (E11).
+    let mut group = c.benchmark_group("e3_batching");
+    group.sample_size(10);
+    for (cost_label, cost) in [("lan", CostModel::lan()), ("wan", CostModel::wan())] {
+        for (mode, batching) in [("batched", true), ("per-attr", false)] {
+            let s2s = deploy_wide(8, 4, cost, Strategy::Parallel { workers: 8 }, batching);
+            group.bench_with_input(BenchmarkId::new(mode, cost_label), &batching, |b, _| {
+                b.iter(|| {
+                    let outcome = s2s.query("SELECT product").unwrap();
+                    assert_eq!(outcome.individuals().len(), 8);
+                    outcome.stats.simulated
+                })
+            });
         }
     }
     group.finish();

@@ -1,13 +1,18 @@
 //! E4 — Mapping Module scale (paper Fig. 3/4): attribute registration
-//! throughput and lookup cost as the attribute repository grows.
+//! throughput and lookup cost as the attribute repository grows, plus
+//! extraction cost as the attributes-per-source count grows (the axis
+//! the batched planner optimizes).
 //!
 //! Expected shape: registration ~O(n log n) total (tree inserts),
 //! lookup cost stays flat-ish (ordered-map scan bounded by result
-//! size).
+//! size); per-attribute extraction grows linearly in attributes per
+//! source while batched extraction stays near one exchange per source.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use s2s_bench::synthetic_ontology;
+use s2s_bench::{deploy_wide, synthetic_ontology};
+use s2s_core::extract::Strategy;
 use s2s_core::mapping::{ExtractionRule, MappingModule, RecordScenario};
+use s2s_netsim::CostModel;
 use s2s_owl::AttributePath;
 
 fn bench(c: &mut Criterion) {
@@ -30,27 +35,23 @@ fn bench(c: &mut Criterion) {
             .collect();
         let total = paths.len();
 
-        group.bench_with_input(
-            BenchmarkId::new("register_all", total),
-            &total,
-            |b, _| {
-                b.iter(|| {
-                    let mut m = MappingModule::new();
-                    for p in &paths {
-                        m.register(
-                            &o,
-                            p.clone(),
-                            ExtractionRule::TextRegex { pattern: "x".into(), group: 0 },
-                            "SRC".into(),
-                            RecordScenario::MultiRecord,
-                        )
-                        .unwrap();
-                    }
-                    assert_eq!(m.len(), total);
-                    m
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("register_all", total), &total, |b, _| {
+            b.iter(|| {
+                let mut m = MappingModule::new();
+                for p in &paths {
+                    m.register(
+                        &o,
+                        p.clone(),
+                        ExtractionRule::TextRegex { pattern: "x".into(), group: 0 },
+                        "SRC".into(),
+                        RecordScenario::MultiRecord,
+                    )
+                    .unwrap();
+                }
+                assert_eq!(m.len(), total);
+                m
+            })
+        });
 
         // Lookup against a populated module.
         let mut module = MappingModule::new();
@@ -73,6 +74,24 @@ fn bench(c: &mut Criterion) {
                 hits.len()
             })
         });
+    }
+    group.finish();
+
+    // Attributes-per-source sweep, batched vs per-attribute, over WAN:
+    // 4 sources × {2, 8, 16} attributes each.
+    let mut group = c.benchmark_group("e4_attrs_per_source");
+    group.sample_size(10);
+    for &attrs in &[2usize, 8, 16] {
+        for (mode, batching) in [("batched", true), ("per-attr", false)] {
+            let s2s = deploy_wide(4, attrs, CostModel::wan(), Strategy::Serial, batching);
+            group.bench_with_input(BenchmarkId::new(mode, attrs), &attrs, |b, _| {
+                b.iter(|| {
+                    let outcome = s2s.query("SELECT product").unwrap();
+                    assert_eq!(outcome.individuals().len(), 4);
+                    outcome.stats.simulated
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -20,8 +20,7 @@ use s2s_webdoc::WebStore;
 fn multi_record(n: usize) -> S2s {
     let recs = records(n, 11);
     let mut s2s = S2s::new(ontology());
-    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) })
-        .unwrap();
+    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) }).unwrap();
     s2s.register_attribute(
         "thing.product.watch.brand",
         ExtractionRule::Sql {
@@ -40,10 +39,7 @@ fn single_record(n: usize) -> S2s {
     let recs = records(n, 11);
     let mut web = WebStore::new();
     for r in &recs {
-        web.register_html(
-            format!("http://shop/{}", r.id),
-            format!("<p><b>{}</b></p>", r.brand),
-        );
+        web.register_html(format!("http://shop/{}", r.id), format!("<p><b>{}</b></p>", r.brand));
     }
     let web = Arc::new(web);
     let mut s2s = S2s::new(ontology()).with_strategy(Strategy::Parallel { workers: 8 });

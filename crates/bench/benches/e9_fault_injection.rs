@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
     // Retry budget = attempts beyond the first call.
     for &budget in &[0u32, 1, 3] {
         for &p in &[0.0f64, 0.2, 0.5] {
-            let policy =
-                ResiliencePolicy::default().with_retry(RetryPolicy::attempts(budget + 1));
+            let policy = ResiliencePolicy::default().with_retry(RetryPolicy::attempts(budget + 1));
             let s2s = deploy_sharded(
                 32,
                 20,

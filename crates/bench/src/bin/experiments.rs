@@ -32,6 +32,7 @@ fn main() {
     e8();
     e9();
     e10();
+    e11();
 }
 
 fn header(id: &str, title: &str) {
@@ -81,7 +82,10 @@ fn e2() {
     web.register_text("file:///export.txt", catalog_text(&recs));
     let web = Arc::new(web);
     registry
-        .register_local("WEB", Connection::Web { store: web.clone(), url: "http://shop/list".into() })
+        .register_local(
+            "WEB",
+            Connection::Web { store: web.clone(), url: "http://shop/list".into() },
+        )
         .unwrap();
     registry
         .register_local("TXT", Connection::Text { store: web, url: "file:///export.txt".into() })
@@ -97,10 +101,7 @@ fn e2() {
             },
         ),
         ("XML", ExtractionRule::XPath { path: "/catalog/watch/brand/text()".into() }),
-        (
-            "WEB",
-            ExtractionRule::Webl { program: "var b = TagTexts(Text(PAGE), \"b\");".into() },
-        ),
+        ("WEB", ExtractionRule::Webl { program: "var b = TagTexts(Text(PAGE), \"b\");".into() }),
         ("TXT", ExtractionRule::TextRegex { pattern: r"brand: ([\w-]+)".into(), group: 1 }),
     ] {
         let mut m = MappingModule::new();
@@ -122,10 +123,7 @@ fn e2() {
 
 fn e3() {
     header("E3", "scaling with remote sources: serial vs parallel mediator (WAN)");
-    println!(
-        "{:>8} {:>16} {:>16} {:>9}",
-        "sources", "serial(sim)", "parallel16(sim)", "speedup"
-    );
+    println!("{:>8} {:>16} {:>16} {:>9}", "sources", "serial(sim)", "parallel16(sim)", "speedup");
     for sources in [1usize, 4, 16, 64] {
         let serial = deploy_sharded(
             sources,
@@ -166,9 +164,7 @@ fn e4() {
                 o.properties_of_class(cl.iri())
                     .into_iter()
                     .filter(|p| p.domains().any(|d| d == cl.iri()))
-                    .map(|p| {
-                        s2s_owl::AttributePath::for_attribute(&o, cl.iri(), p.iri()).unwrap()
-                    })
+                    .map(|p| s2s_owl::AttributePath::for_attribute(&o, cl.iri(), p.iri()).unwrap())
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -316,8 +312,7 @@ fn e7() {
             s
         };
         let o_single = build(Strategy::Serial).query("SELECT watch").unwrap();
-        let o_single_par =
-            build(Strategy::Parallel { workers: 16 }).query("SELECT watch").unwrap();
+        let o_single_par = build(Strategy::Parallel { workers: 16 }).query("SELECT watch").unwrap();
         assert_eq!(o_multi.individuals().len(), n);
         assert_eq!(o_single.individuals().len(), n);
         println!(
@@ -339,13 +334,12 @@ fn e8() {
         .unwrap();
     org_a.execute("INSERT INTO products VALUES (1,'Seiko',129.99),(2,'Casio',59.5)").unwrap();
     let mut org_b = s2s_minidb::Database::new("b");
-    org_b
-        .execute("CREATE TABLE artikel (nr INTEGER PRIMARY KEY, marke TEXT, preis REAL)")
-        .unwrap();
+    org_b.execute("CREATE TABLE artikel (nr INTEGER PRIMARY KEY, marke TEXT, preis REAL)").unwrap();
     org_b.execute("INSERT INTO artikel VALUES (9,'Seiko',118.0)").unwrap();
-    let org_c =
-        s2s_xml::parse("<ex><it><b>Seiko</b><p>140.0</p></it><it><b>Orient</b><p>189.0</p></it></ex>")
-            .unwrap();
+    let org_c = s2s_xml::parse(
+        "<ex><it><b>Seiko</b><p>140.0</p></it><it><b>Orient</b><p>189.0</p></it></ex>",
+    )
+    .unwrap();
 
     let mut s2s = S2s::new(ontology());
     s2s.register_source("ORG_A", Connection::Database { db: Arc::new(org_a.clone()) }).unwrap();
@@ -422,11 +416,7 @@ fn e8() {
                 column: "marke".into(),
             },
         )
-        .add_rule(
-            "ORG_C",
-            "b",
-            ExtractionRule::XPath { path: "//it[b='Seiko']/b/text()".into() },
-        );
+        .add_rule("ORG_C", "b", ExtractionRule::XPath { path: "//it[b='Seiko']/b/text()".into() });
     let (out, base_wall) = time(|| baseline.run(&registry));
     println!(
         "baseline: {} glue rules for this ONE query shape → {} raw records in {}us \
@@ -462,12 +452,13 @@ fn e9() {
             )
             .with_resilience(policy);
             let outcome = s2s.query("SELECT watch").unwrap();
-            let sources_ok = 32 - outcome
-                .errors()
-                .iter()
-                .map(|e| e.source.clone())
-                .collect::<std::collections::BTreeSet<_>>()
-                .len();
+            let sources_ok = 32
+                - outcome
+                    .errors()
+                    .iter()
+                    .map(|e| e.source.clone())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len();
             println!(
                 "{:>6.2} {:>7} {:>8} {:>8} {:>12.1}% {:>8} {:>14}",
                 p,
@@ -482,6 +473,62 @@ fn e9() {
     }
 }
 
+fn e11() {
+    header("E11", "batched vs per-attribute extraction (wire coalescing + LPT planner)");
+    println!(
+        "{:>5} {:>8} {:>6} {:>16} {:>16} {:>9} {:>11} {:>11}",
+        "cost",
+        "sources",
+        "attrs",
+        "per-attr(sim)",
+        "batched(sim)",
+        "speedup",
+        "rt-per-attr",
+        "rt-batched"
+    );
+    for (cost_label, cost) in [("lan", CostModel::lan()), ("wan", CostModel::wan())] {
+        for (sources, attrs) in [(8usize, 1usize), (8, 2), (8, 4), (8, 8), (16, 4)] {
+            let run = |batching| {
+                deploy_wide(sources, attrs, cost, Strategy::Parallel { workers: 4 }, batching)
+                    .query("SELECT product")
+                    .unwrap()
+            };
+            let per_attr = run(false);
+            let batched = run(true);
+            assert_eq!(
+                format!("{:?}", per_attr.individuals()),
+                format!("{:?}", batched.individuals()),
+                "batched and per-attribute results diverged"
+            );
+            let speedup = per_attr.stats.simulated.as_micros() as f64
+                / batched.stats.simulated.as_micros().max(1) as f64;
+            println!(
+                "{:>5} {:>8} {:>6} {:>16} {:>16} {:>8.1}x {:>11} {:>11}",
+                cost_label,
+                sources,
+                attrs,
+                per_attr.stats.simulated.to_string(),
+                batched.stats.simulated.to_string(),
+                speedup,
+                per_attr.stats.round_trips,
+                batched.stats.round_trips
+            );
+        }
+    }
+    // Compiled-rule cache: distinct rules compiled vs served from cache
+    // on a repeat query (same middleware, shared cache).
+    let s2s = deploy_wide(16, 8, CostModel::lan(), Strategy::Parallel { workers: 8 }, true);
+    let first = s2s.query("SELECT product").unwrap();
+    let second = s2s.query("SELECT product").unwrap();
+    println!(
+        "  rule cache: query1 {} misses / {} hits; query2 {} misses / {} hits",
+        first.stats.rule_cache.misses,
+        first.stats.rule_cache.hits,
+        second.stats.rule_cache.misses,
+        second.stats.rule_cache.hits
+    );
+}
+
 fn e10() {
     header("E10", "reasoner cost vs ontology size (§2.2)");
     println!("{:>8} {:>12} {:>14} {:>14}", "classes", "closure", "materialize", "consistency");
@@ -492,11 +539,7 @@ fn e10() {
         let mut g = s2s_rdf::Graph::new();
         for (i, cl) in o.classes().enumerate() {
             let ind = s2s_rdf::Iri::new(format!("http://bench.example/data/i{i}")).unwrap();
-            g.insert(s2s_rdf::Triple::new(
-                ind,
-                s2s_rdf::vocab::rdf::type_(),
-                cl.iri().clone(),
-            ));
+            g.insert(s2s_rdf::Triple::new(ind, s2s_rdf::vocab::rdf::type_(), cl.iri().clone()));
         }
         let (_, mat_wall) = time(|| {
             let mut g2 = g.clone();

@@ -212,11 +212,9 @@ pub fn map_web(s2s: &mut S2s, id: &str) {
 
 /// The regex mappings for a text source.
 pub fn map_text(s2s: &mut S2s, id: &str) {
-    for (attr, pat) in [
-        ("brand", r"brand: ([\w-]+)"),
-        ("price", r"price: ([0-9.]+)"),
-        ("case", r"case: ([\w-]+)"),
-    ] {
+    for (attr, pat) in
+        [("brand", r"brand: ([\w-]+)"), ("price", r"price: ([0-9.]+)"), ("case", r"case: ([\w-]+)")]
+    {
         s2s.register_attribute(
             &format!("thing.product.watch.{attr}"),
             ExtractionRule::TextRegex { pattern: pat.into(), group: 1 },
@@ -233,10 +231,8 @@ pub fn deploy_mixed(n: usize, seed: u64) -> S2s {
     let recs = records(n, seed);
     let mut s2s = S2s::new(ontology());
 
-    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) })
-        .unwrap();
-    s2s.register_source("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) })
-        .unwrap();
+    s2s.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) }).unwrap();
+    s2s.register_source("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) }).unwrap();
 
     let mut web = WebStore::new();
     web.register_html("http://shop/list", catalog_html(&recs));
@@ -282,6 +278,66 @@ pub fn deploy_sharded(
     s2s
 }
 
+/// An ontology whose `Product` class carries `attrs` string properties
+/// `a0..a{attrs-1}` (the attributes-per-source sweep axis).
+pub fn wide_ontology(attrs: usize) -> Ontology {
+    let mut b = Ontology::builder("http://bench.example/wide#").class("Product", None).unwrap();
+    for j in 0..attrs {
+        b = b
+            .datatype_property(
+                &format!("a{j}"),
+                "Product",
+                "http://www.w3.org/2001/XMLSchema#string",
+            )
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A wide deployment: `sources` remote databases, each mapping the same
+/// `attrs` attributes (one SQL rule per attribute, identical text on
+/// every source). This is the batching workload: per-attribute
+/// extraction pays `sources × attrs` round trips, batched extraction
+/// pays `sources`, and the compiled-rule cache sees only `attrs`
+/// distinct rules.
+pub fn deploy_wide(
+    sources: usize,
+    attrs: usize,
+    cost: CostModel,
+    strategy: Strategy,
+    batching: bool,
+) -> S2s {
+    let mut s2s = S2s::new(wide_ontology(attrs)).with_strategy(strategy).with_batching(batching);
+    let columns: Vec<String> = (0..attrs).map(|j| format!("a{j} TEXT")).collect();
+    for i in 0..sources {
+        let mut db = Database::new(format!("wide{i}"));
+        db.execute(&format!("CREATE TABLE t ({})", columns.join(", "))).unwrap();
+        let values: Vec<String> = (0..attrs).map(|j| format!("'v{i}-{j}'")).collect();
+        db.execute(&format!("INSERT INTO t VALUES ({})", values.join(", "))).unwrap();
+        let id = format!("WIDE_{i:03}");
+        s2s.register_remote_source(
+            &id,
+            Connection::Database { db: Arc::new(db) },
+            cost,
+            FailureModel::reliable(),
+        )
+        .unwrap();
+        for j in 0..attrs {
+            s2s.register_attribute(
+                &format!("thing.product.a{j}"),
+                ExtractionRule::Sql {
+                    query: format!("SELECT a{j} FROM t"),
+                    column: format!("a{j}"),
+                },
+                &id,
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+    }
+    s2s
+}
+
 /// Wall-clock helper for the experiments binary.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
     let start = std::time::Instant::now();
@@ -305,10 +361,7 @@ mod tests {
         let db = catalog_db(&recs);
         assert_eq!(db.query("SELECT * FROM watches").unwrap().len(), 20);
         let xml = catalog_xml(&recs);
-        assert_eq!(
-            s2s_xml::xpath::XPath::new("//watch").unwrap().eval_from(&xml.root).len(),
-            20
-        );
+        assert_eq!(s2s_xml::xpath::XPath::new("//watch").unwrap().eval_from(&xml.root).len(), 20);
         let html = catalog_html(&recs);
         assert_eq!(html.matches("<li>").count(), 20);
         let text = catalog_text(&recs);
@@ -348,6 +401,24 @@ mod tests {
         );
         let outcome = s2s.query("SELECT watch").unwrap();
         assert_eq!(outcome.individuals().len(), 40);
+    }
+
+    #[test]
+    fn wide_deployment_batched_and_unbatched_agree() {
+        let batched = deploy_wide(3, 4, CostModel::wan(), Strategy::Serial, true)
+            .query("SELECT product")
+            .unwrap();
+        let unbatched = deploy_wide(3, 4, CostModel::wan(), Strategy::Serial, false)
+            .query("SELECT product")
+            .unwrap();
+        assert_eq!(batched.individuals().len(), 3);
+        assert_eq!(
+            format!("{:?}", batched.individuals()),
+            format!("{:?}", unbatched.individuals())
+        );
+        assert_eq!(batched.stats.round_trips, 3);
+        assert_eq!(unbatched.stats.round_trips, 12);
+        assert!(batched.stats.simulated < unbatched.stats.simulated);
     }
 
     #[test]

@@ -100,8 +100,7 @@ impl SyntacticIntegrator {
         }
 
         for source in sources {
-            let rules: Vec<&GlueRule> =
-                self.glue.iter().filter(|g| g.source == source).collect();
+            let rules: Vec<&GlueRule> = self.glue.iter().filter(|g| g.source == source).collect();
             let mut columns: Vec<(String, Vec<String>)> = Vec::new();
             for g in &rules {
                 match run_raw(registry, g) {
@@ -182,23 +181,27 @@ mod tests {
         b.add_rule(
             "ORG1",
             "brand",
-            ExtractionRule::Sql { query: "SELECT brand FROM products".into(), column: "brand".into() },
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM products".into(),
+                column: "brand".into(),
+            },
         );
         b.add_rule(
             "ORG2",
             "marke",
-            ExtractionRule::Sql { query: "SELECT marke FROM artikel".into(), column: "marke".into() },
+            ExtractionRule::Sql {
+                query: "SELECT marke FROM artikel".into(),
+                column: "marke".into(),
+            },
         );
         let out = b.run(&r);
         assert_eq!(out.records.len(), 2);
         // The baseline exposes the heterogeneity: same manufacturer, two
         // labels, two field names.
-        let values: Vec<&str> =
-            out.records.iter().map(|rec| rec.fields[0].1.as_str()).collect();
+        let values: Vec<&str> = out.records.iter().map(|rec| rec.fields[0].1.as_str()).collect();
         assert!(values.contains(&"Seiko"));
         assert!(values.contains(&"SEIKO-JP"));
-        let fields: Vec<&str> =
-            out.records.iter().map(|rec| rec.fields[0].0.as_str()).collect();
+        let fields: Vec<&str> = out.records.iter().map(|rec| rec.fields[0].0.as_str()).collect();
         assert!(fields.contains(&"brand"));
         assert!(fields.contains(&"marke"));
     }
@@ -225,7 +228,10 @@ mod tests {
         b.add_rule(
             "ORG1",
             "brand",
-            ExtractionRule::Sql { query: "SELECT brand FROM products".into(), column: "brand".into() },
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM products".into(),
+                column: "brand".into(),
+            },
         );
         b.add_rule(
             "ORG1",
@@ -247,12 +253,18 @@ mod tests {
         b.add_rule(
             "ORG1",
             "bad",
-            ExtractionRule::Sql { query: "SELECT nope FROM products".into(), column: "nope".into() },
+            ExtractionRule::Sql {
+                query: "SELECT nope FROM products".into(),
+                column: "nope".into(),
+            },
         );
         b.add_rule(
             "ORG1",
             "brand",
-            ExtractionRule::Sql { query: "SELECT brand FROM products".into(), column: "brand".into() },
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM products".into(),
+                column: "brand".into(),
+            },
         );
         let out = b.run(&r);
         assert_eq!(out.errors.len(), 1);

@@ -22,18 +22,17 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use s2s_netsim::wire::{encode, FrameKind};
+use s2s_netsim::wire::{encode, encode_batch, FrameKind};
 use s2s_netsim::{
     invoke_with_retry, makespan, run_parallel, BreakerConfig, BreakerState, CircuitBreaker,
     Endpoint, RetryPolicy, SimDuration,
 };
-use s2s_textmatch::Regex;
-use s2s_webdoc::{WeblProgram, WeblValue};
-use s2s_xml::xpath::XPath;
+use s2s_webdoc::{WebStore, WeblProgram, WeblValue};
 
 use crate::error::{FailureClass, S2sError};
 use crate::mapping::{AttributeMapping, ExtractionRule, MappingModule, RecordScenario};
-use crate::source::{Connection, SourceRegistry};
+use crate::rules::{CompiledRule, RuleCache};
+use crate::source::{Connection, RegisteredSource, SourceRegistry};
 
 /// One unit of extraction work: an attribute, its rule, its source
 /// (paper §2.4.1: "extraction schemas of the required attributes").
@@ -193,6 +192,10 @@ pub struct SourceHealth {
     pub failovers: u64,
     /// Calls rejected by an open circuit breaker.
     pub breaker_rejections: u64,
+    /// Simulated wire time spent against this source, including failed
+    /// attempts and backoff waits (unlike the per-result `elapsed`,
+    /// which only successful tasks report).
+    pub elapsed: SimDuration,
     /// State of the primary endpoint's breaker after the query
     /// (`None` when breakers are disabled).
     pub breaker_state: Option<BreakerState>,
@@ -205,6 +208,7 @@ struct TaskTrace {
     retries: u64,
     failovers: u64,
     breaker_rejections: u64,
+    elapsed: SimDuration,
 }
 
 /// A failed extraction, attributed to its attribute and source (feeds
@@ -280,15 +284,15 @@ impl ExtractorManager {
             if mappings.is_empty() {
                 return Err(S2sError::UnmappedAttribute { attribute: p.to_string() });
             }
-            schemas
-                .extend(mappings.into_iter().map(|m| ExtractionSchema { mapping: m.clone() }));
+            schemas.extend(mappings.into_iter().map(|m| ExtractionSchema { mapping: m.clone() }));
         }
         Ok(schemas)
     }
 
     /// Runs a batch of schemas (step 4 of Fig. 5), tolerating per-task
     /// failures. Legacy single-shot behaviour: one attempt against the
-    /// primary endpoint, no failover, no breaker.
+    /// primary endpoint, no failover, no breaker, one wire exchange per
+    /// attribute.
     pub fn extract(
         registry: &SourceRegistry,
         schemas: Vec<ExtractionSchema>,
@@ -312,22 +316,32 @@ impl ExtractorManager {
         strategy: Strategy,
         ctx: &ResilienceContext,
     ) -> ExtractionReport {
+        Self::extract_with_rules(registry, schemas, strategy, ctx, &RuleCache::new())
+    }
+
+    /// The per-attribute path with a shared compiled-rule cache: one
+    /// wire exchange per schema. Kept alongside
+    /// [`ExtractorManager::extract_batched`] for the equivalence tests
+    /// and the ablation bench.
+    pub fn extract_with_rules(
+        registry: &SourceRegistry,
+        schemas: Vec<ExtractionSchema>,
+        strategy: Strategy,
+        ctx: &ResilienceContext,
+        rules: &RuleCache,
+    ) -> ExtractionReport {
         let workers = strategy.workers();
         let outcomes = run_parallel(schemas, workers, |schema| {
-            let r = extract_one_resilient(registry, &schema.mapping, ctx);
+            let r = extract_one_resilient(registry, &schema.mapping, ctx, rules);
             (schema, r)
         });
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
         for (schema, (outcome, trace)) in outcomes {
-            let health =
-                report.resilience.entry(schema.mapping.source().to_string()).or_default();
+            let health = report.resilience.entry(schema.mapping.source().to_string()).or_default();
             health.tasks += 1;
-            health.attempts += trace.attempts;
-            health.retries += trace.retries;
-            health.failovers += trace.failovers;
-            health.breaker_rejections += trace.breaker_rejections;
+            fold_trace(health, trace);
             match outcome {
                 Ok((values, elapsed)) => {
                     durations.push(elapsed);
@@ -347,15 +361,178 @@ impl ExtractorManager {
                 }
             }
         }
-        for (source_id, health) in &mut report.resilience {
-            health.breaker_state = registry
-                .get(&source_id.as_str().into())
-                .and_then(|s| ctx.breaker(s.endpoint().id()))
-                .map(|b| b.state());
-        }
+        fill_breaker_states(&mut report, registry, ctx);
         report.simulated_serial = durations.iter().copied().sum();
         report.simulated = makespan(&durations, workers);
         report
+    }
+
+    /// The batched pipeline: the planner groups the schema batch by
+    /// source, runs every wrapper locally, coalesces each group's rules
+    /// into a single `BatchRequest`/`BatchResponse` wire exchange, and
+    /// dispatches batches longest-processing-time-first so the k-worker
+    /// makespan is near-optimal.
+    ///
+    /// Semantics match the per-attribute paths exactly: results and
+    /// failures come back in submission order with identical values and
+    /// errors. A failed exchange retries/fails over *as a unit* and
+    /// fails every batched rule with the same network error; wrapper
+    /// errors (bad rules, missing columns) are reported individually
+    /// and never reach the wire, so one bad rule cannot sink its batch.
+    pub fn extract_batched(
+        registry: &SourceRegistry,
+        schemas: Vec<ExtractionSchema>,
+        strategy: Strategy,
+        ctx: &ResilienceContext,
+        rules: &RuleCache,
+    ) -> ExtractionReport {
+        let workers = strategy.workers();
+        let batches = plan_batches(registry, schemas, rules);
+
+        let outcomes = run_parallel(batches, workers, |batch| {
+            let (Some(source), false) = (batch.source, batch.ok.is_empty()) else {
+                // Nothing survived the wrappers (or the source is
+                // unknown): no wire leg at all.
+                return (batch, (Ok(SimDuration::ZERO), TaskTrace::default()));
+            };
+            let salt = format!("{}:batch", batch.source_id);
+            let net = resilient_exchange(source, &batch.source_id, &salt, batch.wire_bytes, ctx);
+            (batch, net)
+        });
+
+        let mut report = ExtractionReport::default();
+        let mut durations = Vec::new();
+        let mut results = Vec::new();
+        let mut failures = Vec::new();
+        for (batch, (net, trace)) in outcomes {
+            let health = report.resilience.entry(batch.source_id.clone()).or_default();
+            health.tasks += batch.ok.len() + batch.failed.len();
+            fold_trace(health, trace);
+            for (i, schema, error) in batch.failed {
+                health.failed_tasks += 1;
+                failures.push((i, failure_of(&schema, error)));
+            }
+            match net {
+                Ok(elapsed) => {
+                    if !batch.ok.is_empty() {
+                        durations.push(elapsed);
+                    }
+                    for (i, schema, values) in batch.ok {
+                        results.push((
+                            i,
+                            AttributeResult { mapping: schema.mapping, values, elapsed },
+                        ));
+                    }
+                }
+                Err(error) => {
+                    // The exchange failed as a unit: every batched rule
+                    // reports the same network error.
+                    for (i, schema, _) in batch.ok {
+                        health.failed_tasks += 1;
+                        failures.push((i, failure_of(&schema, error.clone())));
+                    }
+                }
+            }
+        }
+        // Restore submission order so batched output is byte-identical
+        // to the per-attribute paths.
+        results.sort_by_key(|(i, _)| *i);
+        failures.sort_by_key(|(i, _)| *i);
+        report.results = results.into_iter().map(|(_, r)| r).collect();
+        report.failures = failures.into_iter().map(|(_, f)| f).collect();
+        fill_breaker_states(&mut report, registry, ctx);
+        report.simulated_serial = durations.iter().copied().sum();
+        report.simulated = makespan(&durations, workers);
+        report
+    }
+}
+
+/// One per-source unit of batched work, planned before any wire leg.
+struct PlannedBatch<'a> {
+    source_id: String,
+    source: Option<&'a RegisteredSource>,
+    /// Wrapper-successful schemas: submission index, schema, values.
+    ok: Vec<(usize, ExtractionSchema, Vec<String>)>,
+    /// Wrapper-failed schemas (these never reach the wire).
+    failed: Vec<(usize, ExtractionSchema, S2sError)>,
+    /// Total on-wire bytes of the coalesced exchange.
+    wire_bytes: usize,
+    /// LPT sort key: estimated wire cost under the source's cost model.
+    estimate: SimDuration,
+}
+
+/// Groups schemas by source, runs the local wrapper half, and sizes the
+/// coalesced `BatchRequest`/`BatchResponse` exchange for each group.
+fn plan_batches<'a>(
+    registry: &'a SourceRegistry,
+    schemas: Vec<ExtractionSchema>,
+    rules: &RuleCache,
+) -> Vec<PlannedBatch<'a>> {
+    let mut groups: BTreeMap<String, Vec<(usize, ExtractionSchema)>> = BTreeMap::new();
+    for (i, s) in schemas.into_iter().enumerate() {
+        groups.entry(s.mapping.source().to_string()).or_default().push((i, s));
+    }
+    let mut batches = Vec::with_capacity(groups.len());
+    for (source_id, group) in groups {
+        let source = registry.get(&source_id.as_str().into());
+        let mut ok = Vec::new();
+        let mut failed = Vec::new();
+        for (i, schema) in group {
+            match prepare_values(registry, &schema.mapping, rules) {
+                Ok(values) => ok.push((i, schema, values)),
+                Err(e) => failed.push((i, schema, e)),
+            }
+        }
+        // Every surviving rule travels as one section of a single
+        // BatchRequest; every value list comes back as one section of
+        // the matching BatchResponse.
+        let wire_bytes = if ok.is_empty() {
+            0
+        } else {
+            let request_sections: Vec<&[u8]> =
+                ok.iter().map(|(_, s, _)| s.mapping.rule().text().as_bytes()).collect();
+            let response_sections: Vec<Vec<u8>> =
+                ok.iter().map(|(_, _, v)| vec![0u8; v.iter().map(String::len).sum()]).collect();
+            encode_batch(FrameKind::BatchRequest, &request_sections).len()
+                + encode_batch(FrameKind::BatchResponse, &response_sections).len()
+        };
+        let estimate =
+            source.map(|s| s.endpoint().cost_model().cost(wire_bytes, 0.5)).unwrap_or_default();
+        batches.push(PlannedBatch { source_id, source, ok, failed, wire_bytes, estimate });
+    }
+    // Longest processing time first: the greedy list scheduler (both
+    // `run_parallel` and the `makespan` accounting) sees the costliest
+    // batches first, which keeps the k-worker makespan near-optimal.
+    batches.sort_by(|a, b| b.estimate.cmp(&a.estimate).then_with(|| a.source_id.cmp(&b.source_id)));
+    batches
+}
+
+fn failure_of(schema: &ExtractionSchema, error: S2sError) -> ExtractionFailure {
+    ExtractionFailure {
+        attribute: schema.mapping.path().to_string(),
+        source: schema.mapping.source().to_string(),
+        error,
+    }
+}
+
+fn fold_trace(health: &mut SourceHealth, trace: TaskTrace) {
+    health.attempts += trace.attempts;
+    health.retries += trace.retries;
+    health.failovers += trace.failovers;
+    health.breaker_rejections += trace.breaker_rejections;
+    health.elapsed += trace.elapsed;
+}
+
+fn fill_breaker_states(
+    report: &mut ExtractionReport,
+    registry: &SourceRegistry,
+    ctx: &ResilienceContext,
+) {
+    for (source_id, health) in &mut report.resilience {
+        health.breaker_state = registry
+            .get(&source_id.as_str().into())
+            .and_then(|s| ctx.breaker(s.endpoint().id()))
+            .map(|b| b.state());
     }
 }
 
@@ -375,7 +552,7 @@ pub fn extract_one(
     registry: &SourceRegistry,
     mapping: &AttributeMapping,
 ) -> Result<(Vec<String>, SimDuration), S2sError> {
-    let (source, values, bytes) = prepare_task(registry, mapping)?;
+    let (source, values, bytes) = prepare_task(registry, mapping, &RuleCache::new())?;
     let call = source.endpoint().invoke(bytes, || ())?;
     Ok((values, call.elapsed))
 }
@@ -394,47 +571,65 @@ fn extract_one_resilient(
     registry: &SourceRegistry,
     mapping: &AttributeMapping,
     ctx: &ResilienceContext,
+    rules: &RuleCache,
 ) -> (Result<(Vec<String>, SimDuration), S2sError>, TaskTrace) {
-    let mut trace = TaskTrace::default();
-    let (source, values, bytes) = match prepare_task(registry, mapping) {
+    let (source, values, bytes) = match prepare_task(registry, mapping, rules) {
         Ok(prepared) => prepared,
-        Err(e) => return (Err(e), trace),
+        Err(e) => return (Err(e), TaskTrace::default()),
     };
+    let source_label = mapping.source().to_string();
+    let salt = mapping.path().to_string();
+    let (net, trace) = resilient_exchange(source, &source_label, &salt, bytes, ctx);
+    (net.map(|elapsed| (values, elapsed)), trace)
+}
 
-    let endpoints: Vec<&Arc<Endpoint>> = if ctx.policy.failover {
-        source.endpoints().collect()
-    } else {
-        vec![source.endpoint()]
-    };
+/// The resilient network leg shared by the per-attribute and batched
+/// paths: retries per the policy, fails over along the source's replica
+/// list on transient failures, and is gated by per-endpoint circuit
+/// breakers. `salt` keeps backoff-jitter draw streams distinct per
+/// logical task; `source_label` names the source in errors.
+///
+/// A failover is counted only once at least one real attempt has been
+/// made — skipping past a breaker-rejected endpoint costs no network
+/// attempt and is not a failover.
+fn resilient_exchange(
+    source: &RegisteredSource,
+    source_label: &str,
+    salt: &str,
+    bytes: usize,
+    ctx: &ResilienceContext,
+) -> (Result<SimDuration, S2sError>, TaskTrace) {
+    let mut trace = TaskTrace::default();
+    let endpoints: Vec<&Arc<Endpoint>> =
+        if ctx.policy.failover { source.endpoints().collect() } else { vec![source.endpoint()] };
 
-    let mut elapsed_total = SimDuration::ZERO;
+    let mut attempted = false;
     let mut last_err = None;
-    for (i, endpoint) in endpoints.into_iter().enumerate() {
-        if i > 0 {
+    for endpoint in endpoints {
+        if attempted {
             trace.failovers += 1;
         }
         let breaker = ctx.breaker_for(endpoint.id());
         if let Some(b) = &breaker {
             if !b.allow(ctx.virtual_now()) {
                 trace.breaker_rejections += 1;
-                last_err =
-                    Some(S2sError::CircuitOpen { source: mapping.source().to_string() });
+                last_err = Some(S2sError::CircuitOpen { source: source_label.to_string() });
                 continue;
             }
         }
-        let seed = crate::source::stable_seed(endpoint.id())
-            ^ crate::source::stable_seed(&mapping.path().to_string());
+        let seed = crate::source::stable_seed(endpoint.id()) ^ crate::source::stable_seed(salt);
         let out = invoke_with_retry(endpoint, &ctx.policy.retry, seed, bytes, || ());
+        attempted = true;
         trace.attempts += u64::from(out.attempts);
         trace.retries += u64::from(out.retries());
-        elapsed_total += out.elapsed;
+        trace.elapsed += out.elapsed;
         let now = ctx.advance(out.elapsed);
         match out.result {
             Ok(()) => {
                 if let Some(b) = &breaker {
                     b.record_success(now);
                 }
-                return (Ok((values, elapsed_total)), trace);
+                return (Ok(trace.elapsed), trace);
             }
             Err(e) => {
                 if let Some(b) = &breaker {
@@ -449,19 +644,35 @@ fn extract_one_resilient(
             }
         }
     }
-    let error = last_err.unwrap_or_else(|| S2sError::CircuitOpen {
-        source: mapping.source().to_string(),
-    });
+    let error =
+        last_err.unwrap_or_else(|| S2sError::CircuitOpen { source: source_label.to_string() });
     (Err(error), trace)
 }
 
-/// The local half of a task: source lookup, rule/kind check, wrapper
-/// run, and wire-size accounting (request frame carrying the rule text
-/// plus response frame carrying the values).
+/// The local half of a task: [`prepare_values`] plus wire-size
+/// accounting (request frame carrying the rule text plus response frame
+/// carrying the values).
 fn prepare_task<'a>(
     registry: &'a SourceRegistry,
     mapping: &AttributeMapping,
-) -> Result<(&'a crate::source::RegisteredSource, Vec<String>, usize), S2sError> {
+    rules: &RuleCache,
+) -> Result<(&'a RegisteredSource, Vec<String>, usize), S2sError> {
+    let source = registry.require(mapping.source())?;
+    let values = prepare_values(registry, mapping, rules)?;
+    let request = encode(FrameKind::Request, mapping.rule().text().as_bytes());
+    let response_len: usize = values.iter().map(String::len).sum();
+    let response = encode(FrameKind::Response, &vec![0u8; response_len]);
+    let bytes = request.len() + response.len();
+    Ok((source, values, bytes))
+}
+
+/// Source lookup, rule/kind check, wrapper run, and scenario
+/// truncation — everything local; no wire accounting.
+fn prepare_values(
+    registry: &SourceRegistry,
+    mapping: &AttributeMapping,
+    rules: &RuleCache,
+) -> Result<Vec<String>, S2sError> {
     let source = registry.require(mapping.source())?;
     if !mapping.rule().compatible_with(source.kind()) {
         return Err(S2sError::RuleSourceMismatch {
@@ -474,25 +685,27 @@ fn prepare_task<'a>(
         });
     }
 
-    let mut values = run_wrapper(source.connection(), mapping.rule())?;
+    let mut values = run_wrapper(source.connection(), mapping.rule(), rules)?;
     if mapping.scenario() == RecordScenario::SingleRecord {
         values.truncate(1);
     }
-
-    let request = encode(FrameKind::Request, mapping.rule().text().as_bytes());
-    let response_len: usize = values.iter().map(String::len).sum();
-    let response = encode(FrameKind::Response, &vec![0u8; response_len]);
-    let bytes = request.len() + response.len();
-    Ok((source, values, bytes))
+    Ok(values)
 }
 
 /// Dispatches to the per-source-type extractor (paper: "for Web pages,
 /// the extraction rules are delegated to a Web wrapper, for databases to
-/// a database extractor, and so on").
-fn run_wrapper(connection: &Connection, rule: &ExtractionRule) -> Result<Vec<String>, S2sError> {
-    match (connection, rule) {
-        (Connection::Database { db }, ExtractionRule::Sql { query, column }) => {
-            let result = db.query(query)?;
+/// a database extractor, and so on"), executing the cached compiled
+/// form of the rule.
+fn run_wrapper(
+    connection: &Connection,
+    rule: &ExtractionRule,
+    rules: &RuleCache,
+) -> Result<Vec<String>, S2sError> {
+    let compiled = rules.get_or_compile(rule)?;
+    match (connection, compiled) {
+        (Connection::Database { db }, CompiledRule::Sql(stmt)) => {
+            let ExtractionRule::Sql { column, .. } = rule else { unreachable!() };
+            let result = db.query_prepared(&stmt)?;
             let idx = result.column_index(column).ok_or_else(|| {
                 S2sError::Db(s2s_minidb::DbError::UnknownColumn { column: column.clone() })
             })?;
@@ -503,51 +716,22 @@ fn run_wrapper(connection: &Connection, rule: &ExtractionRule) -> Result<Vec<Str
                 .map(|row| row[idx].render())
                 .collect())
         }
-        (Connection::Xml { document }, ExtractionRule::XPath { path }) => {
-            let xpath = XPath::new(path)?;
+        (Connection::Xml { document }, CompiledRule::XPath(xpath)) => {
             Ok(xpath.eval_strings(document))
         }
-        (Connection::Xml { document }, ExtractionRule::XQuery { query }) => {
-            let xquery = s2s_xml::xquery::XQuery::new(query)?;
-            Ok(xquery.eval(document))
+        (Connection::Xml { document }, CompiledRule::XQuery(xquery)) => Ok(xquery.eval(document)),
+        (Connection::Web { store, url }, CompiledRule::Webl(program)) => {
+            run_webl(&program, store, url, true)
         }
-        (Connection::Web { store, url }, ExtractionRule::Webl { program }) => {
-            let program = WeblProgram::parse(program)?;
-            let doc = store.fetch(url)?;
-            let mut env = BTreeMap::new();
-            env.insert(
-                "PAGE".to_string(),
-                WeblValue::Page {
-                    url: url.clone(),
-                    source: doc.raw().to_string(),
-                    html: doc.is_html(),
-                },
-            );
-            env.insert("URL".to_string(), WeblValue::Str(url.clone()));
-            let value = program.run_with(store, env)?;
-            Ok(flatten_webl(value))
+        (Connection::Text { store, url }, CompiledRule::Webl(program)) => {
+            run_webl(&program, store, url, false)
         }
-        (Connection::Text { store, url }, ExtractionRule::Webl { program }) => {
-            let program = WeblProgram::parse(program)?;
+        (
+            Connection::Web { store, url } | Connection::Text { store, url },
+            CompiledRule::Regex(re),
+        ) => {
+            let ExtractionRule::TextRegex { group, .. } = rule else { unreachable!() };
             let doc = store.fetch(url)?;
-            let mut env = BTreeMap::new();
-            env.insert(
-                "PAGE".to_string(),
-                WeblValue::Page { url: url.clone(), source: doc.raw().to_string(), html: false },
-            );
-            env.insert("URL".to_string(), WeblValue::Str(url.clone()));
-            let value = program.run_with(store, env)?;
-            Ok(flatten_webl(value))
-        }
-        (Connection::Web { store, url }, ExtractionRule::TextRegex { pattern, group })
-        | (Connection::Text { store, url }, ExtractionRule::TextRegex { pattern, group }) => {
-            let doc = store.fetch(url)?;
-            let re = Regex::new(pattern).map_err(|e| {
-                S2sError::Webdoc(s2s_webdoc::WebdocError::BadRegex {
-                    pattern: pattern.clone(),
-                    message: e.to_string(),
-                })
-            })?;
             let text = doc.text();
             Ok(re
                 .find_iter(&text)
@@ -559,6 +743,30 @@ fn run_wrapper(connection: &Connection, rule: &ExtractionRule) -> Result<Vec<Str
             message: "unsupported rule/source combination".to_string(),
         }),
     }
+}
+
+/// Runs a compiled WebL program against a fetched page with the
+/// standard `PAGE`/`URL` bindings; `html` distinguishes the web wrapper
+/// from the plain-text extractor.
+fn run_webl(
+    program: &WeblProgram,
+    store: &Arc<WebStore>,
+    url: &str,
+    html: bool,
+) -> Result<Vec<String>, S2sError> {
+    let doc = store.fetch(url)?;
+    let mut env = BTreeMap::new();
+    env.insert(
+        "PAGE".to_string(),
+        WeblValue::Page {
+            url: url.to_string(),
+            source: doc.raw().to_string(),
+            html: html && doc.is_html(),
+        },
+    );
+    env.insert("URL".to_string(), WeblValue::Str(url.to_string()));
+    let value = program.run_with(store, env)?;
+    Ok(flatten_webl(value))
 }
 
 fn flatten_webl(value: WeblValue) -> Vec<String> {
@@ -578,6 +786,7 @@ fn flatten_webl(value: WeblValue) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheStats;
     use crate::mapping::MappingModule;
     use crate::source::Connection;
     use s2s_minidb::Database;
@@ -636,7 +845,10 @@ mod tests {
         m.register(
             &o,
             "thing.product.brand".parse().unwrap(),
-            ExtractionRule::Sql { query: "SELECT brand FROM w ORDER BY id".into(), column: "brand".into() },
+            ExtractionRule::Sql {
+                query: "SELECT brand FROM w ORDER BY id".into(),
+                column: "brand".into(),
+            },
             "DB_ID_45".into(),
             RecordScenario::MultiRecord,
         )
@@ -750,10 +962,7 @@ mod tests {
     #[test]
     fn obtain_schemas_requires_mapping() {
         let m = module();
-        let err = ExtractorManager::obtain_schemas(
-            &m,
-            &["thing.product.price".parse().unwrap()],
-        );
+        let err = ExtractorManager::obtain_schemas(&m, &["thing.product.price".parse().unwrap()]);
         assert!(matches!(err, Err(S2sError::UnmappedAttribute { .. })));
         let ok = ExtractorManager::obtain_schemas(&m, &["thing.product.brand".parse().unwrap()])
             .unwrap();
@@ -783,10 +992,7 @@ mod tests {
         .unwrap();
         let schemas = ExtractorManager::obtain_schemas(
             &m,
-            &[
-                "thing.product.brand".parse().unwrap(),
-                "thing.product.price".parse().unwrap(),
-            ],
+            &["thing.product.brand".parse().unwrap(), "thing.product.price".parse().unwrap()],
         )
         .unwrap();
         let report = ExtractorManager::extract(&r, schemas, Strategy::Serial);
@@ -797,35 +1003,363 @@ mod tests {
         assert!(report.failures[0].attribute.contains("price"));
     }
 
-    #[test]
-    fn parallel_equals_serial_results() {
-        let o = onto();
-        let r = registry();
-        let mut m = MappingModule::new();
-        for (i, rule) in [
-            ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
-            ExtractionRule::Sql { query: "SELECT price FROM w".into(), column: "price".into() },
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let path = if i == 0 { "thing.product.brand" } else { "thing.product.price" };
-            m.register(&o, path.parse().unwrap(), rule, "DB_ID_45".into(), RecordScenario::MultiRecord)
+    /// A mixed fixture over every source of [`registry`]: seven
+    /// attributes spread across the database, XML, and text sources,
+    /// including a rule that fails at execution (unknown column) and one
+    /// that fails to compile (broken regex), so equivalence covers
+    /// failures too.
+    fn mixed_fixture() -> (MappingModule, Vec<s2s_owl::AttributePath>) {
+        let mut builder =
+            Ontology::builder("http://example.org/schema#").class("Product", None).unwrap();
+        for i in 0..7 {
+            builder = builder
+                .datatype_property(&format!("a{i}"), "Product", s2s_rdf::vocab::xsd::STRING)
                 .unwrap();
         }
-        let paths = vec![
-            "thing.product.brand".parse().unwrap(),
-            "thing.product.price".parse().unwrap(),
+        let o = builder.build().unwrap();
+        let entries: [(ExtractionRule, &str); 7] = [
+            (
+                ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },
+                "DB_ID_45",
+            ),
+            (
+                ExtractionRule::Sql { query: "SELECT price FROM w".into(), column: "price".into() },
+                "DB_ID_45",
+            ),
+            (
+                ExtractionRule::Sql { query: "SELECT nope FROM w".into(), column: "nope".into() },
+                "DB_ID_45",
+            ),
+            (ExtractionRule::XPath { path: "//w/brand/text()".into() }, "XML_7"),
+            (ExtractionRule::TextRegex { pattern: r"brand: (\w+)".into(), group: 1 }, "txt_1"),
+            (ExtractionRule::TextRegex { pattern: "(unclosed".into(), group: 0 }, "txt_1"),
+            (ExtractionRule::XPath { path: "//w/missing/text()".into() }, "XML_7"),
         ];
+        let mut m = MappingModule::new();
+        let mut paths = Vec::new();
+        for (i, (rule, source)) in entries.into_iter().enumerate() {
+            let path: s2s_owl::AttributePath = format!("thing.product.a{i}").parse().unwrap();
+            m.register(&o, path.clone(), rule, source.into(), RecordScenario::MultiRecord).unwrap();
+            paths.push(path);
+        }
+        (m, paths)
+    }
+
+    /// Comparable view of a report: per-attribute values plus failure
+    /// attribution (error text included, so "same failure" means the
+    /// same error, not just the same count).
+    fn outcome_key(rep: &ExtractionReport) -> (Vec<(String, Vec<String>)>, Vec<String>) {
+        let mut values: Vec<(String, Vec<String>)> = rep
+            .results
+            .iter()
+            .map(|x| (format!("{}@{}", x.mapping.path(), x.mapping.source()), x.values.clone()))
+            .collect();
+        values.sort();
+        let mut failures: Vec<String> = rep
+            .failures
+            .iter()
+            .map(|f| format!("{}@{}: {}", f.attribute, f.source, f.error))
+            .collect();
+        failures.sort();
+        (values, failures)
+    }
+
+    #[test]
+    fn parallel_equals_serial_results() {
+        // Property-style equivalence: batched, per-attribute parallel,
+        // and serial extraction must produce identical results *and*
+        // identical failures for arbitrary schema subsets.
+        let r = registry();
+        let (m, paths) = mixed_fixture();
+        let all = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        assert_eq!(all.len(), 7);
+        // Every subset of the schema batch (including empty and full).
+        for mask in 0..(1u32 << all.len()) {
+            let subset: Vec<ExtractionSchema> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, s)| s.clone())
+                .collect();
+            let ctx = ResilienceContext::new(ResiliencePolicy::none());
+            let rules = RuleCache::new();
+            let serial = ExtractorManager::extract(&r, subset.clone(), Strategy::Serial);
+            let parallel =
+                ExtractorManager::extract(&r, subset.clone(), Strategy::Parallel { workers: 4 });
+            let batched = ExtractorManager::extract_batched(
+                &r,
+                subset,
+                Strategy::Parallel { workers: 4 },
+                &ctx,
+                &rules,
+            );
+            let key = outcome_key(&serial);
+            assert_eq!(key, outcome_key(&parallel), "subset {mask:#b}");
+            assert_eq!(key, outcome_key(&batched), "subset {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn batched_results_preserve_submission_order() {
+        let r = registry();
+        let (m, paths) = mixed_fixture();
         let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let ctx = ResilienceContext::new(ResiliencePolicy::none());
         let serial = ExtractorManager::extract(&r, schemas.clone(), Strategy::Serial);
-        let parallel = ExtractorManager::extract(&r, schemas, Strategy::Parallel { workers: 4 });
-        let values = |rep: &ExtractionReport| {
-            let mut v: Vec<Vec<String>> = rep.results.iter().map(|x| x.values.clone()).collect();
-            v.sort();
-            v
+        let batched = ExtractorManager::extract_batched(
+            &r,
+            schemas,
+            Strategy::Serial,
+            &ctx,
+            &RuleCache::new(),
+        );
+        let order = |rep: &ExtractionReport| {
+            rep.results
+                .iter()
+                .map(|x| format!("{}@{}", x.mapping.path(), x.mapping.source()))
+                .collect::<Vec<_>>()
         };
-        assert_eq!(values(&serial), values(&parallel));
+        assert_eq!(order(&serial), order(&batched));
+        let failure_order = |rep: &ExtractionReport| {
+            rep.failures.iter().map(|f| f.source.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(failure_order(&serial), failure_order(&batched));
+    }
+
+    #[test]
+    fn batching_coalesces_round_trips_per_source() {
+        // 3 attributes on one remote source: the per-attribute path
+        // pays 3 exchanges, the batched path exactly one.
+        let o = onto();
+        let (r, _) = flaky_registry(FailureModel::reliable(), &[]);
+        let mut m = MappingModule::new();
+        for (path, col) in [("thing.product.brand", "brand"), ("thing.product.price", "brand")] {
+            m.register(
+                &o,
+                path.parse().unwrap(),
+                ExtractionRule::Sql { query: format!("SELECT {col} FROM t"), column: col.into() },
+                "R".into(),
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        let paths: Vec<s2s_owl::AttributePath> =
+            vec!["thing.product.brand".parse().unwrap(), "thing.product.price".parse().unwrap()];
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let ctx = ResilienceContext::new(ResiliencePolicy::none());
+        let report = ExtractorManager::extract_batched(
+            &r,
+            schemas,
+            Strategy::Serial,
+            &ctx,
+            &RuleCache::new(),
+        );
+        assert!(report.is_complete(), "{:?}", report.failures);
+        let health = &report.resilience["R"];
+        assert_eq!(health.tasks, 2);
+        assert_eq!(health.attempts, 1, "batch must cross the wire once");
+        assert_eq!(r.get(&"R".into()).unwrap().endpoint().stats().calls, 1);
+        assert!(health.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_retries_as_a_unit() {
+        // ~50% flaky source, generous retries: the batch either fully
+        // succeeds or fully fails, and retry counters are per-exchange,
+        // not per-attribute.
+        let (r, _) = flaky_registry(FailureModel::flaky(0.5), &[]);
+        let o = onto();
+        let mut m = MappingModule::new();
+        for path in ["thing.product.brand", "thing.product.price"] {
+            m.register(
+                &o,
+                path.parse().unwrap(),
+                ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() },
+                "R".into(),
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        let paths: Vec<s2s_owl::AttributePath> =
+            vec!["thing.product.brand".parse().unwrap(), "thing.product.price".parse().unwrap()];
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let ctx =
+            ResilienceContext::new(ResiliencePolicy::none().with_retry(RetryPolicy::attempts(8)));
+        let report = ExtractorManager::extract_batched(
+            &r,
+            schemas,
+            Strategy::Serial,
+            &ctx,
+            &RuleCache::new(),
+        );
+        assert!(report.is_complete(), "8 attempts at p=0.5 should land: {:?}", report.failures);
+        let health = &report.resilience["R"];
+        assert_eq!(health.attempts, r.get(&"R".into()).unwrap().endpoint().stats().calls);
+        assert_eq!(health.retries, health.attempts - 1, "one exchange, rest are retries");
+        // Both attribute results carry the same batch elapsed.
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.results[0].elapsed, report.results[1].elapsed);
+    }
+
+    #[test]
+    fn batch_fails_over_as_a_unit() {
+        let o = onto();
+        let (r, _) = flaky_registry(FailureModel::unreachable(), &[FailureModel::reliable()]);
+        let mut m = MappingModule::new();
+        for path in ["thing.product.brand", "thing.product.price"] {
+            m.register(
+                &o,
+                path.parse().unwrap(),
+                ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() },
+                "R".into(),
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        let paths: Vec<s2s_owl::AttributePath> =
+            vec!["thing.product.brand".parse().unwrap(), "thing.product.price".parse().unwrap()];
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let ctx = ResilienceContext::new(ResiliencePolicy::default());
+        let report = ExtractorManager::extract_batched(
+            &r,
+            schemas,
+            Strategy::Serial,
+            &ctx,
+            &RuleCache::new(),
+        );
+        assert!(report.is_complete(), "{:?}", report.failures);
+        let health = &report.resilience["R"];
+        // One failover for the whole batch, not one per attribute.
+        assert_eq!(health.failovers, 1);
+        assert_eq!(health.attempts, 2);
+        assert_eq!(health.tasks, 2);
+    }
+
+    #[test]
+    fn batch_trips_breaker_and_reports_all_rules_failed() {
+        let o = onto();
+        let (r, _) = flaky_registry(FailureModel::unreachable(), &[]);
+        let mut m = MappingModule::new();
+        for path in ["thing.product.brand", "thing.product.price"] {
+            m.register(
+                &o,
+                path.parse().unwrap(),
+                ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() },
+                "R".into(),
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        let paths: Vec<s2s_owl::AttributePath> =
+            vec!["thing.product.brand".parse().unwrap(), "thing.product.price".parse().unwrap()];
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let policy = ResiliencePolicy::none()
+            .with_breaker(BreakerConfig::new(2, SimDuration::from_millis(60_000)));
+        let ctx = ResilienceContext::new(policy);
+        let rules = RuleCache::new();
+        let mut failures = Vec::new();
+        for _ in 0..4 {
+            let report = ExtractorManager::extract_batched(
+                &r,
+                schemas.clone(),
+                Strategy::Serial,
+                &ctx,
+                &rules,
+            );
+            // The failed exchange fails every batched rule.
+            assert_eq!(report.failures.len(), 2);
+            failures.extend(report.failures);
+        }
+        // Two real exchanges tripped the breaker; later batches were
+        // rejected without touching the endpoint.
+        assert_eq!(r.get(&"R".into()).unwrap().endpoint().stats().calls, 2);
+        assert_eq!(ctx.breaker("R").unwrap().state(), BreakerState::Open);
+        assert!(failures[4..].iter().all(|f| matches!(f.error, S2sError::CircuitOpen { .. })));
+    }
+
+    #[test]
+    fn breaker_rejected_primary_is_not_a_failover() {
+        // Regression: skipping past a breaker-rejected primary used to
+        // count as a failover even though no network attempt was made.
+        let (r, m) = flaky_registry(FailureModel::unreachable(), &[FailureModel::reliable()]);
+        let policy = ResiliencePolicy::default()
+            .with_breaker(BreakerConfig::new(1, SimDuration::from_millis(60_000)));
+        let ctx = ResilienceContext::new(policy);
+        // First task: real attempt on the primary fails (tripping its
+        // breaker), then a genuine failover to the replica.
+        let first = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        assert!(first.is_complete());
+        assert_eq!(first.resilience["R"].failovers, 1);
+        assert_eq!(ctx.breaker("R").unwrap().state(), BreakerState::Open);
+        // Second task: the primary is breaker-rejected with no attempt,
+        // so serving from the replica is not a failover.
+        let second = ExtractorManager::extract_with(&r, brand_schemas(&m), Strategy::Serial, &ctx);
+        assert!(second.is_complete());
+        let health = &second.resilience["R"];
+        assert_eq!(health.breaker_rejections, 1);
+        assert_eq!(health.attempts, 1);
+        assert_eq!(health.failovers, 0, "no real attempt preceded the switch");
+    }
+
+    #[test]
+    fn wrapper_error_does_not_sink_its_batch() {
+        let o = onto();
+        let (r, _) = flaky_registry(FailureModel::reliable(), &[]);
+        let mut m = MappingModule::new();
+        m.register(
+            &o,
+            "thing.product.brand".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() },
+            "R".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        m.register(
+            &o,
+            "thing.product.price".parse().unwrap(),
+            ExtractionRule::Sql { query: "SELECT oops FROM t".into(), column: "oops".into() },
+            "R".into(),
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        let paths: Vec<s2s_owl::AttributePath> =
+            vec!["thing.product.brand".parse().unwrap(), "thing.product.price".parse().unwrap()];
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let ctx = ResilienceContext::new(ResiliencePolicy::none());
+        let report = ExtractorManager::extract_batched(
+            &r,
+            schemas,
+            Strategy::Serial,
+            &ctx,
+            &RuleCache::new(),
+        );
+        // The bad rule fails individually; the good rule still ships in
+        // a 1-section batch.
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].attribute.contains("price"));
+        assert_eq!(report.resilience["R"].attempts, 1);
+        assert_eq!(report.resilience["R"].failed_tasks, 1);
+    }
+
+    #[test]
+    fn rule_cache_is_shared_across_batched_tasks() {
+        let r = registry();
+        let (m, paths) = mixed_fixture();
+        let schemas = ExtractorManager::obtain_schemas(&m, &paths).unwrap();
+        let ctx = ResilienceContext::new(ResiliencePolicy::none());
+        let rules = RuleCache::new();
+        let _ =
+            ExtractorManager::extract_batched(&r, schemas.clone(), Strategy::Serial, &ctx, &rules);
+        let first = rules.stats();
+        assert_eq!(first, CacheStats { hits: 0, misses: 7 });
+        // 6 of 7 rules compile (the broken regex never caches; the
+        // unknown-column SQL parses fine and only fails at execution).
+        assert_eq!(rules.len(), 6);
+        let _ = ExtractorManager::extract_batched(&r, schemas, Strategy::Serial, &ctx, &rules);
+        let second = rules.stats();
+        assert_eq!(second.misses - first.misses, 1, "only the broken regex recompiles");
+        assert_eq!(second.hits, 6);
     }
 
     #[test]
@@ -839,7 +1373,11 @@ mod tests {
             "FLAKY",
             Connection::Database { db: Arc::new(db) },
             CostModel::lan(),
-            FailureModel { p_unreachable: 1.0, p_timeout: 0.0, timeout: SimDuration::from_millis(1) },
+            FailureModel {
+                p_unreachable: 1.0,
+                p_timeout: 0.0,
+                timeout: SimDuration::from_millis(1),
+            },
         )
         .unwrap();
         let mut m = MappingModule::new();
@@ -851,10 +1389,7 @@ mod tests {
             RecordScenario::MultiRecord,
         )
         .unwrap();
-        assert!(matches!(
-            extract_one(&r, m.iter().next().unwrap()),
-            Err(S2sError::Net(_))
-        ));
+        assert!(matches!(extract_one(&r, m.iter().next().unwrap()), Err(S2sError::Net(_))));
     }
 
     /// A registry with one remote database source `R`: primary with the

@@ -62,6 +62,14 @@ pub struct InstanceSet {
     /// Fraction of requested attributes answered (`1.0` = complete);
     /// degraded results annotate their rendered output with it.
     pub completeness: f64,
+    /// Endpoint round trips (attempts) spent producing this set — the
+    /// observable batching win: a batched query makes one trip per
+    /// source instead of one per attribute.
+    pub round_trips: u64,
+    /// Attributes served from the extraction cache instead of the
+    /// network (filled in by the middleware; `0` when generated
+    /// directly from a report).
+    pub cache_hits: u64,
 }
 
 /// Output serialization formats (§2.6: "the S2S middleware supports the
@@ -99,11 +107,7 @@ pub fn provenance_property() -> Iri {
 /// Individuals failing the plan's conditions are dropped; individuals
 /// from object-property values are minted and typed by the property
 /// range.
-pub fn generate(
-    ontology: &Ontology,
-    plan: &QueryPlan,
-    report: &ExtractionReport,
-) -> InstanceSet {
+pub fn generate(ontology: &Ontology, plan: &QueryPlan, report: &ExtractionReport) -> InstanceSet {
     generate_with_options(ontology, plan, report, GenerateOptions::default())
 }
 
@@ -193,8 +197,7 @@ pub fn generate_with_options(
                 let object: Term = match def.map(|d| d.kind()) {
                     Some(PropertyKind::Object) => {
                         // Mint an individual for the referenced entity.
-                        let range =
-                            def.and_then(|d| d.ranges().next().cloned());
+                        let range = def.and_then(|d| d.ranges().next().cloned());
                         let ref_iri = mint_ref_iri(&data_ns, range.as_ref(), v);
                         if let (Ok(ref_iri), Some(range)) = (&ref_iri, &range) {
                             graph.insert(Triple::new(
@@ -224,6 +227,8 @@ pub fn generate_with_options(
         individuals,
         errors: report.failures.clone(),
         completeness: report.completeness(),
+        round_trips: report.resilience.values().map(|h| h.attempts).sum(),
+        cache_hits: 0,
     }
 }
 
@@ -249,15 +254,21 @@ fn render_xml(set: &InstanceSet) -> String {
     if set.completeness < 1.0 {
         root = root.with_attribute("completeness", format!("{:.3}", set.completeness));
     }
+    // Execution-cost telemetry (how many wire exchanges and cache
+    // answers produced this set), omitted when zero.
+    if set.round_trips > 0 {
+        root = root.with_attribute("round-trips", set.round_trips.to_string());
+    }
+    if set.cache_hits > 0 {
+        root = root.with_attribute("cache-hits", set.cache_hits.to_string());
+    }
     for ind in &set.individuals {
         let mut e = Element::new(ind.class.local_name().to_string())
             .with_attribute("about", ind.iri.as_str())
             .with_attribute("source", ind.source.clone());
         for (p, values) in &ind.values {
             for v in values {
-                e = e.with_child(
-                    Element::new(p.local_name().to_string()).with_text(v.clone()),
-                );
+                e = e.with_child(Element::new(p.local_name().to_string()).with_text(v.clone()));
             }
         }
         root = root.with_child(e);
@@ -276,7 +287,12 @@ fn render_xml(set: &InstanceSet) -> String {
 fn render_text(set: &InstanceSet) -> String {
     let mut out = String::new();
     for ind in &set.individuals {
-        out.push_str(&format!("{} [{}] from {}\n", ind.iri.as_str(), ind.class.local_name(), ind.source));
+        out.push_str(&format!(
+            "{} [{}] from {}\n",
+            ind.iri.as_str(),
+            ind.class.local_name(),
+            ind.source
+        ));
         for (p, values) in &ind.values {
             for v in values {
                 out.push_str(&format!("  {} = {v}\n", p.local_name()));
@@ -288,6 +304,12 @@ fn render_text(set: &InstanceSet) -> String {
     }
     if set.completeness < 1.0 {
         out.push_str(&format!("! degraded result: completeness {:.3}\n", set.completeness));
+    }
+    if set.round_trips > 0 {
+        out.push_str(&format!("# network round trips: {}\n", set.round_trips));
+    }
+    if set.cache_hits > 0 {
+        out.push_str(&format!("# cache hits: {}\n", set.cache_hits));
     }
     out
 }
@@ -407,8 +429,20 @@ mod tests {
         let o = onto();
         let p = plan(&parse("SELECT product").unwrap(), &o).unwrap();
         let rep = report(vec![
-            result(&o, "thing.product.brand", "DB", RecordScenario::MultiRecord, &["Seiko", "Casio"]),
-            result(&o, "thing.product.price", "DB", RecordScenario::MultiRecord, &["129.99", "59.5"]),
+            result(
+                &o,
+                "thing.product.brand",
+                "DB",
+                RecordScenario::MultiRecord,
+                &["Seiko", "Casio"],
+            ),
+            result(
+                &o,
+                "thing.product.price",
+                "DB",
+                RecordScenario::MultiRecord,
+                &["129.99", "59.5"],
+            ),
         ]);
         let set = generate(&o, &p, &rep);
         assert_eq!(set.individuals.len(), 2);
@@ -473,26 +507,32 @@ mod tests {
         let p = plan(&parse("SELECT product").unwrap(), &o).unwrap();
         let rep = report(vec![
             result(&o, "thing.product.brand", "DB", RecordScenario::SingleRecord, &["Seiko"]),
-            result(&o, "thing.product.provider", "DB", RecordScenario::SingleRecord, &["TimeHouse"]),
+            result(
+                &o,
+                "thing.product.provider",
+                "DB",
+                RecordScenario::SingleRecord,
+                &["TimeHouse"],
+            ),
         ]);
         let set = generate(&o, &p, &rep);
         let provider_class = o.class_iri("Provider").unwrap();
         let providers: Vec<_> = set.graph.instances_of(&provider_class).collect();
         assert_eq!(providers.len(), 1);
-        assert!(providers[0]
-            .as_iri()
-            .unwrap()
-            .as_str()
-            .contains("provider/timehouse"));
+        assert!(providers[0].as_iri().unwrap().as_str().contains("provider/timehouse"));
     }
 
     #[test]
     fn graph_gets_typed_literals() {
         let o = onto();
         let p = plan(&parse("SELECT product").unwrap(), &o).unwrap();
-        let rep = report(vec![
-            result(&o, "thing.product.price", "DB", RecordScenario::SingleRecord, &["59.5"]),
-        ]);
+        let rep = report(vec![result(
+            &o,
+            "thing.product.price",
+            "DB",
+            RecordScenario::SingleRecord,
+            &["59.5"],
+        )]);
         let set = generate(&o, &p, &rep);
         let price = o.property_iri("price").unwrap();
         let lit = set

@@ -38,9 +38,11 @@ pub mod instance;
 pub mod mapping;
 pub mod middleware;
 pub mod query;
+pub mod rules;
 pub mod source;
 pub mod spec;
 
 pub use error::{FailureClass, S2sError};
 pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};
 pub use middleware::S2s;
+pub use rules::RuleCache;

@@ -255,8 +255,7 @@ fn composite(path: &AttributePath, source: &SourceId) -> AttributePath {
     // source appended keeps ordering stable and unique.
     let mut segments: Vec<String> = path.class_segments().to_vec();
     segments.push(format!("src-{}", source.as_str().to_ascii_lowercase().replace('_', "-")));
-    AttributePath::new(segments, path.attribute_name())
-        .unwrap_or_else(|_| path.clone())
+    AttributePath::new(segments, path.attribute_name()).unwrap_or_else(|_| path.clone())
 }
 
 #[cfg(test)]

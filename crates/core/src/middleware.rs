@@ -20,6 +20,7 @@ use crate::extract::{
 use crate::instance::{self, GenerateOptions, Individual, InstanceSet, OutputFormat};
 use crate::mapping::{ExtractionRule, MappingModule, RecordScenario};
 use crate::query::{self, QueryPlan};
+use crate::rules::RuleCache;
 use crate::source::{Connection, SourceRegistry};
 
 /// Statistics of one query execution.
@@ -35,6 +36,14 @@ pub struct QueryStats {
     pub retries: u64,
     /// Failovers to replica endpoints across all tasks.
     pub failovers: u64,
+    /// Endpoint round trips (attempts) this query spent — the
+    /// observable batching win: one trip per source instead of one per
+    /// attribute.
+    pub round_trips: u64,
+    /// Extraction-cache hit/miss counters for this query alone.
+    pub extraction_cache: CacheStats,
+    /// Compiled-rule-cache hit/miss counters for this query alone.
+    pub rule_cache: CacheStats,
     /// Fraction of requested (mapped) attributes answered, in
     /// `[0, 1]`; `1.0` means no degradation.
     pub completeness: f64,
@@ -121,6 +130,8 @@ pub struct S2s {
     mappings: RwLock<MappingModule>,
     strategy: Strategy,
     cache: Option<Arc<ExtractionCache>>,
+    rules: Arc<RuleCache>,
+    batching: bool,
     provenance: bool,
     resilience: Arc<ResilienceContext>,
 }
@@ -135,9 +146,33 @@ impl S2s {
             mappings: RwLock::new(MappingModule::new()),
             strategy: Strategy::Serial,
             cache: None,
+            rules: Arc::new(RuleCache::new()),
+            batching: true,
             provenance: false,
             resilience: Arc::new(ResilienceContext::default()),
         }
+    }
+
+    /// Enables or disables batched extraction (default: enabled). When
+    /// on, the planner coalesces all rules for a source into a single
+    /// batched wire exchange and schedules per-source batches
+    /// longest-processing-time-first; when off, every attribute crosses
+    /// the network as its own request/response pair (the legacy path,
+    /// kept for equivalence testing and ablation).
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Whether batched extraction is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Compiled-rule cache counters (always active; shared across
+    /// queries on this instance).
+    pub fn rule_cache_stats(&self) -> CacheStats {
+        self.rules.stats()
     }
 
     /// Installs a resilience policy: retry/backoff per endpoint call,
@@ -210,11 +245,7 @@ impl S2s {
     /// # Errors
     ///
     /// Returns [`S2sError::DuplicateSource`] on id collision.
-    pub fn register_source(
-        &mut self,
-        id: &str,
-        connection: Connection,
-    ) -> Result<(), S2sError> {
+    pub fn register_source(&mut self, id: &str, connection: Connection) -> Result<(), S2sError> {
         self.registry.write().register_local(id, connection)
     }
 
@@ -251,9 +282,7 @@ impl S2s {
         failure: FailureModel,
         replicas: &[FailureModel],
     ) -> Result<(), S2sError> {
-        self.registry
-            .write()
-            .register_remote_with_replicas(id, connection, cost, failure, replicas)
+        self.registry.write().register_remote_with_replicas(id, connection, cost, failure, replicas)
     }
 
     /// Registers an attribute mapping — the full 3-step workflow of
@@ -275,13 +304,7 @@ impl S2s {
             let registry = self.registry.read();
             registry.require(&source.into())?;
         }
-        self.mappings.write().register(
-            &self.ontology,
-            path,
-            rule,
-            source.into(),
-            scenario,
-        )
+        self.mappings.write().register(&self.ontology, path, rule, source.into(), scenario)
     }
 
     /// Loads a mapping-specification document (see [`crate::spec`]) and
@@ -335,12 +358,8 @@ impl S2s {
         // Step 1-2 (Fig. 5): attribute list → extraction schemas,
         // keeping only mapped attributes.
         let mappings = self.mappings.read();
-        let mapped_paths: Vec<AttributePath> = plan
-            .attributes
-            .iter()
-            .filter(|p| mappings.contains(p))
-            .cloned()
-            .collect();
+        let mapped_paths: Vec<AttributePath> =
+            plan.attributes.iter().filter(|p| mappings.contains(p)).cloned().collect();
         let schemas = ExtractorManager::obtain_schemas(&mappings, &mapped_paths)?;
         drop(mappings);
 
@@ -364,12 +383,30 @@ impl S2s {
             None => schemas,
         };
         let cache_hits = cached_results.len();
+        let extraction_cache_before = self.cache_stats();
+        let rule_cache_before = self.rules.stats();
 
         // Step 3-4: source definitions + extraction, under the
-        // resilience policy.
+        // resilience policy. Batched: one coalesced wire exchange per
+        // source; legacy: one exchange per attribute.
         let registry = self.registry.read();
-        let mut report =
-            ExtractorManager::extract_with(&registry, schemas, self.strategy, &self.resilience);
+        let mut report = if self.batching {
+            ExtractorManager::extract_batched(
+                &registry,
+                schemas,
+                self.strategy,
+                &self.resilience,
+                &self.rules,
+            )
+        } else {
+            ExtractorManager::extract_with_rules(
+                &registry,
+                schemas,
+                self.strategy,
+                &self.resilience,
+                &self.rules,
+            )
+        };
         drop(registry);
 
         if let Some(cache) = &self.cache {
@@ -385,24 +422,43 @@ impl S2s {
             cache_hits,
             retries: report.resilience.values().map(|h| h.retries).sum(),
             failovers: report.resilience.values().map(|h| h.failovers).sum(),
+            round_trips: report.resilience.values().map(|h| h.attempts).sum(),
+            extraction_cache: delta(extraction_cache_before, self.cache_stats()),
+            rule_cache: delta(rule_cache_before, self.rules.stats()),
             // Cached answers count as answered: they were requested and
             // served, just not over the network this time.
             completeness: report.completeness(),
             simulated: report.simulated,
             simulated_serial: report.simulated_serial,
         };
+        // Wire time per source comes from the resilience telemetry
+        // (batched results share one exchange, so summing per-result
+        // `elapsed` would double-count); cache-served sources still get
+        // a zero entry.
         let mut source_times: std::collections::BTreeMap<String, SimDuration> =
             std::collections::BTreeMap::new();
-        for r in &report.results {
-            *source_times.entry(r.mapping.source().to_string()).or_default() += r.elapsed;
+        for (id, health) in &report.resilience {
+            source_times.insert(id.clone(), health.elapsed);
         }
-        let instances = instance::generate_with_options(
+        for r in &report.results {
+            source_times.entry(r.mapping.source().to_string()).or_default();
+        }
+        let mut instances = instance::generate_with_options(
             &self.ontology,
             &plan,
             &report,
             GenerateOptions { provenance: self.provenance },
         );
+        instances.cache_hits = cache_hits as u64;
         Ok(QueryOutcome { plan, instances, stats, source_times, resilience: report.resilience })
+    }
+}
+
+/// Counter movement between two snapshots of the same cache.
+fn delta(before: CacheStats, after: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
     }
 }
 
@@ -600,8 +656,7 @@ mod tests {
     #[test]
     fn paper_query_filters_across_sources() {
         let s2s = deploy();
-        let outcome =
-            s2s.query("SELECT watch WHERE case='stainless-steel'").unwrap();
+        let outcome = s2s.query("SELECT watch WHERE case='stainless-steel'").unwrap();
         // Seiko (db) and Orient (xml) have stainless-steel cases.
         assert_eq!(outcome.individuals().len(), 2);
     }
@@ -628,7 +683,8 @@ mod tests {
         let a = serial.query("SELECT watch").unwrap();
         let b = parallel.query("SELECT watch").unwrap();
         let key = |o: &QueryOutcome| {
-            let mut v: Vec<String> = o.individuals().iter().map(|i| format!("{:?}", i.values)).collect();
+            let mut v: Vec<String> =
+                o.individuals().iter().map(|i| format!("{:?}", i.values)).collect();
             v.sort();
             v
         };
@@ -692,8 +748,7 @@ mod tests {
             if prov {
                 s2s = s2s.with_provenance();
             }
-            s2s.register_source("DB", Connection::Database { db: Arc::new(db.clone()) })
-                .unwrap();
+            s2s.register_source("DB", Connection::Database { db: Arc::new(db.clone()) }).unwrap();
             s2s.register_attribute(
                 "thing.product.brand",
                 ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() },

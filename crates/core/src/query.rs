@@ -135,14 +135,11 @@ impl ConditionTree {
     /// Evaluates against one individual's property values. A leaf holds
     /// when at least one value of its property satisfies the comparison
     /// (missing properties fail the leaf — best-effort semantics).
-    pub fn matches(
-        &self,
-        values: &std::collections::BTreeMap<Iri, Vec<String>>,
-    ) -> bool {
+    pub fn matches(&self, values: &std::collections::BTreeMap<Iri, Vec<String>>) -> bool {
         match self {
-            ConditionTree::Leaf(c) => values
-                .get(&c.property)
-                .is_some_and(|vs| vs.iter().any(|v| condition_matches(c, v))),
+            ConditionTree::Leaf(c) => {
+                values.get(&c.property).is_some_and(|vs| vs.iter().any(|v| condition_matches(c, v)))
+            }
             ConditionTree::And(a, b) => a.matches(values) && b.matches(values),
             ConditionTree::Or(a, b) => a.matches(values) || b.matches(values),
             ConditionTree::Not(e) => !e.matches(values),
@@ -700,7 +697,10 @@ mod tests {
         assert!(matches!(parse("SELECT p WHERE"), Err(S2sError::QuerySyntax { .. })));
         assert!(matches!(parse("SELECT p WHERE a"), Err(S2sError::QuerySyntax { .. })));
         assert!(matches!(parse("SELECT p WHERE a='x' extra"), Err(S2sError::QuerySyntax { .. })));
-        assert!(matches!(parse("SELECT p WHERE a='unterminated"), Err(S2sError::QuerySyntax { .. })));
+        assert!(matches!(
+            parse("SELECT p WHERE a='unterminated"),
+            Err(S2sError::QuerySyntax { .. })
+        ));
         // FROM is not part of S2SQL.
         assert!(parse("SELECT p FROM t").is_err());
     }

@@ -251,11 +251,7 @@ impl SourceRegistry {
     /// # Errors
     ///
     /// Returns [`S2sError::UnknownSource`] if `id` is not registered.
-    pub fn add_replica(
-        &mut self,
-        id: &SourceId,
-        failure: FailureModel,
-    ) -> Result<(), S2sError> {
+    pub fn add_replica(&mut self, id: &SourceId, failure: FailureModel) -> Result<(), S2sError> {
         let source = self
             .sources
             .get_mut(id)
@@ -280,8 +276,10 @@ impl SourceRegistry {
         if self.sources.contains_key(&id) {
             return Err(S2sError::DuplicateSource { id: id.as_str().to_string() });
         }
-        self.sources
-            .insert(id.clone(), RegisteredSource { id, connection, endpoint, replicas: Vec::new() });
+        self.sources.insert(
+            id.clone(),
+            RegisteredSource { id, connection, endpoint, replicas: Vec::new() },
+        );
         Ok(())
     }
 
@@ -352,10 +350,7 @@ mod tests {
     fn duplicate_rejected() {
         let mut r = SourceRegistry::new();
         r.register_local("X", db_conn()).unwrap();
-        assert!(matches!(
-            r.register_local("X", db_conn()),
-            Err(S2sError::DuplicateSource { .. })
-        ));
+        assert!(matches!(r.register_local("X", db_conn()), Err(S2sError::DuplicateSource { .. })));
     }
 
     #[test]

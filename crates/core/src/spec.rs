@@ -115,8 +115,7 @@ pub fn parse(input: &str) -> Result<Vec<MappingSpec>, S2sError> {
         }
         let body_trimmed = body.trim().to_string();
 
-        let rule = parse_language(lang, &body_trimmed, &body)
-            .map_err(|m| err(line_start, m))?;
+        let rule = parse_language(lang, &body_trimmed, &body).map_err(|m| err(line_start, m))?;
         specs.push(MappingSpec { path, rule, source: source.to_string(), scenario });
     }
     Ok(specs)
@@ -137,10 +136,9 @@ fn parse_language(
         None => (lang, None),
     };
     match (name, arg) {
-        ("sql", Some(column)) if !column.is_empty() => Ok(ExtractionRule::Sql {
-            query: body_trimmed.to_string(),
-            column: column.to_string(),
-        }),
+        ("sql", Some(column)) if !column.is_empty() => {
+            Ok(ExtractionRule::Sql { query: body_trimmed.to_string(), column: column.to_string() })
+        }
         ("sql", _) => Err("sql requires a column: `sql(column)`".to_string()),
         ("xpath", None) => Ok(ExtractionRule::XPath { path: body_trimmed.to_string() }),
         ("xquery", None) => Ok(ExtractionRule::XQuery { query: body_trimmed.to_string() }),

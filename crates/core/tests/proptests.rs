@@ -61,14 +61,20 @@ fn deploy(rows: &[Row], strategy: ExecStrategy) -> S2s {
     .unwrap();
     s2s.register_attribute(
         "thing.product.brand",
-        ExtractionRule::Sql { query: "SELECT brand FROM p ORDER BY id".into(), column: "brand".into() },
+        ExtractionRule::Sql {
+            query: "SELECT brand FROM p ORDER BY id".into(),
+            column: "brand".into(),
+        },
         "DB",
         RecordScenario::MultiRecord,
     )
     .unwrap();
     s2s.register_attribute(
         "thing.product.price",
-        ExtractionRule::Sql { query: "SELECT price FROM p ORDER BY id".into(), column: "price".into() },
+        ExtractionRule::Sql {
+            query: "SELECT price FROM p ORDER BY id".into(),
+            column: "price".into(),
+        },
         "DB",
         RecordScenario::MultiRecord,
     )

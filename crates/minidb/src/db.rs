@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use crate::error::DbError;
 use crate::exec::{eval_single, run_select, ExecContext};
 use crate::schema::{ColumnDef, TableSchema};
-use crate::sql::ast::Statement;
+use crate::sql::ast::{SelectStmt, Statement};
 use crate::sql::parse;
 use crate::table::Table;
 use crate::value::Value;
@@ -110,10 +110,7 @@ impl Database {
                 if self.tables.contains_key(&key) {
                     return Err(DbError::DuplicateTable { table: name });
                 }
-                let defs = columns
-                    .into_iter()
-                    .map(|(n, t, pk)| ColumnDef::new(n, t, pk))
-                    .collect();
+                let defs = columns.into_iter().map(|(n, t, pk)| ColumnDef::new(n, t, pk)).collect();
                 let schema = TableSchema::new(name, defs)?;
                 self.tables.insert(key, Table::new(schema));
                 Ok(Affected(0))
@@ -131,9 +128,11 @@ impl Database {
                     Some(cols) => {
                         let mut m = Vec::with_capacity(cols.len());
                         for c in cols {
-                            m.push(t.schema().column_index(c).ok_or_else(|| {
-                                DbError::UnknownColumn { column: c.clone() }
-                            })?);
+                            m.push(
+                                t.schema()
+                                    .column_index(c)
+                                    .ok_or_else(|| DbError::UnknownColumn { column: c.clone() })?,
+                            );
                         }
                         Some(m)
                     }
@@ -177,10 +176,8 @@ impl Database {
                         .ok_or_else(|| DbError::UnknownColumn { column: c.clone() })?;
                     set_idx.push((idx, v.clone()));
                 }
-                let targets: Vec<(usize, Vec<Value>)> = t
-                    .scan()
-                    .map(|(rid, row)| (rid, row.to_vec()))
-                    .collect();
+                let targets: Vec<(usize, Vec<Value>)> =
+                    t.scan().map(|(rid, row)| (rid, row.to_vec())).collect();
                 let mut n = 0;
                 for (rid, row) in targets {
                     let hit = match &predicate {
@@ -238,19 +235,40 @@ impl Database {
     /// Returns [`DbError::TypeMismatch`] if `sql` is not a SELECT, plus
     /// any parse/execution error.
     pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
+        self.query_prepared(&Database::prepare_select(sql)?)
+    }
+
+    /// Parses `sql` into a reusable SELECT statement, so callers that
+    /// run the same query repeatedly (e.g. the extraction rule cache)
+    /// pay the parse once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TypeMismatch`] if `sql` is not a SELECT, plus
+    /// any parse error.
+    pub fn prepare_select(sql: &str) -> Result<SelectStmt, DbError> {
         match parse(sql)? {
-            Statement::Select(stmt) => {
-                let base = self.table_ref(&stmt.table)?;
-                let mut tables = vec![(stmt.table.as_str(), base)];
-                for j in &stmt.joins {
-                    tables.push((j.table.as_str(), self.table_ref(&j.table)?));
-                }
-                let ctx = ExecContext::new(tables);
-                let (columns, rows) = run_select(&stmt, &ctx)?;
-                Ok(QueryResult { columns, rows })
+            Statement::Select(stmt) => Ok(stmt),
+            _ => {
+                Err(DbError::TypeMismatch { message: "prepare_select() requires a SELECT".into() })
             }
-            _ => Err(DbError::TypeMismatch { message: "query() requires a SELECT".into() }),
         }
+    }
+
+    /// Runs a pre-parsed SELECT (see [`Database::prepare_select`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors; see [`DbError`].
+    pub fn query_prepared(&self, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
+        let base = self.table_ref(&stmt.table)?;
+        let mut tables = vec![(stmt.table.as_str(), base)];
+        for j in &stmt.joins {
+            tables.push((j.table.as_str(), self.table_ref(&j.table)?));
+        }
+        let ctx = ExecContext::new(tables);
+        let (columns, rows) = run_select(stmt, &ctx)?;
+        Ok(QueryResult { columns, rows })
     }
 
     fn table_ref(&self, name: &str) -> Result<&Table, DbError> {
@@ -279,10 +297,8 @@ mod tests {
         .unwrap();
         db.execute("CREATE TABLE providers (id INTEGER PRIMARY KEY, name TEXT, country TEXT)")
             .unwrap();
-        db.execute(
-            "INSERT INTO providers VALUES (1, 'TimeHouse', 'PT'), (2, 'WatchWorld', 'JP')",
-        )
-        .unwrap();
+        db.execute("INSERT INTO providers VALUES (1, 'TimeHouse', 'PT'), (2, 'WatchWorld', 'JP')")
+            .unwrap();
         db.execute(
             "INSERT INTO watches VALUES \
              (1, 'Seiko', 129.99, 'stainless-steel', 2), \
@@ -390,14 +406,8 @@ mod tests {
     #[test]
     fn errors() {
         let mut db = catalog();
-        assert!(matches!(
-            db.query("SELECT * FROM missing"),
-            Err(DbError::UnknownTable { .. })
-        ));
-        assert!(matches!(
-            db.query("SELECT nope FROM watches"),
-            Err(DbError::UnknownColumn { .. })
-        ));
+        assert!(matches!(db.query("SELECT * FROM missing"), Err(DbError::UnknownTable { .. })));
+        assert!(matches!(db.query("SELECT nope FROM watches"), Err(DbError::UnknownColumn { .. })));
         assert!(matches!(
             db.query("SELECT id FROM watches JOIN providers ON watches.provider_id = providers.id WHERE 1 = 1"),
             Err(DbError::Syntax { .. })

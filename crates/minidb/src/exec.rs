@@ -158,10 +158,8 @@ pub(crate) fn run_select(
     let base = ctx.tables[0].1;
     let base_rids = candidate_rows(stmt, ctx, base)?;
 
-    let mut joined: Vec<Vec<&[Value]>> = base_rids
-        .into_iter()
-        .filter_map(|rid| base.row(rid).map(|r| vec![r]))
-        .collect();
+    let mut joined: Vec<Vec<&[Value]>> =
+        base_rids.into_iter().filter_map(|rid| base.row(rid).map(|r| vec![r])).collect();
 
     for (ji, join) in stmt.joins.iter().enumerate() {
         let right_table = ctx.tables[ji + 1].1;
@@ -180,10 +178,7 @@ pub(crate) fn run_select(
         };
         if probe.table_idx > ji {
             return Err(DbError::TypeMismatch {
-                message: format!(
-                    "join condition for `{}` references a later table",
-                    join.table
-                ),
+                message: format!("join condition for `{}` references a later table", join.table),
             });
         }
         let mut next: Vec<Vec<&[Value]>> = Vec::new();
@@ -236,8 +231,7 @@ pub(crate) fn run_select(
 
     // Order.
     if let Some((_, dir)) = order {
-        let mut pairs: Vec<(Value, Vec<Value>)> =
-            order_keys.into_iter().zip(result_rows).collect();
+        let mut pairs: Vec<(Value, Vec<Value>)> = order_keys.into_iter().zip(result_rows).collect();
         pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         if dir == OrderDir::Desc {
             pairs.reverse();
@@ -383,10 +377,8 @@ fn build_filtered_chains(
 ) -> Result<Vec<Vec<Value>>, DbError> {
     let base = ctx.tables[0].1;
     let base_rids = candidate_rows(stmt, ctx, base)?;
-    let mut joined: Vec<Vec<&[Value]>> = base_rids
-        .into_iter()
-        .filter_map(|rid| base.row(rid).map(|r| vec![r]))
-        .collect();
+    let mut joined: Vec<Vec<&[Value]>> =
+        base_rids.into_iter().filter_map(|rid| base.row(rid).map(|r| vec![r])).collect();
     for (ji, join) in stmt.joins.iter().enumerate() {
         let right_table = ctx.tables[ji + 1].1;
         let left = ctx.resolve(&join.left)?;
@@ -493,10 +485,7 @@ fn candidate_rows(
     Ok(base.scan().map(|(rid, _)| rid).collect())
 }
 
-fn collect_conjunctive_equalities<'e>(
-    expr: &'e Expr,
-    out: &mut Vec<(&'e ColumnRef, &'e Value)>,
-) {
+fn collect_conjunctive_equalities<'e>(expr: &'e Expr, out: &mut Vec<(&'e ColumnRef, &'e Value)>) {
     match expr {
         Expr::Compare { left, op: CmpOp::Eq, right: Operand::Literal(v) } => {
             out.push((left, v));
@@ -519,9 +508,7 @@ pub(crate) fn validate_expr(expr: &Expr, ctx: &ExecContext<'_>) -> Result<(), Db
             }
             Ok(())
         }
-        Expr::Like { column, .. } | Expr::IsNull { column, .. } => {
-            ctx.resolve(column).map(drop)
-        }
+        Expr::Like { column, .. } | Expr::IsNull { column, .. } => ctx.resolve(column).map(drop),
         Expr::And(a, b) | Expr::Or(a, b) => {
             validate_expr(a, ctx)?;
             validate_expr(b, ctx)

@@ -49,4 +49,5 @@ pub mod value;
 pub use db::{Database, QueryResult};
 pub use error::DbError;
 pub use schema::{ColumnDef, TableSchema};
+pub use sql::ast::SelectStmt;
 pub use value::{DataType, Value};

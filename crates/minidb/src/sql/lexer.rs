@@ -145,22 +145,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
                 out.push(Token { position: pos, kind: TokenKind::Symbol("!=") });
                 i += 2;
             }
-            '<' => {
-                match chars.get(i + 1).map(|&(_, c)| c) {
-                    Some('=') => {
-                        out.push(Token { position: pos, kind: TokenKind::Symbol("<=") });
-                        i += 2;
-                    }
-                    Some('>') => {
-                        out.push(Token { position: pos, kind: TokenKind::Symbol("!=") });
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token { position: pos, kind: TokenKind::Symbol("<") });
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1).map(|&(_, c)| c) {
+                Some('=') => {
+                    out.push(Token { position: pos, kind: TokenKind::Symbol("<=") });
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    out.push(Token { position: pos, kind: TokenKind::Symbol("!=") });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { position: pos, kind: TokenKind::Symbol("<") });
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
                     out.push(Token { position: pos, kind: TokenKind::Symbol(">=") });
@@ -188,13 +186,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
 fn starts_operand(tokens: &[Token]) -> bool {
     match tokens.last() {
         None => true,
-        Some(t) => matches!(
-            &t.kind,
-            TokenKind::Symbol(s) if *s != ")" && *s != "*"
-        ) || matches!(&t.kind, TokenKind::Word(w) if {
-            let u = w.to_ascii_uppercase();
-            matches!(u.as_str(), "WHERE" | "AND" | "OR" | "NOT" | "VALUES" | "SET" | "LIMIT" | "BY" | "ON" | "LIKE")
-        }),
+        Some(t) => {
+            matches!(
+                &t.kind,
+                TokenKind::Symbol(s) if *s != ")" && *s != "*"
+            ) || matches!(&t.kind, TokenKind::Word(w) if {
+                let u = w.to_ascii_uppercase();
+                matches!(u.as_str(), "WHERE" | "AND" | "OR" | "NOT" | "VALUES" | "SET" | "LIMIT" | "BY" | "ON" | "LIKE")
+            })
+        }
     }
 }
 

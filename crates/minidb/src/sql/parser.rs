@@ -245,8 +245,7 @@ impl Parser {
             joins.push(JoinClause { table: jtable, left, right });
         }
 
-        let predicate =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let predicate = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
 
         let group_by = if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -294,7 +293,10 @@ impl Parser {
             };
             if let Some(func) = func {
                 // Only treat as aggregate when followed by `(`.
-                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Symbol("("))) {
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::Symbol("("))
+                ) {
                     self.pos += 2; // word + '('
                     let arg = if self.eat_symbol("*") {
                         if func != AggFunc::Count {
@@ -334,16 +336,14 @@ impl Parser {
                 break;
             }
         }
-        let predicate =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let predicate = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         Ok(Statement::Update { table, sets, predicate })
     }
 
     fn parse_delete(&mut self) -> Result<Statement, DbError> {
         self.expect_keyword("FROM")?;
         let table = self.expect_identifier()?;
-        let predicate =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let predicate = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         Ok(Statement::Delete { table, predicate })
     }
 
@@ -468,8 +468,8 @@ mod tests {
 
     #[test]
     fn create_table_roundtrip() {
-        let s = parse("CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL)")
-            .unwrap();
+        let s =
+            parse("CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "watches");

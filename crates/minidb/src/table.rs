@@ -134,10 +134,7 @@ impl Table {
 
     /// Iterates over `(row_id, row)` pairs of live rows.
     pub fn scan(&self) -> impl Iterator<Item = (usize, &[Value])> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(rid, r)| r.as_deref().map(|row| (rid, row)))
+        self.rows.iter().enumerate().filter_map(|(rid, r)| r.as_deref().map(|row| (rid, row)))
     }
 
     /// Row ids with `column == value`, via index when available.
@@ -173,9 +170,7 @@ impl Table {
     /// [`DbError::TypeMismatch`] if `rid` is not live.
     pub fn update(&mut self, rid: usize, new_row: Vec<Value>) -> Result<(), DbError> {
         if new_row.len() != self.schema.arity() {
-            return Err(DbError::TypeMismatch {
-                message: "update arity mismatch".to_string(),
-            });
+            return Err(DbError::TypeMismatch { message: "update arity mismatch".to_string() });
         }
         for (v, c) in new_row.iter().zip(self.schema.columns()) {
             if !v.conforms_to(c.data_type()) {

@@ -230,7 +230,11 @@ mod tests {
 
     #[test]
     fn open_breaker_short_circuits_endpoint_calls() {
-        let down = FailureModel { p_unreachable: 1.0, p_timeout: 0.0, timeout: SimDuration::from_millis(30_000) };
+        let down = FailureModel {
+            p_unreachable: 1.0,
+            p_timeout: 0.0,
+            timeout: SimDuration::from_millis(30_000),
+        };
         let ep = Endpoint::new("dead", CostModel::lan(), down, 1);
         let b = CircuitBreaker::new(cfg(3, 1_000));
         let mut now = SimDuration::ZERO;

@@ -34,11 +34,7 @@ impl FailureModel {
 
     /// Never fails; generous timeout.
     pub fn reliable() -> Self {
-        FailureModel {
-            p_unreachable: 0.0,
-            p_timeout: 0.0,
-            timeout: Self::DEFAULT_TIMEOUT,
-        }
+        FailureModel { p_unreachable: 0.0, p_timeout: 0.0, timeout: Self::DEFAULT_TIMEOUT }
     }
 
     /// Fails a fraction `p` of calls (half unreachable, half timeout).
@@ -113,12 +109,7 @@ pub struct Endpoint {
 
 impl Endpoint {
     /// Creates an endpoint with a deterministic RNG stream.
-    pub fn new(
-        id: impl Into<String>,
-        cost: CostModel,
-        failure: FailureModel,
-        seed: u64,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, cost: CostModel, failure: FailureModel, seed: u64) -> Self {
         Endpoint {
             id: id.into(),
             cost,
@@ -150,7 +141,11 @@ impl Endpoint {
     ///
     /// Returns [`NetError::Unreachable`] or [`NetError::Timeout`] per
     /// the failure model; on failure `f` is not run.
-    pub fn invoke<T>(&self, bytes: usize, f: impl FnOnce() -> T) -> Result<RemoteCall<T>, NetError> {
+    pub fn invoke<T>(
+        &self,
+        bytes: usize,
+        f: impl FnOnce() -> T,
+    ) -> Result<RemoteCall<T>, NetError> {
         let (u_draw, t_draw, j_draw) = {
             let mut rng = self.rng.lock();
             (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>())
@@ -269,7 +264,11 @@ mod tests {
         let ep = Endpoint::new(
             "a",
             CostModel::lan(),
-            FailureModel { p_unreachable: 1.0, p_timeout: 0.0, timeout: SimDuration::from_millis(1000) },
+            FailureModel {
+                p_unreachable: 1.0,
+                p_timeout: 0.0,
+                timeout: SimDuration::from_millis(1000),
+            },
             3,
         );
         let mut ran = false;

@@ -43,4 +43,4 @@ pub use endpoint::{Endpoint, EndpointStats, FailureModel, RemoteCall};
 pub use error::NetError;
 pub use retry::{invoke_with_retry, RetryOutcome, RetryPolicy};
 pub use sched::{makespan, run_parallel};
-pub use wire::{decode, encode, Frame, FrameKind};
+pub use wire::{decode, decode_batch, encode, encode_batch, Frame, FrameKind};

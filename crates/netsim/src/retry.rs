@@ -244,7 +244,11 @@ mod tests {
     use crate::endpoint::FailureModel;
 
     fn hard_down() -> FailureModel {
-        FailureModel { p_unreachable: 1.0, p_timeout: 0.0, timeout: SimDuration::from_millis(30_000) }
+        FailureModel {
+            p_unreachable: 1.0,
+            p_timeout: 0.0,
+            timeout: SimDuration::from_millis(30_000),
+        }
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum FrameKind {
     Response,
     /// An error report.
     Error,
+    /// A request coalescing several extraction rules for one source
+    /// into a single exchange (the batched extraction path).
+    BatchRequest,
+    /// The matching response: one result section per batched rule.
+    BatchResponse,
 }
 
 impl FrameKind {
@@ -30,6 +35,8 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Error => 3,
+            FrameKind::BatchRequest => 4,
+            FrameKind::BatchResponse => 5,
         }
     }
 
@@ -38,6 +45,8 @@ impl FrameKind {
             1 => Some(FrameKind::Request),
             2 => Some(FrameKind::Response),
             3 => Some(FrameKind::Error),
+            4 => Some(FrameKind::BatchRequest),
+            5 => Some(FrameKind::BatchResponse),
             _ => None,
         }
     }
@@ -92,17 +101,104 @@ pub fn frame_size(payload_len: usize) -> usize {
     7 + payload_len
 }
 
+/// Encodes a batch frame: each section is length-prefixed (4 bytes, BE)
+/// inside the payload, so a `BatchRequest` carries every rule of the
+/// batch and a `BatchResponse` every per-rule result section, all in a
+/// single header's worth of framing overhead.
+pub fn encode_batch<S: AsRef<[u8]>>(kind: FrameKind, sections: &[S]) -> Bytes {
+    let payload_len: usize = sections.iter().map(|s| 4 + s.as_ref().len()).sum();
+    let mut payload = BytesMut::with_capacity(payload_len);
+    for s in sections {
+        let s = s.as_ref();
+        payload.put_u32(s.len() as u32);
+        payload.put_slice(s);
+    }
+    encode(kind, &payload)
+}
+
+/// Splits a batch frame payload back into its sections.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadFrame`] when a section length overruns the
+/// payload or trailing bytes remain.
+pub fn decode_batch(mut payload: Bytes) -> Result<Vec<Bytes>, NetError> {
+    let mut sections = Vec::new();
+    while !payload.is_empty() {
+        if payload.len() < 4 {
+            return Err(NetError::BadFrame {
+                message: format!("truncated batch section header: {} bytes left", payload.len()),
+            });
+        }
+        let len = payload.get_u32() as usize;
+        if payload.len() < len {
+            return Err(NetError::BadFrame {
+                message: format!(
+                    "batch section overruns payload: need {len}, have {}",
+                    payload.len()
+                ),
+            });
+        }
+        sections.push(payload.split_to(len));
+    }
+    Ok(sections)
+}
+
+/// Total on-wire size of a batch frame whose sections have the given
+/// payload lengths (one frame header plus a 4-byte prefix per section).
+pub fn batch_frame_size(section_lens: impl IntoIterator<Item = usize>) -> usize {
+    frame_size(section_lens.into_iter().map(|l| 4 + l).sum())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn roundtrip_all_kinds() {
-        for kind in [FrameKind::Request, FrameKind::Response, FrameKind::Error] {
+        for kind in [
+            FrameKind::Request,
+            FrameKind::Response,
+            FrameKind::Error,
+            FrameKind::BatchRequest,
+            FrameKind::BatchResponse,
+        ] {
             let f = decode(encode(kind, b"hello")).unwrap();
             assert_eq!(f.kind, kind);
             assert_eq!(&f.payload[..], b"hello");
         }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let sections: &[&[u8]] = &[b"SELECT a FROM t", b"", b"//x/text()"];
+        let frame = decode(encode_batch(FrameKind::BatchRequest, sections)).unwrap();
+        assert_eq!(frame.kind, FrameKind::BatchRequest);
+        let back = decode_batch(frame.payload).unwrap();
+        assert_eq!(back.len(), 3);
+        for (orig, got) in sections.iter().zip(&back) {
+            assert_eq!(&got[..], *orig);
+        }
+    }
+
+    #[test]
+    fn batch_size_accounting() {
+        let sections = [vec![0u8; 10], vec![0u8; 25]];
+        let e = encode_batch(FrameKind::BatchResponse, &sections);
+        assert_eq!(e.len(), batch_frame_size([10, 25]));
+        // One batched frame beats two singleton frames on header bytes
+        // only when sections share the 7-byte frame header.
+        assert!(e.len() < frame_size(10) + frame_size(25) + 4);
+    }
+
+    #[test]
+    fn corrupt_batch_sections_rejected() {
+        // Truncated section header.
+        assert!(decode_batch(Bytes::from_static(b"\x00\x00")).is_err());
+        // Section length overruns the payload.
+        assert!(decode_batch(Bytes::from_static(b"\x00\x00\x00\x09ab")).is_err());
+        // Empty batch is fine.
+        assert!(decode_batch(Bytes::new()).unwrap().is_empty());
     }
 
     #[test]

@@ -488,10 +488,7 @@ mod tests {
 
     #[test]
     fn duplicate_class_rejected() {
-        let r = Ontology::builder("http://x.org/#")
-            .class("A", None)
-            .unwrap()
-            .class("A", None);
+        let r = Ontology::builder("http://x.org/#").class("A", None).unwrap().class("A", None);
         assert!(matches!(r, Err(OwlError::Duplicate { .. })));
     }
 

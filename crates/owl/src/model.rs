@@ -266,10 +266,7 @@ impl Ontology {
 
     /// Direct subclasses of `class`.
     pub fn direct_subclasses<'o>(&'o self, class: &'o Iri) -> impl Iterator<Item = &'o Iri> {
-        self.classes
-            .values()
-            .filter(move |c| c.parents.contains(class))
-            .map(|c| &c.iri)
+        self.classes.values().filter(move |c| c.parents.contains(class)).map(|c| &c.iri)
     }
 
     /// All (transitive) superclasses of `class`, excluding itself.
@@ -331,9 +328,7 @@ impl Ontology {
     /// The root classes (classes with no defined parent inside this
     /// ontology).
     pub fn roots(&self) -> impl Iterator<Item = &ClassDef> {
-        self.classes
-            .values()
-            .filter(|c| !c.parents.iter().any(|p| self.classes.contains_key(p)))
+        self.classes.values().filter(|c| !c.parents.iter().any(|p| self.classes.contains_key(p)))
     }
 }
 

@@ -171,11 +171,7 @@ impl AttributePath {
             .find(|p| p.iri().local_name().eq_ignore_ascii_case(&self.attribute))
             .map(|p| p.iri().clone())
             .ok_or_else(|| {
-                bad(format!(
-                    "class `{}` has no attribute `{}`",
-                    leaf.local_name(),
-                    self.attribute
-                ))
+                bad(format!("class `{}` has no attribute `{}`", leaf.local_name(), self.attribute))
             })?;
         Ok(ResolvedAttribute { class: leaf, property })
     }

@@ -267,10 +267,8 @@ impl<'o> Reasoner<'o> {
     /// materialized types with no asserted subtype also present).
     pub fn realize(&self, graph: &Graph, individual: &Term) -> Vec<Iri> {
         let rdf_type = rdf::type_();
-        let types: BTreeSet<Iri> = graph
-            .objects(individual, &rdf_type)
-            .filter_map(|o| o.as_iri().cloned())
-            .collect();
+        let types: BTreeSet<Iri> =
+            graph.objects(individual, &rdf_type).filter_map(|o| o.as_iri().cloned()).collect();
         types
             .iter()
             .filter(|c| {
@@ -355,8 +353,7 @@ impl<'o> Reasoner<'o> {
                 continue;
             }
             let class_term = Term::from(class.iri().clone());
-            let members: Vec<Term> =
-                graph.subjects(&rdf_type, &class_term).collect();
+            let members: Vec<Term> = graph.subjects(&rdf_type, &class_term).collect();
             for r in class.restrictions() {
                 for m in &members {
                     let count = graph.objects(m, r.property()).count();
@@ -534,9 +531,10 @@ mod tests {
         g.insert(Triple::new(w.clone(), rdf::type_(), ex("Product")));
         g.insert(Triple::new(w, rdf::type_(), ex("Provider")));
         let issues = r.check_consistency(&g);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ConsistencyIssue::DisjointViolation { .. })), "{issues:?}");
+        assert!(
+            issues.iter().any(|i| matches!(i, ConsistencyIssue::DisjointViolation { .. })),
+            "{issues:?}"
+        );
     }
 
     #[test]
@@ -561,9 +559,12 @@ mod tests {
         // A Watch with no brand violates min 1 brand.
         g.insert(Triple::new(ind("w1").as_iri().unwrap().clone(), rdf::type_(), ex("Watch")));
         let issues = r.check_consistency(&g);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ConsistencyIssue::CardinalityViolation { found: 0, .. })), "{issues:?}");
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, ConsistencyIssue::CardinalityViolation { found: 0, .. })),
+            "{issues:?}"
+        );
     }
 
     #[test]

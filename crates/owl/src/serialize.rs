@@ -127,16 +127,15 @@ pub fn from_graph(graph: &Graph, namespace: &str) -> Result<Ontology, OwlError> 
     let restriction_type = Term::from(owl::restriction());
     let mut restrictions: BTreeMap<Term, Restriction> = BTreeMap::new();
     for node in graph.subjects(&rdf_type, &restriction_type) {
-        let Some(on_prop) = graph
-            .object(&node, &owl::on_property())
-            .and_then(|t| t.as_iri().cloned())
+        let Some(on_prop) =
+            graph.object(&node, &owl::on_property()).and_then(|t| t.as_iri().cloned())
         else {
             continue;
         };
-        let r = if let Some(min) =
-            graph.object(&node, &owl::min_cardinality()).and_then(|t| {
-                t.as_literal().and_then(|l| l.as_integer())
-            }) {
+        let r = if let Some(min) = graph
+            .object(&node, &owl::min_cardinality())
+            .and_then(|t| t.as_literal().and_then(|l| l.as_integer()))
+        {
             Restriction::MinCardinality { property: on_prop, min: min.max(0) as u32 }
         } else if let Some(max) = graph
             .object(&node, &owl::max_cardinality())
@@ -147,14 +146,12 @@ pub fn from_graph(graph: &Graph, namespace: &str) -> Result<Ontology, OwlError> 
             graph.object(&node, &owl::has_value()).and_then(|t| t.as_literal().cloned())
         {
             Restriction::HasValue { property: on_prop, value: v }
-        } else if let Some(c) = graph
-            .object(&node, &owl::some_values_from())
-            .and_then(|t| t.as_iri().cloned())
+        } else if let Some(c) =
+            graph.object(&node, &owl::some_values_from()).and_then(|t| t.as_iri().cloned())
         {
             Restriction::SomeValuesFrom { property: on_prop, class: c }
-        } else if let Some(c) = graph
-            .object(&node, &owl::all_values_from())
-            .and_then(|t| t.as_iri().cloned())
+        } else if let Some(c) =
+            graph.object(&node, &owl::all_values_from()).and_then(|t| t.as_iri().cloned())
         {
             Restriction::AllValuesFrom { property: on_prop, class: c }
         } else {
@@ -167,10 +164,8 @@ pub fn from_graph(graph: &Graph, namespace: &str) -> Result<Ontology, OwlError> 
     // first (parents may appear in any order, so declare all, then link).
     let mut builder = Ontology::builder(namespace);
     let class_type = Term::from(owl::class());
-    let mut class_iris: Vec<Iri> = graph
-        .subjects(&rdf_type, &class_type)
-        .filter_map(|t| t.as_iri().cloned())
-        .collect();
+    let mut class_iris: Vec<Iri> =
+        graph.subjects(&rdf_type, &class_type).filter_map(|t| t.as_iri().cloned()).collect();
     class_iris.sort();
     class_iris.dedup();
     for c in &class_iris {
@@ -251,10 +246,8 @@ pub fn from_graph(graph: &Graph, namespace: &str) -> Result<Ontology, OwlError> 
         (PropertyKind::Object, owl::object_property()),
     ] {
         let ty_term = Term::from(ty);
-        let mut props: Vec<Iri> = graph
-            .subjects(&rdf_type, &ty_term)
-            .filter_map(|t| t.as_iri().cloned())
-            .collect();
+        let mut props: Vec<Iri> =
+            graph.subjects(&rdf_type, &ty_term).filter_map(|t| t.as_iri().cloned()).collect();
         props.sort();
         props.dedup();
         for p in props {
@@ -282,10 +275,7 @@ pub fn from_graph(graph: &Graph, namespace: &str) -> Result<Ontology, OwlError> 
                 builder = builder.property_domain(p.as_str(), extra.as_str())?;
             }
             let functional = Term::from(owl::functional_property());
-            if graph
-                .objects(&subject, &rdf_type)
-                .any(|t| t == functional)
-            {
+            if graph.objects(&subject, &rdf_type).any(|t| t == functional) {
                 builder = builder.functional(p.as_str())?;
             }
             for parent in graph.objects(&subject, &rdfs::sub_property_of()) {

@@ -150,8 +150,7 @@ impl Graph {
         subject: &'g Term,
         predicate: &'g Iri,
     ) -> impl Iterator<Item = Term> + 'g {
-        self.match_pattern(Some(subject), Some(predicate), None)
-            .map(|t| t.object().clone())
+        self.match_pattern(Some(subject), Some(predicate), None).map(|t| t.object().clone())
     }
 
     /// The first object of `(subject, predicate, ?)`, if any.
@@ -165,17 +164,14 @@ impl Graph {
         predicate: &'g Iri,
         object: &'g Term,
     ) -> impl Iterator<Item = Term> + 'g {
-        self.match_pattern(None, Some(predicate), Some(object))
-            .map(|t| t.subject().clone())
+        self.match_pattern(None, Some(predicate), Some(object)).map(|t| t.subject().clone())
     }
 
     /// All subjects with an `rdf:type` of `class`.
     pub fn instances_of<'g>(&'g self, class: &'g Iri) -> impl Iterator<Item = Term> + 'g {
         let ty = crate::vocab::rdf::type_();
         self.match_pattern(None, None, None)
-            .filter(move |t| {
-                t.predicate() == &ty && t.object().as_iri() == Some(class)
-            })
+            .filter(move |t| t.predicate() == &ty && t.object().as_iri() == Some(class))
             .map(|t| t.subject().clone())
     }
 
@@ -398,7 +394,11 @@ mod tests {
         let mut g = sample();
         let mut h = Graph::new();
         h.insert(Triple::new(iri("http://x.org/s1"), iri("http://x.org/p1"), Literal::string("a")));
-        h.insert(Triple::new(iri("http://x.org/new"), iri("http://x.org/p1"), Literal::string("n")));
+        h.insert(Triple::new(
+            iri("http://x.org/new"),
+            iri("http://x.org/p1"),
+            Literal::string("n"),
+        ));
         assert_eq!(g.extend_from(&h), 1);
         assert_eq!(g.len(), 5);
     }
@@ -417,7 +417,11 @@ mod tests {
         let c = iri("http://x.org/Watch");
         g.insert(Triple::new(iri("http://x.org/w1"), crate::vocab::rdf::type_(), c.clone()));
         g.insert(Triple::new(iri("http://x.org/w2"), crate::vocab::rdf::type_(), c.clone()));
-        g.insert(Triple::new(iri("http://x.org/p"), crate::vocab::rdf::type_(), iri("http://x.org/Provider")));
+        g.insert(Triple::new(
+            iri("http://x.org/p"),
+            crate::vocab::rdf::type_(),
+            iri("http://x.org/Provider"),
+        ));
         assert_eq!(g.instances_of(&c).count(), 2);
     }
 }

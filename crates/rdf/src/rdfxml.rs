@@ -193,10 +193,8 @@ impl NsEnv {
 /// Returns [`RdfError::Parse`] on malformed XML, undeclared prefixes,
 /// or invalid IRIs.
 pub fn parse(input: &str) -> Result<Graph, RdfError> {
-    let doc = s2s_xml::parse(input).map_err(|e| RdfError::Parse {
-        line: 0,
-        message: format!("xml error: {e}"),
-    })?;
+    let doc = s2s_xml::parse(input)
+        .map_err(|e| RdfError::Parse { line: 0, message: format!("xml error: {e}") })?;
     let env = NsEnv::default().child_scope(&doc.root);
     let rdf_rdf = env.resolve(&doc.root.name).ok();
     let expected = Iri::new(format!("{}RDF", rdf::NS)).expect("valid");
@@ -348,10 +346,7 @@ mod tests {
             Literal::integer(9),
         ));
         let xml = serialize(&g, &prefixes());
-        assert!(
-            xml.contains("rdf:datatype=\"http://www.w3.org/2001/XMLSchema#integer\""),
-            "{xml}"
-        );
+        assert!(xml.contains("rdf:datatype=\"http://www.w3.org/2001/XMLSchema#integer\""), "{xml}");
     }
 
     #[test]
@@ -408,8 +403,16 @@ mod tests {
         let mut g = Graph::new();
         let w = iri("http://example.org/product/81");
         g.insert(Triple::new(w.clone(), rdf::type_(), iri("http://example.org/schema#Watch")));
-        g.insert(Triple::new(w.clone(), iri("http://example.org/schema#brand"), Literal::string("Seiko")));
-        g.insert(Triple::new(w.clone(), iri("http://example.org/schema#price"), Literal::integer(129)));
+        g.insert(Triple::new(
+            w.clone(),
+            iri("http://example.org/schema#brand"),
+            Literal::string("Seiko"),
+        ));
+        g.insert(Triple::new(
+            w.clone(),
+            iri("http://example.org/schema#price"),
+            Literal::integer(129),
+        ));
         g.insert(Triple::new(
             w.clone(),
             iri("http://example.org/schema#label"),
@@ -462,10 +465,7 @@ mod tests {
         assert_eq!(g.len(), 3);
         let s = Term::from(iri("http://example.org/w1"));
         let p = iri("http://example.org/schema#provider");
-        assert_eq!(
-            g.object(&s, &p).unwrap().as_iri().unwrap().as_str(),
-            "http://example.org/acme"
-        );
+        assert_eq!(g.object(&s, &p).unwrap().as_iri().unwrap().as_str(), "http://example.org/acme");
     }
 
     #[test]

@@ -160,11 +160,7 @@ pub struct Literal {
 impl Literal {
     /// A plain `xsd:string` literal.
     pub fn string(lexical: impl Into<String>) -> Self {
-        Literal {
-            lexical: lexical.into().into(),
-            datatype: xsd::string(),
-            language: None,
-        }
+        Literal { lexical: lexical.into().into(), datatype: xsd::string(), language: None }
     }
 
     /// A typed literal.
@@ -181,9 +177,9 @@ impl Literal {
     pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Result<Self, RdfError> {
         let tag = tag.into();
         let valid = !tag.is_empty()
-            && tag.split('-').all(|part| {
-                !part.is_empty() && part.chars().all(|c| c.is_ascii_alphanumeric())
-            })
+            && tag
+                .split('-')
+                .all(|part| !part.is_empty() && part.chars().all(|c| c.is_ascii_alphanumeric()))
             && tag.chars().next().is_some_and(|c| c.is_ascii_alphabetic());
         if !valid {
             return Err(RdfError::InvalidLanguageTag { tag });

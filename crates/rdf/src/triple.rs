@@ -37,11 +37,7 @@ impl Triple {
     ///
     /// Panics if `subject` converts to a literal term; use
     /// [`Triple::try_new`] to handle that case fallibly.
-    pub fn new(
-        subject: impl Into<Term>,
-        predicate: Iri,
-        object: impl Into<Term>,
-    ) -> Self {
+    pub fn new(subject: impl Into<Term>, predicate: Iri, object: impl Into<Term>) -> Self {
         Triple::try_new(subject, predicate, object)
             .expect("triple subject must be an IRI or blank node")
     }
@@ -119,11 +115,7 @@ mod tests {
 
     #[test]
     fn display_is_ntriples_like() {
-        let t = Triple::new(
-            iri("http://x.org/s"),
-            iri("http://x.org/p"),
-            Literal::integer(3),
-        );
+        let t = Triple::new(iri("http://x.org/s"), iri("http://x.org/p"), Literal::integer(3));
         assert_eq!(
             t.to_string(),
             "<http://x.org/s> <http://x.org/p> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> ."

@@ -458,10 +458,10 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let ns = self.prefixes.get(&prefix).ok_or_else(|| RdfError::UnknownPrefix {
-            prefix: prefix.clone(),
-            line: self.line(),
-        })?;
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| RdfError::UnknownPrefix { prefix: prefix.clone(), line: self.line() })?;
         Iri::new(format!("{ns}{local}")).map_err(|e| self.err(e.to_string()))
     }
 

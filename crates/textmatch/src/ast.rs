@@ -129,9 +129,10 @@ struct Parser {
 
 impl Parser {
     fn byte_pos(&self) -> usize {
-        self.chars.get(self.pos).map(|&(b, _)| b).unwrap_or_else(|| {
-            self.chars.last().map(|&(b, c)| b + c.len_utf8()).unwrap_or(0)
-        })
+        self.chars
+            .get(self.pos)
+            .map(|&(b, _)| b)
+            .unwrap_or_else(|| self.chars.last().map(|&(b, c)| b + c.len_utf8()).unwrap_or(0))
     }
 
     fn peek(&self) -> Option<char> {
@@ -246,10 +247,9 @@ impl Parser {
         while let Some(c) = self.peek() {
             if let Some(d) = c.to_digit(10) {
                 seen = true;
-                n = n
-                    .checked_mul(10)
-                    .and_then(|n| n.checked_add(d))
-                    .ok_or_else(|| RegexError::new(self.byte_pos(), "repetition bound too large"))?;
+                n = n.checked_mul(10).and_then(|n| n.checked_add(d)).ok_or_else(|| {
+                    RegexError::new(self.byte_pos(), "repetition bound too large")
+                })?;
                 if n > 10_000 {
                     return Err(RegexError::new(self.byte_pos(), "repetition bound exceeds 10000"));
                 }
@@ -297,9 +297,7 @@ impl Parser {
             '^' => Ok(Ast::AnchorStart),
             '$' => Ok(Ast::AnchorEnd),
             '\\' => self.parse_escape(start),
-            '*' | '+' | '?' => {
-                Err(RegexError::new(start, "quantifier follows nothing repeatable"))
-            }
+            '*' | '+' | '?' => Err(RegexError::new(start, "quantifier follows nothing repeatable")),
             c => Ok(Ast::Literal(c)),
         }
     }
@@ -335,9 +333,7 @@ impl Parser {
     }
 
     fn hex_digit(&mut self, start: usize) -> Result<u32, RegexError> {
-        let c = self
-            .bump()
-            .ok_or_else(|| RegexError::new(start, "truncated \\x escape"))?;
+        let c = self.bump().ok_or_else(|| RegexError::new(start, "truncated \\x escape"))?;
         c.to_digit(16).ok_or_else(|| RegexError::new(start, "invalid hex digit in \\x escape"))
     }
 
@@ -366,7 +362,8 @@ impl Parser {
             } else {
                 c
             };
-            if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
             {
                 self.bump(); // '-'
                 let hi_c = self
@@ -376,7 +373,10 @@ impl Parser {
                     match self.class_escape(start)? {
                         ClassItem::Char(c) => c,
                         ClassItem::Set(_) => {
-                            return Err(RegexError::new(start, "class shorthand cannot be a range endpoint"));
+                            return Err(RegexError::new(
+                                start,
+                                "class shorthand cannot be a range endpoint",
+                            ));
                         }
                     }
                 } else {
@@ -397,9 +397,7 @@ impl Parser {
     }
 
     fn class_escape(&mut self, start: usize) -> Result<ClassItem, RegexError> {
-        let c = self
-            .bump()
-            .ok_or_else(|| RegexError::new(start, "trailing backslash in class"))?;
+        let c = self.bump().ok_or_else(|| RegexError::new(start, "trailing backslash in class"))?;
         Ok(match c {
             'd' => ClassItem::Set(ClassSet::digits()),
             'w' => ClassItem::Set(ClassSet::word()),
@@ -422,9 +420,11 @@ enum ClassItem {
 
 fn quantifiable(ast: &Ast) -> Result<(), ()> {
     match ast {
-        Ast::AnchorStart | Ast::AnchorEnd | Ast::WordBoundary | Ast::NotWordBoundary | Ast::Empty => {
-            Err(())
-        }
+        Ast::AnchorStart
+        | Ast::AnchorEnd
+        | Ast::WordBoundary
+        | Ast::NotWordBoundary
+        | Ast::Empty => Err(()),
         _ => Ok(()),
     }
 }
@@ -510,10 +510,7 @@ mod tests {
     #[test]
     fn brace_without_bounds_is_literal() {
         let ast = parse("a{b").unwrap();
-        assert_eq!(
-            ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('b')])
-        );
+        assert_eq!(ast, Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('{'), Ast::Literal('b')]));
     }
 
     #[test]

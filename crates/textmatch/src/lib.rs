@@ -282,8 +282,7 @@ impl<'r, 'h> Iterator for FindIter<'r, 'h> {
         if self.done || self.idx > self.chars.len() {
             return None;
         }
-        let slots =
-            vm::search_chars(&self.regex.program, self.haystack, &self.chars[self.idx..])?;
+        let slots = vm::search_chars(&self.regex.program, self.haystack, &self.chars[self.idx..])?;
         let m = Match { haystack: self.haystack, groups: slots };
         let end = m.end();
         if end == m.start() {

@@ -18,10 +18,8 @@ pub fn search(
     haystack: &str,
     start: usize,
 ) -> Option<Vec<Option<(usize, usize)>>> {
-    let chars: Vec<(usize, char)> = haystack[start..]
-        .char_indices()
-        .map(|(i, c)| (i + start, c))
-        .collect();
+    let chars: Vec<(usize, char)> =
+        haystack[start..].char_indices().map(|(i, c)| (i + start, c)).collect();
     search_chars(program, haystack, &chars)
 }
 

@@ -304,10 +304,7 @@ fn parse_open_tag(chars: &[char], start: usize) -> Option<(HtmlToken, usize)> {
                         }
                         _ => {
                             let mut v = String::new();
-                            while i < chars.len()
-                                && !chars[i].is_whitespace()
-                                && chars[i] != '>'
-                            {
+                            while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '>' {
                                 v.push(chars[i]);
                                 i += 1;
                             }

@@ -83,9 +83,7 @@ impl WebStore {
     ///
     /// Returns [`WebdocError::UrlNotFound`] for unregistered URLs.
     pub fn fetch(&self, url: &str) -> Result<&WebDocument, WebdocError> {
-        self.documents
-            .get(url)
-            .ok_or_else(|| WebdocError::UrlNotFound { url: url.to_string() })
+        self.documents.get(url).ok_or_else(|| WebdocError::UrlNotFound { url: url.to_string() })
     }
 
     /// Number of registered documents.

@@ -149,10 +149,7 @@ impl WeblProgram {
             statements.push(p.parse_stmt()?);
         }
         if statements.is_empty() {
-            return Err(WebdocError::WeblSyntax {
-                line: 1,
-                message: "empty program".to_string(),
-            });
+            return Err(WebdocError::WeblSyntax { line: 1, message: "empty program".to_string() });
         }
         Ok(WeblProgram { source: source.to_string(), statements })
     }
@@ -366,11 +363,7 @@ struct TokenStream {
 
 impl TokenStream {
     fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map(|&(l, _)| l)
-            .unwrap_or(1)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|&(l, _)| l).unwrap_or(1)
     }
 
     fn err(&self, message: impl Into<String>) -> WebdocError {
@@ -484,18 +477,16 @@ fn eval(
         Expr::Str(s) => WeblValue::Str(s.clone()),
         Expr::Pattern(p) => WeblValue::Pattern(p.clone()),
         Expr::Int(i) => WeblValue::Int(*i),
-        Expr::Var(name) => env
-            .get(name)
-            .cloned()
-            .ok_or_else(|| rt(format!("undefined variable `{name}`")))?,
+        Expr::Var(name) => {
+            env.get(name).cloned().ok_or_else(|| rt(format!("undefined variable `{name}`")))?
+        }
         Expr::Index { base, index } => {
             let b = eval(base, env, web)?;
             let i = eval(index, env, web)?
                 .as_int()
                 .ok_or_else(|| rt("index must be an integer".to_string()))?;
-            let list = b
-                .as_list()
-                .ok_or_else(|| rt(format!("cannot index a {}", b.type_name())))?;
+            let list =
+                b.as_list().ok_or_else(|| rt(format!("cannot index a {}", b.type_name())))?;
             let idx = usize::try_from(i).map_err(|_| rt(format!("negative index {i}")))?;
             list.get(idx)
                 .cloned()
@@ -672,10 +663,8 @@ fn call(function: &str, args: &[WeblValue], web: &WebStore) -> Result<WeblValue,
 }
 
 fn compile(pattern: &str) -> Result<Regex, WebdocError> {
-    Regex::new(pattern).map_err(|e| WebdocError::BadRegex {
-        pattern: pattern.to_string(),
-        message: e.to_string(),
-    })
+    Regex::new(pattern)
+        .map_err(|e| WebdocError::BadRegex { pattern: pattern.to_string(), message: e.to_string() })
 }
 
 fn escape_regex(s: &str) -> String {
@@ -804,10 +793,8 @@ mod tests {
             .run(&web())
             .unwrap_err();
         assert!(matches!(e, WebdocError::WeblRuntime { .. }));
-        let e = WeblProgram::parse(r#"GetURL("http://missing");"#)
-            .unwrap()
-            .run(&web())
-            .unwrap_err();
+        let e =
+            WeblProgram::parse(r#"GetURL("http://missing");"#).unwrap().run(&web()).unwrap_err();
         assert!(matches!(e, WebdocError::UrlNotFound { .. }));
         let e = WeblProgram::parse(r#"Bogus("x");"#).unwrap().run(&web()).unwrap_err();
         assert!(matches!(e, WebdocError::WeblRuntime { .. }));

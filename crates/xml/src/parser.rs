@@ -393,8 +393,8 @@ mod tests {
 
     #[test]
     fn namespaced_names() {
-        let d = parse("<rdf:RDF xmlns:rdf=\"http://w3.org/rdf\"><rdf:Description/></rdf:RDF>")
-            .unwrap();
+        let d =
+            parse("<rdf:RDF xmlns:rdf=\"http://w3.org/rdf\"><rdf:Description/></rdf:RDF>").unwrap();
         assert_eq!(d.root.name, "rdf:RDF");
         assert_eq!(d.root.local_name(), "RDF");
         assert_eq!(d.root.child_elements().next().unwrap().local_name(), "Description");

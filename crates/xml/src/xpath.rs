@@ -262,11 +262,8 @@ impl XPath {
                 Step::Text => {
                     debug_assert_eq!(i, self.steps.len() - 1);
                     let base: Vec<&Element> = if virtual_root { vec![root] } else { current };
-                    let strings = base
-                        .into_iter()
-                        .map(|e| e.own_text())
-                        .filter(|t| !t.is_empty())
-                        .collect();
+                    let strings =
+                        base.into_iter().map(|e| e.own_text()).filter(|t| !t.is_empty()).collect();
                     return (Vec::new(), Some(strings));
                 }
             }
@@ -311,11 +308,9 @@ fn apply_predicate<'d>(elements: &[&'d Element], p: &Predicate) -> Vec<&'d Eleme
         Predicate::Position(n) => {
             elements.get(n.wrapping_sub(1)).map(|e| vec![*e]).unwrap_or_default()
         }
-        Predicate::AttrEq { name, value } => elements
-            .iter()
-            .copied()
-            .filter(|e| e.attribute(name) == Some(value.as_str()))
-            .collect(),
+        Predicate::AttrEq { name, value } => {
+            elements.iter().copied().filter(|e| e.attribute(name) == Some(value.as_str())).collect()
+        }
         Predicate::ChildEq { name, value } => elements
             .iter()
             .copied()
@@ -374,8 +369,7 @@ fn parse_predicate(body: &str, path: &str) -> Result<Predicate, XmlError> {
         return Err(bad(format!("unsupported contains() target `{target}`")));
     }
     if let Some((lhs, rhs)) = body.split_once('=') {
-        let value =
-            parse_quoted(rhs.trim()).ok_or_else(|| bad("expected quoted string".into()))?;
+        let value = parse_quoted(rhs.trim()).ok_or_else(|| bad("expected quoted string".into()))?;
         let lhs = lhs.trim();
         if let Some(attr) = lhs.strip_prefix('@') {
             return Ok(Predicate::AttrEq { name: attr.to_string(), value });
@@ -488,10 +482,7 @@ mod tests {
     #[test]
     fn child_equality_predicate() {
         let d = doc();
-        assert_eq!(
-            XPath::new("//watch[brand='Casio']/@id").unwrap().eval_strings(&d),
-            ["82"]
-        );
+        assert_eq!(XPath::new("//watch[brand='Casio']/@id").unwrap().eval_strings(&d), ["82"]);
     }
 
     #[test]
@@ -533,10 +524,7 @@ mod tests {
     #[test]
     fn element_result_renders_text() {
         let d = doc();
-        assert_eq!(
-            XPath::new("//provider").unwrap().eval_strings(&d),
-            ["WatchWorld"]
-        );
+        assert_eq!(XPath::new("//provider").unwrap().eval_strings(&d), ["WatchWorld"]);
     }
 
     #[test]

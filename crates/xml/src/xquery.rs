@@ -64,8 +64,7 @@ impl XQuery {
     /// Returns [`XmlError::BadXPath`] for malformed FLWOR structure or
     /// any embedded path error.
     pub fn new(query: &str) -> Result<Self, XmlError> {
-        let bad =
-            |m: String| XmlError::BadXPath { path: query.to_string(), message: m };
+        let bad = |m: String| XmlError::BadXPath { path: query.to_string(), message: m };
         let src = query.trim();
 
         let rest = src
@@ -101,13 +100,7 @@ impl XQuery {
             .ok_or_else(|| bad("expected `return` clause".to_string()))?;
         let ret = parse_return(ret_text.trim(), query)?;
 
-        Ok(XQuery {
-            source: src.to_string(),
-            var: var.to_string(),
-            domain,
-            conditions,
-            ret,
-        })
+        Ok(XQuery { source: src.to_string(), var: var.to_string(), domain, conditions, ret })
     }
 
     /// The original query text.
@@ -149,14 +142,12 @@ impl Cond {
     fn matches(&self, binding: &Element) -> bool {
         match self {
             Cond::Compare { path, negated, value } => {
-                let hit =
-                    path.eval_strings_from(binding).iter().any(|v| v == value);
+                let hit = path.eval_strings_from(binding).iter().any(|v| v == value);
                 hit != *negated
             }
-            Cond::Contains { path, value } => path
-                .eval_strings_from(binding)
-                .iter()
-                .any(|v| v.contains(value.as_str())),
+            Cond::Contains { path, value } => {
+                path.eval_strings_from(binding).iter().any(|v| v.contains(value.as_str()))
+            }
         }
     }
 }
@@ -223,11 +214,10 @@ fn split_keyword<'a>(s: &'a str, keywords: &[&str]) -> (&'a str, &'a str) {
         }
         for kw in keywords {
             if s[at..].starts_with(kw) {
-                let before_ok =
-                    idx == 0 || chars[idx - 1].1.is_whitespace();
+                let before_ok = idx == 0 || chars[idx - 1].1.is_whitespace();
                 let after = &s[at + kw.len()..];
-                let after_ok = after.is_empty()
-                    || after.chars().next().is_some_and(char::is_whitespace);
+                let after_ok =
+                    after.is_empty() || after.chars().next().is_some_and(char::is_whitespace);
                 if before_ok && after_ok {
                     return (&s[..at], &s[at..]);
                 }
@@ -282,9 +272,8 @@ fn parse_condition(clause: &str, query: &str) -> Result<Cond, XmlError> {
     if let Some(rest) = clause.strip_prefix("contains(") {
         let rest =
             rest.strip_suffix(')').ok_or_else(|| bad("missing `)` in contains".to_string()))?;
-        let (path_text, value_text) = rest
-            .split_once(',')
-            .ok_or_else(|| bad("contains needs two arguments".to_string()))?;
+        let (path_text, value_text) =
+            rest.split_once(',').ok_or_else(|| bad("contains needs two arguments".to_string()))?;
         let path = parse_var_path(path_text.trim(), query)?;
         let value = unquote(value_text.trim())
             .ok_or_else(|| bad("expected a quoted string".to_string()))?;
@@ -298,8 +287,7 @@ fn parse_condition(clause: &str, query: &str) -> Result<Cond, XmlError> {
         return Err(bad(format!("unsupported condition `{clause}`")));
     };
     let path = parse_var_path(lhs.trim(), query)?;
-    let value =
-        unquote(rhs.trim()).ok_or_else(|| bad("expected a quoted string".to_string()))?;
+    let value = unquote(rhs.trim()).ok_or_else(|| bad("expected a quoted string".to_string()))?;
     Ok(Cond::Compare { path, negated, value })
 }
 
@@ -493,10 +481,8 @@ mod tests {
 
     #[test]
     fn keywords_inside_quotes_not_split() {
-        let q = XQuery::new(
-            "for $w in //watch where $w/brand = 'return and where' return $w/@id",
-        )
-        .unwrap();
+        let q = XQuery::new("for $w in //watch where $w/brand = 'return and where' return $w/@id")
+            .unwrap();
         assert!(q.eval(&doc()).is_empty());
     }
 }

@@ -39,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Org A: English column names, prices in USD.
     let mut org_a = Database::new("org_a");
-    org_a.execute("CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)")?;
+    org_a.execute(
+        "CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)",
+    )?;
     org_a.execute(
         "INSERT INTO parts VALUES (1,'bezel',12.5,400), (2,'crown',4.75,1200), (3,'crystal',22.0,150)",
     )?;
@@ -51,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     org_b.execute(
         "CREATE TABLE artikel (nr INTEGER PRIMARY KEY, bezeichnung TEXT, preis_cent INTEGER, bestand INTEGER)",
     )?;
-    org_b.execute(
-        "INSERT INTO artikel VALUES (10,'bezel',1150,80), (11,'strap',890,300)",
-    )?;
+    org_b.execute("INSERT INTO artikel VALUES (10,'bezel',1150,80), (11,'strap',890,300)")?;
 
     // Org C: XML export.
     let org_c = s2s::xml::parse(
@@ -88,19 +88,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Org A mappings: direct.
     s2s.register_attribute(
         "thing.part.name",
-        ExtractionRule::Sql { query: "SELECT part_name FROM parts ORDER BY pid".into(), column: "part_name".into() },
+        ExtractionRule::Sql {
+            query: "SELECT part_name FROM parts ORDER BY pid".into(),
+            column: "part_name".into(),
+        },
         "ORG_A",
         RecordScenario::MultiRecord,
     )?;
     s2s.register_attribute(
         "thing.part.priceusd",
-        ExtractionRule::Sql { query: "SELECT usd FROM parts ORDER BY pid".into(), column: "usd".into() },
+        ExtractionRule::Sql {
+            query: "SELECT usd FROM parts ORDER BY pid".into(),
+            column: "usd".into(),
+        },
         "ORG_A",
         RecordScenario::MultiRecord,
     )?;
     s2s.register_attribute(
         "thing.part.stock",
-        ExtractionRule::Sql { query: "SELECT qty FROM parts ORDER BY pid".into(), column: "qty".into() },
+        ExtractionRule::Sql {
+            query: "SELECT qty FROM parts ORDER BY pid".into(),
+            column: "qty".into(),
+        },
         "ORG_A",
         RecordScenario::MultiRecord,
     )?;
@@ -157,7 +166,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.stats.tasks,
         outcome.stats.simulated,
         outcome.stats.simulated_serial,
-        outcome.stats.simulated_serial.as_micros().max(1) / outcome.stats.simulated.as_micros().max(1),
+        outcome.stats.simulated_serial.as_micros().max(1)
+            / outcome.stats.simulated.as_micros().max(1),
     );
 
     // --- the syntactic baseline on the same question ------------------
@@ -168,14 +178,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .add_rule(
             "ORG_A",
             "part_name/usd",
-            ExtractionRule::Sql { query: "SELECT part_name FROM parts WHERE part_name='crown' AND usd<5.0".into(), column: "part_name".into() },
+            ExtractionRule::Sql {
+                query: "SELECT part_name FROM parts WHERE part_name='crown' AND usd<5.0".into(),
+                column: "part_name".into(),
+            },
         )
         .add_rule(
             "ORG_B",
             "bezeichnung/preis_cent",
             // The baseline developer must remember cents and EUR — and
             // here gets it wrong, comparing cents against dollars.
-            ExtractionRule::Sql { query: "SELECT bezeichnung FROM artikel WHERE bezeichnung='crown' AND preis_cent<5".into(), column: "bezeichnung".into() },
+            ExtractionRule::Sql {
+                query: "SELECT bezeichnung FROM artikel WHERE bezeichnung='crown' AND preis_cent<5"
+                    .into(),
+                column: "bezeichnung".into(),
+            },
         )
         .add_rule(
             "ORG_C",
@@ -196,10 +213,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Rebuilds the middleware with org B's converted price view registered.
-fn rebuild_with_org_b(
-    s2s: S2s,
-    org_b: Database,
-) -> Result<S2s, Box<dyn std::error::Error>> {
+fn rebuild_with_org_b(s2s: S2s, org_b: Database) -> Result<S2s, Box<dyn std::error::Error>> {
     let mut next = S2s::new(s2s.ontology().clone()).with_strategy(s2s.strategy());
     // Re-register all sources A and C exactly as before is not possible
     // without the original connections; in a real deployment the source
@@ -210,7 +224,9 @@ fn rebuild_with_org_b(
 
     // Recreate A and C (small enough to rebuild here).
     let mut org_a = Database::new("org_a");
-    org_a.execute("CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)")?;
+    org_a.execute(
+        "CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)",
+    )?;
     org_a.execute(
         "INSERT INTO parts VALUES (1,'bezel',12.5,400), (2,'crown',4.75,1200), (3,'crystal',22.0,150)",
     )?;
@@ -243,19 +259,28 @@ fn rebuild_with_org_b(
     // Org A mappings.
     next.register_attribute(
         "thing.part.name",
-        ExtractionRule::Sql { query: "SELECT part_name FROM parts ORDER BY pid".into(), column: "part_name".into() },
+        ExtractionRule::Sql {
+            query: "SELECT part_name FROM parts ORDER BY pid".into(),
+            column: "part_name".into(),
+        },
         "ORG_A",
         RecordScenario::MultiRecord,
     )?;
     next.register_attribute(
         "thing.part.priceusd",
-        ExtractionRule::Sql { query: "SELECT usd FROM parts ORDER BY pid".into(), column: "usd".into() },
+        ExtractionRule::Sql {
+            query: "SELECT usd FROM parts ORDER BY pid".into(),
+            column: "usd".into(),
+        },
         "ORG_A",
         RecordScenario::MultiRecord,
     )?;
     next.register_attribute(
         "thing.part.stock",
-        ExtractionRule::Sql { query: "SELECT qty FROM parts ORDER BY pid".into(), column: "qty".into() },
+        ExtractionRule::Sql {
+            query: "SELECT qty FROM parts ORDER BY pid".into(),
+            column: "qty".into(),
+        },
         "ORG_A",
         RecordScenario::MultiRecord,
     )?;
@@ -265,7 +290,10 @@ fn rebuild_with_org_b(
     // in the rule.
     next.register_attribute(
         "thing.part.name",
-        ExtractionRule::Sql { query: "SELECT bezeichnung FROM artikel ORDER BY nr".into(), column: "bezeichnung".into() },
+        ExtractionRule::Sql {
+            query: "SELECT bezeichnung FROM artikel ORDER BY nr".into(),
+            column: "bezeichnung".into(),
+        },
         "ORG_B",
         RecordScenario::MultiRecord,
     )?;
@@ -280,7 +308,10 @@ fn rebuild_with_org_b(
     )?;
     next.register_attribute(
         "thing.part.stock",
-        ExtractionRule::Sql { query: "SELECT bestand FROM artikel ORDER BY nr".into(), column: "bestand".into() },
+        ExtractionRule::Sql {
+            query: "SELECT bestand FROM artikel ORDER BY nr".into(),
+            column: "bestand".into(),
+        },
         "ORG_B",
         RecordScenario::MultiRecord,
     )?;
@@ -289,11 +320,13 @@ fn rebuild_with_org_b(
 }
 
 /// The registry the baseline runs against (same data, same wrappers).
-fn build_baseline_registry(
-) -> Result<s2s::core::source::SourceRegistry, Box<dyn std::error::Error>> {
+fn build_baseline_registry() -> Result<s2s::core::source::SourceRegistry, Box<dyn std::error::Error>>
+{
     use s2s::core::source::SourceRegistry;
     let mut org_a = Database::new("org_a");
-    org_a.execute("CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)")?;
+    org_a.execute(
+        "CREATE TABLE parts (pid INTEGER PRIMARY KEY, part_name TEXT, usd REAL, qty INTEGER)",
+    )?;
     org_a.execute(
         "INSERT INTO parts VALUES (1,'bezel',12.5,400), (2,'crown',4.75,1200), (3,'crystal',22.0,150)",
     )?;

@@ -70,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut s2s = S2s::new(ontology);
     s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) })?;
-    s2s.register_source(
-        "wpage_81",
-        Connection::Web { store: web, url: "http://shop/81".into() },
-    )?;
+    s2s.register_source("wpage_81", Connection::Web { store: web, url: "http://shop/81".into() })?;
 
     let n = s2s.load_spec(SPEC)?;
     println!("loaded {n} mappings from the spec document");

@@ -31,9 +31,8 @@ fn deploy(policy: ResiliencePolicy) -> Result<S2s, Box<dyn std::error::Error>> {
         .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")?
         .build()?;
 
-    let mut s2s = S2s::new(ontology)
-        .with_strategy(Strategy::Parallel { workers: 8 })
-        .with_resilience(policy);
+    let mut s2s =
+        S2s::new(ontology).with_strategy(Strategy::Parallel { workers: 8 }).with_resilience(policy);
 
     // Sixteen remote shards; even-numbered ones are badly flaky, but
     // every flaky shard also has one reliable replica to fail over to.
@@ -52,7 +51,12 @@ fn deploy(policy: ResiliencePolicy) -> Result<S2s, Box<dyn std::error::Error>> {
                 &[FailureModel::reliable()],
             )?;
         } else {
-            s2s.register_remote_source(&id, connection, CostModel::wan(), FailureModel::reliable())?;
+            s2s.register_remote_source(
+                &id,
+                connection,
+                CostModel::wan(),
+                FailureModel::reliable(),
+            )?;
         }
         s2s.register_attribute(
             "thing.product.brand",
@@ -79,10 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Round 2 — retry + replica failover + circuit breakers.
     let policy = ResiliencePolicy::default()
-        .with_retry(
-            RetryPolicy::attempts(3)
-                .with_backoff(SimDuration::from_millis(20), 2, SimDuration::from_millis(500)),
-        )
+        .with_retry(RetryPolicy::attempts(3).with_backoff(
+            SimDuration::from_millis(20),
+            2,
+            SimDuration::from_millis(500),
+        ))
         .with_breaker(BreakerConfig::new(5, SimDuration::from_millis(10_000)));
     let resilient = deploy(policy)?;
     let outcome = resilient.query("SELECT product")?;

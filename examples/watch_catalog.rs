@@ -91,7 +91,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Database mappings (n-record scenario, SQL rules).
-    for (attr, col) in [("brand", "brand"), ("price", "price"), ("case", "case_material"), ("provider", "supplier")] {
+    for (attr, col) in [
+        ("brand", "brand"),
+        ("price", "price"),
+        ("case", "case_material"),
+        ("provider", "supplier"),
+    ] {
         s2s.register_attribute(
             &format!("thing.product.watch.{attr}"),
             ExtractionRule::Sql {

@@ -98,8 +98,7 @@ fn failures_are_deterministic_per_deployment() {
     let run = || {
         let s2s = sharded(16, Strategy::Serial, FailureModel::flaky(0.4));
         let outcome = s2s.query("SELECT product").unwrap();
-        let mut failed: Vec<String> =
-            outcome.errors().iter().map(|e| e.source.clone()).collect();
+        let mut failed: Vec<String> = outcome.errors().iter().map(|e| e.source.clone()).collect();
         failed.sort();
         failed
     };

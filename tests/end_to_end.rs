@@ -45,10 +45,8 @@ fn deploy() -> S2s {
     )
     .unwrap();
 
-    let xml = s2s::xml::parse(
-        "<c><w><b>Orient</b><p>189.0</p><m>stainless-steel</m></w></c>",
-    )
-    .unwrap();
+    let xml =
+        s2s::xml::parse("<c><w><b>Orient</b><p>189.0</p><m>stainless-steel</m></w></c>").unwrap();
 
     let mut web = WebStore::new();
     web.register_html("http://shop/81", "<p><b>Tissot Classic</b></p><i>price 249.00 usd</i>");
@@ -57,14 +55,10 @@ fn deploy() -> S2s {
     let mut s2s = S2s::new(ontology());
     s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) }).unwrap();
     s2s.register_source("XML_7", Connection::Xml { document: Arc::new(xml) }).unwrap();
-    s2s.register_source(
-        "wpage_81",
-        Connection::Web { store: web, url: "http://shop/81".into() },
-    )
-    .unwrap();
+    s2s.register_source("wpage_81", Connection::Web { store: web, url: "http://shop/81".into() })
+        .unwrap();
 
-    for (attr, col) in [("brand", "brand"), ("price", "price"), ("case", "c"), ("provider", "s")]
-    {
+    for (attr, col) in [("brand", "brand"), ("price", "price"), ("case", "c"), ("provider", "s")] {
         s2s.register_attribute(
             &format!("thing.product.watch.{attr}"),
             ExtractionRule::Sql {
@@ -167,10 +161,7 @@ fn realization_finds_most_specific_class() {
     let outcome = s2s.query("SELECT watch WHERE brand='Seiko'").unwrap();
     let reasoner = Reasoner::new(s2s.ontology());
     let ind = &outcome.individuals()[0];
-    let types = reasoner.realize(
-        &outcome.instances.graph,
-        &s2s::rdf::Term::from(ind.iri.clone()),
-    );
+    let types = reasoner.realize(&outcome.instances.graph, &s2s::rdf::Term::from(ind.iri.clone()));
     assert_eq!(types.len(), 1);
     assert_eq!(types[0].local_name(), "Watch");
 }

@@ -50,14 +50,8 @@ fn section_2_1_source_taxonomy() {
             },
             SourceKind::Database,
         ),
-        (
-            Connection::Xml { document: Arc::new(s2s::xml::parse("<a/>").unwrap()) },
-            SourceKind::Xml,
-        ),
-        (
-            Connection::Web { store: store.clone(), url: "http://x".into() },
-            SourceKind::WebPage,
-        ),
+        (Connection::Xml { document: Arc::new(s2s::xml::parse("<a/>").unwrap()) }, SourceKind::Xml),
+        (Connection::Web { store: store.clone(), url: "http://x".into() }, SourceKind::WebPage),
         (Connection::Text { store, url: "file:///x".into() }, SourceKind::TextFile),
     ];
     for (conn, kind) in cases {
@@ -162,10 +156,9 @@ fn section_2_5_query_and_output_classes() {
     let strict = s2s::core::query::plan(&parsed, &o);
     assert!(strict.is_err());
 
-    let parsed = s2s::core::query::parse(
-        "SELECT watch WHERE brand='Seiko' AND case='stainless-steel'",
-    )
-    .unwrap();
+    let parsed =
+        s2s::core::query::parse("SELECT watch WHERE brand='Seiko' AND case='stainless-steel'")
+            .unwrap();
     let plan = s2s::core::query::plan(&parsed, &o).unwrap();
     let names: Vec<&str> = plan.output_classes.iter().map(|c| c.local_name()).collect();
     assert!(names.contains(&"Watch"));

@@ -14,9 +14,7 @@ use s2s_core::mapping::{ExtractionRule, RecordScenario};
 use s2s_core::source::Connection;
 use s2s_core::{ResiliencePolicy, S2s, S2sError};
 use s2s_minidb::Database;
-use s2s_netsim::{
-    BreakerConfig, BreakerState, CostModel, FailureModel, RetryPolicy, SimDuration,
-};
+use s2s_netsim::{BreakerConfig, BreakerState, CostModel, FailureModel, RetryPolicy, SimDuration};
 use s2s_owl::Ontology;
 
 fn ontology() -> Ontology {
@@ -237,8 +235,13 @@ fn breaker_trips_end_to_end_and_recovers_after_cooldown() {
         FailureModel::unreachable(),
     )
     .unwrap();
-    s2s.register_attribute("thing.product.brand", brand_rule(), "DEAD", RecordScenario::SingleRecord)
-        .unwrap();
+    s2s.register_attribute(
+        "thing.product.brand",
+        brand_rule(),
+        "DEAD",
+        RecordScenario::SingleRecord,
+    )
+    .unwrap();
 
     for _ in 0..6 {
         let outcome = s2s.query("SELECT product").unwrap();
@@ -274,8 +277,13 @@ fn circuit_open_failures_classify_transient() {
         FailureModel::unreachable(),
     )
     .unwrap();
-    s2s.register_attribute("thing.product.brand", brand_rule(), "DEAD", RecordScenario::SingleRecord)
-        .unwrap();
+    s2s.register_attribute(
+        "thing.product.brand",
+        brand_rule(),
+        "DEAD",
+        RecordScenario::SingleRecord,
+    )
+    .unwrap();
     let _ = s2s.query("SELECT product").unwrap(); // trips the breaker
     let outcome = s2s.query("SELECT product").unwrap();
     let failure = &outcome.errors()[0];

@@ -89,8 +89,7 @@ fn xquery_rule_filters_at_extraction() {
     let s2s = deploy();
     let outcome = s2s.query("SELECT product").unwrap();
     let brand = s2s.ontology().property_iri("brand").unwrap();
-    let brands: Vec<_> =
-        outcome.individuals().iter().filter_map(|i| i.value(&brand)).collect();
+    let brands: Vec<_> = outcome.individuals().iter().filter_map(|i| i.value(&brand)).collect();
     assert!(brands.contains(&"Orient"));
     assert!(!brands.contains(&"Dead"));
 }
@@ -126,10 +125,9 @@ fn s2sql_or_and_not_end_to_end() {
     // NOT excludes.
     let not_seiko = s2s.query("SELECT product WHERE NOT brand='Seiko'").unwrap();
     assert_eq!(not_seiko.individuals().len(), 2); // Casio + Orient
-    // Parenthesized combination.
-    let combo = s2s
-        .query("SELECT product WHERE (brand='Seiko' OR brand='Casio') AND price<100")
-        .unwrap();
+                                                  // Parenthesized combination.
+    let combo =
+        s2s.query("SELECT product WHERE (brand='Seiko' OR brand='Casio') AND price<100").unwrap();
     assert_eq!(combo.individuals().len(), 1); // Casio at 59.5
 }
 
@@ -142,5 +140,7 @@ fn bad_spec_reports_error() {
     // Unknown source id in the spec.
     assert!(s2s.load_spec("map thing.product.brand = xpath, NOPE, multi {\n//x\n}").is_err());
     // Unresolvable attribute path.
-    assert!(s2s.load_spec("map thing.gadget.brand = sql(a), DB, multi {\nSELECT a FROM t\n}").is_err());
+    assert!(s2s
+        .load_spec("map thing.gadget.brand = sql(a), DB, multi {\nSELECT a FROM t\n}")
+        .is_err());
 }

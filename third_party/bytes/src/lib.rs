@@ -42,23 +42,24 @@ pub trait BufMut {
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::new(Vec::new()), start: 0 }
+        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
     }
 
     /// Creates a buffer borrowing nothing from a static slice (copied
     /// here; upstream borrows, which callers cannot observe).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::new(bytes.to_vec()), start: 0 }
+        Bytes::from(bytes.to_vec())
     }
 
     /// Remaining length.
     pub fn len(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
     }
 
     /// Whether no bytes remain.
@@ -69,6 +70,15 @@ impl Bytes {
     /// Copies the remaining bytes into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self[..].to_vec()
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` advances
+    /// past them. Both handles share the allocation (no copy).
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds: {at} > {}", self.len());
+        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        self.start += at;
+        head
     }
 
     fn take_front(&mut self, n: usize) -> &[u8] {
@@ -89,7 +99,7 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
     }
 }
 
@@ -101,7 +111,8 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data: Arc::new(data), start: 0 }
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
     }
 }
 
@@ -245,6 +256,25 @@ mod tests {
         assert_eq!(a.get_u16(), 0x0001);
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn split_to_shares_allocation() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        // A read on the tail never leaks past its own view.
+        let mut tail = b.split_to(3);
+        assert_eq!(tail.get_u8(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_oob_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.split_to(2);
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl BenchmarkGroup<'_> {
         let total: Duration = bencher.samples.iter().sum();
         let mean = total / bencher.samples.len() as u32;
         let min = bencher.samples.iter().min().copied().unwrap_or_default();
-        println!("{name:<56} mean {mean:>12.3?}   min {min:>12.3?}   samples {}", bencher.samples.len());
+        println!(
+            "{name:<56} mean {mean:>12.3?}   min {min:>12.3?}   samples {}",
+            bencher.samples.len()
+        );
     }
 
     /// Ends the group.
@@ -142,10 +145,8 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let max_samples = std::env::var("S2S_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(10);
+        let max_samples =
+            std::env::var("S2S_BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
         Criterion { max_samples }
     }
 }

@@ -173,9 +173,7 @@ pub mod thread {
     where
         F: FnOnce(&Scope<'_, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| {
-            std::thread::scope(|s| f(&Scope { inner: s }))
-        }))
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
     }
 }
 

@@ -315,8 +315,16 @@ macro_rules! impl_uniform_int {
 }
 
 impl_uniform_int!(
-    u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
-    i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as i64,
+    i16 as i64,
+    i32 as i64,
+    i64 as i64,
+    isize as i64
 );
 
 impl UniformSample for f64 {
