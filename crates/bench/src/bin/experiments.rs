@@ -2,9 +2,20 @@
 //!
 //! Run with: `cargo run --release -p s2s-bench --bin experiments`
 //!
-//! Each section prints the id (E1–E10), the parameters swept, and the
+//! Each section prints the id (E1–E12), the parameters swept, and the
 //! measured values (wall-clock for CPU work, simulated time for network
 //! behaviour, plus counts/correctness indicators).
+//!
+//! Observability modes (see `--help`):
+//!
+//! * `--trace` — run a healthy and a degraded query with tracing on and
+//!   print the span tree plus the JSONL dump of each.
+//! * `--metrics` — run a short workload with the global metrics
+//!   registry enabled and print the Prometheus-style text snapshot.
+//! * `--smoke-audit <dir>` — short deterministic healthy run; writes
+//!   `trace.jsonl` and `metrics.prom` into `<dir>` and self-validates
+//!   both exports (the CI smoke-audit gate). Exits non-zero on any
+//!   violation.
 
 use std::sync::Arc;
 
@@ -15,11 +26,53 @@ use s2s_core::instance::OutputFormat;
 use s2s_core::mapping::{ExtractionRule, MappingModule, RecordScenario};
 use s2s_core::source::{Connection, SourceRegistry};
 use s2s_core::S2s;
-use s2s_netsim::{CostModel, FailureModel};
+use s2s_netsim::{BreakerConfig, CostModel, FailureModel, RetryPolicy, SimDuration};
 use s2s_owl::Reasoner;
 use s2s_webdoc::WebStore;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => run_experiments(),
+        Some("--trace") => trace_mode(),
+        Some("--metrics") => metrics_mode(),
+        Some("--smoke-audit") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--smoke-audit requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = smoke_audit(dir) {
+                for v in &violations {
+                    eprintln!("smoke-audit FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("smoke-audit OK");
+        }
+        Some("--help" | "-h") => usage(),
+        Some(other) => {
+            eprintln!("unknown argument: {other}\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!("experiments — S2S experiment harness and observability driver");
+    println!();
+    println!("USAGE:");
+    println!("  experiments                    run the full E1–E12 experiment suite");
+    println!("  experiments --trace            print span trees + JSONL for a healthy");
+    println!("                                 and a degraded (breaker-open) query");
+    println!("  experiments --metrics          print a Prometheus-style metrics");
+    println!("                                 snapshot after a short workload");
+    println!("  experiments --smoke-audit DIR  deterministic run; writes trace.jsonl");
+    println!("                                 and metrics.prom into DIR and validates");
+    println!("                                 both exports (non-zero exit on failure)");
+}
+
+fn run_experiments() {
     println!("S2S middleware — experiment harness (deterministic; simulated network time)");
     println!("==========================================================================");
     e1();
@@ -33,6 +86,170 @@ fn main() {
     e9();
     e10();
     e11();
+    e12();
+}
+
+/// A deployment where one of two sources is hard-down and the breaker
+/// trips after a single failure: the trace's `DOWN` batches show the
+/// full degradation ladder (retried+failed first task, then
+/// breaker-rejected tasks) while `GOOD` stays clean. Serial,
+/// per-attribute extraction keeps the breaker-state sequencing
+/// deterministic.
+fn degraded_deploy() -> S2s {
+    let policy = s2s_core::ResiliencePolicy::default()
+        .with_retry(RetryPolicy::attempts(2).with_backoff(
+            SimDuration::from_millis(5),
+            2,
+            SimDuration::from_millis(50),
+        ))
+        .with_breaker(BreakerConfig::new(1, SimDuration::from_millis(60_000)));
+    let mut s2s = S2s::new(ontology())
+        .with_strategy(Strategy::Serial)
+        .with_batching(false)
+        .with_resilience(policy)
+        .with_tracing();
+    s2s.register_remote_source(
+        "GOOD",
+        Connection::Database { db: Arc::new(catalog_db(&records(5, 42))) },
+        CostModel::wan(),
+        FailureModel::reliable(),
+    )
+    .unwrap();
+    map_db(&mut s2s, "GOOD");
+    s2s.register_remote_source(
+        "DOWN",
+        Connection::Database { db: Arc::new(catalog_db(&records(5, 43))) },
+        CostModel::wan(),
+        FailureModel::unreachable(),
+    )
+    .unwrap();
+    map_db(&mut s2s, "DOWN");
+    s2s
+}
+
+fn trace_mode() {
+    println!("## healthy query (batched, 4 sources × 3 attributes, WAN)");
+    let s2s =
+        deploy_wide(4, 3, CostModel::wan(), Strategy::Parallel { workers: 4 }, true).with_tracing();
+    let outcome = s2s.query("SELECT product").unwrap();
+    let trace = outcome.trace.as_ref().expect("tracing enabled");
+    println!("{}", s2s_obs::render_tree(trace));
+    println!("### JSONL");
+    print!("{}", s2s_obs::render_jsonl(trace));
+
+    println!("\n## degraded query (one source down, breaker threshold 1)");
+    let s2s = degraded_deploy();
+    let outcome = s2s.query("SELECT watch").unwrap();
+    let trace = outcome.trace.as_ref().expect("tracing enabled");
+    println!("{}", s2s_obs::render_tree(trace));
+    println!("### JSONL");
+    print!("{}", s2s_obs::render_jsonl(trace));
+    println!(
+        "\ncompleteness: {:.3}   failed tasks: {}   breaker rejections: {}",
+        outcome.stats.completeness,
+        outcome.stats.failed_tasks,
+        outcome.resilience.values().map(|h| h.breaker_rejections).sum::<u64>()
+    );
+}
+
+fn metrics_mode() {
+    s2s_obs::set_enabled(true);
+    s2s_obs::global().clear();
+
+    // A healthy batched workload, twice (to exercise both caches) …
+    let s2s = deploy_wide(8, 4, CostModel::wan(), Strategy::Parallel { workers: 4 }, true);
+    let _ = s2s.query("SELECT product").unwrap();
+    let _ = s2s.query("SELECT product").unwrap();
+    // … plus a flaky one so retry/failure series are non-empty.
+    let flaky = deploy_sharded(
+        8,
+        10,
+        CostModel::lan(),
+        FailureModel::flaky(0.25),
+        Strategy::Parallel { workers: 4 },
+    )
+    .with_resilience(s2s_core::ResiliencePolicy::default().with_retry(RetryPolicy::attempts(3)));
+    let _ = flaky.query("SELECT watch").unwrap();
+
+    print!("{}", s2s_obs::render_prometheus(s2s_obs::global()));
+    s2s_obs::set_enabled(false);
+}
+
+/// The CI smoke-audit gate: a deterministic healthy run whose exports
+/// must be well-formed and whose completeness must be 1.0.
+fn smoke_audit(dir: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    s2s_obs::set_enabled(true);
+    s2s_obs::global().clear();
+    let s2s =
+        deploy_wide(6, 3, CostModel::wan(), Strategy::Parallel { workers: 4 }, true).with_tracing();
+    let outcome = s2s.query("SELECT product").unwrap();
+    let prom = s2s_obs::render_prometheus(s2s_obs::global());
+    s2s_obs::set_enabled(false);
+
+    if outcome.stats.completeness < 1.0 {
+        violations.push(format!(
+            "healthy scenario incomplete: completeness {} < 1.0",
+            outcome.stats.completeness
+        ));
+    }
+
+    let trace = match outcome.trace.as_ref() {
+        Some(t) => t,
+        None => {
+            violations.push("tracing enabled but no trace attached".into());
+            return Err(violations);
+        }
+    };
+    let jsonl = s2s_obs::render_jsonl(trace);
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create smoke-audit dir {dir}: {e}"));
+    let trace_path = format!("{dir}/trace.jsonl");
+    let prom_path = format!("{dir}/metrics.prom");
+    std::fs::write(&trace_path, &jsonl).expect("write trace.jsonl");
+    std::fs::write(&prom_path, &prom).expect("write metrics.prom");
+
+    // The JSONL export must parse back and re-render byte-identically.
+    match s2s_obs::parse_jsonl(&jsonl) {
+        Ok(records) => {
+            if s2s_obs::render_jsonl_records(&records) != jsonl {
+                violations.push("JSONL round-trip not byte-identical".into());
+            }
+        }
+        Err(e) => violations.push(format!("trace.jsonl does not parse: {e}")),
+    }
+    // The Prometheus snapshot must parse and be non-trivial.
+    match s2s_obs::parse_prometheus(&prom) {
+        Ok(samples) => {
+            if samples.is_empty() {
+                violations.push("metrics.prom parsed to zero samples".into());
+            }
+        }
+        Err(e) => violations.push(format!("metrics.prom does not parse: {e}")),
+    }
+    // The root span must agree with QueryStats.
+    let root = &trace.root;
+    match root.get_attr("completeness").and_then(|v| v.parse::<f64>().ok()) {
+        Some(c) if c == outcome.stats.completeness => {}
+        other => violations.push(format!(
+            "root span completeness {:?} != stats.completeness {}",
+            other, outcome.stats.completeness
+        )),
+    }
+
+    println!(
+        "smoke-audit: {} spans → {trace_path}; {} metric lines → {prom_path}; completeness {}",
+        trace.spans().len(),
+        prom.lines().count(),
+        outcome.stats.completeness
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -526,6 +743,38 @@ fn e11() {
         first.stats.rule_cache.hits,
         second.stats.rule_cache.misses,
         second.stats.rule_cache.hits
+    );
+}
+
+fn e12() {
+    header("E12", "observability overhead: disabled vs tracing+metrics (A/B)");
+    let iters = 30u32;
+    let run = |s2s: &S2s| {
+        let _ = s2s.query("SELECT product").unwrap(); // warm-up
+        let (_, wall) = time(|| {
+            for _ in 0..iters {
+                let _ = s2s.query("SELECT product").unwrap();
+            }
+        });
+        wall.as_nanos() / iters as u128
+    };
+
+    let off = deploy_wide(8, 4, CostModel::lan(), Strategy::Parallel { workers: 4 }, true);
+    assert!(!s2s_obs::enabled(), "observability must start disabled");
+    let off_ns = run(&off);
+
+    s2s_obs::set_enabled(true);
+    let on =
+        deploy_wide(8, 4, CostModel::lan(), Strategy::Parallel { workers: 4 }, true).with_tracing();
+    let on_ns = run(&on);
+    s2s_obs::set_enabled(false);
+
+    println!("{:>22} {:>14}", "mode", "per-query");
+    println!("{:>22} {:>12}ns", "disabled", off_ns);
+    println!("{:>22} {:>12}ns", "tracing+metrics", on_ns);
+    println!(
+        "overhead: {:.2}x (disabled path is a single relaxed atomic load per hook)",
+        on_ns as f64 / off_ns.max(1) as f64
     );
 }
 

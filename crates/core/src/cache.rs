@@ -70,6 +70,14 @@ impl ExtractionCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        if s2s_obs::enabled() {
+            let name = if hit.is_some() {
+                "s2s_extraction_cache_hits_total"
+            } else {
+                "s2s_extraction_cache_misses_total"
+            };
+            s2s_obs::global().counter(name).inc();
+        }
         hit
     }
 

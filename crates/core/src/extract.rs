@@ -27,6 +27,7 @@ use s2s_netsim::{
     invoke_with_retry, makespan, run_parallel, BreakerConfig, BreakerState, CircuitBreaker,
     Endpoint, RetryPolicy, SimDuration,
 };
+use s2s_obs::{Span, SpanKind, SpanOutcome};
 use s2s_webdoc::{WebStore, WeblProgram, WeblValue};
 
 use crate::error::{FailureClass, S2sError};
@@ -237,6 +238,11 @@ pub struct ExtractionReport {
     pub simulated_serial: SimDuration,
     /// Degraded-mode telemetry per source id.
     pub resilience: BTreeMap<String, SourceHealth>,
+    /// Per-batch trace spans (`batch → rule/attempt`), populated only
+    /// by the `*_traced` entry points; empty otherwise. Spans are built
+    /// thread-locally inside each worker and ride the result channel
+    /// back, so collecting them adds no locks to the parallel path.
+    pub spans: Vec<Span>,
 }
 
 impl ExtractionReport {
@@ -330,18 +336,62 @@ impl ExtractorManager {
         ctx: &ResilienceContext,
         rules: &RuleCache,
     ) -> ExtractionReport {
+        Self::extract_with_rules_traced(registry, schemas, strategy, ctx, rules, false)
+    }
+
+    /// [`ExtractorManager::extract_with_rules`] with optional span
+    /// collection: when `traced`, the report's `spans` carry one
+    /// `batch` span per task (this path puts each attribute on its own
+    /// wire exchange) with its `rule` child and one `attempt` child per
+    /// endpoint tried.
+    pub fn extract_with_rules_traced(
+        registry: &SourceRegistry,
+        schemas: Vec<ExtractionSchema>,
+        strategy: Strategy,
+        ctx: &ResilienceContext,
+        rules: &RuleCache,
+        traced: bool,
+    ) -> ExtractionReport {
         let workers = strategy.workers();
         let outcomes = run_parallel(schemas, workers, |schema| {
-            let r = extract_one_resilient(registry, &schema.mapping, ctx, rules);
-            (schema, r)
+            let started = std::time::Instant::now();
+            let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
+            let r = extract_one_resilient(
+                registry,
+                &schema.mapping,
+                ctx,
+                rules,
+                attempt_spans.as_mut(),
+            );
+            (schema, r, attempt_spans, started.elapsed())
         });
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
-        for (schema, (outcome, trace)) in outcomes {
+        for (schema, (outcome, trace), attempt_spans, wall) in outcomes {
             let health = report.resilience.entry(schema.mapping.source().to_string()).or_default();
             health.tasks += 1;
             fold_trace(health, trace);
+            if let Some(attempt_spans) = attempt_spans {
+                let mut rule = Span::new(SpanKind::Rule, schema.mapping.path().to_string());
+                rule.attr("source", schema.mapping.source().to_string());
+                match &outcome {
+                    Ok((values, _)) => rule.attr("values", values.len().to_string()),
+                    Err(error) => {
+                        rule.outcome = SpanOutcome::Failed;
+                        rule.attr("error", error.to_string());
+                    }
+                }
+                let mut batch = Span::new(SpanKind::Batch, schema.mapping.source().to_string());
+                batch.sim_us = trace.elapsed.as_micros();
+                batch.wall_us = wall.as_micros() as u64;
+                batch.outcome = batch_outcome(outcome.is_err(), false, &trace);
+                batch.push(rule);
+                for span in attempt_spans {
+                    batch.push(span);
+                }
+                report.spans.push(batch);
+            }
             match outcome {
                 Ok((values, elapsed)) => {
                     durations.push(elapsed);
@@ -364,6 +414,7 @@ impl ExtractorManager {
         fill_breaker_states(&mut report, registry, ctx);
         report.simulated_serial = durations.iter().copied().sum();
         report.simulated = makespan(&durations, workers);
+        record_report_metrics(&report);
         report
     }
 
@@ -386,28 +437,73 @@ impl ExtractorManager {
         ctx: &ResilienceContext,
         rules: &RuleCache,
     ) -> ExtractionReport {
+        Self::extract_batched_traced(registry, schemas, strategy, ctx, rules, false)
+    }
+
+    /// [`ExtractorManager::extract_batched`] with optional span
+    /// collection: when `traced`, the report's `spans` carry one
+    /// `batch` span per planned wire exchange, with one `rule` child
+    /// per planned rule (rule-cache provenance included — the planner
+    /// runs serially, so the cache-stat deltas are unambiguous) and one
+    /// `attempt` child per endpoint tried.
+    pub fn extract_batched_traced(
+        registry: &SourceRegistry,
+        schemas: Vec<ExtractionSchema>,
+        strategy: Strategy,
+        ctx: &ResilienceContext,
+        rules: &RuleCache,
+        traced: bool,
+    ) -> ExtractionReport {
         let workers = strategy.workers();
-        let batches = plan_batches(registry, schemas, rules);
+        let batches = plan_batches(registry, schemas, rules, traced);
+        if s2s_obs::enabled() {
+            s2s_obs::global().counter("s2s_extract_batches_total").add(batches.len() as u64);
+        }
 
         let outcomes = run_parallel(batches, workers, |batch| {
-            let (Some(source), false) = (batch.source, batch.ok.is_empty()) else {
+            let started = std::time::Instant::now();
+            let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
+            let net = if let (Some(source), false) = (batch.source, batch.ok.is_empty()) {
+                let salt = format!("{}:batch", batch.source_id);
+                resilient_exchange(
+                    source,
+                    &batch.source_id,
+                    &salt,
+                    batch.wire_bytes,
+                    ctx,
+                    attempt_spans.as_mut(),
+                )
+            } else {
                 // Nothing survived the wrappers (or the source is
                 // unknown): no wire leg at all.
-                return (batch, (Ok(SimDuration::ZERO), TaskTrace::default()));
+                (Ok(SimDuration::ZERO), TaskTrace::default())
             };
-            let salt = format!("{}:batch", batch.source_id);
-            let net = resilient_exchange(source, &batch.source_id, &salt, batch.wire_bytes, ctx);
-            (batch, net)
+            (batch, net, attempt_spans, started.elapsed())
         });
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
         let mut results = Vec::new();
         let mut failures = Vec::new();
-        for (batch, (net, trace)) in outcomes {
+        for (mut batch, (net, trace), attempt_spans, wall) in outcomes {
             let health = report.resilience.entry(batch.source_id.clone()).or_default();
             health.tasks += batch.ok.len() + batch.failed.len();
             fold_trace(health, trace);
+            if let Some(attempt_spans) = attempt_spans {
+                let mut span = Span::new(SpanKind::Batch, batch.source_id.clone());
+                span.sim_us = trace.elapsed.as_micros();
+                span.wall_us = wall.as_micros() as u64;
+                span.outcome = batch_outcome(net.is_err(), !batch.failed.is_empty(), &trace);
+                span.attr("rules", (batch.ok.len() + batch.failed.len()).to_string());
+                span.attr("wire_bytes", batch.wire_bytes.to_string());
+                for rule_span in std::mem::take(&mut batch.rule_spans) {
+                    span.push(rule_span);
+                }
+                for attempt in attempt_spans {
+                    span.push(attempt);
+                }
+                report.spans.push(span);
+            }
             for (i, schema, error) in batch.failed {
                 health.failed_tasks += 1;
                 failures.push((i, failure_of(&schema, error)));
@@ -443,6 +539,7 @@ impl ExtractorManager {
         fill_breaker_states(&mut report, registry, ctx);
         report.simulated_serial = durations.iter().copied().sum();
         report.simulated = makespan(&durations, workers);
+        record_report_metrics(&report);
         report
     }
 }
@@ -459,6 +556,8 @@ struct PlannedBatch<'a> {
     wire_bytes: usize,
     /// LPT sort key: estimated wire cost under the source's cost model.
     estimate: SimDuration,
+    /// Per-rule trace spans in submission order (empty unless tracing).
+    rule_spans: Vec<Span>,
 }
 
 /// Groups schemas by source, runs the local wrapper half, and sizes the
@@ -467,6 +566,7 @@ fn plan_batches<'a>(
     registry: &'a SourceRegistry,
     schemas: Vec<ExtractionSchema>,
     rules: &RuleCache,
+    traced: bool,
 ) -> Vec<PlannedBatch<'a>> {
     let mut groups: BTreeMap<String, Vec<(usize, ExtractionSchema)>> = BTreeMap::new();
     for (i, s) in schemas.into_iter().enumerate() {
@@ -477,8 +577,29 @@ fn plan_batches<'a>(
         let source = registry.get(&source_id.as_str().into());
         let mut ok = Vec::new();
         let mut failed = Vec::new();
+        let mut rule_spans = Vec::new();
         for (i, schema) in group {
-            match prepare_values(registry, &schema.mapping, rules) {
+            let rule_started = std::time::Instant::now();
+            // Planning runs serially in the caller's thread, so the
+            // rule-cache stat delta around one wrapper run attributes
+            // hit/miss provenance to this rule unambiguously.
+            let hits_before = if traced { rules.stats().hits } else { 0 };
+            let prepared = prepare_values(registry, &schema.mapping, rules);
+            if traced {
+                let mut span = Span::new(SpanKind::Rule, schema.mapping.path().to_string());
+                span.wall_us = rule_started.elapsed().as_micros() as u64;
+                span.attr("source", source_id.clone());
+                span.attr("cache", if rules.stats().hits > hits_before { "hit" } else { "miss" });
+                match &prepared {
+                    Ok(values) => span.attr("values", values.len().to_string()),
+                    Err(error) => {
+                        span.outcome = SpanOutcome::Failed;
+                        span.attr("error", error.to_string());
+                    }
+                }
+                rule_spans.push(span);
+            }
+            match prepared {
                 Ok(values) => ok.push((i, schema, values)),
                 Err(e) => failed.push((i, schema, e)),
             }
@@ -498,7 +619,15 @@ fn plan_batches<'a>(
         };
         let estimate =
             source.map(|s| s.endpoint().cost_model().cost(wire_bytes, 0.5)).unwrap_or_default();
-        batches.push(PlannedBatch { source_id, source, ok, failed, wire_bytes, estimate });
+        batches.push(PlannedBatch {
+            source_id,
+            source,
+            ok,
+            failed,
+            wire_bytes,
+            estimate,
+            rule_spans,
+        });
     }
     // Longest processing time first: the greedy list scheduler (both
     // `run_parallel` and the `makespan` accounting) sees the costliest
@@ -521,6 +650,44 @@ fn fold_trace(health: &mut SourceHealth, trace: TaskTrace) {
     health.failovers += trace.failovers;
     health.breaker_rejections += trace.breaker_rejections;
     health.elapsed += trace.elapsed;
+}
+
+/// Severity-composed outcome of a `batch` span: a failed wire exchange
+/// dominates, then wrapper-level degradation, then resilience events
+/// that a success still passed through (breaker skips, failovers,
+/// retries).
+fn batch_outcome(net_failed: bool, any_rule_failed: bool, trace: &TaskTrace) -> SpanOutcome {
+    if net_failed {
+        return SpanOutcome::Failed;
+    }
+    let mut outcome = SpanOutcome::Ok;
+    if trace.retries > 0 {
+        outcome = outcome.worst(SpanOutcome::Retried);
+    }
+    if trace.failovers > 0 {
+        outcome = outcome.worst(SpanOutcome::FailedOver);
+    }
+    if trace.breaker_rejections > 0 {
+        outcome = outcome.worst(SpanOutcome::BreakerRejected);
+    }
+    if any_rule_failed {
+        outcome = outcome.worst(SpanOutcome::Degraded);
+    }
+    outcome
+}
+
+/// Feeds the process-wide extraction metrics from a finished report
+/// (no-op while observability is disabled).
+fn record_report_metrics(report: &ExtractionReport) {
+    if !s2s_obs::enabled() {
+        return;
+    }
+    let metrics = s2s_obs::global();
+    metrics
+        .counter("s2s_extract_tasks_total")
+        .add((report.results.len() + report.failures.len()) as u64);
+    metrics.counter("s2s_extract_failed_tasks_total").add(report.failures.len() as u64);
+    metrics.histogram("s2s_extract_sim_us").observe(report.simulated.as_micros());
 }
 
 fn fill_breaker_states(
@@ -572,6 +739,7 @@ fn extract_one_resilient(
     mapping: &AttributeMapping,
     ctx: &ResilienceContext,
     rules: &RuleCache,
+    spans: Option<&mut Vec<Span>>,
 ) -> (Result<(Vec<String>, SimDuration), S2sError>, TaskTrace) {
     let (source, values, bytes) = match prepare_task(registry, mapping, rules) {
         Ok(prepared) => prepared,
@@ -579,7 +747,7 @@ fn extract_one_resilient(
     };
     let source_label = mapping.source().to_string();
     let salt = mapping.path().to_string();
-    let (net, trace) = resilient_exchange(source, &source_label, &salt, bytes, ctx);
+    let (net, trace) = resilient_exchange(source, &source_label, &salt, bytes, ctx, spans);
     (net.map(|elapsed| (values, elapsed)), trace)
 }
 
@@ -598,6 +766,7 @@ fn resilient_exchange(
     salt: &str,
     bytes: usize,
     ctx: &ResilienceContext,
+    mut spans: Option<&mut Vec<Span>>,
 ) -> (Result<SimDuration, S2sError>, TaskTrace) {
     let mut trace = TaskTrace::default();
     let endpoints: Vec<&Arc<Endpoint>> =
@@ -609,10 +778,16 @@ fn resilient_exchange(
         if attempted {
             trace.failovers += 1;
         }
+        let is_failover = attempted;
         let breaker = ctx.breaker_for(endpoint.id());
         if let Some(b) = &breaker {
             if !b.allow(ctx.virtual_now()) {
                 trace.breaker_rejections += 1;
+                if let Some(spans) = spans.as_deref_mut() {
+                    let mut span = Span::new(SpanKind::Attempt, endpoint.id().to_string());
+                    span.outcome = SpanOutcome::BreakerRejected;
+                    spans.push(span);
+                }
                 last_err = Some(S2sError::CircuitOpen { source: source_label.to_string() });
                 continue;
             }
@@ -624,6 +799,23 @@ fn resilient_exchange(
         trace.retries += u64::from(out.retries());
         trace.elapsed += out.elapsed;
         let now = ctx.advance(out.elapsed);
+        if let Some(spans) = spans.as_deref_mut() {
+            let mut span = Span::new(SpanKind::Attempt, endpoint.id().to_string());
+            span.sim_us = out.elapsed.as_micros();
+            span.outcome = match &out.result {
+                Ok(()) if is_failover => SpanOutcome::FailedOver,
+                Ok(()) if out.retries() > 0 => SpanOutcome::Retried,
+                Ok(()) => SpanOutcome::Ok,
+                Err(_) => SpanOutcome::Failed,
+            };
+            if out.retries() > 0 {
+                span.attr("retries", out.retries().to_string());
+            }
+            if let Err(e) = &out.result {
+                span.attr("error", e.to_string());
+            }
+            spans.push(span);
+        }
         match out.result {
             Ok(()) => {
                 if let Some(b) = &breaker {

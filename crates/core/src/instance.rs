@@ -222,6 +222,12 @@ pub fn generate_with_options(
     let reasoner = Reasoner::new(ontology);
     reasoner.materialize(&mut graph);
 
+    if s2s_obs::enabled() {
+        let m = s2s_obs::global();
+        m.counter("s2s_instances_generated_total").add(individuals.len() as u64);
+        m.counter("s2s_instance_triples_total").add(graph.len() as u64);
+    }
+
     InstanceSet {
         graph,
         individuals,

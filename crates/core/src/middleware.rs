@@ -9,6 +9,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use s2s_netsim::{CostModel, FailureModel, SimDuration};
+use s2s_obs::{Span, SpanKind, SpanOutcome, Trace};
 use s2s_owl::{AttributePath, Ontology};
 
 use crate::cache::{CacheStats, ExtractionCache};
@@ -36,9 +37,13 @@ pub struct QueryStats {
     pub retries: u64,
     /// Failovers to replica endpoints across all tasks.
     pub failovers: u64,
-    /// Endpoint round trips (attempts) this query spent — the
+    /// Endpoint round trips this query actually put on the wire — the
     /// observable batching win: one trip per source instead of one per
-    /// attribute.
+    /// attribute. Every attempt that reaches an endpoint counts, so
+    /// retries and failover attempts each add a trip. Calls refused by
+    /// an open circuit breaker do **not** count: the breaker rejects
+    /// them before any wire exchange, and they are tallied separately
+    /// in [`SourceHealth::breaker_rejections`].
     pub round_trips: u64,
     /// Extraction-cache hit/miss counters for this query alone.
     pub extraction_cache: CacheStats,
@@ -68,6 +73,9 @@ pub struct QueryOutcome {
     /// Degraded-mode report: per-source attempts, retries, failovers,
     /// breaker rejections, and breaker state.
     pub resilience: std::collections::BTreeMap<String, SourceHealth>,
+    /// The query's trace tree (`Some` only when tracing is enabled via
+    /// [`S2s::with_tracing`]).
+    pub trace: Option<Trace>,
 }
 
 impl QueryOutcome {
@@ -133,6 +141,7 @@ pub struct S2s {
     rules: Arc<RuleCache>,
     batching: bool,
     provenance: bool,
+    tracing: bool,
     resilience: Arc<ResilienceContext>,
 }
 
@@ -149,8 +158,24 @@ impl S2s {
             rules: Arc::new(RuleCache::new()),
             batching: true,
             provenance: false,
+            tracing: false,
             resilience: Arc::new(ResilienceContext::default()),
         }
+    }
+
+    /// Enables per-query trace trees: every [`QueryOutcome`] carries a
+    /// [`Trace`] (`query → parse / plan / map → batch → rule /
+    /// attempt`) with simulated and wall-clock durations, outcomes, and
+    /// cache provenance per span. Off by default — when disabled the
+    /// pipeline allocates nothing for tracing.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Whether per-query tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Enables or disables batched extraction (default: enabled). When
@@ -352,16 +377,23 @@ impl S2s {
     /// Returns an error only for malformed or semantically invalid
     /// queries.
     pub fn query(&self, s2sql: &str) -> Result<QueryOutcome, S2sError> {
+        let query_started = std::time::Instant::now();
+        let parse_started = std::time::Instant::now();
         let parsed = query::parse(s2sql)?;
+        let parse_wall = parse_started.elapsed();
+        let plan_started = std::time::Instant::now();
         let plan = query::plan(&parsed, &self.ontology)?;
+        let plan_wall = plan_started.elapsed();
 
         // Step 1-2 (Fig. 5): attribute list → extraction schemas,
         // keeping only mapped attributes.
+        let map_started = std::time::Instant::now();
         let mappings = self.mappings.read();
         let mapped_paths: Vec<AttributePath> =
             plan.attributes.iter().filter(|p| mappings.contains(p)).cloned().collect();
         let schemas = ExtractorManager::obtain_schemas(&mappings, &mapped_paths)?;
         drop(mappings);
+        let mapped_schemas = schemas.len();
 
         // Cache partition: answered entries skip the mediator entirely.
         let mut cached_results: Vec<AttributeResult> = Vec::new();
@@ -383,6 +415,24 @@ impl S2s {
             None => schemas,
         };
         let cache_hits = cached_results.len();
+        let map_wall = map_started.elapsed();
+        // Cache-served attributes never reach the mediator, so their
+        // provenance is recorded here as `rule` spans under `map`.
+        let cached_rule_spans: Vec<Span> = if self.tracing {
+            cached_results
+                .iter()
+                .map(|r| {
+                    let mut span = Span::new(SpanKind::Rule, r.mapping.path().to_string());
+                    span.outcome = SpanOutcome::CacheHit;
+                    span.attr("source", r.mapping.source().to_string());
+                    span.attr("cache", "hit");
+                    span.attr("values", r.values.len().to_string());
+                    span
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let extraction_cache_before = self.cache_stats();
         let rule_cache_before = self.rules.stats();
 
@@ -391,20 +441,22 @@ impl S2s {
         // source; legacy: one exchange per attribute.
         let registry = self.registry.read();
         let mut report = if self.batching {
-            ExtractorManager::extract_batched(
+            ExtractorManager::extract_batched_traced(
                 &registry,
                 schemas,
                 self.strategy,
                 &self.resilience,
                 &self.rules,
+                self.tracing,
             )
         } else {
-            ExtractorManager::extract_with_rules(
+            ExtractorManager::extract_with_rules_traced(
                 &registry,
                 schemas,
                 self.strategy,
                 &self.resilience,
                 &self.rules,
+                self.tracing,
             )
         };
         drop(registry);
@@ -450,7 +502,71 @@ impl S2s {
             GenerateOptions { provenance: self.provenance },
         );
         instances.cache_hits = cache_hits as u64;
-        Ok(QueryOutcome { plan, instances, stats, source_times, resilience: report.resilience })
+
+        if s2s_obs::enabled() {
+            let metrics = s2s_obs::global();
+            metrics.counter("s2s_queries_total").inc();
+            if stats.completeness < 1.0 {
+                metrics.counter("s2s_queries_degraded_total").inc();
+            }
+            metrics.gauge("s2s_query_completeness").set(stats.completeness);
+            metrics.histogram("s2s_query_sim_us").observe(stats.simulated.as_micros());
+            metrics
+                .histogram("s2s_query_wall_us")
+                .observe(query_started.elapsed().as_micros() as u64);
+        }
+
+        let trace = if self.tracing {
+            let mut root = Span::new(SpanKind::Query, s2sql.to_string());
+            root.sim_us = stats.simulated.as_micros();
+            root.wall_us = query_started.elapsed().as_micros() as u64;
+            root.outcome =
+                if stats.completeness < 1.0 { SpanOutcome::Degraded } else { SpanOutcome::Ok };
+            // `f64`'s `Display` round-trips exactly, so this attribute
+            // parses back to `stats.completeness` bit-for-bit.
+            root.attr("completeness", format!("{}", stats.completeness));
+            root.attr("tasks", stats.tasks.to_string());
+            root.attr("failed_tasks", stats.failed_tasks.to_string());
+            root.attr("round_trips", stats.round_trips.to_string());
+            root.attr("cache_hits", stats.cache_hits.to_string());
+
+            let mut parse_span = Span::new(SpanKind::Parse, "s2sql");
+            parse_span.wall_us = parse_wall.as_micros() as u64;
+            root.push(parse_span);
+
+            let mut plan_span = Span::new(SpanKind::Plan, "attributes");
+            plan_span.wall_us = plan_wall.as_micros() as u64;
+            plan_span.attr("count", plan.attributes.len().to_string());
+            root.push(plan_span);
+
+            let mut map_span = Span::new(SpanKind::Map, "mappings");
+            map_span.wall_us = map_wall.as_micros() as u64;
+            map_span.attr("mapped", mapped_schemas.to_string());
+            map_span.attr("cache_hits", cache_hits.to_string());
+            if !cached_rule_spans.is_empty() {
+                map_span.outcome = SpanOutcome::CacheHit;
+            }
+            for span in cached_rule_spans {
+                map_span.push(span);
+            }
+            root.push(map_span);
+
+            for span in std::mem::take(&mut report.spans) {
+                root.push(span);
+            }
+            Some(Trace::new(root))
+        } else {
+            None
+        };
+
+        Ok(QueryOutcome {
+            plan,
+            instances,
+            stats,
+            source_times,
+            resilience: report.resilience,
+            trace,
+        })
     }
 }
 

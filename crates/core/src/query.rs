@@ -186,6 +186,18 @@ pub struct QueryPlan {
 ///
 /// Returns [`S2sError::QuerySyntax`] on malformed input.
 pub fn parse(input: &str) -> Result<S2sqlQuery, S2sError> {
+    let parsed = parse_inner(input);
+    if s2s_obs::enabled() {
+        let m = s2s_obs::global();
+        m.counter("s2s_query_parses_total").inc();
+        if parsed.is_err() {
+            m.counter("s2s_query_parse_errors_total").inc();
+        }
+    }
+    parsed
+}
+
+fn parse_inner(input: &str) -> Result<S2sqlQuery, S2sError> {
     let mut p = Parser { chars: input.char_indices().collect(), pos: 0, len: input.len() };
     p.skip_ws();
     p.expect_keyword("SELECT")?;

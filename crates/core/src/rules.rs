@@ -68,9 +68,15 @@ impl RuleCache {
         let key = (rule.language(), rule.text().to_string());
         if let Some(hit) = self.compiled.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if s2s_obs::enabled() {
+                s2s_obs::global().counter("s2s_rule_cache_hits_total").inc();
+            }
             return Ok(hit.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if s2s_obs::enabled() {
+            s2s_obs::global().counter("s2s_rule_cache_misses_total").inc();
+        }
         let compiled = compile(rule)?;
         // A racing compile of the same rule is harmless: keep the first.
         self.compiled.write().entry(key).or_insert_with(|| compiled.clone());

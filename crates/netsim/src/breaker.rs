@@ -147,9 +147,11 @@ impl CircuitBreaker {
                 if now >= inner.opened_at + self.config.cooldown {
                     inner.state = BreakerState::HalfOpen;
                     inner.counters.half_opened += 1;
+                    bump("s2s_breaker_half_opened_total");
                     true
                 } else {
                     inner.counters.rejected += 1;
+                    bump("s2s_breaker_rejected_total");
                     false
                 }
             }
@@ -161,6 +163,7 @@ impl CircuitBreaker {
         let mut inner = self.inner.lock();
         if inner.state == BreakerState::HalfOpen {
             inner.counters.closed += 1;
+            bump("s2s_breaker_closed_total");
         }
         inner.state = BreakerState::Closed;
         inner.consecutive_failures = 0;
@@ -178,6 +181,7 @@ impl CircuitBreaker {
                 inner.opened_at = now;
                 inner.consecutive_failures = 0;
                 inner.counters.opened += 1;
+                bump("s2s_breaker_opened_total");
             }
             BreakerState::Closed => {
                 inner.consecutive_failures += 1;
@@ -186,9 +190,18 @@ impl CircuitBreaker {
                     inner.opened_at = now;
                     inner.consecutive_failures = 0;
                     inner.counters.opened += 1;
+                    bump("s2s_breaker_opened_total");
                 }
             }
         }
+    }
+}
+
+/// Increments a process-wide breaker counter (no-op while observability
+/// is disabled).
+fn bump(name: &str) {
+    if s2s_obs::enabled() {
+        s2s_obs::global().counter(name).inc();
     }
 }
 

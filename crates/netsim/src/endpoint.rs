@@ -156,11 +156,15 @@ impl Endpoint {
             stats.failures += 1;
             // A refused connection costs one base RTT.
             stats.total_time += self.cost.base;
+            drop(stats);
+            observe_attempt(self.cost.base, false);
             return Err(NetError::Unreachable { endpoint: self.id.clone() });
         }
         if t_draw < self.failure.p_timeout {
             stats.failures += 1;
             stats.total_time += self.failure.timeout;
+            drop(stats);
+            observe_attempt(self.failure.timeout, false);
             return Err(NetError::Timeout {
                 endpoint: self.id.clone(),
                 timeout_us: self.failure.timeout.as_micros(),
@@ -170,6 +174,8 @@ impl Endpoint {
         if elapsed > self.failure.timeout {
             stats.failures += 1;
             stats.total_time += self.failure.timeout;
+            drop(stats);
+            observe_attempt(self.failure.timeout, false);
             return Err(NetError::Timeout {
                 endpoint: self.id.clone(),
                 timeout_us: self.failure.timeout.as_micros(),
@@ -178,8 +184,27 @@ impl Endpoint {
         stats.total_time += elapsed;
         stats.bytes += bytes as u64;
         drop(stats);
+        if s2s_obs::enabled() {
+            s2s_obs::global().counter("s2s_net_bytes_total").add(bytes as u64);
+        }
+        observe_attempt(elapsed, true);
         Ok(RemoteCall { value: f(), elapsed })
     }
+}
+
+/// Feeds the process-wide attempt metrics (no-op while observability
+/// is disabled): call/failure counters plus the simulated-latency
+/// histogram behind the p50/p99 endpoint-attempt summaries.
+fn observe_attempt(charged: SimDuration, ok: bool) {
+    if !s2s_obs::enabled() {
+        return;
+    }
+    let metrics = s2s_obs::global();
+    metrics.counter("s2s_net_calls_total").inc();
+    if !ok {
+        metrics.counter("s2s_net_failures_total").inc();
+    }
+    metrics.histogram("s2s_net_attempt_sim_us").observe(charged.as_micros());
 }
 
 #[cfg(test)]

@@ -199,42 +199,58 @@ pub fn invoke_with_retry<T>(
         elapsed += attempt_cost;
         let error = match result {
             Ok(value) => {
-                return RetryOutcome {
+                return finish(RetryOutcome {
                     result: Ok(value),
                     attempts,
                     elapsed,
                     backoff: backoff_total,
                     deadline_hit,
-                }
+                })
             }
             Err(e) => e,
         };
         let exhausted = attempts >= max_attempts || !error.is_transient();
         if exhausted {
-            return RetryOutcome {
+            return finish(RetryOutcome {
                 result: Err(error),
                 attempts,
                 elapsed,
                 backoff: backoff_total,
                 deadline_hit,
-            };
+            });
         }
         let wait = policy.jittered(policy.backoff_before(attempts + 1), jitter_rng.gen::<f64>());
         if let Some(deadline) = policy.deadline {
             if elapsed + wait >= deadline {
                 deadline_hit = true;
-                return RetryOutcome {
+                return finish(RetryOutcome {
                     result: Err(error),
                     attempts,
                     elapsed,
                     backoff: backoff_total,
                     deadline_hit,
-                };
+                });
             }
         }
         elapsed += wait;
         backoff_total += wait;
     }
+}
+
+/// Feeds the process-wide retry metrics on the way out (no-op while
+/// observability is disabled).
+fn finish<T>(outcome: RetryOutcome<T>) -> RetryOutcome<T> {
+    if s2s_obs::enabled() {
+        let metrics = s2s_obs::global();
+        if outcome.retries() > 0 {
+            metrics.counter("s2s_retry_retries_total").add(u64::from(outcome.retries()));
+            metrics.histogram("s2s_retry_backoff_sim_us").observe(outcome.backoff.as_micros());
+        }
+        if outcome.deadline_hit {
+            metrics.counter("s2s_retry_deadline_hits_total").inc();
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]

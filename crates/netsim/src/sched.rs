@@ -53,6 +53,11 @@ where
     if n == 0 {
         return Vec::new();
     }
+    if s2s_obs::enabled() {
+        let metrics = s2s_obs::global();
+        metrics.counter("s2s_sched_runs_total").inc();
+        metrics.counter("s2s_sched_tasks_total").add(n as u64);
+    }
     let workers = workers.min(n);
     if workers == 1 {
         return tasks.into_iter().map(f).collect();

@@ -1,0 +1,658 @@
+//! Exporters: text tree, JSON-lines trace dump, Prometheus-style
+//! metrics snapshot.
+//!
+//! The two machine-readable formats each ship with a minimal parser so
+//! CI can prove a snapshot round-trips (`render → parse → render` is
+//! byte-identical) instead of merely looking plausible. The parsers are
+//! deliberately small: they accept exactly the subset these renderers
+//! emit — JSON-lines objects with string/number/null values plus a flat
+//! string-valued `attrs` object, and Prometheus text with `# TYPE`
+//! comments, optional `{label="value"}` sets, and finite decimal
+//! numbers.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{valid_metric_name, MetricsRegistry};
+use crate::trace::{Span, SpanKind, SpanOutcome, Trace};
+
+// ---------------------------------------------------------------------
+// Text tree
+// ---------------------------------------------------------------------
+
+/// Renders a trace as a human-readable tree.
+pub fn render_tree(trace: &Trace) -> String {
+    let mut out = String::new();
+    render_tree_span(&trace.root, "", true, true, &mut out);
+    out
+}
+
+fn render_tree_span(span: &Span, prefix: &str, last: bool, root: bool, out: &mut String) {
+    if root {
+        let _ = write!(out, "{}", span_line(span));
+    } else {
+        let branch = if last { "└─ " } else { "├─ " };
+        let _ = write!(out, "{prefix}{branch}{}", span_line(span));
+    }
+    out.push('\n');
+    let child_prefix = if root {
+        String::new()
+    } else if last {
+        format!("{prefix}   ")
+    } else {
+        format!("{prefix}│  ")
+    };
+    for (i, child) in span.children.iter().enumerate() {
+        let child_last = i + 1 == span.children.len();
+        render_tree_span(child, &child_prefix, child_last, false, out);
+    }
+}
+
+fn span_line(span: &Span) -> String {
+    let mut line = format!(
+        "{} \"{}\" {} sim={} wall={}",
+        span.kind.as_str(),
+        span.name,
+        span.outcome.as_str(),
+        format_micros(span.sim_us),
+        format_micros(span.wall_us),
+    );
+    if !span.attrs.is_empty() {
+        line.push_str(" [");
+        for (i, (k, v)) in span.attrs.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            let _ = write!(line, "{k}={v}");
+        }
+        line.push(']');
+    }
+    line
+}
+
+/// Formats microseconds the way `SimDuration` prints: `250us` below a
+/// millisecond, `3.00ms` above.
+fn format_micros(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines trace dump
+// ---------------------------------------------------------------------
+
+/// One span flattened for the JSON-lines dump.
+///
+/// Ids are assigned by depth-first numbering from 1 at export time, so
+/// identical trees always export identical ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Depth-first index, root = 1.
+    pub id: u64,
+    /// Parent id; `None` for the root.
+    pub parent: Option<u64>,
+    /// [`SpanKind`] name.
+    pub kind: String,
+    /// Span name (query text, source id, endpoint id, attribute path).
+    pub name: String,
+    /// [`SpanOutcome`] name.
+    pub outcome: String,
+    /// Simulated time, microseconds.
+    pub sim_us: u64,
+    /// Wall-clock time, microseconds (the only nondeterministic field).
+    pub wall_us: u64,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Flattens a trace into records in depth-first order.
+pub fn to_records(trace: &Trace) -> Vec<SpanRecord> {
+    let mut out = Vec::with_capacity(trace.root.len());
+    let mut next_id = 1u64;
+    flatten(&trace.root, None, &mut next_id, &mut out);
+    out
+}
+
+fn flatten(span: &Span, parent: Option<u64>, next_id: &mut u64, out: &mut Vec<SpanRecord>) {
+    let id = *next_id;
+    *next_id += 1;
+    out.push(SpanRecord {
+        id,
+        parent,
+        kind: span.kind.as_str().to_string(),
+        name: span.name.clone(),
+        outcome: span.outcome.as_str().to_string(),
+        sim_us: span.sim_us,
+        wall_us: span.wall_us,
+        attrs: span.attrs.clone(),
+    });
+    for child in &span.children {
+        flatten(child, Some(id), next_id, out);
+    }
+}
+
+/// Renders a trace as JSON lines, one span per line, fixed field order.
+pub fn render_jsonl(trace: &Trace) -> String {
+    render_jsonl_records(&to_records(trace))
+}
+
+/// Renders already-flattened records as JSON lines.
+pub fn render_jsonl_records(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = write!(out, "{{\"id\":{},\"parent\":", r.id);
+        match r.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"kind\":{},\"name\":{},\"outcome\":{},\"sim_us\":{},\"wall_us\":{},\"attrs\":{{",
+            json_string(&r.kind),
+            json_string(&r.name),
+            json_string(&r.outcome),
+            r.sim_us,
+            r.wall_us,
+        );
+        for (i, (k, v)) in r.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a JSON-lines trace dump back into records.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line: bad JSON, a
+/// missing or mistyped field, or an unknown span kind/outcome name.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        SpanKind::parse(&record.kind)
+            .ok_or_else(|| format!("line {}: unknown span kind {:?}", lineno + 1, record.kind))?;
+        SpanOutcome::parse(&record.outcome).ok_or_else(|| {
+            format!("line {}: unknown span outcome {:?}", lineno + 1, record.outcome)
+        })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+fn parse_jsonl_line(line: &str) -> Result<SpanRecord, String> {
+    let mut p = JsonParser::new(line);
+    p.expect('{')?;
+    let mut id = None;
+    let mut parent = None;
+    let mut parent_seen = false;
+    let mut kind = None;
+    let mut name = None;
+    let mut outcome = None;
+    let mut sim_us = None;
+    let mut wall_us = None;
+    let mut attrs = None;
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "id" => id = Some(p.integer()?),
+            "parent" => {
+                parent_seen = true;
+                parent = p.integer_or_null()?;
+            }
+            "kind" => kind = Some(p.string()?),
+            "name" => name = Some(p.string()?),
+            "outcome" => outcome = Some(p.string()?),
+            "sim_us" => sim_us = Some(p.integer()?),
+            "wall_us" => wall_us = Some(p.integer()?),
+            "attrs" => attrs = Some(p.string_map()?),
+            other => return Err(format!("unexpected key {other:?}")),
+        }
+        if !p.comma_or('}')? {
+            break;
+        }
+    }
+    p.end()?;
+    if !parent_seen {
+        return Err("missing key \"parent\"".to_string());
+    }
+    Ok(SpanRecord {
+        id: id.ok_or("missing key \"id\"")?,
+        parent,
+        kind: kind.ok_or("missing key \"kind\"")?,
+        name: name.ok_or("missing key \"name\"")?,
+        outcome: outcome.ok_or("missing key \"outcome\"")?,
+        sim_us: sim_us.ok_or("missing key \"sim_us\"")?,
+        wall_us: wall_us.ok_or("missing key \"wall_us\"")?,
+        attrs: attrs.ok_or("missing key \"attrs\"")?,
+    })
+}
+
+/// A tiny JSON parser for the exact subset the renderer emits.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    /// Consumes `,` and returns true, or consumes `close` and returns
+    /// false.
+    fn comma_or(&mut self, close: char) -> Result<bool, String> {
+        match self.peek() {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(c) if c == close as u8 => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => Err(format!("expected ',' or {close:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.pos))
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("invalid integer at byte {start}"))
+    }
+
+    fn integer_or_null(&mut self) -> Result<Option<u64>, String> {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            Ok(None)
+        } else {
+            self.integer().map(Some)
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| {
+                                    format!("invalid \\u escape at byte {}", self.pos)
+                                })?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("invalid escape {other:?} at byte {}", self.pos))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses a flat `{"k":"v",...}` object preserving key order.
+    fn string_map(&mut self) -> Result<Vec<(String, String)>, String> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.string()?;
+            out.push((key, value));
+            if !self.comma_or('}')? {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus-style metrics snapshot
+// ---------------------------------------------------------------------
+
+/// Renders every metric in the registry as Prometheus text: counters,
+/// then gauges, then histograms, each in name order, so identical
+/// registry states render byte-identically.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    registry.for_each_counter(|name, c| {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.get());
+    });
+    registry.for_each_gauge(|name, g| {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", format_f64(g.get()));
+    });
+    registry.for_each_histogram(|name, h| {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let counts = h.bucket_counts();
+        let mut cumulative = 0u64;
+        for (bound, n) in h.bounds().iter().zip(&counts) {
+            cumulative += n;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", h.sum());
+        let _ = writeln!(out, "{name}_count {}", h.count());
+        let _ = writeln!(out, "{name}_p50 {}", format_f64(h.p50()));
+        let _ = writeln!(out, "{name}_p90 {}", format_f64(h.p90()));
+        let _ = writeln!(out, "{name}_p99 {}", format_f64(h.p99()));
+    });
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    // `f64`'s `Display` prints the shortest string that parses back to
+    // the same value, so render → parse → render is stable.
+    format!("{v}")
+}
+
+/// One sample line from a Prometheus text snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (with any `_bucket`/`_sum`/`_count` suffix intact).
+    pub name: String,
+    /// Labels in source order (`le` for histogram buckets).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses a Prometheus text snapshot.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line: a `# TYPE`
+/// comment with an unknown type, an invalid metric name, a bad label
+/// set, or an unparseable value.
+pub fn parse_prometheus(text: &str) -> Result<Vec<MetricSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            match parts.as_slice() {
+                ["TYPE", name, ty] => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+                    }
+                    if !matches!(*ty, "counter" | "gauge" | "histogram") {
+                        return Err(format!("line {}: unknown metric type {ty:?}", lineno + 1));
+                    }
+                }
+                ["HELP", ..] => {}
+                _ => return Err(format!("line {}: malformed comment", lineno + 1)),
+            }
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<MetricSample, String> {
+    let (name_part, value_part) = match line.find(['{', ' ']) {
+        Some(i) if line.as_bytes()[i] == b'{' => {
+            let close = line.find('}').ok_or_else(|| "unterminated label set".to_string())?;
+            (line[..close + 1].to_string(), line[close + 1..].trim().to_string())
+        }
+        Some(i) => (line[..i].to_string(), line[i + 1..].trim().to_string()),
+        None => return Err("missing value".to_string()),
+    };
+    let (name, labels) = match name_part.find('{') {
+        Some(open) => {
+            let name = name_part[..open].to_string();
+            let inner = &name_part[open + 1..name_part.len() - 1];
+            let mut labels = Vec::new();
+            for pair in inner.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) =
+                    pair.split_once('=').ok_or_else(|| format!("malformed label {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {v:?}"))?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name, labels)
+        }
+        None => (name_part, Vec::new()),
+    };
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let value: f64 = value_part.parse().map_err(|_| format!("invalid value {value_part:?}"))?;
+    Ok(MetricSample { name, labels, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut root = Span::new(SpanKind::Query, "SELECT product");
+        root.sim_us = 42_000;
+        root.wall_us = 900;
+        root.attr("completeness", "1");
+        root.push(Span::new(SpanKind::Parse, "SELECT product"));
+        let mut batch = Span::new(SpanKind::Batch, "catalog-db");
+        batch.outcome = SpanOutcome::FailedOver;
+        batch.sim_us = 41_000;
+        let mut attempt = Span::new(SpanKind::Attempt, "db-1");
+        attempt.outcome = SpanOutcome::Failed;
+        attempt.attr("error", "endpoint \"db-1\" unreachable");
+        batch.push(attempt);
+        let mut attempt2 = Span::new(SpanKind::Attempt, "db-2");
+        attempt2.sim_us = 41_000;
+        batch.push(attempt2);
+        let mut rule = Span::new(SpanKind::Rule, "product.name");
+        rule.attr("cache", "miss");
+        batch.push(rule);
+        root.push(batch);
+        Trace::new(root)
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_identically() {
+        let trace = sample_trace();
+        let rendered = render_jsonl(&trace);
+        let records = parse_jsonl(&rendered).expect("parses");
+        assert_eq!(records.len(), trace.root.len());
+        assert_eq!(render_jsonl_records(&records), rendered);
+    }
+
+    #[test]
+    fn jsonl_ids_are_depth_first() {
+        let records = to_records(&sample_trace());
+        assert_eq!(records[0].id, 1);
+        assert_eq!(records[0].parent, None);
+        let batch = records.iter().find(|r| r.kind == "batch").unwrap();
+        assert_eq!(batch.parent, Some(1));
+        for attempt in records.iter().filter(|r| r.kind == "attempt") {
+            assert_eq!(attempt.parent, Some(batch.id));
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_special_characters() {
+        let mut root = Span::new(SpanKind::Query, "say \"hi\"\n\tback\\slash");
+        root.attr("k\"ey", "v\u{1}alue");
+        let trace = Trace::new(root);
+        let rendered = render_jsonl(&trace);
+        let records = parse_jsonl(&rendered).expect("parses");
+        assert_eq!(records[0].name, "say \"hi\"\n\tback\\slash");
+        assert_eq!(records[0].attrs[0], ("k\"ey".to_string(), "v\u{1}alue".to_string()));
+        assert_eq!(render_jsonl_records(&records), rendered);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"id\":1}").is_err(), "missing fields");
+        let bad_kind = "{\"id\":1,\"parent\":null,\"kind\":\"warp\",\"name\":\"q\",\
+                        \"outcome\":\"ok\",\"sim_us\":0,\"wall_us\":0,\"attrs\":{}}";
+        assert!(parse_jsonl(bad_kind).unwrap_err().contains("unknown span kind"));
+        let bad_outcome = "{\"id\":1,\"parent\":null,\"kind\":\"query\",\"name\":\"q\",\
+                           \"outcome\":\"meh\",\"sim_us\":0,\"wall_us\":0,\"attrs\":{}}";
+        assert!(parse_jsonl(bad_outcome).unwrap_err().contains("unknown span outcome"));
+    }
+
+    #[test]
+    fn text_tree_shows_hierarchy_and_outcomes() {
+        let rendered = render_tree(&sample_trace());
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("query \"SELECT product\" ok"));
+        assert!(lines[0].contains("sim=42.00ms"));
+        assert!(lines[0].contains("[completeness=1]"));
+        assert!(lines[1].contains("├─ parse"));
+        assert!(lines[2].contains("└─ batch \"catalog-db\" failed-over"));
+        assert!(lines[3].contains("├─ attempt \"db-1\" failed"));
+        assert!(lines[5].contains("└─ rule \"product.name\" ok"));
+        assert!(lines[5].contains("cache=miss"));
+    }
+
+    #[test]
+    fn prometheus_renders_and_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("s2s_queries_total").add(3);
+        reg.gauge("s2s_completeness").set(0.75);
+        let h = reg.histogram("s2s_attempt_us");
+        h.observe(120);
+        h.observe(400);
+        h.observe(999_000_000);
+        let rendered = render_prometheus(&reg);
+        let samples = parse_prometheus(&rendered).expect("parses");
+        let get = |n: &str| samples.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("s2s_queries_total"), Some(3.0));
+        assert_eq!(get("s2s_completeness"), Some(0.75));
+        assert_eq!(get("s2s_attempt_us_count"), Some(3.0));
+        assert_eq!(get("s2s_attempt_us_sum"), Some(999_000_520.0));
+        let inf_bucket = samples
+            .iter()
+            .find(|s| {
+                s.name == "s2s_attempt_us_bucket"
+                    && s.labels == vec![("le".to_string(), "+Inf".to_string())]
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf_bucket.value, 3.0);
+        // Bucket counts are cumulative.
+        let le250 = samples
+            .iter()
+            .find(|s| {
+                s.name == "s2s_attempt_us_bucket"
+                    && s.labels == vec![("le".to_string(), "250".to_string())]
+            })
+            .expect("le=250 bucket");
+        assert_eq!(le250.value, 1.0);
+        // Rendering the same registry again is byte-identical.
+        assert_eq!(render_prometheus(&reg), rendered);
+    }
+
+    #[test]
+    fn prometheus_rejects_malformed_snapshots() {
+        assert!(parse_prometheus("# TYPE s2s_x sparkline\ns2s_x 1").is_err());
+        assert!(parse_prometheus("9lives 1").is_err());
+        assert!(parse_prometheus("s2s_x{le=100} 1").is_err(), "unquoted label");
+        assert!(parse_prometheus("s2s_x one").is_err());
+        assert!(parse_prometheus("s2s_x").is_err());
+        assert!(parse_prometheus("").unwrap().is_empty());
+    }
+}

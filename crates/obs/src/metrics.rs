@@ -1,0 +1,434 @@
+//! Counters, gauges, and fixed-bucket histograms behind a registry.
+//!
+//! All metric types are cheap, lock-free on the update path (plain
+//! atomics), and snapshot-consistent enough for reporting: a snapshot
+//! taken while updates are in flight may be off by the in-flight
+//! updates, never torn.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the last `f64` set.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations (microseconds by
+/// convention).
+///
+/// Buckets are defined by a strictly increasing list of inclusive
+/// upper bounds; an implicit overflow bucket (`+Inf`) catches the rest.
+/// Percentiles are estimated Prometheus-style from the cumulative
+/// bucket counts with linear interpolation inside the target bucket, so
+/// they are approximations bounded by bucket width — good enough to
+/// spot order-of-magnitude latency shifts, which is what they are for.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Default latency buckets in microseconds: exponential from 100 µs
+    /// to ~100 s, matched to the netsim cost models (LAN base 500 µs,
+    /// WAN base 40 ms, default timeout 30 s).
+    pub fn latency() -> Self {
+        Histogram::new(&[
+            100,
+            250,
+            500,
+            1_000,
+            2_500,
+            5_000,
+            10_000,
+            25_000,
+            50_000,
+            100_000,
+            250_000,
+            500_000,
+            1_000_000,
+            2_500_000,
+            5_000_000,
+            10_000_000,
+            30_000_000,
+            100_000_000,
+        ])
+    }
+
+    /// The inclusive upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, one per bound plus the trailing overflow
+    /// bucket (non-cumulative).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from bucket counts.
+    ///
+    /// Linear interpolation inside the target bucket; observations in
+    /// the overflow bucket report the largest finite bound. Returns
+    /// `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut cumulative = 0u64;
+        for (idx, &n) in counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += n;
+            if (cumulative as f64) < target || n == 0 {
+                continue;
+            }
+            if idx >= self.bounds.len() {
+                // Overflow bucket: no finite upper bound to interpolate
+                // toward; report the largest finite bound.
+                return self.bounds[self.bounds.len() - 1] as f64;
+            }
+            let lower = if idx == 0 { 0.0 } else { self.bounds[idx - 1] as f64 };
+            let upper = self.bounds[idx] as f64;
+            let fraction = (target - prev as f64) / n as f64;
+            return lower + (upper - lower) * fraction.clamp(0.0, 1.0);
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Metrics are created on first use and shared via `Arc`, so call sites
+/// can either look up by name per update (cheap: one read lock and a
+/// `BTreeMap` walk, taken only when observability is enabled) or hold
+/// the `Arc` across updates. `BTreeMap` keys make every export
+/// deterministic, which the trace-determinism tests rely on.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        debug_assert!(valid_metric_name(name), "invalid metric name: {name:?}");
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created at `0.0` on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        debug_assert!(valid_metric_name(name), "invalid metric name: {name:?}");
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges.write().entry(name.to_string()).or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created with the default
+    /// [`Histogram::latency`] buckets on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        debug_assert!(valid_metric_name(name), "invalid metric name: {name:?}");
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::latency())),
+        )
+    }
+
+    /// Visits every counter in name order.
+    pub fn for_each_counter(&self, mut f: impl FnMut(&str, &Counter)) {
+        for (name, c) in self.counters.read().iter() {
+            f(name, c);
+        }
+    }
+
+    /// Visits every gauge in name order.
+    pub fn for_each_gauge(&self, mut f: impl FnMut(&str, &Gauge)) {
+        for (name, g) in self.gauges.read().iter() {
+            f(name, g);
+        }
+    }
+
+    /// Visits every histogram in name order.
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, h) in self.histograms.read().iter() {
+            f(name, h);
+        }
+    }
+
+    /// Number of registered metrics across all three kinds.
+    pub fn len(&self) -> usize {
+        self.counters.read().len() + self.gauges.read().len() + self.histograms.read().len()
+    }
+
+    /// Whether no metric has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every registered metric (used by tests and the A/B
+    /// overhead bench to start from a clean slate).
+    pub fn clear(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// Prometheus-compatible metric names: `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub(crate) fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("s2s_test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("s2s_test_total").get(), 5);
+        let g = reg.gauge("s2s_test_value");
+        g.set(0.25);
+        assert_eq!(reg.gauge("s2s_test_value").get(), 0.25);
+        assert_eq!(reg.len(), 2);
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.observe(0); // -> le=10
+        h.observe(10); // boundary value lands in its own bucket
+        h.observe(11); // -> le=100
+        h.observe(100); // -> le=100
+        h.observe(101); // -> le=1000
+        h.observe(5000); // -> +Inf overflow
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[100, 200, 400]);
+        // 100 observations uniformly into the (100, 200] bucket.
+        for _ in 0..100 {
+            h.observe(150);
+        }
+        // Target rank is in the only populated bucket; the p50 estimate
+        // interpolates halfway through it.
+        assert_eq!(h.p50(), 150.0);
+        assert_eq!(h.p99(), 199.0);
+        assert_eq!(h.quantile(1.0), 200.0);
+    }
+
+    #[test]
+    fn percentiles_across_buckets() {
+        let h = Histogram::new(&[10, 20, 30, 40]);
+        for v in [5u64, 15, 25, 35] {
+            for _ in 0..25 {
+                h.observe(v);
+            }
+        }
+        // 25% of mass per bucket: p50 sits exactly at the end of the
+        // second bucket, p90 at 60% through the fourth (30 + 0.6*10).
+        assert_eq!(h.p50(), 20.0);
+        assert_eq!(h.p90(), 36.0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_largest_finite_bound() {
+        let h = Histogram::new(&[10, 20]);
+        h.observe(1_000_000);
+        assert_eq!(h.p50(), 20.0);
+        assert_eq!(h.p99(), 20.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::latency();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_bounds_panic() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_metric_name("s2s_queries_total"));
+        assert!(valid_metric_name("_private"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name("has-dash"));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        reg.counter("s2s_concurrent_total").inc();
+                        reg.histogram("s2s_concurrent_us").observe(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("s2s_concurrent_total").get(), 4000);
+        assert_eq!(reg.histogram("s2s_concurrent_us").count(), 4000);
+    }
+}

@@ -18,12 +18,15 @@
 //! * [`webdoc`] — HTML/plain-text documents and the WebL-like extraction
 //!   language (unstructured sources),
 //! * [`netsim`] — simulated distributed environment,
+//! * [`obs`] — observability: per-query trace trees, metrics registry,
+//!   exporters,
 //! * [`core`] — the S2S middleware itself (mapping, extraction, S2SQL,
 //!   instance generation).
 
 pub use s2s_core as core;
 pub use s2s_minidb as minidb;
 pub use s2s_netsim as netsim;
+pub use s2s_obs as obs;
 pub use s2s_owl as owl;
 pub use s2s_rdf as rdf;
 pub use s2s_textmatch as textmatch;
