@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p s2s-bench --bin experiments`
 //!
-//! Each section prints the id (E1–E12), the parameters swept, and the
+//! Each section prints the id (E1–E13), the parameters swept, and the
 //! measured values (wall-clock for CPU work, simulated time for network
 //! behaviour, plus counts/correctness indicators).
 //!
@@ -16,6 +16,10 @@
 //!   `trace.jsonl` and `metrics.prom` into `<dir>` and self-validates
 //!   both exports (the CI smoke-audit gate). Exits non-zero on any
 //!   violation.
+//! * `--throughput-smoke <dir>` — small multi-client throughput run
+//!   (4 clients × 16 queries on one shared engine); writes `e13.json`
+//!   into `<dir>` and exits non-zero on any cross-thread result
+//!   mismatch or zero throughput (the CI concurrency gate).
 
 use std::sync::Arc;
 
@@ -49,6 +53,19 @@ fn main() {
             }
             println!("smoke-audit OK");
         }
+        Some("--throughput-smoke") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--throughput-smoke requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = throughput_smoke(dir) {
+                for v in &violations {
+                    eprintln!("throughput-smoke FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("throughput-smoke OK");
+        }
         Some("--help" | "-h") => usage(),
         Some(other) => {
             eprintln!("unknown argument: {other}\n");
@@ -62,7 +79,7 @@ fn usage() {
     println!("experiments — S2S experiment harness and observability driver");
     println!();
     println!("USAGE:");
-    println!("  experiments                    run the full E1–E12 experiment suite");
+    println!("  experiments                    run the full E1–E13 experiment suite");
     println!("  experiments --trace            print span trees + JSONL for a healthy");
     println!("                                 and a degraded (breaker-open) query");
     println!("  experiments --metrics          print a Prometheus-style metrics");
@@ -70,6 +87,10 @@ fn usage() {
     println!("  experiments --smoke-audit DIR  deterministic run; writes trace.jsonl");
     println!("                                 and metrics.prom into DIR and validates");
     println!("                                 both exports (non-zero exit on failure)");
+    println!("  experiments --throughput-smoke DIR");
+    println!("                                 4 clients × 16 queries on one shared");
+    println!("                                 engine; writes e13.json into DIR; fails");
+    println!("                                 on result mismatch or zero throughput");
 }
 
 fn run_experiments() {
@@ -87,6 +108,7 @@ fn run_experiments() {
     e10();
     e11();
     e12();
+    e13();
 }
 
 /// A deployment where one of two sources is hard-down and the breaker
@@ -244,6 +266,58 @@ fn smoke_audit(dir: &str) -> Result<(), Vec<String>> {
         trace.spans().len(),
         prom.lines().count(),
         outcome.stats.completeness
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// The CI concurrency gate: 4 client threads share one engine and replay
+/// a warm (repeated-text) workload; every answer must match the serial
+/// baseline and the run must make forward progress.
+fn throughput_smoke(dir: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    let workload = warm_workload(4, 16, 64);
+    let reference = deploy_paced(12, 42, 0, Strategy::Serial, false);
+    let baseline = serial_baseline(&reference, &workload);
+    // A lighter pace than E13 keeps the gate fast while still forcing
+    // the clients to genuinely overlap inside the pool.
+    let engine = deploy_paced(12, 42, 60, Strategy::Parallel { workers: 16 }, true);
+    let report = run_throughput(&engine, &workload, &baseline);
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create throughput-smoke dir {dir}: {e}"));
+    let json_path = format!("{dir}/e13.json");
+    std::fs::write(&json_path, report.to_json()).expect("write e13.json");
+
+    if report.mismatches > 0 {
+        violations.push(format!(
+            "{} of {} answers diverged from the serial baseline",
+            report.mismatches, report.queries
+        ));
+    }
+    if report.qps <= 0.0 {
+        violations.push(format!("throughput not positive: {} queries/sec", report.qps));
+    }
+    if report.min_completeness < 1.0 {
+        violations.push(format!(
+            "degraded answer under concurrency: min completeness {} < 1.0",
+            report.min_completeness
+        ));
+    }
+
+    println!(
+        "throughput-smoke: {} clients × {} queries → {:.0} qps, {} mismatches, \
+         result-cache {}/{} → {json_path}",
+        report.clients,
+        report.queries,
+        report.qps,
+        report.mismatches,
+        report.result_cache.hits,
+        report.result_cache.hits + report.result_cache.misses,
     );
     if violations.is_empty() {
         Ok(())
@@ -743,6 +817,95 @@ fn e11() {
         first.stats.rule_cache.hits,
         second.stats.rule_cache.misses,
         second.stats.rule_cache.hits
+    );
+}
+
+/// Real-time pacing for the throughput runs: 150 µs of wall sleep per
+/// simulated millisecond turns a ~20–30 ms WAN exchange into a ~3–4.5 ms
+/// real wait inside a pool worker — long enough that concurrent clients
+/// visibly overlap their I/O waits, short enough that the full sweep
+/// stays under a couple of seconds.
+const E13_PACE: u64 = 150;
+
+fn e13() {
+    header("E13", "multi-client throughput on one shared engine (pool + caches)");
+    println!(
+        "{:>6} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>9}",
+        "mode",
+        "clients",
+        "queries",
+        "wall",
+        "qps",
+        "p50",
+        "p99",
+        "peakqueue",
+        "res-hit",
+        "plan-hit"
+    );
+
+    let reference = deploy_paced(12, 42, 0, Strategy::Serial, false);
+
+    // Pre-change baseline: one client, no result cache — what every
+    // repeated query cost before the engine kept answers around.
+    let warm1 = warm_workload(1, 16, 64);
+    let uncached = deploy_paced(12, 42, E13_PACE, Strategy::Parallel { workers: 16 }, false);
+    let unreport = run_throughput(&uncached, &warm1, &serial_baseline(&reference, &warm1));
+    assert_eq!(unreport.mismatches, 0, "uncached baseline diverged from serial");
+    println!(
+        "{:>6} {:>8} {:>8} {:>7}ms {:>9.0} {:>7}us {:>7}us {:>10} {:>8} {:>8}",
+        "base",
+        1,
+        unreport.queries,
+        unreport.wall.as_millis(),
+        unreport.qps,
+        unreport.p50_us,
+        unreport.p99_us,
+        unreport.pool.peak_queue_depth,
+        "off",
+        "off",
+    );
+
+    let mut cold_qps = std::collections::BTreeMap::new();
+    let mut warm_qps = std::collections::BTreeMap::new();
+    for clients in [1usize, 2, 4, 8] {
+        for (mode, workload) in [
+            ("cold", cold_workload(clients, 32 / clients)),
+            ("warm", warm_workload(clients, 16, 64)),
+        ] {
+            let baseline = serial_baseline(&reference, &workload);
+            let engine = deploy_paced(12, 42, E13_PACE, Strategy::Parallel { workers: 16 }, true);
+            let report = run_throughput(&engine, &workload, &baseline);
+            assert_eq!(report.mismatches, 0, "{mode} C={clients}: results diverged from serial");
+            assert_eq!(report.min_completeness, 1.0, "{mode} C={clients}: degraded answer");
+            println!(
+                "{:>6} {:>8} {:>8} {:>7}ms {:>9.0} {:>7}us {:>7}us {:>10} {:>8.0}% {:>8.0}%",
+                mode,
+                clients,
+                report.queries,
+                report.wall.as_millis(),
+                report.qps,
+                report.p50_us,
+                report.p99_us,
+                report.pool.peak_queue_depth,
+                ThroughputReport::hit_rate(report.result_cache) * 100.0,
+                ThroughputReport::hit_rate(report.plan_cache) * 100.0,
+            );
+            match mode {
+                "cold" => cold_qps.insert(clients, report.qps),
+                _ => warm_qps.insert(clients, report.qps),
+            };
+        }
+    }
+    for (label, qps) in [("cold", &cold_qps), ("warm", &warm_qps)] {
+        let base = qps[&1];
+        let ratios: Vec<String> =
+            qps.iter().map(|(c, q)| format!("C={c}: {:.1}x", q / base)).collect();
+        println!("  {label} scaling vs C=1: {}", ratios.join("  "));
+    }
+    println!(
+        "  repeated-query speedup vs uncached C=1 baseline: C=4: {:.1}x  C=8: {:.1}x",
+        warm_qps[&4] / unreport.qps,
+        warm_qps[&8] / unreport.qps,
     );
 }
 

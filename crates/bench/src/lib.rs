@@ -345,6 +345,278 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
     (v, start.elapsed())
 }
 
+// ---------------------------------------------------------------------
+// Multi-client throughput harness (E13).
+// ---------------------------------------------------------------------
+
+/// A paced remote deployment for throughput runs: the `n`-record
+/// catalog in all four formats, each behind a WAN endpoint whose
+/// simulated latency is *real-time paced* (see [`CostModel::with_pace`])
+/// so concurrent clients genuinely overlap their waits. `pace = 0`
+/// yields the instant-execution baseline with identical simulated costs
+/// and identical answers.
+pub fn deploy_paced(
+    n: usize,
+    seed: u64,
+    pace_us_per_sim_ms: u64,
+    strategy: Strategy,
+    result_cache: bool,
+) -> S2s {
+    let recs = records(n, seed);
+    let cost = CostModel::wan().with_pace(pace_us_per_sim_ms);
+    let reliable = FailureModel::reliable();
+    let mut s2s = S2s::new(ontology()).with_strategy(strategy);
+    if result_cache {
+        s2s = s2s.with_result_cache();
+    }
+
+    s2s.register_remote_source(
+        "DB",
+        Connection::Database { db: Arc::new(catalog_db(&recs)) },
+        cost,
+        reliable,
+    )
+    .unwrap();
+    s2s.register_remote_source(
+        "XML",
+        Connection::Xml { document: Arc::new(catalog_xml(&recs)) },
+        cost,
+        reliable,
+    )
+    .unwrap();
+    let mut web = WebStore::new();
+    web.register_html("http://shop/list", catalog_html(&recs));
+    web.register_text("file:///export.txt", catalog_text(&recs));
+    let web = Arc::new(web);
+    s2s.register_remote_source(
+        "WEB",
+        Connection::Web { store: web.clone(), url: "http://shop/list".into() },
+        cost,
+        reliable,
+    )
+    .unwrap();
+    s2s.register_remote_source(
+        "TXT",
+        Connection::Text { store: web, url: "file:///export.txt".into() },
+        cost,
+        reliable,
+    )
+    .unwrap();
+
+    map_db(&mut s2s, "DB");
+    map_xml(&mut s2s, "XML");
+    map_web(&mut s2s, "WEB");
+    map_text(&mut s2s, "TXT");
+    s2s
+}
+
+/// A cache-cold workload: every client gets `per_client` *distinct*
+/// query texts (distinct price thresholds), so no query repeats
+/// anywhere and every layer above the rule cache misses.
+pub fn cold_workload(clients: usize, per_client: usize) -> Vec<Vec<String>> {
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| format!("SELECT watch WHERE price < {}", 30 + c * per_client + i))
+                .collect()
+        })
+        .collect()
+}
+
+/// A cache-warm workload: `total` queries cycling through `shared`
+/// distinct texts, split evenly across clients. Client `c` starts
+/// `c·shared/clients` texts into the cycle, so concurrent clients warm
+/// different entries instead of racing on the same cold miss; the
+/// measured window *includes* the warming phase.
+pub fn warm_workload(clients: usize, shared: usize, total: usize) -> Vec<Vec<String>> {
+    let texts: Vec<String> =
+        (0..shared).map(|i| format!("SELECT watch WHERE price < {}", 500 + i)).collect();
+    let per_client = total / clients;
+    (0..clients)
+        .map(|c| {
+            let offset = c * shared / clients;
+            (0..per_client).map(|i| texts[(offset + i) % shared].clone()).collect()
+        })
+        .collect()
+}
+
+/// Canonical fingerprint of a query answer: the sorted multiset of
+/// individual value maps. Two runs agree on a query iff their keys are
+/// equal — independent of task interleaving, timing, or provenance.
+pub fn result_key(outcome: &s2s_core::middleware::QueryOutcome) -> String {
+    let mut keys: Vec<String> =
+        outcome.individuals().iter().map(|i| format!("{:?}", i.values)).collect();
+    keys.sort();
+    keys.join("|")
+}
+
+/// Runs every distinct text of `workload` serially on `reference` and
+/// returns text → [`result_key`]. The reference engine is typically an
+/// unpaced, cache-free twin of the engine under test.
+pub fn serial_baseline(
+    reference: &S2s,
+    workload: &[Vec<String>],
+) -> std::collections::BTreeMap<String, String> {
+    let mut baseline = std::collections::BTreeMap::new();
+    for texts in workload {
+        for t in texts {
+            baseline
+                .entry(t.clone())
+                .or_insert_with(|| result_key(&reference.query(t).expect("baseline query")));
+        }
+    }
+    baseline
+}
+
+/// What one throughput run measured.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total queries executed (all clients).
+    pub queries: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: std::time::Duration,
+    /// Queries per second of wall-clock time.
+    pub qps: f64,
+    /// Median per-query wall latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-query wall latency, microseconds.
+    pub p99_us: u64,
+    /// Queries whose [`result_key`] differed from the serial baseline.
+    pub mismatches: usize,
+    /// The worst per-query completeness observed.
+    pub min_completeness: f64,
+    /// Shared-pool counters at the end of the run.
+    pub pool: s2s_netsim::PoolStats,
+    /// Plan-cache counters at the end of the run.
+    pub plan_cache: s2s_core::cache::CacheStats,
+    /// Result-cache counters at the end of the run.
+    pub result_cache: s2s_core::cache::CacheStats,
+    /// Extraction-cache counters at the end of the run.
+    pub extraction_cache: s2s_core::cache::CacheStats,
+    /// Rule-cache counters at the end of the run.
+    pub rule_cache: s2s_core::cache::CacheStats,
+}
+
+impl ThroughputReport {
+    /// Hit rate of a counter pair, in `[0, 1]` (`0` when idle).
+    pub fn hit_rate(stats: s2s_core::cache::CacheStats) -> f64 {
+        let total = stats.hits + stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the report as a single JSON object (no dependencies; the
+    /// smoke-audit artifact format).
+    pub fn to_json(&self) -> String {
+        fn cache(stats: s2s_core::cache::CacheStats) -> String {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+                stats.hits, stats.misses, stats.evictions
+            )
+        }
+        format!(
+            concat!(
+                "{{\"clients\":{},\"queries\":{},\"wall_us\":{},\"qps\":{:.1},",
+                "\"p50_us\":{},\"p99_us\":{},\"mismatches\":{},\"min_completeness\":{},",
+                "\"pool\":{{\"workers\":{},\"jobs\":{},\"completed\":{},",
+                "\"peak_queue_depth\":{},\"queue_wait_us\":{}}},",
+                "\"plan_cache\":{},\"result_cache\":{},",
+                "\"extraction_cache\":{},\"rule_cache\":{}}}"
+            ),
+            self.clients,
+            self.queries,
+            self.wall.as_micros(),
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.mismatches,
+            self.min_completeness,
+            self.pool.workers,
+            self.pool.jobs,
+            self.pool.completed,
+            self.pool.peak_queue_depth,
+            self.pool.queue_wait_us,
+            cache(self.plan_cache),
+            cache(self.result_cache),
+            cache(self.extraction_cache),
+            cache(self.rule_cache),
+        )
+    }
+}
+
+/// Runs `workload[c]` on client thread `c`, all threads sharing the one
+/// `engine`, and checks every answer against `baseline`.
+pub fn run_throughput(
+    engine: &S2s,
+    workload: &[Vec<String>],
+    baseline: &std::collections::BTreeMap<String, String>,
+) -> ThroughputReport {
+    let started = std::time::Instant::now();
+    let per_client: Vec<Vec<(u64, bool, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workload
+            .iter()
+            .map(|texts| {
+                scope.spawn(move || {
+                    texts
+                        .iter()
+                        .map(|t| {
+                            let q = std::time::Instant::now();
+                            let outcome = engine.query(t).expect("throughput query");
+                            (
+                                q.elapsed().as_micros() as u64,
+                                baseline.get(t) == Some(&result_key(&outcome)),
+                                outcome.stats.completeness,
+                            )
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut mismatches = 0usize;
+    let mut min_completeness = 1.0f64;
+    for (lat, ok, completeness) in per_client.iter().flatten() {
+        latencies.push(*lat);
+        if !ok {
+            mismatches += 1;
+        }
+        min_completeness = min_completeness.min(*completeness);
+    }
+    latencies.sort_unstable();
+    let percentile = |p: usize| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[(latencies.len() - 1) * p / 100]
+        }
+    };
+    let queries = latencies.len();
+    ThroughputReport {
+        clients: workload.len(),
+        queries,
+        wall,
+        qps: if wall.as_secs_f64() > 0.0 { queries as f64 / wall.as_secs_f64() } else { 0.0 },
+        p50_us: percentile(50),
+        p99_us: percentile(99),
+        mismatches,
+        min_completeness,
+        pool: engine.pool_stats(),
+        plan_cache: engine.plan_cache_stats(),
+        result_cache: engine.result_cache_stats(),
+        extraction_cache: engine.cache_stats(),
+        rule_cache: engine.rule_cache_stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +691,44 @@ mod tests {
         assert_eq!(batched.stats.round_trips, 3);
         assert_eq!(unbatched.stats.round_trips, 12);
         assert!(batched.stats.simulated < unbatched.stats.simulated);
+    }
+
+    #[test]
+    fn throughput_harness_matches_serial_baseline() {
+        let workload = cold_workload(2, 3);
+        let reference = deploy_paced(10, 5, 0, Strategy::Serial, false);
+        let baseline = serial_baseline(&reference, &workload);
+        assert_eq!(baseline.len(), 6);
+
+        let engine = deploy_paced(10, 5, 0, Strategy::Parallel { workers: 4 }, true);
+        let report = run_throughput(&engine, &workload, &baseline);
+        assert_eq!(report.queries, 6);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.min_completeness, 1.0);
+        assert!(report.qps > 0.0);
+        // Distinct texts: the result cache never hits cold.
+        assert_eq!(report.result_cache.hits, 0);
+        let json = report.to_json();
+        assert!(json.contains("\"mismatches\":0"), "{json}");
+    }
+
+    #[test]
+    fn warm_workload_shares_texts_and_hits_result_cache() {
+        let workload = warm_workload(2, 4, 16);
+        let distinct: std::collections::BTreeSet<&String> = workload.iter().flatten().collect();
+        assert_eq!(distinct.len(), 4);
+        assert_eq!(workload.iter().map(Vec::len).sum::<usize>(), 16);
+
+        let reference = deploy_paced(10, 5, 0, Strategy::Serial, false);
+        let baseline = serial_baseline(&reference, &workload);
+        let engine = deploy_paced(10, 5, 0, Strategy::Parallel { workers: 4 }, true);
+        let report = run_throughput(&engine, &workload, &baseline);
+        assert_eq!(report.mismatches, 0);
+        // 4 distinct texts, 16 queries: most replay from the result
+        // cache. A concurrent client may re-miss a text another client
+        // is still extracting (no request coalescing), so allow a few
+        // extra misses beyond the 4 cold ones.
+        assert!(report.result_cache.hits >= 8, "{:?}", report.result_cache);
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! (`Arc`-shared), so entries never go stale within a deployment;
 //! [`ExtractionCache::clear`] supports explicit refresh when an operator
 //! swaps a source.
+//!
+//! Bounding: a resident engine keeps its caches for the life of the
+//! process, so the map is LRU-bounded ([`ExtractionCache::with_capacity`],
+//! default [`ExtractionCache::DEFAULT_CAPACITY`]). Recency is a global
+//! tick stamped on each hit; at capacity, inserting a new key evicts the
+//! stalest entry and bumps the `evictions` counter.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,32 +46,77 @@ impl Key {
     }
 }
 
-/// Hit/miss counters.
+/// Hit/miss/eviction counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Entries dropped by the LRU capacity bound.
+    pub evictions: u64,
 }
 
-/// A concurrent memo of extraction results.
-#[derive(Debug, Default)]
+#[derive(Debug)]
+struct Entry {
+    values: Arc<Vec<String>>,
+    /// Global-tick value of the last touch; the smallest stamp is the
+    /// least recently used entry.
+    stamp: AtomicU64,
+}
+
+/// A concurrent, LRU-bounded memo of extraction results.
+#[derive(Debug)]
 pub struct ExtractionCache {
-    entries: RwLock<HashMap<Key, Arc<Vec<String>>>>,
+    entries: RwLock<HashMap<Key, Entry>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ExtractionCache {
+    fn default() -> Self {
+        ExtractionCache::new()
+    }
 }
 
 impl ExtractionCache {
-    /// An empty cache.
+    /// Default LRU capacity (distinct `(source, rule)` entries).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        ExtractionCache::default()
+        ExtractionCache::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Looks up the values for a mapping.
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ExtractionCache {
+            entries: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The LRU capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up the values for a mapping, refreshing its recency.
     pub fn get(&self, mapping: &AttributeMapping) -> Option<Arc<Vec<String>>> {
-        let hit = self.entries.read().get(&Key::of(mapping)).cloned();
+        let hit = {
+            let entries = self.entries.read();
+            entries.get(&Key::of(mapping)).map(|e| {
+                e.stamp.store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+                Arc::clone(&e.values)
+            })
+        };
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -81,9 +132,20 @@ impl ExtractionCache {
         hit
     }
 
-    /// Stores the values for a mapping.
+    /// Stores the values for a mapping, evicting the least recently
+    /// used entry if the cache is at capacity.
     pub fn insert(&self, mapping: &AttributeMapping, values: Vec<String>) {
-        self.entries.write().insert(Key::of(mapping), Arc::new(values));
+        let key = Key::of(mapping);
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.write();
+        if !entries.contains_key(&key) && entries.len() >= self.capacity {
+            evict_lru(&mut entries, |e| &e.stamp);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if s2s_obs::enabled() {
+                s2s_obs::global().counter(s2s_obs::names::EXTRACTION_CACHE_EVICTIONS_TOTAL).inc();
+            }
+        }
+        entries.insert(key, Entry { values: Arc::new(values), stamp: AtomicU64::new(stamp) });
     }
 
     /// Number of cached entries.
@@ -106,8 +168,27 @@ impl ExtractionCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Removes the entry with the smallest recency stamp. O(n) scan — the
+/// caches are small (thousands of entries) and eviction only runs at
+/// capacity, so a heap is not worth the bookkeeping.
+pub(crate) fn evict_lru<K, V>(
+    entries: &mut HashMap<K, V>,
+    stamp_of: impl Fn(&V) -> &AtomicU64,
+) -> Option<K>
+where
+    K: Clone + Eq + std::hash::Hash,
+{
+    let victim = entries
+        .iter()
+        .min_by_key(|(_, v)| stamp_of(v).load(Ordering::Relaxed))
+        .map(|(k, _)| k.clone())?;
+    entries.remove(&victim);
+    Some(victim)
 }
 
 #[cfg(test)]
@@ -147,6 +228,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
         assert_eq!(cache.len(), 1);
     }
 
@@ -167,5 +249,33 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ExtractionCache::with_capacity(2);
+        let (a, b, c) = (mapping("a", "S"), mapping("b", "S"), mapping("c", "S"));
+        cache.insert(&a, vec!["a".into()]);
+        cache.insert(&b, vec!["b".into()]);
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(&c, vec!["c".into()]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache = ExtractionCache::with_capacity(2);
+        let (a, b) = (mapping("a", "S"), mapping("b", "S"));
+        cache.insert(&a, vec!["1".into()]);
+        cache.insert(&b, vec!["2".into()]);
+        cache.insert(&a, vec!["1b".into()]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&a).unwrap().as_slice(), ["1b"]);
     }
 }

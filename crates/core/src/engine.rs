@@ -1,0 +1,437 @@
+//! The resident engine's query-level caches.
+//!
+//! The paper's mediator handles one query at a time; a resident,
+//! concurrently shared [`crate::middleware::S2s`] adds two cache layers
+//! *above* the extraction and compiled-rule caches:
+//!
+//! * [`PlanCache`] — memoizes the parse/validate/plan front half of
+//!   query handling, keyed on [`crate::query::normalize`]d S2SQL text.
+//!   The ontology is immutable for the life of an engine, so plans
+//!   never go stale; the cache is LRU-bounded but never invalidated.
+//! * [`QueryResultCache`] — memoizes whole query answers (the
+//!   [`InstanceSet`] plus the stats of the run that produced it),
+//!   same normalized key, LRU + optional TTL in *simulated* time, and
+//!   invalidated wholesale on any source-registry or mapping mutation.
+//!   Only complete, failure-free answers are admitted, so a degraded
+//!   result is never replayed after the sources recover.
+//!
+//! Both caches key on the normalized text rather than the parsed query
+//! so a hit skips the parser entirely; normalization is injective with
+//! respect to the parser's token stream, so two queries share a key
+//! only if the parser cannot tell them apart.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use s2s_netsim::SimDuration;
+
+use crate::cache::{evict_lru, CacheStats};
+use crate::instance::InstanceSet;
+use crate::middleware::QueryStats;
+use crate::query::QueryPlan;
+
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<QueryPlan>,
+    stamp: AtomicU64,
+}
+
+/// An LRU-bounded memo of validated query plans, keyed on normalized
+/// S2SQL text. Parse/semantic errors are never cached: a bad query
+/// re-reports its error each time.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: RwLock<HashMap<String, PlanEntry>>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// Default LRU capacity (distinct normalized query texts).
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        PlanCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` plans (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            entries: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the plan for a normalized query text.
+    pub fn get(&self, key: &str) -> Option<Arc<QueryPlan>> {
+        let hit = {
+            let entries = self.entries.read();
+            entries.get(key).map(|e| {
+                e.stamp.store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+                Arc::clone(&e.plan)
+            })
+        };
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        if s2s_obs::enabled() {
+            let name = if hit.is_some() {
+                s2s_obs::names::PLAN_CACHE_HITS_TOTAL
+            } else {
+                s2s_obs::names::PLAN_CACHE_MISSES_TOTAL
+            };
+            s2s_obs::global().counter(name).inc();
+        }
+        hit
+    }
+
+    /// Stores a plan, evicting the least recently used entry at
+    /// capacity.
+    pub fn insert(&self, key: String, plan: Arc<QueryPlan>) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.write();
+        if !entries.contains_key(&key) && entries.len() >= self.capacity {
+            evict_lru(&mut entries, |e: &PlanEntry| &e.stamp);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if s2s_obs::enabled() {
+                s2s_obs::global().counter(s2s_obs::names::PLAN_CACHE_EVICTIONS_TOTAL).inc();
+            }
+        }
+        entries.insert(key, PlanEntry { plan, stamp: AtomicU64::new(stamp) });
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sizing and freshness policy for a [`QueryResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultCacheConfig {
+    /// Maximum cached answers (min 1).
+    pub capacity: usize,
+    /// Time-to-live in *simulated* time, measured against the engine's
+    /// resilience clock; `None` disables expiry (mutation invalidation
+    /// still applies).
+    pub ttl: Option<SimDuration>,
+}
+
+impl Default for ResultCacheConfig {
+    fn default() -> Self {
+        ResultCacheConfig { capacity: 128, ttl: None }
+    }
+}
+
+/// A cache hit: the answer plus the provenance of the run that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The plan of the original run.
+    pub plan: Arc<QueryPlan>,
+    /// The answer of the original run.
+    pub instances: Arc<InstanceSet>,
+    /// The stats of the original (cache-miss) run, so a hit can report
+    /// the completeness and task shape of the answer it replays.
+    pub origin: QueryStats,
+}
+
+#[derive(Debug)]
+struct ResultEntry {
+    plan: Arc<QueryPlan>,
+    instances: Arc<InstanceSet>,
+    origin: QueryStats,
+    inserted_at: SimDuration,
+    stamp: AtomicU64,
+}
+
+/// An LRU + TTL memo of whole query answers, keyed on normalized S2SQL
+/// text. See the module docs for the admission and invalidation rules.
+#[derive(Debug)]
+pub struct QueryResultCache {
+    entries: RwLock<HashMap<String, ResultEntry>>,
+    config: ResultCacheConfig,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for QueryResultCache {
+    fn default() -> Self {
+        QueryResultCache::new(ResultCacheConfig::default())
+    }
+}
+
+impl QueryResultCache {
+    /// An empty cache with the given policy.
+    pub fn new(config: ResultCacheConfig) -> Self {
+        QueryResultCache {
+            entries: RwLock::new(HashMap::new()),
+            config: ResultCacheConfig { capacity: config.capacity.max(1), ..config },
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> ResultCacheConfig {
+        self.config
+    }
+
+    /// Looks up the cached answer for a normalized query text at
+    /// simulated instant `now`. An entry past its TTL is dropped and
+    /// counted as a miss.
+    pub fn get(&self, key: &str, now: SimDuration) -> Option<CachedResult> {
+        let (hit, expired) = {
+            let entries = self.entries.read();
+            match entries.get(key) {
+                Some(e) if self.fresh(e, now) => {
+                    e.stamp.store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+                    (
+                        Some(CachedResult {
+                            plan: Arc::clone(&e.plan),
+                            instances: Arc::clone(&e.instances),
+                            origin: e.origin,
+                        }),
+                        false,
+                    )
+                }
+                Some(_) => (None, true),
+                None => (None, false),
+            }
+        };
+        if expired {
+            // Re-check under the write lock: a racing refresh may have
+            // replaced the entry with a fresh one.
+            let mut entries = self.entries.write();
+            if entries.get(key).is_some_and(|e| !self.fresh(e, now)) {
+                entries.remove(key);
+            }
+        }
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        if s2s_obs::enabled() {
+            let name = if hit.is_some() {
+                s2s_obs::names::RESULT_CACHE_HITS_TOTAL
+            } else {
+                s2s_obs::names::RESULT_CACHE_MISSES_TOTAL
+            };
+            s2s_obs::global().counter(name).inc();
+        }
+        hit
+    }
+
+    fn fresh(&self, e: &ResultEntry, now: SimDuration) -> bool {
+        match self.config.ttl {
+            Some(ttl) => now.saturating_sub(e.inserted_at) < ttl,
+            None => true,
+        }
+    }
+
+    /// Stores an answer produced at simulated instant `now`, evicting
+    /// the least recently used entry at capacity. The caller enforces
+    /// admission (complete, failure-free answers only).
+    pub fn insert(
+        &self,
+        key: String,
+        plan: Arc<QueryPlan>,
+        instances: Arc<InstanceSet>,
+        origin: QueryStats,
+        now: SimDuration,
+    ) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.write();
+        if !entries.contains_key(&key) && entries.len() >= self.config.capacity {
+            evict_lru(&mut entries, |e: &ResultEntry| &e.stamp);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if s2s_obs::enabled() {
+                s2s_obs::global().counter(s2s_obs::names::RESULT_CACHE_EVICTIONS_TOTAL).inc();
+            }
+        }
+        entries.insert(
+            key,
+            ResultEntry { plan, instances, origin, inserted_at: now, stamp: AtomicU64::new(stamp) },
+        );
+    }
+
+    /// Drops every cached answer — called on any source-registry or
+    /// mapping mutation, so a stale answer is never served.
+    pub fn invalidate_all(&self) {
+        let dropped = {
+            let mut entries = self.entries.write();
+            let n = entries.len();
+            entries.clear();
+            n as u64
+        };
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        if dropped > 0 && s2s_obs::enabled() {
+            s2s_obs::global()
+                .counter(s2s_obs::names::RESULT_CACHE_INVALIDATIONS_TOTAL)
+                .add(dropped);
+        }
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache holds no answers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Counter snapshot (hits, misses, LRU evictions).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries dropped by mutation invalidation (distinct from LRU
+    /// evictions).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query;
+    use s2s_owl::Ontology;
+    use s2s_rdf::Graph;
+
+    fn plan_of(text: &str) -> Arc<QueryPlan> {
+        let onto = Ontology::builder("http://example.org/schema#")
+            .class("Watch", None)
+            .unwrap()
+            .datatype_property("price", "Watch", s2s_rdf::vocab::xsd::DECIMAL)
+            .unwrap()
+            .build()
+            .unwrap();
+        Arc::new(query::plan(&query::parse(text).unwrap(), &onto).unwrap())
+    }
+
+    fn answer() -> Arc<InstanceSet> {
+        Arc::new(InstanceSet {
+            graph: Graph::new(),
+            individuals: Vec::new(),
+            errors: Vec::new(),
+            completeness: 1.0,
+            round_trips: 0,
+            cache_hits: 0,
+        })
+    }
+
+    #[test]
+    fn plan_cache_hits_and_evicts() {
+        let cache = PlanCache::with_capacity(2);
+        assert!(cache.get("SELECT watch").is_none());
+        cache.insert("SELECT watch".into(), plan_of("SELECT watch"));
+        assert!(cache.get("SELECT watch").is_some());
+        cache.insert("SELECT watch WHERE price < 10".into(), plan_of("SELECT watch"));
+        // Touch the first so the second is the LRU victim.
+        assert!(cache.get("SELECT watch").is_some());
+        cache.insert("SELECT watch WHERE price < 20".into(), plan_of("SELECT watch"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("SELECT watch WHERE price < 10").is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn result_cache_ttl_expires_in_sim_time() {
+        let cache = QueryResultCache::new(ResultCacheConfig {
+            capacity: 8,
+            ttl: Some(SimDuration::from_millis(100)),
+        });
+        let key = "SELECT watch";
+        cache.insert(
+            key.into(),
+            plan_of(key),
+            answer(),
+            QueryStats::default(),
+            SimDuration::from_millis(10),
+        );
+        assert!(cache.get(key, SimDuration::from_millis(50)).is_some());
+        // 10 + 100 = 110: expired, dropped, counted as a miss.
+        assert!(cache.get(key, SimDuration::from_millis(110)).is_none());
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn result_cache_invalidation_counts_entries() {
+        let cache = QueryResultCache::new(ResultCacheConfig::default());
+        for text in ["SELECT a", "SELECT b", "SELECT c"] {
+            cache.insert(
+                text.into(),
+                plan_of("SELECT watch"),
+                answer(),
+                QueryStats::default(),
+                SimDuration::ZERO,
+            );
+        }
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 3);
+        // Idempotent: an empty invalidation adds nothing.
+        cache.invalidate_all();
+        assert_eq!(cache.invalidations(), 3);
+    }
+
+    #[test]
+    fn result_cache_lru_evicts_at_capacity() {
+        let cache = QueryResultCache::new(ResultCacheConfig { capacity: 2, ttl: None });
+        let now = SimDuration::ZERO;
+        cache.insert("a".into(), plan_of("SELECT watch"), answer(), QueryStats::default(), now);
+        cache.insert("b".into(), plan_of("SELECT watch"), answer(), QueryStats::default(), now);
+        assert!(cache.get("a", now).is_some());
+        cache.insert("c".into(), plan_of("SELECT watch"), answer(), QueryStats::default(), now);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", now).is_none());
+        assert!(cache.get("a", now).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

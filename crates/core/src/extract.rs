@@ -24,8 +24,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use s2s_netsim::wire::{encode, encode_batch, FrameKind};
 use s2s_netsim::{
-    invoke_with_retry, makespan, run_parallel, BreakerConfig, BreakerState, CircuitBreaker,
-    Endpoint, RetryPolicy, SimDuration,
+    invoke_with_retry, makespan, BreakerConfig, BreakerState, CircuitBreaker, Endpoint,
+    RetryPolicy, SimDuration, WorkerPool,
 };
 use s2s_obs::{Span, SpanKind, SpanOutcome};
 use s2s_webdoc::{WebStore, WeblProgram, WeblValue};
@@ -56,7 +56,10 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    fn workers(self) -> usize {
+    /// The worker count this strategy asks for (>= 1). Sizes both the
+    /// makespan accounting and the [`WorkerPool`] a resident engine
+    /// spawns for the strategy.
+    pub fn workers(self) -> usize {
         match self {
             Strategy::Serial => 1,
             Strategy::Parallel { workers } => workers.max(1),
@@ -336,14 +339,20 @@ impl ExtractorManager {
         ctx: &ResilienceContext,
         rules: &RuleCache,
     ) -> ExtractionReport {
-        Self::extract_with_rules_traced(registry, schemas, strategy, ctx, rules, false)
+        let pool = WorkerPool::new(strategy.workers());
+        Self::extract_with_rules_traced(registry, schemas, strategy, ctx, rules, false, &pool)
     }
 
     /// [`ExtractorManager::extract_with_rules`] with optional span
     /// collection: when `traced`, the report's `spans` carry one
     /// `batch` span per task (this path puts each attribute on its own
     /// wire exchange) with its `rule` child and one `attempt` child per
-    /// endpoint tried.
+    /// endpoint tried. Tasks execute on `pool` — a resident engine
+    /// passes its long-lived shared pool so concurrent queries
+    /// multiplex onto one fixed set of threads; the legacy entry points
+    /// above construct a transient pool per call. `strategy` still
+    /// sizes the *simulated* makespan accounting independently.
+    #[allow(clippy::too_many_arguments)]
     pub fn extract_with_rules_traced(
         registry: &SourceRegistry,
         schemas: Vec<ExtractionSchema>,
@@ -351,9 +360,10 @@ impl ExtractorManager {
         ctx: &ResilienceContext,
         rules: &RuleCache,
         traced: bool,
+        pool: &WorkerPool,
     ) -> ExtractionReport {
         let workers = strategy.workers();
-        let outcomes = run_parallel(schemas, workers, |schema| {
+        let outcomes = pool.run(schemas, |schema| {
             let started = std::time::Instant::now();
             let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
             let r = extract_one_resilient(
@@ -437,7 +447,8 @@ impl ExtractorManager {
         ctx: &ResilienceContext,
         rules: &RuleCache,
     ) -> ExtractionReport {
-        Self::extract_batched_traced(registry, schemas, strategy, ctx, rules, false)
+        let pool = WorkerPool::new(strategy.workers());
+        Self::extract_batched_traced(registry, schemas, strategy, ctx, rules, false, &pool)
     }
 
     /// [`ExtractorManager::extract_batched`] with optional span
@@ -445,7 +456,10 @@ impl ExtractorManager {
     /// `batch` span per planned wire exchange, with one `rule` child
     /// per planned rule (rule-cache provenance included — the planner
     /// runs serially, so the cache-stat deltas are unambiguous) and one
-    /// `attempt` child per endpoint tried.
+    /// `attempt` child per endpoint tried. Batches execute on `pool`
+    /// (see [`ExtractorManager::extract_with_rules_traced`] for the
+    /// pool/strategy split).
+    #[allow(clippy::too_many_arguments)]
     pub fn extract_batched_traced(
         registry: &SourceRegistry,
         schemas: Vec<ExtractionSchema>,
@@ -453,6 +467,7 @@ impl ExtractorManager {
         ctx: &ResilienceContext,
         rules: &RuleCache,
         traced: bool,
+        pool: &WorkerPool,
     ) -> ExtractionReport {
         let workers = strategy.workers();
         let batches = plan_batches(registry, schemas, rules, traced);
@@ -460,7 +475,7 @@ impl ExtractorManager {
             s2s_obs::global().counter("s2s_extract_batches_total").add(batches.len() as u64);
         }
 
-        let outcomes = run_parallel(batches, workers, |batch| {
+        let outcomes = pool.run(batches, |batch| {
             let started = std::time::Instant::now();
             let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
             let net = if let (Some(source), false) = (batch.source, batch.ok.is_empty()) {
@@ -630,7 +645,7 @@ fn plan_batches<'a>(
         });
     }
     // Longest processing time first: the greedy list scheduler (both
-    // `run_parallel` and the `makespan` accounting) sees the costliest
+    // the worker pool and the `makespan` accounting) sees the costliest
     // batches first, which keeps the k-worker makespan near-optimal.
     batches.sort_by(|a, b| b.estimate.cmp(&a.estimate).then_with(|| a.source_id.cmp(&b.source_id)));
     batches
@@ -1544,7 +1559,7 @@ mod tests {
         let _ =
             ExtractorManager::extract_batched(&r, schemas.clone(), Strategy::Serial, &ctx, &rules);
         let first = rules.stats();
-        assert_eq!(first, CacheStats { hits: 0, misses: 7 });
+        assert_eq!(first, CacheStats { hits: 0, misses: 7, evictions: 0 });
         // 6 of 7 rules compile (the broken regex never caches; the
         // unknown-column SQL parses fine and only fails at execution).
         assert_eq!(rules.len(), 6);

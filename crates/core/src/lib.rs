@@ -26,12 +26,17 @@
 //!   fragments into OWL individuals, reports per-source errors, and
 //!   serializes to OWL/RDF-XML, Turtle, N-Triples, XML, or text;
 //! * [`middleware`] — the [`middleware::S2s`] façade tying it all
-//!   together;
+//!   together: a `Send + Sync` resident engine whose queries multiplex
+//!   onto one shared worker pool, layered behind an [`engine`]
+//!   plan cache and (opt-in) query-result cache;
+//! * [`engine`] — the resident engine's query-level caches
+//!   ([`engine::PlanCache`], [`engine::QueryResultCache`]);
 //! * [`baseline`] — the syntactic-only integrator used as the paper's
 //!   implicit comparison system (experiment E8).
 
 pub mod baseline;
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod extract;
 pub mod instance;
@@ -42,6 +47,7 @@ pub mod rules;
 pub mod source;
 pub mod spec;
 
+pub use engine::{PlanCache, QueryResultCache, ResultCacheConfig};
 pub use error::{FailureClass, S2sError};
 pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};
 pub use middleware::S2s;

@@ -8,11 +8,12 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use s2s_netsim::{CostModel, FailureModel, SimDuration};
+use s2s_netsim::{CostModel, FailureModel, PoolStats, SimDuration, WorkerPool};
 use s2s_obs::{Span, SpanKind, SpanOutcome, Trace};
 use s2s_owl::{AttributePath, Ontology};
 
 use crate::cache::{CacheStats, ExtractionCache};
+use crate::engine::{PlanCache, QueryResultCache, ResultCacheConfig};
 use crate::error::S2sError;
 use crate::extract::{
     AttributeResult, ExtractionFailure, ExtractorManager, ResilienceContext, ResiliencePolicy,
@@ -49,6 +50,13 @@ pub struct QueryStats {
     pub extraction_cache: CacheStats,
     /// Compiled-rule-cache hit/miss counters for this query alone.
     pub rule_cache: CacheStats,
+    /// Plan-cache hit/miss counters for this query alone (always
+    /// active; a hit skips the parse/validate/plan front half).
+    pub plan_cache: CacheStats,
+    /// Query-result-cache hit/miss counters for this query alone
+    /// (zeros when the result cache is disabled). A hit means the
+    /// whole answer was replayed without touching any source.
+    pub result_cache: CacheStats,
     /// Fraction of requested (mapped) attributes answered, in
     /// `[0, 1]`; `1.0` means no degradation.
     pub completeness: f64,
@@ -139,6 +147,9 @@ pub struct S2s {
     strategy: Strategy,
     cache: Option<Arc<ExtractionCache>>,
     rules: Arc<RuleCache>,
+    plans: Arc<PlanCache>,
+    results: Option<Arc<QueryResultCache>>,
+    pool: Arc<WorkerPool>,
     batching: bool,
     provenance: bool,
     tracing: bool,
@@ -156,6 +167,9 @@ impl S2s {
             strategy: Strategy::Serial,
             cache: None,
             rules: Arc::new(RuleCache::new()),
+            plans: Arc::new(PlanCache::new()),
+            results: None,
+            pool: Arc::new(WorkerPool::new(1)),
             batching: true,
             provenance: false,
             tracing: false,
@@ -241,18 +255,68 @@ impl S2s {
         self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
-    /// Drops all cached extraction results (no-op when disabled); use
-    /// after swapping a source snapshot.
+    /// Drops all cached extraction results *and* cached query answers
+    /// (no-ops for disabled layers); use after swapping a source
+    /// snapshot.
     pub fn invalidate_cache(&self) {
         if let Some(c) = &self.cache {
             c.clear();
         }
+        self.invalidate_results();
     }
 
-    /// Sets the mediation strategy (serial or parallel workers).
+    /// Drops every cached query answer. Called internally on any
+    /// source/mapping mutation so a stale answer is never served.
+    fn invalidate_results(&self) {
+        if let Some(r) = &self.results {
+            r.invalidate_all();
+        }
+    }
+
+    /// Sets the mediation strategy (serial or parallel workers) and
+    /// resizes the engine's shared worker pool to match: one long-lived
+    /// pool of `strategy.workers()` threads serves every query on this
+    /// instance, however many callers run concurrently.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self.pool = Arc::new(WorkerPool::new(strategy.workers()));
         self
+    }
+
+    /// Enables the semantic query-result cache with the default policy:
+    /// whole answers are replayed for repeat queries (normalized S2SQL
+    /// text as the key) until a source or mapping mutation invalidates
+    /// them. Off by default.
+    pub fn with_result_cache(self) -> Self {
+        self.with_result_cache_config(ResultCacheConfig::default())
+    }
+
+    /// Enables the semantic query-result cache with an explicit
+    /// capacity/TTL policy (TTL measured in simulated time against the
+    /// resilience clock).
+    pub fn with_result_cache_config(mut self, config: ResultCacheConfig) -> Self {
+        self.results = Some(Arc::new(QueryResultCache::new(config)));
+        self
+    }
+
+    /// Plan-cache hit/miss counters (always active).
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plans.stats()
+    }
+
+    /// Result-cache hit/miss counters (zeros when disabled).
+    pub fn result_cache_stats(&self) -> CacheStats {
+        self.results.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Result-cache entries dropped by mutation invalidation.
+    pub fn result_cache_invalidations(&self) -> u64 {
+        self.results.as_ref().map(|c| c.invalidations()).unwrap_or(0)
+    }
+
+    /// Counters of the shared worker pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// The ontology schema.
@@ -271,6 +335,7 @@ impl S2s {
     ///
     /// Returns [`S2sError::DuplicateSource`] on id collision.
     pub fn register_source(&mut self, id: &str, connection: Connection) -> Result<(), S2sError> {
+        self.invalidate_results();
         self.registry.write().register_local(id, connection)
     }
 
@@ -287,6 +352,7 @@ impl S2s {
         cost: CostModel,
         failure: FailureModel,
     ) -> Result<(), S2sError> {
+        self.invalidate_results();
         self.registry.write().register_remote(id, connection, cost, failure)
     }
 
@@ -307,6 +373,7 @@ impl S2s {
         failure: FailureModel,
         replicas: &[FailureModel],
     ) -> Result<(), S2sError> {
+        self.invalidate_results();
         self.registry.write().register_remote_with_replicas(id, connection, cost, failure, replicas)
     }
 
@@ -324,6 +391,7 @@ impl S2s {
         source: &str,
         scenario: RecordScenario,
     ) -> Result<(), S2sError> {
+        self.invalidate_results();
         let path: AttributePath = path.parse().map_err(S2sError::Owl)?;
         {
             let registry = self.registry.read();
@@ -372,18 +440,47 @@ impl S2s {
     /// paper's best-effort integration model. Extraction failures are
     /// reported inside the outcome, not as an `Err`.
     ///
+    /// Takes `&self`: the engine is `Send + Sync`, so any number of
+    /// threads may query one shared (`Arc`-wrapped) instance
+    /// concurrently; their extraction tasks multiplex onto the one
+    /// worker pool sized by the strategy. Repeat queries are answered
+    /// by the plan cache (always on) and, when enabled, the
+    /// query-result cache — see [`crate::engine`].
+    ///
     /// # Errors
     ///
     /// Returns an error only for malformed or semantically invalid
     /// queries.
     pub fn query(&self, s2sql: &str) -> Result<QueryOutcome, S2sError> {
         let query_started = std::time::Instant::now();
+        let key = query::normalize(s2sql);
+
+        // Layer 1: the semantic result cache replays whole answers.
+        let mut result_cache_delta = CacheStats::default();
+        if let Some(results) = &self.results {
+            let before = results.stats();
+            let hit = results.get(&key, self.resilience.virtual_now());
+            result_cache_delta = delta(before, results.stats());
+            if let Some(hit) = hit {
+                return Ok(self.replay(s2sql, hit, result_cache_delta, query_started));
+            }
+        }
+
+        // Layer 2: the plan cache memoizes parse + validate + plan.
+        let plans_before = self.plans.stats();
         let parse_started = std::time::Instant::now();
-        let parsed = query::parse(s2sql)?;
-        let parse_wall = parse_started.elapsed();
-        let plan_started = std::time::Instant::now();
-        let plan = query::plan(&parsed, &self.ontology)?;
-        let plan_wall = plan_started.elapsed();
+        let (plan, parse_wall, plan_wall) = match self.plans.get(&key) {
+            Some(plan) => (plan, parse_started.elapsed(), std::time::Duration::ZERO),
+            None => {
+                let parsed = query::parse(s2sql)?;
+                let parse_wall = parse_started.elapsed();
+                let plan_started = std::time::Instant::now();
+                let plan = Arc::new(query::plan(&parsed, &self.ontology)?);
+                self.plans.insert(key.clone(), Arc::clone(&plan));
+                (plan, parse_wall, plan_started.elapsed())
+            }
+        };
+        let plan_cache_delta = delta(plans_before, self.plans.stats());
 
         // Step 1-2 (Fig. 5): attribute list → extraction schemas,
         // keeping only mapped attributes.
@@ -448,6 +545,7 @@ impl S2s {
                 &self.resilience,
                 &self.rules,
                 self.tracing,
+                &self.pool,
             )
         } else {
             ExtractorManager::extract_with_rules_traced(
@@ -457,6 +555,7 @@ impl S2s {
                 &self.resilience,
                 &self.rules,
                 self.tracing,
+                &self.pool,
             )
         };
         drop(registry);
@@ -477,6 +576,8 @@ impl S2s {
             round_trips: report.resilience.values().map(|h| h.attempts).sum(),
             extraction_cache: delta(extraction_cache_before, self.cache_stats()),
             rule_cache: delta(rule_cache_before, self.rules.stats()),
+            plan_cache: plan_cache_delta,
+            result_cache: result_cache_delta,
             // Cached answers count as answered: they were requested and
             // served, just not over the network this time.
             completeness: report.completeness(),
@@ -502,6 +603,20 @@ impl S2s {
             GenerateOptions { provenance: self.provenance },
         );
         instances.cache_hits = cache_hits as u64;
+
+        // Admission: only complete, failure-free answers are cached, so
+        // a degraded result is never replayed after sources recover.
+        if let Some(results) = &self.results {
+            if stats.failed_tasks == 0 && stats.completeness >= 1.0 {
+                results.insert(
+                    key,
+                    Arc::clone(&plan),
+                    Arc::new(instances.clone()),
+                    stats,
+                    self.resilience.virtual_now(),
+                );
+            }
+        }
 
         if s2s_obs::enabled() {
             let metrics = s2s_obs::global();
@@ -537,6 +652,10 @@ impl S2s {
             let mut plan_span = Span::new(SpanKind::Plan, "attributes");
             plan_span.wall_us = plan_wall.as_micros() as u64;
             plan_span.attr("count", plan.attributes.len().to_string());
+            if plan_cache_delta.hits > 0 {
+                plan_span.outcome = SpanOutcome::CacheHit;
+                plan_span.attr("cache", "hit");
+            }
             root.push(plan_span);
 
             let mut map_span = Span::new(SpanKind::Map, "mappings");
@@ -560,13 +679,58 @@ impl S2s {
         };
 
         Ok(QueryOutcome {
-            plan,
+            plan: plan.as_ref().clone(),
             instances,
             stats,
             source_times,
             resilience: report.resilience,
             trace,
         })
+    }
+
+    /// Builds the outcome of a result-cache hit: the original answer
+    /// replayed with zero simulated time and no source contact.
+    fn replay(
+        &self,
+        s2sql: &str,
+        hit: crate::engine::CachedResult,
+        result_cache_delta: CacheStats,
+        query_started: std::time::Instant,
+    ) -> QueryOutcome {
+        let stats = QueryStats {
+            tasks: hit.origin.tasks,
+            completeness: hit.origin.completeness,
+            result_cache: result_cache_delta,
+            ..QueryStats::default()
+        };
+        if s2s_obs::enabled() {
+            let metrics = s2s_obs::global();
+            metrics.counter("s2s_queries_total").inc();
+            metrics.gauge("s2s_query_completeness").set(stats.completeness);
+            metrics.histogram("s2s_query_sim_us").observe(0);
+            metrics
+                .histogram("s2s_query_wall_us")
+                .observe(query_started.elapsed().as_micros() as u64);
+        }
+        let trace = if self.tracing {
+            let mut root = Span::new(SpanKind::Query, s2sql.to_string());
+            root.wall_us = query_started.elapsed().as_micros() as u64;
+            root.outcome = SpanOutcome::CacheHit;
+            root.attr("cache", "result-hit");
+            root.attr("completeness", format!("{}", stats.completeness));
+            root.attr("tasks", stats.tasks.to_string());
+            Some(Trace::new(root))
+        } else {
+            None
+        };
+        QueryOutcome {
+            plan: hit.plan.as_ref().clone(),
+            instances: hit.instances.as_ref().clone(),
+            stats,
+            source_times: std::collections::BTreeMap::new(),
+            resilience: std::collections::BTreeMap::new(),
+            trace,
+        }
     }
 }
 
@@ -575,6 +739,7 @@ fn delta(before: CacheStats, after: CacheStats) -> CacheStats {
     CacheStats {
         hits: after.hits.saturating_sub(before.hits),
         misses: after.misses.saturating_sub(before.misses),
+        evictions: after.evictions.saturating_sub(before.evictions),
     }
 }
 

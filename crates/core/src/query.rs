@@ -217,6 +217,86 @@ fn parse_inner(input: &str) -> Result<S2sqlQuery, S2sError> {
     Ok(S2sqlQuery { class, condition })
 }
 
+/// Keywords whose case is insignificant in S2SQL.
+const KEYWORDS: [&str; 6] = ["SELECT", "WHERE", "AND", "OR", "NOT", "LIKE"];
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '.' || c == '-'
+}
+
+/// Normalizes S2SQL text into a canonical form for cache keying: two
+/// queries the parser treats identically normalize to the same string,
+/// and — just as important for a cache key — queries the parser treats
+/// *differently* never collide.
+///
+/// The text is re-tokenized (quoted constraints verbatim with their
+/// quotes and doubled-quote escapes; identifier/number words; `<=`,
+/// `>=`, `!=`, `<>` as single tokens; any other symbol alone), keywords
+/// are uppercased, and tokens are joined with single spaces. Joining is
+/// injective because only quoted tokens can contain a space and they
+/// keep their delimiters; lexing the two-character operators whole
+/// keeps e.g. the invalid `price < = 10` from colliding with
+/// `price <= 10`. Invalid queries still normalize (to an equally
+/// invalid canonical text) — callers may key error-free caches without
+/// pre-validating.
+pub fn normalize(input: &str) -> String {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '\'' || c == '"' {
+            // Quoted constraint: verbatim, delimiters included. A
+            // doubled quote is an escape; an unterminated string runs
+            // to the end of the input (the parser rejects it, but the
+            // key must still be deterministic).
+            let mut tok = String::new();
+            tok.push(c);
+            i += 1;
+            while i < chars.len() {
+                let d = chars[i];
+                tok.push(d);
+                i += 1;
+                if d == c {
+                    if i < chars.len() && chars[i] == c {
+                        tok.push(c);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            tokens.push(tok);
+            continue;
+        }
+        if is_word_char(c) {
+            let mut tok = String::new();
+            while i < chars.len() && is_word_char(chars[i]) {
+                tok.push(chars[i]);
+                i += 1;
+            }
+            if KEYWORDS.iter().any(|k| tok.eq_ignore_ascii_case(k)) {
+                tok = tok.to_ascii_uppercase();
+            }
+            tokens.push(tok);
+            continue;
+        }
+        let two = matches!((c, chars.get(i + 1)), ('<' | '>' | '!', Some('=')) | ('<', Some('>')));
+        if two {
+            tokens.push([c, chars[i + 1]].into_iter().collect());
+            i += 2;
+        } else {
+            tokens.push(c.to_string());
+            i += 1;
+        }
+    }
+    tokens.join(" ")
+}
+
 /// Validates a parsed query against the ontology and produces the
 /// extraction plan.
 ///
@@ -600,6 +680,52 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace_and_keyword_case() {
+        let a = normalize("select  watch\n where PRICE < 100 and brand = 'Seiko'");
+        let b = normalize("SELECT watch WHERE price<100 AND brand='Seiko'");
+        // The attribute identifier keeps its case (the planner matches
+        // it case-insensitively, but `PRICE` is not a keyword) — only
+        // whitespace, operator spacing, and keyword case normalize.
+        assert_eq!(a, "SELECT watch WHERE PRICE < 100 AND brand = 'Seiko'");
+        assert_eq!(b, "SELECT watch WHERE price < 100 AND brand = 'Seiko'");
+    }
+
+    #[test]
+    fn normalize_is_identical_for_equivalent_spacing() {
+        let variants = [
+            "SELECT watch WHERE price<=100",
+            "select watch where price <= 100",
+            "  SELECT\twatch\nWHERE   price  <=  100  ",
+        ];
+        let keys: Vec<String> = variants.iter().map(|v| normalize(v)).collect();
+        assert!(keys.iter().all(|k| k == &keys[0]), "{keys:?}");
+    }
+
+    #[test]
+    fn normalize_keeps_quoted_text_verbatim() {
+        let q = normalize("SELECT watch WHERE brand='  Select  Or ''x''  '");
+        assert_eq!(q, "SELECT watch WHERE brand = '  Select  Or ''x''  '");
+        // Double-quoted constraints keep their delimiter too, so the
+        // two quoting styles never collide.
+        assert_ne!(normalize("SELECT w WHERE b='x'"), normalize("SELECT w WHERE b=\"x\""));
+    }
+
+    #[test]
+    fn normalize_does_not_collide_distinct_queries() {
+        // `< =` is a syntax error while `<=` parses: different keys.
+        assert_ne!(
+            normalize("SELECT w WHERE price < = 10"),
+            normalize("SELECT w WHERE price <= 10")
+        );
+        assert_ne!(normalize("SELECT w WHERE price <> 10"), normalize("SELECT w WHERE price < 10"));
+        // Negative numbers lex as one word either way.
+        assert_eq!(
+            normalize("SELECT w WHERE price=-12.5"),
+            normalize("SELECT w WHERE price = -12.5")
+        );
     }
 
     #[test]

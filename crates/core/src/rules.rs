@@ -11,6 +11,11 @@
 //!
 //! Only successful compiles are cached: a malformed rule re-reports its
 //! error on every use instead of poisoning the cache.
+//!
+//! Like the extraction cache, the map is LRU-bounded
+//! ([`RuleCache::with_capacity`], default [`RuleCache::DEFAULT_CAPACITY`])
+//! so a resident engine cannot grow it without bound; evictions are
+//! counted and exported.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,18 +49,53 @@ pub enum CompiledRule {
     Regex(Arc<Regex>),
 }
 
-/// A concurrent memo of compiled extraction rules.
-#[derive(Debug, Default)]
+#[derive(Debug)]
+struct Entry {
+    rule: CompiledRule,
+    stamp: AtomicU64,
+}
+
+/// A concurrent, LRU-bounded memo of compiled extraction rules.
+#[derive(Debug)]
 pub struct RuleCache {
-    compiled: RwLock<HashMap<(&'static str, String), CompiledRule>>,
+    compiled: RwLock<HashMap<(&'static str, String), Entry>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for RuleCache {
+    fn default() -> Self {
+        RuleCache::new()
+    }
 }
 
 impl RuleCache {
-    /// An empty cache.
+    /// Default LRU capacity (distinct `(language, text)` rules).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        RuleCache::default()
+        RuleCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` compiled rules (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        RuleCache {
+            compiled: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The LRU capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Returns the compiled form of `rule`, compiling on first sight.
@@ -67,19 +107,31 @@ impl RuleCache {
     pub fn get_or_compile(&self, rule: &ExtractionRule) -> Result<CompiledRule, S2sError> {
         let key = (rule.language(), rule.text().to_string());
         if let Some(hit) = self.compiled.read().get(&key) {
+            hit.stamp.store(self.tick.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
             if s2s_obs::enabled() {
                 s2s_obs::global().counter("s2s_rule_cache_hits_total").inc();
             }
-            return Ok(hit.clone());
+            return Ok(hit.rule.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         if s2s_obs::enabled() {
             s2s_obs::global().counter("s2s_rule_cache_misses_total").inc();
         }
         let compiled = compile(rule)?;
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.compiled.write();
         // A racing compile of the same rule is harmless: keep the first.
-        self.compiled.write().entry(key).or_insert_with(|| compiled.clone());
+        if !entries.contains_key(&key) {
+            if entries.len() >= self.capacity {
+                crate::cache::evict_lru(&mut entries, |e| &e.stamp);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if s2s_obs::enabled() {
+                    s2s_obs::global().counter(s2s_obs::names::RULE_CACHE_EVICTIONS_TOTAL).inc();
+                }
+            }
+            entries.insert(key, Entry { rule: compiled.clone(), stamp: AtomicU64::new(stamp) });
+        }
         Ok(compiled)
     }
 
@@ -103,6 +155,7 @@ impl RuleCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -139,7 +192,7 @@ mod tests {
         let rule = ExtractionRule::XPath { path: "//w/brand/text()".into() };
         assert!(cache.get_or_compile(&rule).is_ok());
         assert!(cache.get_or_compile(&rule).is_ok());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
         assert_eq!(cache.len(), 1);
     }
 
@@ -157,7 +210,7 @@ mod tests {
             .get_or_compile(&ExtractionRule::TextRegex { pattern: "a+".into(), group: 1 })
             .unwrap();
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2, evictions: 0 });
     }
 
     #[test]
@@ -187,5 +240,28 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = RuleCache::with_capacity(2);
+        let (a, b, c) = (
+            ExtractionRule::XPath { path: "//a".into() },
+            ExtractionRule::XPath { path: "//b".into() },
+            ExtractionRule::XPath { path: "//c".into() },
+        );
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b).unwrap();
+        // Touch `a`; compiling `c` must evict `b`.
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&c).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let before = cache.stats();
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b).unwrap(); // recompiles: it was evicted
+        let after = cache.stats();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
     }
 }

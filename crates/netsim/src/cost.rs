@@ -93,6 +93,14 @@ pub struct CostModel {
     pub jitter: SimDuration,
     /// Transfer cost per payload byte (both directions combined).
     pub per_byte_nanos: u64,
+    /// Real-time pacing: wall-clock microseconds slept per simulated
+    /// millisecond charged to a call. `0` (the default everywhere)
+    /// keeps calls instant; throughput benchmarks opt in via
+    /// [`CostModel::with_pace`] so a calling thread genuinely *blocks*
+    /// for a scaled-down replica of the simulated latency — which is
+    /// what lets concurrent clients overlap their waits like a real
+    /// I/O-bound service, independent of core count.
+    pub pace_us_per_sim_ms: u64,
 }
 
 impl CostModel {
@@ -102,6 +110,7 @@ impl CostModel {
             base: SimDuration::from_micros(500),
             jitter: SimDuration::from_micros(200),
             per_byte_nanos: 8,
+            pace_us_per_sim_ms: 0,
         }
     }
 
@@ -111,17 +120,32 @@ impl CostModel {
             base: SimDuration::from_millis(20),
             jitter: SimDuration::from_millis(10),
             per_byte_nanos: 160,
+            pace_us_per_sim_ms: 0,
         }
     }
 
     /// Free and instant (for "local" sources).
     pub fn instant() -> Self {
-        CostModel { base: SimDuration::ZERO, jitter: SimDuration::ZERO, per_byte_nanos: 0 }
+        CostModel {
+            base: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            per_byte_nanos: 0,
+            pace_us_per_sim_ms: 0,
+        }
     }
 
-    /// A custom profile.
+    /// A custom profile (no real-time pacing).
     pub fn new(base: SimDuration, jitter: SimDuration, per_byte_nanos: u64) -> Self {
-        CostModel { base, jitter, per_byte_nanos }
+        CostModel { base, jitter, per_byte_nanos, pace_us_per_sim_ms: 0 }
+    }
+
+    /// Enables real-time pacing: every call against this path sleeps
+    /// `us_per_sim_ms` wall-clock microseconds per simulated
+    /// millisecond it was charged. E.g. `wan().with_pace(150)` turns a
+    /// ~25 ms simulated exchange into a ~3.75 ms real wait.
+    pub fn with_pace(mut self, us_per_sim_ms: u64) -> Self {
+        self.pace_us_per_sim_ms = us_per_sim_ms;
+        self
     }
 
     /// The cost of moving `bytes` over this path, with `jitter_draw` a
@@ -130,6 +154,18 @@ impl CostModel {
         let jitter = (self.jitter.as_micros() as f64 * jitter_draw) as u64;
         let transfer_us = (bytes as u64).saturating_mul(self.per_byte_nanos) / 1_000;
         self.base + SimDuration::from_micros(jitter) + SimDuration::from_micros(transfer_us)
+    }
+
+    /// Blocks the calling thread for the paced real-time equivalent of
+    /// `charged` simulated time. A no-op unless pacing is enabled.
+    pub fn pace(&self, charged: SimDuration) {
+        if self.pace_us_per_sim_ms == 0 {
+            return;
+        }
+        let us = charged.as_micros().saturating_mul(self.pace_us_per_sim_ms) / 1_000;
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
     }
 }
 
@@ -174,5 +210,23 @@ mod tests {
     #[test]
     fn profiles_ordered_sensibly() {
         assert!(CostModel::lan().cost(1024, 0.5) < CostModel::wan().cost(1024, 0.5));
+    }
+
+    #[test]
+    fn pacing_defaults_off_and_does_not_change_cost() {
+        let plain = CostModel::wan();
+        let paced = CostModel::wan().with_pace(100);
+        assert_eq!(plain.pace_us_per_sim_ms, 0);
+        assert_eq!(plain.cost(512, 0.3), paced.cost(512, 0.3));
+        // Unpaced: returns immediately even for a huge charge.
+        plain.pace(SimDuration::from_millis(100_000));
+    }
+
+    #[test]
+    fn pacing_sleeps_scaled_real_time() {
+        let paced = CostModel::instant().with_pace(100); // 0.1 ms real per sim ms
+        let started = std::time::Instant::now();
+        paced.pace(SimDuration::from_millis(20));
+        assert!(started.elapsed() >= std::time::Duration::from_millis(2));
     }
 }

@@ -158,6 +158,7 @@ impl Endpoint {
             stats.total_time += self.cost.base;
             drop(stats);
             observe_attempt(self.cost.base, false);
+            self.cost.pace(self.cost.base);
             return Err(NetError::Unreachable { endpoint: self.id.clone() });
         }
         if t_draw < self.failure.p_timeout {
@@ -165,6 +166,7 @@ impl Endpoint {
             stats.total_time += self.failure.timeout;
             drop(stats);
             observe_attempt(self.failure.timeout, false);
+            self.cost.pace(self.failure.timeout);
             return Err(NetError::Timeout {
                 endpoint: self.id.clone(),
                 timeout_us: self.failure.timeout.as_micros(),
@@ -176,6 +178,7 @@ impl Endpoint {
             stats.total_time += self.failure.timeout;
             drop(stats);
             observe_attempt(self.failure.timeout, false);
+            self.cost.pace(self.failure.timeout);
             return Err(NetError::Timeout {
                 endpoint: self.id.clone(),
                 timeout_us: self.failure.timeout.as_micros(),
@@ -188,6 +191,10 @@ impl Endpoint {
             s2s_obs::global().counter("s2s_net_bytes_total").add(bytes as u64);
         }
         observe_attempt(elapsed, true);
+        // With pacing on, the calling thread blocks for the scaled real
+        // equivalent of the charge — this is what E13-style throughput
+        // runs overlap across concurrent clients.
+        self.cost.pace(elapsed);
         Ok(RemoteCall { value: f(), elapsed })
     }
 }

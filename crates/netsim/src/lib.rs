@@ -17,6 +17,9 @@
 //! * [`sched`] — makespan accounting: how long a set of remote calls
 //!   takes under serial vs k-worker parallel execution, and a real
 //!   crossbeam-based parallel executor for the actual work,
+//! * [`pool`] — a long-lived worker pool fed by an MPMC job queue, so
+//!   a resident mediator multiplexes every query onto one fixed set of
+//!   threads instead of spawning per call,
 //! * [`retry`] — retry policies: exponential backoff with deterministic
 //!   seeded jitter, per-attempt timeouts, and overall deadlines, all in
 //!   virtual time,
@@ -33,6 +36,7 @@ pub mod breaker;
 pub mod cost;
 pub mod endpoint;
 pub mod error;
+pub mod pool;
 pub mod retry;
 pub mod sched;
 pub mod wire;
@@ -41,6 +45,7 @@ pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use cost::{CostModel, SimDuration};
 pub use endpoint::{Endpoint, EndpointStats, FailureModel, RemoteCall};
 pub use error::NetError;
+pub use pool::{PoolStats, WorkerPool};
 pub use retry::{invoke_with_retry, RetryOutcome, RetryPolicy};
 pub use sched::{makespan, run_parallel};
 pub use wire::{decode, decode_batch, encode, encode_batch, Frame, FrameKind};

@@ -17,6 +17,10 @@
 //! * [`export`] — a human-readable text tree, a JSON-lines trace dump,
 //!   and a Prometheus-style text snapshot. Each machine-readable format
 //!   ships with a minimal parser so CI can validate round-trips.
+//! * [`names`] — canonical metric-name constants for the concurrency
+//!   and caching layers (pool gauges, queue-wait histogram, per-cache
+//!   hit/miss/eviction counters), so emitters and audits cannot drift
+//!   apart on spelling.
 //!
 //! ## The global registry and the enabled flag
 //!
@@ -28,6 +32,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use export::{

@@ -1,0 +1,63 @@
+//! Canonical metric names for the engine's hot paths.
+//!
+//! The registry accepts any name, which makes typos silent: a counter
+//! bumped as `s2s_pool_job_total` and read as `s2s_pool_jobs_total`
+//! are two different metrics and nobody notices. The concurrency and
+//! caching layers added with the shared engine therefore name their
+//! metrics through these constants; emitters and dashboards/audits
+//! reference the same symbol.
+
+/// Gauge: worker threads of the most recently constructed pool.
+pub const POOL_WORKERS: &str = "s2s_pool_workers";
+/// Gauge: jobs currently queued or executing on the pool.
+pub const POOL_QUEUE_DEPTH: &str = "s2s_pool_queue_depth";
+/// Histogram: wall-clock microseconds a job waited in the pool queue.
+pub const POOL_QUEUE_WAIT_US: &str = "s2s_pool_queue_wait_us";
+/// Counter: jobs submitted to the pool.
+pub const POOL_JOBS_TOTAL: &str = "s2s_pool_jobs_total";
+
+/// Counter: semantic query-result cache hits.
+pub const RESULT_CACHE_HITS_TOTAL: &str = "s2s_result_cache_hits_total";
+/// Counter: semantic query-result cache misses (expiries included).
+pub const RESULT_CACHE_MISSES_TOTAL: &str = "s2s_result_cache_misses_total";
+/// Counter: result-cache entries evicted by the LRU capacity bound.
+pub const RESULT_CACHE_EVICTIONS_TOTAL: &str = "s2s_result_cache_evictions_total";
+/// Counter: result-cache entries dropped by mutation invalidation.
+pub const RESULT_CACHE_INVALIDATIONS_TOTAL: &str = "s2s_result_cache_invalidations_total";
+
+/// Counter: query-plan cache hits.
+pub const PLAN_CACHE_HITS_TOTAL: &str = "s2s_plan_cache_hits_total";
+/// Counter: query-plan cache misses.
+pub const PLAN_CACHE_MISSES_TOTAL: &str = "s2s_plan_cache_misses_total";
+/// Counter: plan-cache entries evicted by the LRU capacity bound.
+pub const PLAN_CACHE_EVICTIONS_TOTAL: &str = "s2s_plan_cache_evictions_total";
+
+/// Counter: extraction-cache entries evicted by the LRU capacity bound.
+pub const EXTRACTION_CACHE_EVICTIONS_TOTAL: &str = "s2s_extraction_cache_evictions_total";
+/// Counter: compiled-rule-cache entries evicted by the LRU bound.
+pub const RULE_CACHE_EVICTIONS_TOTAL: &str = "s2s_rule_cache_evictions_total";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_unique_and_prefixed() {
+        let all = [
+            super::POOL_WORKERS,
+            super::POOL_QUEUE_DEPTH,
+            super::POOL_QUEUE_WAIT_US,
+            super::POOL_JOBS_TOTAL,
+            super::RESULT_CACHE_HITS_TOTAL,
+            super::RESULT_CACHE_MISSES_TOTAL,
+            super::RESULT_CACHE_EVICTIONS_TOTAL,
+            super::RESULT_CACHE_INVALIDATIONS_TOTAL,
+            super::PLAN_CACHE_HITS_TOTAL,
+            super::PLAN_CACHE_MISSES_TOTAL,
+            super::PLAN_CACHE_EVICTIONS_TOTAL,
+            super::EXTRACTION_CACHE_EVICTIONS_TOTAL,
+            super::RULE_CACHE_EVICTIONS_TOTAL,
+        ];
+        let unique: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+        assert!(all.iter().all(|n| n.starts_with("s2s_")));
+    }
+}

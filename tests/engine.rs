@@ -1,0 +1,216 @@
+//! Concurrent-engine integration tests: one `S2s` shared across client
+//! threads must behave exactly like a serial engine — same answers,
+//! full completeness — while the plan/result caches stay coherent
+//! under mutation, TTL expiry, and equivalent query spellings.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use s2s::core::extract::Strategy;
+use s2s::core::mapping::{ExtractionRule, RecordScenario};
+use s2s::core::query;
+use s2s::core::source::Connection;
+use s2s::core::ResultCacheConfig;
+use s2s::minidb::Database;
+use s2s::netsim::{CostModel, FailureModel, SimDuration};
+use s2s::owl::Ontology;
+use s2s::S2s;
+
+fn ontology() -> Ontology {
+    Ontology::builder("http://engine.example/schema#")
+        .class("Product", None)
+        .unwrap()
+        .class("Watch", Some("Product"))
+        .unwrap()
+        .datatype_property("brand", "Product", "http://www.w3.org/2001/XMLSchema#string")
+        .unwrap()
+        .datatype_property("price", "Product", "http://www.w3.org/2001/XMLSchema#decimal")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn watch_db(n: usize) -> Database {
+    let mut db = Database::new("catalog");
+    db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
+    for i in 0..n {
+        db.execute(&format!("INSERT INTO w VALUES ({}, 'B{}', {})", i + 1, i, 10 + i * 7)).unwrap();
+    }
+    db
+}
+
+/// A remote DB deployment; `strategy` sizes the shared worker pool.
+fn deploy(n: usize, strategy: Strategy) -> S2s {
+    let mut s2s = S2s::new(ontology()).with_strategy(strategy);
+    s2s.register_remote_source(
+        "DB",
+        Connection::Database { db: Arc::new(watch_db(n)) },
+        CostModel::wan(),
+        FailureModel::reliable(),
+    )
+    .unwrap();
+    for (attr, col) in [("brand", "brand"), ("price", "price")] {
+        s2s.register_attribute(
+            &format!("thing.product.watch.{attr}"),
+            ExtractionRule::Sql {
+                query: format!("SELECT {col} FROM w ORDER BY id"),
+                column: col.into(),
+            },
+            "DB",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+    }
+    s2s
+}
+
+/// Order-independent fingerprint of a query answer.
+fn answer_key(outcome: &s2s::core::middleware::QueryOutcome) -> String {
+    let mut keys: Vec<String> =
+        outcome.individuals().iter().map(|i| format!("{:?}", i.values)).collect();
+    keys.sort();
+    keys.join("|")
+}
+
+#[test]
+fn s2s_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<S2s>();
+    assert_send_sync::<Arc<S2s>>();
+}
+
+/// C client threads × Q queries against one shared engine: every answer
+/// must equal the serial single-client baseline, at full completeness.
+#[test]
+fn shared_engine_matches_serial_baseline_across_threads() {
+    const CLIENTS: usize = 4;
+    const QUERIES: usize = 8;
+    let texts: Vec<String> =
+        (0..QUERIES).map(|q| format!("SELECT watch WHERE price < {}", 20 + q * 11)).collect();
+
+    let serial = deploy(10, Strategy::Serial);
+    let expected: Vec<String> =
+        texts.iter().map(|t| answer_key(&serial.query(t).unwrap())).collect();
+
+    let shared = Arc::new(deploy(10, Strategy::Parallel { workers: 8 }).with_result_cache());
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let shared = Arc::clone(&shared);
+            let texts = &texts;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Each client walks the workload from a different offset
+                // so cold misses and warm hits interleave across threads.
+                for q in 0..QUERIES {
+                    let i = (c + q) % QUERIES;
+                    let outcome = shared.query(&texts[i]).unwrap();
+                    assert_eq!(
+                        answer_key(&outcome),
+                        expected[i],
+                        "client {c} got a different answer for {:?}",
+                        texts[i]
+                    );
+                    assert_eq!(outcome.stats.completeness, 1.0);
+                }
+            });
+        }
+    });
+    let pool = shared.pool_stats();
+    assert_eq!(pool.workers, 8, "pool sized by the engine strategy");
+    assert_eq!(pool.jobs, pool.completed, "no job lost across threads");
+}
+
+/// A repeated query is answered from the result cache: one hit, zero
+/// simulated time, no wire round trips.
+#[test]
+fn repeat_query_is_replayed_from_result_cache() {
+    let s2s = deploy(6, Strategy::Parallel { workers: 4 }).with_result_cache();
+    let first = s2s.query("SELECT watch WHERE price < 40").unwrap();
+    assert_eq!((first.stats.result_cache.hits, first.stats.result_cache.misses), (0, 1));
+
+    let second = s2s.query("SELECT watch WHERE price < 40").unwrap();
+    assert_eq!(second.stats.result_cache.hits, 1);
+    assert_eq!(second.stats.simulated, SimDuration::ZERO, "replay touches no source");
+    assert_eq!(second.stats.round_trips, 0);
+    assert_eq!(second.individuals().len(), first.individuals().len());
+    assert_eq!(answer_key(&second), answer_key(&first));
+}
+
+/// Registry/mapping mutation between queries invalidates the result
+/// cache: the stale answer is never served again.
+#[test]
+fn mutation_invalidates_cached_results() {
+    let mut s2s = deploy(4, Strategy::Serial).with_result_cache();
+    let before = s2s.query("SELECT watch").unwrap();
+    assert_eq!(before.individuals().len(), 4);
+    // Warm the cache and prove it is serving.
+    assert_eq!(s2s.query("SELECT watch").unwrap().stats.result_cache.hits, 1);
+
+    // Mutate the deployment: a second source contributes 2 more records.
+    s2s.register_source("DB2", Connection::Database { db: Arc::new(watch_db(2)) }).unwrap();
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::Sql {
+            query: "SELECT brand FROM w ORDER BY id".into(),
+            column: "brand".into(),
+        },
+        "DB2",
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+    assert!(s2s.result_cache_invalidations() >= 1, "mutation must drop cached answers");
+
+    let after = s2s.query("SELECT watch").unwrap();
+    assert_eq!(after.stats.result_cache.hits, 0, "stale answer served after mutation");
+    assert_eq!(after.individuals().len(), 6, "fresh answer must see the new source");
+}
+
+/// TTL is measured in simulated time: advancing the engine clock past
+/// the TTL expires the entry and forces re-extraction.
+#[test]
+fn result_cache_ttl_expires_in_simulated_time() {
+    let s2s = deploy(5, Strategy::Serial).with_result_cache_config(ResultCacheConfig {
+        capacity: 16,
+        ttl: Some(SimDuration::from_millis(500)),
+    });
+    s2s.query("SELECT watch").unwrap();
+    assert_eq!(s2s.query("SELECT watch").unwrap().stats.result_cache.hits, 1);
+
+    s2s.resilience().advance_clock(SimDuration::from_millis(600));
+    let expired = s2s.query("SELECT watch").unwrap();
+    assert_eq!(expired.stats.result_cache.hits, 0, "expired entry must not be served");
+    assert!(expired.stats.round_trips > 0, "expiry must force re-extraction");
+    // The re-extracted answer is cached again.
+    assert_eq!(s2s.query("SELECT watch").unwrap().stats.result_cache.hits, 1);
+}
+
+proptest! {
+    /// Equivalent S2SQL spellings (whitespace, keyword case) normalize
+    /// to the same key, produce identical plans, and share one
+    /// plan-cache entry — so every variant after the first is a hit.
+    #[test]
+    fn equivalent_spellings_share_one_plan_cache_entry(
+        pad1 in "[ \t]{0,3}",
+        pad2 in "[ \t]{1,3}",
+        pad3 in "[ \t]{0,3}",
+        select_kw in prop_oneof!["SELECT", "select", "Select", "sElEcT"],
+        where_kw in prop_oneof!["WHERE", "where", "Where"],
+        and_kw in prop_oneof!["AND", "and", "And"],
+    ) {
+        let canonical = "SELECT watch WHERE price < 60 AND brand != 'B1'";
+        let variant = format!(
+            "{pad1}{select_kw}{pad2}watch{pad2}{where_kw}{pad2}price{pad1} < {pad3}60 \
+             {and_kw} brand{pad3}!={pad2}'B1'{pad3}"
+        );
+        prop_assert_eq!(query::normalize(&variant), query::normalize(canonical));
+
+        let s2s = deploy(8, Strategy::Serial);
+        let base = s2s.query(canonical).unwrap();
+        let other = s2s.query(&variant).unwrap();
+        prop_assert_eq!(&base.plan, &other.plan, "equivalent spellings must plan identically");
+        prop_assert_eq!(answer_key(&base), answer_key(&other));
+        // One shared entry: the first query misses, the variant hits.
+        let plans = s2s.plan_cache_stats();
+        prop_assert_eq!((plans.hits, plans.misses), (1, 1));
+    }
+}
