@@ -20,6 +20,14 @@
 //!   (4 clients × 16 queries on one shared engine); writes `e13.json`
 //!   into `<dir>` and exits non-zero on any cross-thread result
 //!   mismatch or zero throughput (the CI concurrency gate).
+//! * `--conform-fuzz` — deterministic differential fuzzing: generated
+//!   scenarios run through the serial, batched, replay, and pooled
+//!   execution paths and every oracle in `s2s-conform`. Options:
+//!   `--budget-ms <N>` (wall-clock budget, default 10000),
+//!   `--seed <S>` (integer or any string, e.g. a git SHA; hashed),
+//!   `--out <dir>` (where shrunk failing cases are written),
+//!   `--replay <file>` (check one corpus case file instead of fuzzing).
+//!   Exits non-zero on any divergence (the CI conformance gate).
 
 use std::sync::Arc;
 
@@ -66,6 +74,14 @@ fn main() {
             }
             println!("throughput-smoke OK");
         }
+        Some("--conform-fuzz") => {
+            if let Err(violations) = conform_fuzz(&args[1..]) {
+                for v in &violations {
+                    eprintln!("conform-fuzz FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
         Some("--help" | "-h") => usage(),
         Some(other) => {
             eprintln!("unknown argument: {other}\n");
@@ -91,6 +107,113 @@ fn usage() {
     println!("                                 4 clients × 16 queries on one shared");
     println!("                                 engine; writes e13.json into DIR; fails");
     println!("                                 on result mismatch or zero throughput");
+    println!("  experiments --conform-fuzz [--budget-ms N] [--seed S] [--out DIR]");
+    println!("                                 differential fuzzing across the serial,");
+    println!("                                 batched, replay, and pooled paths; the");
+    println!("                                 seed may be any string (a git SHA is");
+    println!("                                 hashed); shrunk failing cases go to DIR");
+    println!("  experiments --conform-fuzz --replay FILE");
+    println!("                                 re-check one corpus case file");
+}
+
+/// The CI conformance gate: budgeted deterministic differential fuzzing
+/// (or single-case replay) via `s2s-conform`.
+fn conform_fuzz(args: &[String]) -> Result<(), Vec<String>> {
+    let mut budget_ms: u64 = 10_000;
+    let mut seed_str = String::from("0");
+    let mut out_dir: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--budget-ms" => {
+                let v = value("--budget-ms");
+                budget_ms = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--budget-ms wants an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => seed_str = value("--seed"),
+            "--out" => out_dir = Some(value("--out")),
+            "--replay" => replay = Some(value("--replay")),
+            other => {
+                eprintln!("unknown --conform-fuzz option: {other}\n");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read case file {path}: {e}");
+            std::process::exit(2);
+        });
+        let scenario = s2s_conform::from_case(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse case file {path}: {e}");
+            std::process::exit(2);
+        });
+        let violations = s2s_conform::check_scenario(&scenario);
+        if violations.is_empty() {
+            println!("conform-fuzz replay OK: {path} (seed {})", scenario.seed);
+            return Ok(());
+        }
+        return Err(violations.iter().map(|v| format!("{path}: {v}")).collect());
+    }
+
+    let base_seed = s2s_conform::seed_from_str(&seed_str);
+    println!(
+        "conform-fuzz: seed {seed_str:?} → 0x{base_seed:016x}, budget {budget_ms} ms, \
+         floor {} scenarios",
+        s2s_conform::runner::MIN_SCENARIOS
+    );
+    let started = std::time::Instant::now();
+    let outcome = s2s_conform::runner::fuzz_with_progress(
+        base_seed,
+        budget_ms,
+        s2s_conform::runner::MIN_SCENARIOS,
+        |index, run, failures| {
+            if run % 500 == 0 {
+                println!("  … scenario #{index}: {run} run, {failures} failing");
+            }
+        },
+    );
+    println!(
+        "conform-fuzz: {} scenarios in {} ms, {} divergence(s)",
+        outcome.scenarios,
+        started.elapsed().as_millis(),
+        outcome.failures.len()
+    );
+
+    if outcome.clean() {
+        println!("conform-fuzz OK");
+        return Ok(());
+    }
+    let mut violations = Vec::new();
+    for failure in &outcome.failures {
+        let case = s2s_conform::to_case(&failure.shrunk);
+        let name = format!("shrunk-{:016x}-{}.case", base_seed, failure.index);
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create conform out dir {dir}: {e}"));
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, &case).expect("write shrunk case");
+            println!("wrote shrunk repro to {path}");
+        } else {
+            println!("shrunk repro ({name}):\n{case}");
+        }
+        for v in &failure.violations {
+            violations
+                .push(format!("scenario #{} (seed {}): {v}", failure.index, failure.shrunk.seed));
+        }
+    }
+    Err(violations)
 }
 
 fn run_experiments() {

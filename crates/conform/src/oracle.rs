@@ -1,0 +1,466 @@
+//! Differential and invariant oracles.
+//!
+//! [`check_scenario`] runs one generated scenario through every
+//! execution path and returns the list of violated oracles (empty on a
+//! healthy scenario). The oracles formalize the promises scattered
+//! through the engine's docs:
+//!
+//! * **Path equality** — serial, batched, result-cached, and pooled
+//!   N-thread execution agree on the instance set (modulo ordering)
+//!   and on the failed-attribute set.
+//! * **Stats conservation** — `tasks == answered + failed`,
+//!   `completeness == answered/tasks`, `round_trips == Σ attempts`,
+//!   `retries`/`failovers` match the per-source health report, and
+//!   cache deltas are consistent with what the query actually did.
+//! * **Zero-fault completeness** — a fault-free scenario answers at
+//!   completeness 1 with no retries, no failovers, and exactly one
+//!   wire exchange per source (batched) or per schema (serial).
+//! * **Replay** — a complete first answer is replayed from the result
+//!   cache byte-for-byte with zero round trips and zero simulated
+//!   time; a degraded answer is never admitted.
+//! * **Metamorphic relations** — see [`crate::meta`].
+//! * **Monotonicity** — on a restricted probabilistic configuration
+//!   (batched, no retry/failover, one call per endpoint per query),
+//!   completeness is non-increasing in the failure probability.
+
+use std::sync::Arc;
+
+use s2s_core::extract::{ResiliencePolicy, Strategy};
+use s2s_core::middleware::{QueryOutcome, QueryStats};
+use s2s_core::S2s;
+use s2s_netsim::SimDuration;
+
+use crate::meta;
+use crate::scenario::{BuildConfig, Scenario};
+
+/// One violated oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired (stable, kebab-case).
+    pub oracle: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(oracle: &str, detail: impl Into<String>) -> Self {
+        Violation { oracle: oracle.into(), detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Order-independent fingerprint of a query outcome: the sorted
+/// per-individual value maps plus the sorted failed `(source, attr)`
+/// set. Two outcomes with equal fingerprints are the same answer.
+pub fn fingerprint(outcome: &QueryOutcome) -> String {
+    let mut individuals: Vec<String> =
+        outcome.individuals().iter().map(|i| format!("{}|{:?}", i.source, i.values)).collect();
+    individuals.sort();
+    let mut failures: Vec<String> =
+        outcome.errors().iter().map(|e| format!("!{}|{}", e.source, e.attribute)).collect();
+    failures.sort();
+    individuals.extend(failures);
+    individuals.join("\n")
+}
+
+/// Runs every oracle over `scenario`; returns the violations found.
+pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let query = scenario.query_text();
+    let n_sources = scenario.sources.len();
+    let n_schemas = n_sources * crate::scenario::ATTRS.len();
+
+    // --- The four execution paths -----------------------------------
+    let serial = scenario.build(&BuildConfig::serial());
+    let serial_outcome = match serial.query(&query) {
+        Ok(o) => o,
+        Err(e) => {
+            violations.push(Violation::new("query-valid", format!("serial path errored: {e}")));
+            return violations;
+        }
+    };
+    check_stats(&serial_outcome, "serial", false, &mut violations);
+
+    let batched = scenario.build(&BuildConfig::batched());
+    let batched_outcome = batched.query(&query).expect("parsed on the serial path");
+    check_stats(&batched_outcome, "batched", false, &mut violations);
+
+    let replay_engine = scenario.build(&BuildConfig::replay());
+    let replay_first = replay_engine.query(&query).expect("parsed on the serial path");
+    check_stats(&replay_first, "replay-first", false, &mut violations);
+    let replay_second = replay_engine.query(&query).expect("parsed on the serial path");
+    check_replay(&replay_first, &replay_second, &mut violations);
+
+    let pooled = Arc::new(scenario.build(&BuildConfig::pooled(4)));
+    let pooled_outcomes: Vec<QueryOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let pooled = Arc::clone(&pooled);
+                let query = query.clone();
+                scope.spawn(move || pooled.query(&query).expect("parsed on the serial path"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic in client thread")).collect()
+    });
+    for (t, outcome) in pooled_outcomes.iter().enumerate() {
+        check_stats(outcome, &format!("pooled-t{t}"), true, &mut violations);
+    }
+
+    // --- Cross-path equality ----------------------------------------
+    let reference = fingerprint(&serial_outcome);
+    for (path, outcome) in
+        [("batched", &batched_outcome), ("replay-first", &replay_first)].into_iter().chain(
+            pooled_outcomes
+                .iter()
+                .enumerate()
+                .map(|(t, o)| (["pooled-t0", "pooled-t1", "pooled-t2"][t], o)),
+        )
+    {
+        if fingerprint(outcome) != reference {
+            violations.push(Violation::new(
+                "path-equality",
+                format!(
+                    "{path} diverged from serial\nserial:\n{reference}\n{path}:\n{}",
+                    fingerprint(outcome)
+                ),
+            ));
+        }
+        if (outcome.stats.completeness - serial_outcome.stats.completeness).abs() > 1e-12 {
+            violations.push(Violation::new(
+                "path-completeness",
+                format!(
+                    "{path} completeness {} != serial {}",
+                    outcome.stats.completeness, serial_outcome.stats.completeness
+                ),
+            ));
+        }
+    }
+
+    // --- Zero-fault obligations -------------------------------------
+    if scenario.fault_free() {
+        for (path, outcome) in [("serial", &serial_outcome), ("batched", &batched_outcome)] {
+            let s = &outcome.stats;
+            if s.completeness != 1.0 || s.failed_tasks != 0 {
+                violations.push(Violation::new(
+                    "zero-fault-completeness",
+                    format!(
+                        "{path}: completeness {} failed_tasks {} on a fault-free scenario",
+                        s.completeness, s.failed_tasks
+                    ),
+                ));
+            }
+            if s.retries != 0 || s.failovers != 0 {
+                violations.push(Violation::new(
+                    "zero-fault-resilience",
+                    format!(
+                        "{path}: retries {} failovers {} without faults",
+                        s.retries, s.failovers
+                    ),
+                ));
+            }
+        }
+        if batched_outcome.stats.round_trips != n_sources as u64 {
+            violations.push(Violation::new(
+                "round-trip-conservation",
+                format!(
+                    "batched fault-free round_trips {} != source count {n_sources}",
+                    batched_outcome.stats.round_trips
+                ),
+            ));
+        }
+        if serial_outcome.stats.round_trips != n_schemas as u64 {
+            violations.push(Violation::new(
+                "round-trip-conservation",
+                format!(
+                    "serial fault-free round_trips {} != schema count {n_schemas}",
+                    serial_outcome.stats.round_trips
+                ),
+            ));
+        }
+    } else if !scenario.has_hard_outage() {
+        // Rescued faults (replica failover or scheduled transients
+        // within the retry budget) must still answer completely.
+        if serial_outcome.stats.completeness != 1.0 {
+            violations.push(Violation::new(
+                "rescued-fault-completeness",
+                format!(
+                    "completeness {} though every fault is rescuable",
+                    serial_outcome.stats.completeness
+                ),
+            ));
+        }
+    }
+    if serial_outcome.stats.tasks != n_schemas {
+        violations.push(Violation::new(
+            "task-conservation",
+            format!("serial tasks {} != schemas {n_schemas}", serial_outcome.stats.tasks),
+        ));
+    }
+
+    // --- Metamorphic relations --------------------------------------
+    violations.extend(meta::check_metamorphic(scenario, &reference));
+
+    // --- Probabilistic probes (heavier; run on a slice) -------------
+    if scenario.seed.is_multiple_of(4) {
+        violations.extend(check_monotonicity(scenario));
+    }
+
+    violations
+}
+
+/// Internal-consistency invariants of one outcome's [`QueryStats`].
+/// `concurrent` relaxes the cache-delta check: the cache counters are
+/// engine-global, so a delta observed while other client threads run
+/// the same query may include their operations too.
+fn check_stats(
+    outcome: &QueryOutcome,
+    path: &str,
+    concurrent: bool,
+    violations: &mut Vec<Violation>,
+) {
+    let s: &QueryStats = &outcome.stats;
+    if s.failed_tasks != outcome.errors().len() {
+        violations.push(Violation::new(
+            "stats-failed-tasks",
+            format!("{path}: failed_tasks {} != errors {}", s.failed_tasks, outcome.errors().len()),
+        ));
+    }
+    let expected_completeness =
+        if s.tasks == 0 { 1.0 } else { (s.tasks - s.failed_tasks) as f64 / s.tasks as f64 };
+    if (s.completeness - expected_completeness).abs() > 1e-12 {
+        violations.push(Violation::new(
+            "stats-completeness",
+            format!(
+                "{path}: completeness {} != (tasks-failed)/tasks = {expected_completeness}",
+                s.completeness
+            ),
+        ));
+    }
+    let attempts: u64 = outcome.resilience.values().map(|h| h.attempts).sum();
+    if s.round_trips != attempts {
+        violations.push(Violation::new(
+            "round-trip-conservation",
+            format!("{path}: round_trips {} != Σ attempts {attempts}", s.round_trips),
+        ));
+    }
+    let retries: u64 = outcome.resilience.values().map(|h| h.retries).sum();
+    let failovers: u64 = outcome.resilience.values().map(|h| h.failovers).sum();
+    if s.retries != retries || s.failovers != failovers {
+        violations.push(Violation::new(
+            "stats-resilience",
+            format!(
+                "{path}: stats retries/failovers {}/{} != health {retries}/{failovers}",
+                s.retries, s.failovers
+            ),
+        ));
+    }
+    if s.simulated > s.simulated_serial {
+        violations.push(Violation::new(
+            "stats-simulated",
+            format!(
+                "{path}: simulated {:?} exceeds the serial bound {:?}",
+                s.simulated, s.simulated_serial
+            ),
+        ));
+    }
+    // Cache-delta consistency: exactly one plan-cache op per fresh
+    // (non-replayed) query; the extraction cache is disabled here, so
+    // its delta and the stats hit counter must both be zero.
+    if s.result_cache.hits == 0 {
+        let plan_ops = s.plan_cache.hits + s.plan_cache.misses;
+        if (concurrent && plan_ops < 1) || (!concurrent && plan_ops != 1) {
+            violations.push(Violation::new(
+                "cache-delta",
+                format!("{path}: plan cache delta hits+misses = {plan_ops}, expected 1"),
+            ));
+        }
+        if s.cache_hits != 0 || s.extraction_cache.hits != 0 {
+            violations.push(Violation::new(
+                "cache-delta",
+                format!(
+                    "{path}: extraction cache reported hits ({} / {}) while disabled",
+                    s.cache_hits, s.extraction_cache.hits
+                ),
+            ));
+        }
+    }
+}
+
+/// Result-cache replay semantics.
+fn check_replay(first: &QueryOutcome, second: &QueryOutcome, violations: &mut Vec<Violation>) {
+    let complete = first.stats.failed_tasks == 0 && first.stats.completeness >= 1.0;
+    if complete {
+        if second.stats.result_cache.hits != 1 {
+            violations.push(Violation::new(
+                "replay-admission",
+                format!(
+                    "complete answer was not replayed (hits {})",
+                    second.stats.result_cache.hits
+                ),
+            ));
+            return;
+        }
+        if second.stats.round_trips != 0 || second.stats.simulated != SimDuration::ZERO {
+            violations.push(Violation::new(
+                "replay-zero-cost",
+                format!(
+                    "replay touched the wire: round_trips {} simulated {:?}",
+                    second.stats.round_trips, second.stats.simulated
+                ),
+            ));
+        }
+        if second.stats.plan_cache.hits + second.stats.plan_cache.misses != 0 {
+            violations.push(Violation::new(
+                "replay-zero-cost",
+                "replay consulted the plan cache".to_string(),
+            ));
+        }
+        if fingerprint(second) != fingerprint(first) {
+            violations.push(Violation::new(
+                "replay-equality",
+                format!(
+                    "replayed answer differs\nfirst:\n{}\nsecond:\n{}",
+                    fingerprint(first),
+                    fingerprint(second)
+                ),
+            ));
+        }
+    } else if second.stats.result_cache.hits != 0 {
+        violations.push(Violation::new(
+            "replay-admission",
+            "degraded answer was admitted to the result cache".to_string(),
+        ));
+    }
+}
+
+/// Completeness monotonicity in failure probability, on the restricted
+/// configuration where it is per-seed provable: batched (exactly one
+/// logical call per endpoint per query), no failover, no breaker, so
+/// the per-endpoint draw sequences stay aligned across probability
+/// levels. Also re-runs the base level twice as a determinism probe.
+fn check_monotonicity(scenario: &Scenario) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut p = (scenario.seed % 80 + 10) as f64 / 100.0; // 0.10..=0.89
+    if scenario.seed.is_multiple_of(8) {
+        p = 1.0; // exercise the boundary
+    }
+    let levels = [0.0, p / 2.0, p];
+    let run = |p: f64| -> (String, f64, QueryStats) {
+        let engine = flaky_engine(scenario, p);
+        let outcome = engine.query(&scenario.query_text()).expect("query parsed");
+        (fingerprint(&outcome), outcome.stats.completeness, outcome.stats)
+    };
+    let results: Vec<(String, f64, QueryStats)> = levels.iter().map(|&p| run(p)).collect();
+    for window in results.windows(2) {
+        if window[1].1 > window[0].1 + 1e-12 {
+            violations.push(Violation::new(
+                "completeness-monotonicity",
+                format!(
+                    "completeness rose from {} to {} as failure probability increased \
+                     (levels {levels:?})",
+                    window[0].1, window[1].1
+                ),
+            ));
+        }
+    }
+    if results[0].1 != 1.0 {
+        violations.push(Violation::new(
+            "zero-fault-completeness",
+            format!("flaky(0) probe degraded: completeness {}", results[0].1),
+        ));
+    }
+    let (again_fp, _, again_stats) = run(p);
+    if again_fp != results[2].0 || again_stats.round_trips != results[2].2.round_trips {
+        violations.push(Violation::new(
+            "determinism",
+            "two identically seeded flaky runs disagreed".to_string(),
+        ));
+    }
+    violations
+}
+
+/// A deployment variant where every source is `flaky(p)` behind the
+/// scenario's endpoint seeds, under a no-retry/no-failover policy.
+fn flaky_engine(scenario: &Scenario, p: f64) -> S2s {
+    use s2s_core::source::Connection;
+    use s2s_netsim::{CostModel, FailureModel, FaultSchedule};
+
+    let records = scenario.records();
+    let mut s2s = S2s::new(crate::scenario::ontology())
+        .with_strategy(Strategy::Serial)
+        .with_batching(true)
+        .with_resilience(ResiliencePolicy::none());
+    for i in 0..scenario.sources.len() {
+        let id = format!("SRC_{i}");
+        let connection: Connection =
+            crate::scenario::connection_for(scenario.sources[i].kind, &records);
+        s2s.register_remote_source_detailed(
+            &id,
+            connection,
+            CostModel::wan(),
+            FailureModel::flaky(p),
+            Some(scenario.endpoint_seed(i)),
+            FaultSchedule::new(),
+        )
+        .expect("fresh id");
+        let spec = &scenario.sources[i];
+        let record_scenario = if spec.single_record {
+            s2s_core::mapping::RecordScenario::SingleRecord
+        } else {
+            s2s_core::mapping::RecordScenario::MultiRecord
+        };
+        for a in 0..crate::scenario::ATTRS.len() {
+            s2s.register_attribute(
+                &format!("thing.product.watch.{}", crate::scenario::ATTRS[a]),
+                crate::scenario::rule_for(spec.kind, a),
+                &id,
+                record_scenario,
+            )
+            .expect("valid by construction");
+        }
+    }
+    s2s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_scenarios_pass_every_oracle() {
+        for seed in 0..12 {
+            let scenario = Scenario::generate(seed);
+            let violations = check_scenario(&scenario);
+            assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_build_stable_and_value_sensitive() {
+        use crate::scenario::{FaultClass, SourceKindSpec, SourceSpec};
+        let scenario = Scenario {
+            seed: 3,
+            rows: 3,
+            sources: vec![SourceSpec {
+                kind: SourceKindSpec::Db,
+                single_record: false,
+                fault: FaultClass::Reliable,
+            }],
+            conditions: Vec::new(),
+        };
+        let a = scenario.build(&BuildConfig::batched());
+        let b = scenario.build(&BuildConfig::batched());
+        let fp_a = fingerprint(&a.query(&scenario.query_text()).unwrap());
+        let fp_b = fingerprint(&b.query(&scenario.query_text()).unwrap());
+        assert_eq!(fp_a, fp_b, "identical builds must fingerprint identically");
+        assert!(!fp_a.is_empty());
+        let c = scenario.build(&BuildConfig::batched());
+        let other = fingerprint(&c.query("SELECT watch WHERE price < 0").unwrap());
+        assert_ne!(fp_a, other, "different answers must fingerprint differently");
+    }
+}

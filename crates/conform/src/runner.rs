@@ -1,0 +1,150 @@
+//! The budgeted fuzz loop behind `experiments --conform-fuzz`.
+//!
+//! Scenario `i` of a run is `Scenario::generate(scramble(base_seed, i))`
+//! — a pure function of the base seed — so a failing index from CI
+//! reproduces locally with the same `--seed`. The loop always runs at
+//! least [`MIN_SCENARIOS`] scenarios, then keeps drawing fresh ones
+//! until the wall-clock budget is spent. Failures are shrunk before
+//! they are reported.
+
+use std::time::Instant;
+
+use crate::oracle::{check_scenario, Violation};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+
+/// The floor on scenarios per run regardless of budget.
+pub const MIN_SCENARIOS: usize = 200;
+
+/// Stop collecting after this many distinct failures (each one is
+/// shrunk, which is expensive).
+const MAX_FAILURES: usize = 3;
+
+/// One failing scenario, shrunk, with the violations of the shrunk
+/// form.
+#[derive(Debug, Clone)]
+pub struct FailingCase {
+    /// Index of the scenario in the run's deterministic sequence.
+    pub index: usize,
+    /// The original (unshrunk) scenario.
+    pub original: Scenario,
+    /// The minimized repro.
+    pub shrunk: Scenario,
+    /// The violations the shrunk repro still triggers.
+    pub violations: Vec<Violation>,
+}
+
+/// The result of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The base seed of the run.
+    pub base_seed: u64,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Shrunk failures (empty on a clean run).
+    pub failures: Vec<FailingCase>,
+}
+
+impl FuzzOutcome {
+    /// Whether every scenario passed every oracle.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The seed of scenario `index` under `base_seed` (SplitMix64-style
+/// scramble so neighbouring indices land far apart).
+pub fn scenario_seed(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Parses a `--seed` argument: a decimal or `0x`-prefixed integer is
+/// used as-is; anything else (e.g. a git SHA) is FNV-1a hashed, so CI
+/// can pass `--seed $GITHUB_SHA` directly.
+pub fn seed_from_str(s: &str) -> u64 {
+    if let Ok(n) = s.parse::<u64>() {
+        return n;
+    }
+    if let Some(hex) = s.strip_prefix("0x") {
+        if let Ok(n) = u64::from_str_radix(hex, 16) {
+            return n;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs the fuzz loop: at least `min_scenarios` scenarios, continuing
+/// while `budget_ms` wall-clock milliseconds remain. `progress` is
+/// called after every scenario with `(index, scenarios_run,
+/// failures_so_far)`.
+pub fn fuzz_with_progress(
+    base_seed: u64,
+    budget_ms: u64,
+    min_scenarios: usize,
+    mut progress: impl FnMut(usize, usize, usize),
+) -> FuzzOutcome {
+    let started = Instant::now();
+    let mut outcome = FuzzOutcome { base_seed, scenarios: 0, failures: Vec::new() };
+    let mut index = 0;
+    while outcome.scenarios < min_scenarios || started.elapsed().as_millis() < u128::from(budget_ms)
+    {
+        let scenario = Scenario::generate(scenario_seed(base_seed, index));
+        let violations = check_scenario(&scenario);
+        outcome.scenarios += 1;
+        if !violations.is_empty() {
+            let shrunk = shrink(&scenario, |sc| !check_scenario(sc).is_empty());
+            let violations = check_scenario(&shrunk);
+            outcome.failures.push(FailingCase { index, original: scenario, shrunk, violations });
+            if outcome.failures.len() >= MAX_FAILURES {
+                break;
+            }
+        }
+        progress(index, outcome.scenarios, outcome.failures.len());
+        index += 1;
+    }
+    outcome
+}
+
+/// [`fuzz_with_progress`] without a progress callback, with the
+/// standard [`MIN_SCENARIOS`] floor.
+pub fn fuzz(base_seed: u64, budget_ms: u64) -> FuzzOutcome {
+    fuzz_with_progress(base_seed, budget_ms, MIN_SCENARIOS, |_, _, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_sequence_is_deterministic_per_seed() {
+        let a: Vec<u64> = (0..16).map(|i| scenario_seed(7, i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| scenario_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..16).map(|i| scenario_seed(8, i)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seed_parsing_accepts_integers_and_hashes_strings() {
+        assert_eq!(seed_from_str("42"), 42);
+        assert_eq!(seed_from_str("0xff"), 255);
+        let sha = seed_from_str("59807616e1b2c3d4");
+        assert_eq!(sha, seed_from_str("59807616e1b2c3d4"), "hashing is stable");
+        assert_ne!(seed_from_str("abc"), seed_from_str("abd"));
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean_and_respects_the_floor() {
+        let outcome = fuzz_with_progress(1, 0, 8, |_, _, _| {});
+        assert_eq!(outcome.scenarios, 8, "zero budget still runs the floor");
+        assert!(outcome.clean(), "{:#?}", outcome.failures);
+    }
+}

@@ -1,0 +1,36 @@
+//! Replays every case file in `crates/conform/corpus/` through the full
+//! oracle suite. A case lands in the corpus because a fuzz run (or a
+//! hand audit) once found it interesting — usually the shrunk repro of
+//! a fixed divergence — so each one is a pinned regression test.
+
+use std::fs;
+use std::path::PathBuf;
+
+use s2s_conform::{check_scenario, from_case};
+
+#[test]
+fn corpus_cases_pass_every_oracle() {
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&corpus)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", corpus.display()))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus must contain at least one .case file");
+
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let text = fs::read_to_string(path).expect("read case file");
+        let scenario = from_case(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        println!("replaying {name} (seed {})", scenario.seed);
+        let violations = check_scenario(&scenario);
+        assert!(
+            violations.is_empty(),
+            "{name} (seed {}) regressed:\n{}",
+            scenario.seed,
+            violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+    println!("{} corpus cases replayed clean", paths.len());
+}

@@ -356,6 +356,30 @@ impl S2s {
         self.registry.write().register_remote(id, connection, cost, failure)
     }
 
+    /// Registers a remote data source with an explicit endpoint seed
+    /// and a scripted fault schedule — the deterministic-seeding hook
+    /// used by the conformance harness (`s2s-conform`) so scenario
+    /// randomness is independent of source ids. `seed: None` keeps the
+    /// default id-derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::DuplicateSource`] on id collision.
+    pub fn register_remote_source_detailed(
+        &mut self,
+        id: &str,
+        connection: Connection,
+        cost: CostModel,
+        failure: FailureModel,
+        seed: Option<u64>,
+        schedule: s2s_netsim::FaultSchedule,
+    ) -> Result<(), S2sError> {
+        self.invalidate_results();
+        self.registry
+            .write()
+            .register_remote_detailed(id, connection, cost, failure, seed, schedule)
+    }
+
     /// Registers a remote data source with replica endpoints: the
     /// primary uses `failure`, and each entry of `replicas` adds one
     /// endpoint (`"<id>#r<k>"`) serving the same data. The resilience

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use s2s_minidb::Database;
-use s2s_netsim::{CostModel, Endpoint, FailureModel};
+use s2s_netsim::{CostModel, Endpoint, FailureModel, FaultSchedule};
 use s2s_webdoc::WebStore;
 use s2s_xml::Document;
 
@@ -220,6 +220,31 @@ impl SourceRegistry {
         self.insert(id, connection, endpoint)
     }
 
+    /// Registers a remote source with full control over the endpoint's
+    /// determinism: an explicit RNG seed (`None` falls back to the
+    /// id-derived [`stable_seed`]) and a scripted [`FaultSchedule`].
+    /// This is the hook conformance tests use to vary endpoint
+    /// randomness and force faults independently of source ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::DuplicateSource`] if the id is taken.
+    pub fn register_remote_detailed(
+        &mut self,
+        id: impl Into<SourceId>,
+        connection: Connection,
+        cost: CostModel,
+        failure: FailureModel,
+        seed: Option<u64>,
+        schedule: FaultSchedule,
+    ) -> Result<(), S2sError> {
+        let id = id.into();
+        let seed = seed.unwrap_or_else(|| stable_seed(id.as_str()));
+        let endpoint =
+            Arc::new(Endpoint::new(id.as_str(), cost, failure, seed).with_schedule(schedule));
+        self.insert(id, connection, endpoint)
+    }
+
     /// Registers a remote source with replica endpoints: the primary
     /// uses `failure`, each entry of `replicas` adds one more endpoint
     /// (id `"<id>#r<k>"`, same cost model, its own failure model and
@@ -314,9 +339,11 @@ impl SourceRegistry {
     }
 }
 
-/// Deterministic seed from a source id, so endpoint behaviour is stable
-/// across runs without global state.
-pub(crate) fn stable_seed(id: &str) -> u64 {
+/// Deterministic seed from a source id (FNV-1a), so endpoint behaviour
+/// is stable across runs without global state. Public so tests and the
+/// conformance harness can log or reproduce the exact seed a
+/// registration derived.
+pub fn stable_seed(id: &str) -> u64 {
     // FNV-1a.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in id.bytes() {
@@ -405,6 +432,25 @@ mod tests {
         let ids: Vec<_> = s.endpoints().map(|e| e.id().to_string()).collect();
         assert_eq!(ids, ["DB", "DB#r1", "DB#r2"]);
         assert!(s.endpoints().all(|e| e.cost_model() == &CostModel::wan()));
+    }
+
+    #[test]
+    fn detailed_registration_controls_seed_and_schedule() {
+        use s2s_netsim::FaultKind;
+        let mut r = SourceRegistry::new();
+        r.register_remote_detailed(
+            "D",
+            db_conn(),
+            CostModel::lan(),
+            FailureModel::reliable(),
+            Some(99),
+            FaultSchedule::new().fail_call(0, FaultKind::Unreachable),
+        )
+        .unwrap();
+        let ep = r.get(&"D".into()).unwrap().endpoint();
+        assert_eq!(ep.schedule().len(), 1);
+        assert!(ep.invoke(1, || ()).is_err(), "call 0 is scheduled to fail");
+        assert!(ep.invoke(1, || ()).is_ok());
     }
 
     #[test]

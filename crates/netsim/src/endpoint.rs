@@ -1,5 +1,7 @@
 //! Remote endpoints: cost accounting plus failure injection.
 
+use std::collections::BTreeMap;
+
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +61,70 @@ fn clamp_probability(p: f64) -> f64 {
     }
 }
 
+/// The fault a scheduled entry forces on one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The call finds the endpoint down (costs one base RTT).
+    Unreachable,
+    /// The call times out (costs the failure model's timeout).
+    Timeout,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Unreachable => "unreachable",
+            FaultKind::Timeout => "timeout",
+        })
+    }
+}
+
+/// A scripted fault schedule: selected call indices (0-based, counted
+/// per endpoint) fail with a forced [`FaultKind`], overriding the
+/// probabilistic [`FailureModel`] draws for exactly those calls.
+///
+/// A scheduled call still consumes the endpoint's three RNG draws, so
+/// adding or removing scheduled faults never shifts the jitter/failure
+/// stream of the surrounding calls — the property differential tests
+/// rely on when comparing execution paths call-for-call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (purely probabilistic behaviour).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Forces call number `index` (0-based) to fail with `kind`.
+    pub fn fail_call(mut self, index: u64, kind: FaultKind) -> Self {
+        self.faults.insert(index, kind);
+        self
+    }
+
+    /// The forced fault for call `index`, if any.
+    pub fn get(&self, index: u64) -> Option<FaultKind> {
+        self.faults.get(&index).copied()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule forces no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over `(call_index, kind)` entries in call order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, FaultKind)> + '_ {
+        self.faults.iter().map(|(i, k)| (*i, *k))
+    }
+}
+
 /// Per-endpoint counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EndpointStats {
@@ -103,6 +169,7 @@ pub struct Endpoint {
     id: String,
     cost: CostModel,
     failure: FailureModel,
+    schedule: FaultSchedule,
     rng: Mutex<StdRng>,
     stats: Mutex<EndpointStats>,
 }
@@ -114,9 +181,23 @@ impl Endpoint {
             id: id.into(),
             cost,
             failure,
+            schedule: FaultSchedule::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stats: Mutex::new(EndpointStats::default()),
         }
+    }
+
+    /// Attaches a scripted fault schedule. Scheduled calls fail with
+    /// the forced kind regardless of the probabilistic model; their RNG
+    /// draws are still consumed so the surrounding stream is unshifted.
+    pub fn with_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The scripted fault schedule (empty unless configured).
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
     }
 
     /// The endpoint id.
@@ -151,8 +232,10 @@ impl Endpoint {
             (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>())
         };
         let mut stats = self.stats.lock();
+        let call_index = stats.calls;
         stats.calls += 1;
-        if u_draw < self.failure.p_unreachable {
+        let forced = self.schedule.get(call_index);
+        if forced == Some(FaultKind::Unreachable) || u_draw < self.failure.p_unreachable {
             stats.failures += 1;
             // A refused connection costs one base RTT.
             stats.total_time += self.cost.base;
@@ -161,7 +244,7 @@ impl Endpoint {
             self.cost.pace(self.cost.base);
             return Err(NetError::Unreachable { endpoint: self.id.clone() });
         }
-        if t_draw < self.failure.p_timeout {
+        if forced == Some(FaultKind::Timeout) || t_draw < self.failure.p_timeout {
             stats.failures += 1;
             stats.total_time += self.failure.timeout;
             drop(stats);
@@ -306,6 +389,36 @@ mod tests {
         let mut ran = false;
         let _ = ep.invoke(0, || ran = true);
         assert!(!ran);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_their_call_index() {
+        let schedule = FaultSchedule::new()
+            .fail_call(0, FaultKind::Unreachable)
+            .fail_call(2, FaultKind::Timeout);
+        let ep = Endpoint::new("a", CostModel::lan(), FailureModel::reliable(), 7)
+            .with_schedule(schedule);
+        assert!(matches!(ep.invoke(1, || ()), Err(NetError::Unreachable { .. })));
+        assert!(ep.invoke(1, || ()).is_ok());
+        assert!(matches!(ep.invoke(1, || ()), Err(NetError::Timeout { .. })));
+        assert!(ep.invoke(1, || ()).is_ok());
+        assert_eq!(ep.stats().failures, 2);
+    }
+
+    #[test]
+    fn scheduled_faults_do_not_shift_the_rng_stream() {
+        // The same endpoint with and without a scheduled fault must
+        // produce identical jitter on the calls the schedule spares.
+        let elapsed = |schedule: FaultSchedule| {
+            let ep = Endpoint::new("a", CostModel::wan(), FailureModel::reliable(), 11)
+                .with_schedule(schedule);
+            (0..6).filter_map(|_| ep.invoke(64, || ()).ok().map(|r| r.elapsed)).collect::<Vec<_>>()
+        };
+        let clean = elapsed(FaultSchedule::new());
+        let faulted = elapsed(FaultSchedule::new().fail_call(2, FaultKind::Unreachable));
+        assert_eq!(faulted.len(), 5);
+        assert_eq!(faulted[..2], clean[..2]);
+        assert_eq!(faulted[2..], clean[3..]);
     }
 
     #[test]

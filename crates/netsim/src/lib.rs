@@ -43,7 +43,7 @@ pub mod wire;
 
 pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use cost::{CostModel, SimDuration};
-pub use endpoint::{Endpoint, EndpointStats, FailureModel, RemoteCall};
+pub use endpoint::{Endpoint, EndpointStats, FailureModel, FaultKind, FaultSchedule, RemoteCall};
 pub use error::NetError;
 pub use pool::{PoolStats, WorkerPool};
 pub use retry::{invoke_with_retry, RetryOutcome, RetryPolicy};

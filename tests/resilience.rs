@@ -11,10 +11,12 @@ use std::sync::Arc;
 use s2s_core::error::FailureClass;
 use s2s_core::instance::OutputFormat;
 use s2s_core::mapping::{ExtractionRule, RecordScenario};
-use s2s_core::source::Connection;
+use s2s_core::source::{stable_seed, Connection};
 use s2s_core::{ResiliencePolicy, S2s, S2sError};
 use s2s_minidb::Database;
-use s2s_netsim::{BreakerConfig, BreakerState, CostModel, FailureModel, RetryPolicy, SimDuration};
+use s2s_netsim::{
+    BreakerConfig, BreakerState, CostModel, FailureModel, FaultSchedule, RetryPolicy, SimDuration,
+};
 use s2s_owl::Ontology;
 
 fn ontology() -> Ontology {
@@ -38,18 +40,27 @@ fn brand_rule() -> ExtractionRule {
     ExtractionRule::Sql { query: "SELECT brand FROM t".into(), column: "brand".into() }
 }
 
-/// Eight remote sources, each `flaky(0.3)`. With these ids the seeded
+/// Eight remote sources, each `flaky(0.3)`. With these seeds the
 /// failure streams are such that exactly one source (`SRC_0`) fails its
 /// first call and every source succeeds within three attempts.
+///
+/// The endpoint seeds are passed explicitly and logged (seeding
+/// convention, DESIGN.md §4g): the values equal the id-derived default
+/// `stable_seed(id)`, so behaviour is identical to earlier revisions,
+/// but a failing run's output now names the exact RNG streams.
 fn flaky_fleet(policy: ResiliencePolicy) -> S2s {
     let mut s2s = S2s::new(ontology()).with_resilience(policy);
     for i in 0..8 {
         let id = format!("SRC_{i}");
-        s2s.register_remote_source(
+        let seed = stable_seed(&id);
+        println!("endpoint {id}: seed 0x{seed:016x} (flaky 0.3)");
+        s2s.register_remote_source_detailed(
             &id,
             brand_db(&format!("B{i}")),
             CostModel::lan(),
             FailureModel::flaky(0.3),
+            Some(seed),
+            FaultSchedule::new(),
         )
         .unwrap();
         s2s.register_attribute(

@@ -45,6 +45,7 @@ pub mod test_runner {
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
+    seed: u64,
 }
 
 impl TestRng {
@@ -56,7 +57,18 @@ impl TestRng {
             seed ^= u64::from(b);
             seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { state: seed }
+        TestRng::from_seed(seed)
+    }
+
+    /// Seeds a generator from an explicit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed, seed }
+    }
+
+    /// The seed this generator started from (for logging, so every
+    /// property-test run names its RNG stream).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Next 64 uniform bits.
@@ -599,6 +611,15 @@ macro_rules! proptest {
             fn $name() {
                 let mut __proptest_rng = $crate::TestRng::for_test(stringify!($name));
                 let __proptest_cases = $crate::cases();
+                // Seeding convention: every randomized test logs its
+                // seed up front so a failure report names the exact
+                // RNG stream to replay.
+                println!(
+                    "proptest {}: seed 0x{:016x}, {} cases",
+                    stringify!($name),
+                    __proptest_rng.seed(),
+                    __proptest_cases,
+                );
                 for __proptest_case in 0..__proptest_cases {
                     $(let $arg = $crate::Strategy::generate(&($strategy), &mut __proptest_rng);)+
                     let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
@@ -608,7 +629,13 @@ macro_rules! proptest {
                             ::std::result::Result::Ok(())
                         })();
                     if let ::std::result::Result::Err(e) = __proptest_result {
-                        panic!("case {}/{} failed: {}", __proptest_case + 1, __proptest_cases, e);
+                        panic!(
+                            "case {}/{} (seed 0x{:016x}) failed: {}",
+                            __proptest_case + 1,
+                            __proptest_cases,
+                            __proptest_rng.seed(),
+                            e,
+                        );
                     }
                 }
             }
