@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p s2s-bench --bin experiments`
 //!
-//! Each section prints the id (E1–E13), the parameters swept, and the
+//! Each section prints the id (E1–E14), the parameters swept, and the
 //! measured values (wall-clock for CPU work, simulated time for network
 //! behaviour, plus counts/correctness indicators).
 //!
@@ -20,6 +20,13 @@
 //!   (4 clients × 16 queries on one shared engine); writes `e13.json`
 //!   into `<dir>` and exits non-zero on any cross-thread result
 //!   mismatch or zero throughput (the CI concurrency gate).
+//! * `--overload-smoke <dir>` — open-loop overload run at 1× and 4×
+//!   capacity with admission control + deadline budgets, plus an
+//!   unprotected 4× baseline; writes `e14.json` into `<dir>` and exits
+//!   non-zero if shedding fails to bound p99 within the deadline
+//!   budget, if goodput collapses below the unprotected baseline, or
+//!   if the unprotected baseline fails to melt down (the CI overload
+//!   gate).
 //! * `--conform-fuzz` — deterministic differential fuzzing: generated
 //!   scenarios run through the serial, batched, replay, and pooled
 //!   execution paths and every oracle in `s2s-conform`. Options:
@@ -74,6 +81,19 @@ fn main() {
             }
             println!("throughput-smoke OK");
         }
+        Some("--overload-smoke") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--overload-smoke requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = overload_smoke(dir) {
+                for v in &violations {
+                    eprintln!("overload-smoke FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("overload-smoke OK");
+        }
         Some("--conform-fuzz") => {
             if let Err(violations) = conform_fuzz(&args[1..]) {
                 for v in &violations {
@@ -95,7 +115,7 @@ fn usage() {
     println!("experiments — S2S experiment harness and observability driver");
     println!();
     println!("USAGE:");
-    println!("  experiments                    run the full E1–E13 experiment suite");
+    println!("  experiments                    run the full E1–E14 experiment suite");
     println!("  experiments --trace            print span trees + JSONL for a healthy");
     println!("                                 and a degraded (breaker-open) query");
     println!("  experiments --metrics          print a Prometheus-style metrics");
@@ -107,6 +127,12 @@ fn usage() {
     println!("                                 4 clients × 16 queries on one shared");
     println!("                                 engine; writes e13.json into DIR; fails");
     println!("                                 on result mismatch or zero throughput");
+    println!("  experiments --overload-smoke DIR");
+    println!("                                 open-loop overload at 1× and 4× capacity");
+    println!("                                 with shedding on, plus an unprotected 4×");
+    println!("                                 baseline; writes e14.json into DIR; fails");
+    println!("                                 if shedding does not bound p99 or goodput");
+    println!("                                 collapses below the unprotected baseline");
     println!("  experiments --conform-fuzz [--budget-ms N] [--seed S] [--out DIR]");
     println!("                                 differential fuzzing across the serial,");
     println!("                                 batched, replay, and pooled paths; the");
@@ -232,6 +258,7 @@ fn run_experiments() {
     e11();
     e12();
     e13();
+    e14();
 }
 
 /// A deployment where one of two sources is hard-down and the breaker
@@ -446,6 +473,131 @@ fn throughput_smoke(dir: &str) -> Result<(), Vec<String>> {
         Ok(())
     } else {
         Err(violations)
+    }
+}
+
+/// E14 pacing: same order as E13 so service times are long enough for
+/// genuine queuing but a full sweep stays in seconds.
+const E14_PACE: u64 = 150;
+
+/// The E14 tenant mix: two well-behaved tenants and one misbehaving
+/// neighbour submitting 60% of the traffic.
+fn e14_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec { name: "acme", share: 1 },
+        TenantSpec { name: "beta", share: 1 },
+        TenantSpec { name: "mallory", share: 3 },
+    ]
+}
+
+fn e14_config(load: f64, shedding: bool, window_ms: u64) -> OverloadConfig {
+    OverloadConfig {
+        load,
+        window: std::time::Duration::from_millis(window_ms),
+        deadline: SimDuration::from_millis(150),
+        // One more permit than the pool strictly fits (3 queries × 4
+        // tasks > 8 workers) keeps the workers saturated while a
+        // permit turns over, so admitted goodput tracks pool capacity.
+        permits: 3,
+        shedding,
+        tenants: e14_tenants(),
+    }
+}
+
+/// The CI overload gate: a short open-loop sweep proving that admission
+/// control + deadline budgets keep tail latency bounded and goodput
+/// near capacity at 4× load, while the unprotected engine's queue melts
+/// down. Writes `e14.json` into `dir`.
+fn overload_smoke(dir: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    let shed_1x = run_overload(&e14_config(1.0, true, 250), E14_PACE, 8);
+    let shed_4x = run_overload(&e14_config(4.0, true, 250), E14_PACE, 8);
+    let open_4x = run_overload(&e14_config(4.0, false, 250), E14_PACE, 8);
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create overload-smoke dir {dir}: {e}"));
+    let json_path = format!("{dir}/e14.json");
+    let json =
+        format!("{{\"runs\":[{},{},{}]}}", shed_1x.to_json(), shed_4x.to_json(), open_4x.to_json());
+    std::fs::write(&json_path, json).expect("write e14.json");
+
+    // The deadline budget, read as a wall bound: simulated time is
+    // paced well below real time, so a served query that stayed within
+    // its simulated budget has an order of magnitude of slack here.
+    let budget_ms = 150.0;
+    if shed_4x.served == 0 {
+        violations.push("shedding run served no queries at 4× load".to_string());
+    }
+    if shed_4x.shed == 0 {
+        violations.push("no query was shed at 4× load".to_string());
+    }
+    if shed_4x.p99_ms > budget_ms {
+        violations.push(format!(
+            "shed-enabled p99 {:.1} ms exceeds the {budget_ms:.0} ms deadline budget",
+            shed_4x.p99_ms
+        ));
+    }
+    if shed_4x.goodput_qps < 0.7 * open_4x.goodput_qps {
+        violations.push(format!(
+            "goodput collapsed below the unprotected baseline: {:.0} vs {:.0} queries/sec",
+            shed_4x.goodput_qps, open_4x.goodput_qps
+        ));
+    }
+    if open_4x.p99_ms < 1.5 * shed_4x.p99_ms {
+        violations.push(format!(
+            "unprotected baseline did not melt down: p99 {:.1} ms vs {:.1} ms with shedding",
+            open_4x.p99_ms, shed_4x.p99_ms
+        ));
+    }
+
+    println!(
+        "overload-smoke: 4× load → shed-on p99 {:.1} ms / goodput {:.0} qps \
+         ({} served, {} shed), unprotected p99 {:.1} ms → {json_path}",
+        shed_4x.p99_ms, shed_4x.goodput_qps, shed_4x.served, shed_4x.shed, open_4x.p99_ms,
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn e14() {
+    header("E14", "overload: open-loop arrival sweep, shedding + budgets vs unprotected");
+    println!(
+        "{:>6} {:>5} {:>9} {:>7} {:>6} {:>5} {:>9} {:>9} {:>9} {:>10}",
+        "load", "shed", "arrivals", "served", "shed#", "degr", "p50", "p99", "goodput", "peakqueue"
+    );
+    let mut fair: Option<OverloadReport> = None;
+    for shedding in [false, true] {
+        for load in [0.5, 1.0, 2.0, 4.0] {
+            let report = run_overload(&e14_config(load, shedding, 300), E14_PACE, 8);
+            println!(
+                "{:>5.1}x {:>5} {:>9} {:>7} {:>6} {:>5} {:>7.1}ms {:>7.1}ms {:>6.0}qps {:>10}",
+                report.load,
+                if report.shedding { "on" } else { "off" },
+                report.arrivals,
+                report.served,
+                report.shed,
+                report.degraded,
+                report.p50_ms,
+                report.p99_ms,
+                report.goodput_qps,
+                report.peak_queued,
+            );
+            if shedding && load == 4.0 {
+                fair = Some(report);
+            }
+        }
+    }
+    if let Some(report) = fair {
+        let parts: Vec<String> = report
+            .tenants
+            .iter()
+            .map(|(name, t)| format!("{name}: {}/{} served, {} shed", t.served, t.arrivals, t.shed))
+            .collect();
+        println!("  tenant fairness at 4× with shedding: {}", parts.join("  "));
     }
 }
 

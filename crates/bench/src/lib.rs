@@ -14,9 +14,9 @@ use rand::{Rng, SeedableRng};
 use s2s_core::extract::Strategy;
 use s2s_core::mapping::{ExtractionRule, RecordScenario};
 use s2s_core::source::Connection;
-use s2s_core::S2s;
+use s2s_core::{QueryOptions, S2s};
 use s2s_minidb::Database;
-use s2s_netsim::{CostModel, FailureModel};
+use s2s_netsim::{AdmissionConfig, CostModel, FailureModel, SimDuration};
 use s2s_owl::Ontology;
 use s2s_webdoc::WebStore;
 use s2s_xml::Document;
@@ -617,6 +617,259 @@ pub fn run_throughput(
     }
 }
 
+// ---------------------------------------------------------------------
+// Open-loop overload harness (E14).
+// ---------------------------------------------------------------------
+
+/// One tenant of an overload run: a name and its share of arrivals
+/// (weights, not percentages — shares `[1, 1, 3]` give the third
+/// tenant 60% of the traffic, the classic misbehaving neighbour).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name, passed through [`QueryOptions::with_tenant`].
+    pub name: &'static str,
+    /// Arrival-share weight relative to the other tenants.
+    pub share: u32,
+}
+
+/// Parameters of one open-loop overload run: arrivals are scheduled at
+/// a fixed rate (a multiple of the engine's calibrated capacity) and
+/// issued whether or not earlier queries have finished — the arrival
+/// process never waits on the service process, which is what lets an
+/// unprotected engine melt down.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Arrival rate as a multiple of calibrated capacity.
+    pub load: f64,
+    /// Wall-clock length of the arrival window.
+    pub window: std::time::Duration,
+    /// Per-query deadline budget (simulated time) when shedding is on.
+    pub deadline: SimDuration,
+    /// Admission permits when shedding is on.
+    pub permits: usize,
+    /// Whether admission control + deadline budgets are enabled.
+    pub shedding: bool,
+    /// The tenants and their arrival shares.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// Per-tenant outcome counts of one overload run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantOutcome {
+    /// Queries this tenant submitted.
+    pub arrivals: usize,
+    /// Complete answers returned.
+    pub served: usize,
+    /// Queries refused at arrival.
+    pub shed: usize,
+}
+
+/// What one overload run measured.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Arrival-rate multiple of capacity.
+    pub load: f64,
+    /// Whether admission control + budgets were enabled.
+    pub shedding: bool,
+    /// Calibrated capacity estimate, queries/sec.
+    pub capacity_qps: f64,
+    /// Total arrivals issued.
+    pub arrivals: usize,
+    /// Complete answers (not shed, completeness 1.0).
+    pub served: usize,
+    /// Queries refused at arrival.
+    pub shed: usize,
+    /// Answers returned degraded (not shed, completeness < 1.0).
+    pub degraded: usize,
+    /// Median wall latency of served queries, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile wall latency of served queries, milliseconds.
+    pub p99_ms: f64,
+    /// Served queries per second of whole-run wall time (arrival
+    /// window plus drain).
+    pub goodput_qps: f64,
+    /// Whole-run wall time.
+    pub wall: std::time::Duration,
+    /// Peak admission queue depth (0 with shedding off).
+    pub peak_queued: usize,
+    /// Per-tenant outcome counts, in [`OverloadConfig::tenants`] order.
+    pub tenants: Vec<(String, TenantOutcome)>,
+}
+
+impl OverloadReport {
+    /// Renders the report as one JSON object (same dependency-free
+    /// style as [`ThroughputReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                format!(
+                    "{{\"name\":\"{}\",\"arrivals\":{},\"served\":{},\"shed\":{}}}",
+                    name, t.arrivals, t.served, t.shed
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"load\":{},\"shedding\":{},\"capacity_qps\":{:.1},",
+                "\"arrivals\":{},\"served\":{},\"shed\":{},\"degraded\":{},",
+                "\"p50_ms\":{:.2},\"p99_ms\":{:.2},\"goodput_qps\":{:.1},",
+                "\"wall_ms\":{},\"peak_queued\":{},\"tenants\":[{}]}}"
+            ),
+            self.load,
+            self.shedding,
+            self.capacity_qps,
+            self.arrivals,
+            self.served,
+            self.shed,
+            self.degraded,
+            self.p50_ms,
+            self.p99_ms,
+            self.goodput_qps,
+            self.wall.as_millis(),
+            self.peak_queued,
+            tenants.join(","),
+        )
+    }
+}
+
+/// Runs one open-loop overload experiment.
+///
+/// The engine is the paced four-source WAN deployment of E13 behind a
+/// `workers`-thread pool. Capacity is calibrated from three isolated
+/// queries (median wall time, `permits` concurrent), then `load ×
+/// capacity × window` arrivals are scheduled at fixed intervals across
+/// the tenants by smooth weighted round-robin. Every arrival runs on
+/// its own thread whether or not earlier queries have finished. Each
+/// query text is distinct, so no cache shortcuts the wire.
+pub fn run_overload(
+    cfg: &OverloadConfig,
+    pace_us_per_sim_ms: u64,
+    workers: usize,
+) -> OverloadReport {
+    let mut engine =
+        deploy_paced(12, 42, pace_us_per_sim_ms, Strategy::Parallel { workers }, false);
+
+    // Calibrate: median wall time and worst simulated cost of three
+    // isolated queries (before admission is installed, so the probe
+    // sees the raw service path).
+    let mut walls = Vec::new();
+    let mut sim = SimDuration::ZERO;
+    for i in 0..3 {
+        let text = format!("SELECT watch WHERE price > {}", 900 + i);
+        let (outcome, wall) = time(|| engine.query(&text).expect("calibration query"));
+        walls.push(wall);
+        sim = sim.max(outcome.stats.simulated);
+    }
+    walls.sort();
+    let service = walls[1];
+    let capacity_qps = cfg.permits as f64 / service.as_secs_f64().max(1e-6);
+
+    if cfg.shedding {
+        engine = engine.with_admission(
+            AdmissionConfig::with_permits(cfg.permits)
+                .with_capacity(cfg.permits * 2)
+                .with_service_estimate(sim.max(SimDuration::from_millis(1))),
+        );
+    }
+
+    let rate = cfg.load * capacity_qps;
+    let arrivals = ((cfg.window.as_secs_f64() * rate).round() as usize).clamp(12, 400);
+    let interval = std::time::Duration::from_secs_f64(1.0 / rate);
+
+    // Smooth weighted round-robin tenant assignment: deterministic,
+    // and it interleaves the heavy tenant instead of bursting it.
+    let total_share: i64 = cfg.tenants.iter().map(|t| i64::from(t.share)).sum();
+    let mut credits: Vec<i64> = vec![0; cfg.tenants.len()];
+    let assign: Vec<usize> = (0..arrivals)
+        .map(|_| {
+            for (c, t) in credits.iter_mut().zip(&cfg.tenants) {
+                *c += i64::from(t.share);
+            }
+            let k = (0..credits.len()).max_by_key(|&k| credits[k]).expect("tenants non-empty");
+            credits[k] -= total_share;
+            k
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let results: Vec<(usize, std::time::Duration, bool, f64)> = std::thread::scope(|scope| {
+        let engine = &engine;
+        let handles: Vec<_> = (0..arrivals)
+            .map(|i| {
+                let tenant = cfg.tenants[assign[i]].name;
+                let k = assign[i];
+                let deadline = cfg.shedding.then_some(cfg.deadline);
+                scope.spawn(move || {
+                    let due = started + interval.mul_f64(i as f64);
+                    if let Some(wait) = due.checked_duration_since(std::time::Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let text = format!("SELECT watch WHERE price < {}", 30 + i);
+                    let mut opts = QueryOptions::default().with_tenant(tenant);
+                    if let Some(d) = deadline {
+                        opts = opts.with_deadline(d);
+                    }
+                    let q = std::time::Instant::now();
+                    let outcome = engine.query_with_options(&text, &opts).expect("overload query");
+                    (k, q.elapsed(), outcome.stats.shed, outcome.stats.completeness)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("arrival thread")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut tenants: Vec<(String, TenantOutcome)> =
+        cfg.tenants.iter().map(|t| (t.name.to_string(), TenantOutcome::default())).collect();
+    let mut served_latencies: Vec<std::time::Duration> = Vec::new();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut degraded = 0usize;
+    for (k, latency, was_shed, completeness) in &results {
+        let t = &mut tenants[*k].1;
+        t.arrivals += 1;
+        if *was_shed {
+            shed += 1;
+            t.shed += 1;
+        } else if *completeness >= 1.0 {
+            served += 1;
+            t.served += 1;
+            served_latencies.push(*latency);
+        } else {
+            degraded += 1;
+        }
+    }
+    served_latencies.sort_unstable();
+    let pct = |p: usize| -> f64 {
+        if served_latencies.is_empty() {
+            0.0
+        } else {
+            served_latencies[(served_latencies.len() - 1) * p / 100].as_secs_f64() * 1e3
+        }
+    };
+    OverloadReport {
+        load: cfg.load,
+        shedding: cfg.shedding,
+        capacity_qps,
+        arrivals,
+        served,
+        shed,
+        degraded,
+        p50_ms: pct(50),
+        p99_ms: pct(99),
+        goodput_qps: if wall.as_secs_f64() > 0.0 {
+            served as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        wall,
+        peak_queued: engine.admission_stats().map_or(0, |s| s.peak_queued),
+        tenants,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -729,6 +982,35 @@ mod tests {
         // is still extracting (no request coalescing), so allow a few
         // extra misses beyond the 4 cold ones.
         assert!(report.result_cache.hits >= 8, "{:?}", report.result_cache);
+    }
+
+    #[test]
+    fn overload_harness_sheds_under_pressure_and_not_at_idle() {
+        let tenants =
+            vec![TenantSpec { name: "calm", share: 1 }, TenantSpec { name: "noisy", share: 3 }];
+        let overloaded = OverloadConfig {
+            load: 4.0,
+            window: std::time::Duration::from_millis(120),
+            deadline: SimDuration::from_millis(150),
+            permits: 2,
+            shedding: true,
+            tenants: tenants.clone(),
+        };
+        let report = run_overload(&overloaded, 60, 8);
+        assert_eq!(report.arrivals, report.served + report.shed + report.degraded);
+        assert!(report.shed > 0, "4x load never shed: {report:?}");
+        assert!(report.served > 0, "4x load served nothing: {report:?}");
+        let by_tenant: usize = report.tenants.iter().map(|(_, t)| t.arrivals).sum();
+        assert_eq!(by_tenant, report.arrivals);
+        // The noisy tenant sends 3x the traffic, so it absorbs the
+        // bulk of the shedding.
+        assert!(report.tenants[1].1.shed > report.tenants[0].1.shed, "{report:?}");
+
+        let idle = OverloadConfig { load: 0.5, shedding: false, ..overloaded };
+        let report = run_overload(&idle, 60, 8);
+        assert_eq!(report.shed, 0, "unprotected run cannot shed: {report:?}");
+        assert_eq!(report.peak_queued, 0);
+        assert_eq!(report.served, report.arrivals, "{report:?}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! source = db reliable
 //! source = xml single harddown
 //! source = text transient 0:unreachable 2:timeout
+//! source = web hedged 1:timeout
 //! cond = price < 100
 //! cond = brand LIKE s%
 //! ```
@@ -43,6 +44,12 @@ pub fn to_case(scenario: &Scenario) -> String {
             FaultClass::HardDownWithReplica => out.push_str(" replica"),
             FaultClass::Transient(faults) => {
                 out.push_str(" transient");
+                for (index, kind) in faults {
+                    out.push_str(&format!(" {index}:{kind}"));
+                }
+            }
+            FaultClass::TransientWithReplica(faults) => {
+                out.push_str(" hedged");
                 for (index, kind) in faults {
                     out.push_str(&format!(" {index}:{kind}"));
                 }
@@ -125,27 +132,33 @@ fn parse_source(value: &str, lineno: usize) -> Result<SourceSpec, String> {
         Some((&"harddown", [])) => fault = FaultClass::HardDown,
         Some((&"replica", [])) => fault = FaultClass::HardDownWithReplica,
         Some((&"transient", entries)) if !entries.is_empty() => {
-            let mut faults = Vec::new();
-            for entry in entries {
-                let (index, kind) = entry
-                    .split_once(':')
-                    .ok_or_else(|| format!("line {lineno}: bad fault entry {entry:?}"))?;
-                let index: u64 = index
-                    .parse()
-                    .map_err(|e| format!("line {lineno}: bad fault index {index:?}: {e}"))?;
-                let kind = match kind {
-                    "unreachable" => FaultKind::Unreachable,
-                    "timeout" => FaultKind::Timeout,
-                    other => return Err(format!("line {lineno}: unknown fault kind {other:?}")),
-                };
-                faults.push((index, kind));
-            }
-            faults.sort();
-            fault = FaultClass::Transient(faults);
+            fault = FaultClass::Transient(parse_faults(entries, lineno)?);
+        }
+        Some((&"hedged", entries)) => {
+            fault = FaultClass::TransientWithReplica(parse_faults(entries, lineno)?);
         }
         Some(_) => return Err(format!("line {lineno}: bad fault class in {value:?}")),
     }
     Ok(SourceSpec { kind, single_record, fault })
+}
+
+fn parse_faults(entries: &[&str], lineno: usize) -> Result<Vec<(u64, FaultKind)>, String> {
+    let mut faults = Vec::new();
+    for entry in entries {
+        let (index, kind) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("line {lineno}: bad fault entry {entry:?}"))?;
+        let index: u64 =
+            index.parse().map_err(|e| format!("line {lineno}: bad fault index {index:?}: {e}"))?;
+        let kind = match kind {
+            "unreachable" => FaultKind::Unreachable,
+            "timeout" => FaultKind::Timeout,
+            other => return Err(format!("line {lineno}: unknown fault kind {other:?}")),
+        };
+        faults.push((index, kind));
+    }
+    faults.sort();
+    Ok(faults)
 }
 
 fn parse_condition(value: &str, lineno: usize) -> Result<Condition, String> {

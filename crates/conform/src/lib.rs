@@ -20,7 +20,7 @@
 //! * [`meta`] — metamorphic rewrites (S2SQL spelling variants,
 //!   condition reordering, source/attribute registration permutation)
 //!   that must not change answers,
-//! * [`shrink`] — a greedy minimizer reducing a failing scenario to a
+//! * [`shrink`](mod@shrink) — a greedy minimizer reducing a failing scenario to a
 //!   small repro,
 //! * [`case`] — self-contained text case files for repros, replayed
 //!   from `crates/conform/corpus/` by `cargo test`,

@@ -22,13 +22,20 @@
 //! * **Monotonicity** — on a restricted probabilistic configuration
 //!   (batched, no retry/failover, one call per endpoint per query),
 //!   completeness is non-increasing in the failure probability.
+//! * **Overload honesty** — under admission control, deadline
+//!   budgets, and hedged dispatch, every returned instance also
+//!   appears in the unconstrained answer, completeness stays
+//!   consistent with what was shed or cut off, shed queries touch
+//!   neither the wire nor the caches, and a fixed seed reproduces the
+//!   degraded run exactly.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use s2s_core::extract::{ResiliencePolicy, Strategy};
 use s2s_core::middleware::{QueryOutcome, QueryStats};
-use s2s_core::S2s;
-use s2s_netsim::SimDuration;
+use s2s_core::{QueryOptions, S2s};
+use s2s_netsim::{AdmissionConfig, HedgeConfig, RetryPolicy, SimDuration};
 
 use crate::meta;
 use crate::scenario::{BuildConfig, Scenario};
@@ -210,6 +217,9 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
         violations.extend(check_monotonicity(scenario));
     }
 
+    // --- Overload honesty -------------------------------------------
+    violations.extend(check_overload(scenario, &batched_outcome));
+
     violations
 }
 
@@ -381,6 +391,176 @@ fn check_monotonicity(scenario: &Scenario) -> Vec<Violation> {
             "two identically seeded flaky runs disagreed".to_string(),
         ));
     }
+    violations
+}
+
+/// The sorted per-individual value lines of an answer, without the
+/// failure set — the unit of the overload subset comparison.
+fn instance_lines(outcome: &QueryOutcome) -> BTreeSet<String> {
+    outcome.individuals().iter().map(|i| format!("{}|{:?}", i.source, i.values)).collect()
+}
+
+/// Overload honesty: admission control, deadline budgets, and hedged
+/// dispatch may only *remove* answers, never invent or corrupt them.
+///
+/// Three arms, each compared against the unconstrained batched answer:
+///
+/// * **shed** — with the single permit held by another tenant, a
+///   budgeted query is refused at arrival: empty honest answer, zero
+///   round trips, no cache writes; once the permit frees, the same
+///   engine answers in full.
+/// * **deadline** — a seed-derived budget cuts the query off
+///   mid-flight: the instances are a subset of the full answer,
+///   completeness is consistent (and no higher than unconstrained),
+///   and a second identically configured run reproduces the first.
+/// * **hedge** — racing replicas against stragglers must not change
+///   the answer at all, and `hedge_wins ≤ hedges` always.
+fn check_overload(scenario: &Scenario, baseline: &QueryOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let query = scenario.query_text();
+    let full = instance_lines(baseline);
+    let full_fp = fingerprint(baseline);
+
+    // --- Shed arm ----------------------------------------------------
+    let engine = scenario.build(&BuildConfig::batched()).with_admission(
+        AdmissionConfig::with_permits(1).with_service_estimate(SimDuration::from_millis(20)),
+    );
+    {
+        let controller = engine.admission().expect("admission was just configured");
+        let hog = controller.admit("hog", None, false).expect("first permit is free");
+        let opts =
+            QueryOptions::default().with_tenant("meek").with_deadline(SimDuration::from_millis(1));
+        let shed = engine.query_with_options(&query, &opts).expect("shed still parses upstream");
+        if !shed.stats.shed {
+            violations.push(Violation::new(
+                "overload-shed",
+                "budgeted query was admitted past a saturated controller".to_string(),
+            ));
+        }
+        if !shed.individuals().is_empty()
+            || shed.stats.completeness != 0.0
+            || shed.stats.round_trips != 0
+        {
+            violations.push(Violation::new(
+                "overload-shed-honesty",
+                format!(
+                    "shed answer not honestly empty: {} individuals, completeness {}, \
+                     round_trips {}",
+                    shed.individuals().len(),
+                    shed.stats.completeness,
+                    shed.stats.round_trips
+                ),
+            ));
+        }
+        if shed.stats.plan_cache != Default::default() || engine.plan_cache_len() != 0 {
+            violations.push(Violation::new(
+                "overload-shed-cache",
+                "shed query touched the plan cache".to_string(),
+            ));
+        }
+        drop(hog);
+    }
+    let after = engine.query(&query).expect("parsed on the batched path");
+    if fingerprint(&after) != full_fp {
+        violations.push(Violation::new(
+            "overload-shed-recovery",
+            format!(
+                "answer after shedding diverged from unconstrained\nfull:\n{full_fp}\n\
+                 after:\n{}",
+                fingerprint(&after)
+            ),
+        ));
+    }
+
+    // --- Deadline arm ------------------------------------------------
+    let deadline = SimDuration::from_millis(scenario.seed % 120 + 5);
+    let run_deadline = || -> QueryOutcome {
+        let engine = scenario.build(&BuildConfig::batched());
+        let opts = QueryOptions::default().with_deadline(deadline);
+        engine.query_with_options(&query, &opts).expect("parsed on the batched path")
+    };
+    let cut = run_deadline();
+    check_stats(&cut, "deadline", false, &mut violations);
+    if !instance_lines(&cut).is_subset(&full) {
+        violations.push(Violation::new(
+            "overload-subset",
+            format!(
+                "deadline-limited answer invented instances\nfull:\n{full_fp}\ncut:\n{}",
+                fingerprint(&cut)
+            ),
+        ));
+    }
+    if cut.stats.completeness > baseline.stats.completeness + 1e-12 {
+        violations.push(Violation::new(
+            "overload-completeness",
+            format!(
+                "deadline budget {deadline} raised completeness from {} to {}",
+                baseline.stats.completeness, cut.stats.completeness
+            ),
+        ));
+    }
+    let again = run_deadline();
+    if fingerprint(&again) != fingerprint(&cut)
+        || again.stats.round_trips != cut.stats.round_trips
+        || again.stats.deadline_hits != cut.stats.deadline_hits
+    {
+        violations.push(Violation::new(
+            "overload-determinism",
+            format!(
+                "two identically budgeted runs disagreed (round_trips {} vs {}, \
+                 deadline_hits {} vs {})",
+                cut.stats.round_trips,
+                again.stats.round_trips,
+                cut.stats.deadline_hits,
+                again.stats.deadline_hits
+            ),
+        ));
+    }
+
+    // --- Hedge arm ---------------------------------------------------
+    let run_hedged = || -> QueryOutcome {
+        let engine = scenario.build(&BuildConfig::batched()).with_resilience(
+            ResiliencePolicy::default()
+                .with_retry(RetryPolicy::attempts(crate::scenario::RETRY_ATTEMPTS))
+                .with_hedging(HedgeConfig {
+                    percentile: 50,
+                    min_samples: 1,
+                    min_delay: SimDuration::ZERO,
+                }),
+        );
+        engine.query(&query).expect("parsed on the batched path")
+    };
+    let hedged = run_hedged();
+    check_stats(&hedged, "hedged", false, &mut violations);
+    if fingerprint(&hedged) != full_fp {
+        violations.push(Violation::new(
+            "overload-hedge-equality",
+            format!(
+                "hedging changed the answer\nfull:\n{full_fp}\nhedged:\n{}",
+                fingerprint(&hedged)
+            ),
+        ));
+    }
+    if hedged.stats.hedge_wins > hedged.stats.hedges {
+        violations.push(Violation::new(
+            "overload-hedge-accounting",
+            format!(
+                "hedge_wins {} exceeds hedges launched {}",
+                hedged.stats.hedge_wins, hedged.stats.hedges
+            ),
+        ));
+    }
+    let hedged_again = run_hedged();
+    if fingerprint(&hedged_again) != fingerprint(&hedged)
+        || hedged_again.stats.round_trips != hedged.stats.round_trips
+        || hedged_again.stats.hedges != hedged.stats.hedges
+    {
+        violations.push(Violation::new(
+            "overload-determinism",
+            "two identically seeded hedged runs disagreed".to_string(),
+        ));
+    }
+
     violations
 }
 

@@ -82,6 +82,12 @@ pub enum FaultClass {
     /// caps these at `RETRY_ATTEMPTS - 1` per endpoint so every
     /// logical call is rescued by retries.
     Transient(Vec<(u64, FaultKind)>),
+    /// Like [`FaultClass::Transient`], plus one reliable replica. The
+    /// primary still answers every logical call (retries rescue the
+    /// scheduled faults), so the replica is idle under plain failover —
+    /// it exists to give hedged dispatch a standby to race against the
+    /// retry-slowed primary.
+    TransientWithReplica(Vec<(u64, FaultKind)>),
 }
 
 /// One data source of a scenario.
@@ -142,28 +148,12 @@ impl Scenario {
             .map(|_| {
                 let kind = SourceKindSpec::ALL[rng.gen_range(0..4)];
                 let single_record = rng.gen_bool(0.15);
-                let fault = match rng.gen_range(0..10) {
+                let fault = match rng.gen_range(0..11) {
                     0..=4 => FaultClass::Reliable,
                     5 | 6 => FaultClass::HardDown,
                     7 => FaultClass::HardDownWithReplica,
-                    _ => {
-                        let n = rng.gen_range(1..(RETRY_ATTEMPTS as usize));
-                        let mut faults: Vec<(u64, FaultKind)> = Vec::new();
-                        while faults.len() < n {
-                            let index = rng.gen_range(0..6) as u64;
-                            if faults.iter().any(|(i, _)| *i == index) {
-                                continue;
-                            }
-                            let kind = if rng.gen_bool(0.5) {
-                                FaultKind::Unreachable
-                            } else {
-                                FaultKind::Timeout
-                            };
-                            faults.push((index, kind));
-                        }
-                        faults.sort();
-                        FaultClass::Transient(faults)
-                    }
+                    10 => FaultClass::TransientWithReplica(generate_transients(&mut rng)),
+                    _ => FaultClass::Transient(generate_transients(&mut rng)),
                 };
                 SourceSpec { kind, single_record, fault }
             })
@@ -286,7 +276,7 @@ impl Scenario {
                     &[FailureModel::reliable()],
                 )
                 .expect("fresh id"),
-            FaultClass::Transient(faults) => {
+            FaultClass::Transient(faults) | FaultClass::TransientWithReplica(faults) => {
                 let mut schedule = FaultSchedule::new();
                 for (index, kind) in faults {
                     schedule = schedule.fail_call(*index, *kind);
@@ -299,7 +289,10 @@ impl Scenario {
                     seed,
                     schedule,
                 )
-                .expect("fresh id")
+                .expect("fresh id");
+                if matches!(spec.fault, FaultClass::TransientWithReplica(_)) {
+                    s2s.add_source_replica(&id, FailureModel::reliable()).expect("just registered");
+                }
             }
         }
     }
@@ -368,6 +361,23 @@ impl BuildConfig {
             ..Default::default()
         }
     }
+}
+
+/// Draws 1..`RETRY_ATTEMPTS` scheduled faults at distinct call
+/// indices — few enough that retries rescue every logical call.
+fn generate_transients(rng: &mut StdRng) -> Vec<(u64, FaultKind)> {
+    let n = rng.gen_range(1..(RETRY_ATTEMPTS as usize));
+    let mut faults: Vec<(u64, FaultKind)> = Vec::new();
+    while faults.len() < n {
+        let index = rng.gen_range(0..6) as u64;
+        if faults.iter().any(|(i, _)| *i == index) {
+            continue;
+        }
+        let kind = if rng.gen_bool(0.5) { FaultKind::Unreachable } else { FaultKind::Timeout };
+        faults.push((index, kind));
+    }
+    faults.sort();
+    faults
 }
 
 fn generate_condition(rng: &mut StdRng) -> Condition {

@@ -86,6 +86,15 @@ fn reductions(sc: &Scenario) -> Vec<Scenario> {
                 candidate.sources[i].fault = FaultClass::Reliable;
                 out.push(candidate);
             }
+            FaultClass::TransientWithReplica(faults) => {
+                // Try dropping the replica first, then going reliable.
+                let mut candidate = sc.clone();
+                candidate.sources[i].fault = FaultClass::Transient(faults.clone());
+                out.push(candidate);
+                let mut candidate = sc.clone();
+                candidate.sources[i].fault = FaultClass::Reliable;
+                out.push(candidate);
+            }
             FaultClass::HardDownWithReplica | FaultClass::HardDown => {
                 let mut candidate = sc.clone();
                 candidate.sources[i].fault = FaultClass::Reliable;

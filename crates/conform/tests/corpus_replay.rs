@@ -34,3 +34,48 @@ fn corpus_cases_pass_every_oracle() {
     }
     println!("{} corpus cases replayed clean", paths.len());
 }
+
+/// The two overload corpus cases are not just "pass every oracle"
+/// regressions — each must actually exercise the mechanism it is named
+/// for. This pins the hedge case to a real launched-and-won hedge and
+/// the shed case to a real arrival-time refusal.
+#[test]
+fn overload_cases_exercise_their_mechanisms() {
+    use s2s_conform::scenario::{BuildConfig, RETRY_ATTEMPTS};
+    use s2s_core::extract::ResiliencePolicy;
+    use s2s_core::QueryOptions;
+    use s2s_netsim::{AdmissionConfig, HedgeConfig, RetryPolicy, SimDuration};
+
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let load = |name: &str| {
+        let text = fs::read_to_string(corpus.join(name)).expect("read case file");
+        from_case(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"))
+    };
+
+    let straggler = load("hedge-beats-straggler.case");
+    let engine = straggler.build(&BuildConfig::batched()).with_resilience(
+        ResiliencePolicy::default().with_retry(RetryPolicy::attempts(RETRY_ATTEMPTS)).with_hedging(
+            HedgeConfig { percentile: 50, min_samples: 1, min_delay: SimDuration::ZERO },
+        ),
+    );
+    let outcome = engine.query(&straggler.query_text()).expect("query parses");
+    assert!(outcome.stats.hedges >= 1, "no hedge launched against the straggler");
+    assert!(outcome.stats.hedge_wins >= 1, "the replica never won the race");
+    assert!(outcome.stats.hedge_wins <= outcome.stats.hedges);
+    assert_eq!(outcome.stats.completeness, 1.0);
+
+    let burst = load("shed-under-burst.case");
+    let engine =
+        burst.build(&BuildConfig::batched()).with_admission(AdmissionConfig::with_permits(1));
+    let controller = engine.admission().expect("admission configured");
+    let hog = controller.admit("hog", None, false).expect("first permit is free");
+    let opts =
+        QueryOptions::default().with_tenant("meek").with_deadline(SimDuration::from_millis(1));
+    let shed = engine.query_with_options(&burst.query_text(), &opts).expect("query parses");
+    assert!(shed.stats.shed, "burst query was not refused at arrival");
+    assert_eq!(shed.stats.round_trips, 0);
+    drop(hog);
+    let full = engine.query(&burst.query_text()).expect("query parses");
+    assert!(!full.stats.shed);
+    assert_eq!(full.stats.completeness, 1.0);
+}

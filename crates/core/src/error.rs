@@ -88,6 +88,13 @@ pub enum S2sError {
         /// The source whose endpoints are gated.
         source: String,
     },
+    /// The query's deadline budget ran out while this source's exchange
+    /// was still in flight (possibly mid-backoff). The partial answer is
+    /// returned degraded; nothing further is attempted for the source.
+    DeadlineExceeded {
+        /// The source whose exchange exhausted the budget.
+        source: String,
+    },
 }
 
 impl S2sError {
@@ -98,7 +105,8 @@ impl S2sError {
     /// call after the cooldown may be admitted). Everything else —
     /// wrapper errors, bad rules, unknown sources, protocol bugs — is
     /// permanent: replicas hold the same data and would fail the same
-    /// way.
+    /// way. An exhausted deadline budget is also permanent: the budget
+    /// is gone, so neither a retry nor a replica can fit inside it.
     pub fn failure_class(&self) -> FailureClass {
         match self {
             S2sError::Net(e) if e.is_transient() => FailureClass::Transient,
@@ -131,6 +139,9 @@ impl fmt::Display for S2sError {
             S2sError::Net(e) => write!(f, "network error: {e}"),
             S2sError::CircuitOpen { source } => {
                 write!(f, "circuit breaker open for source `{source}`")
+            }
+            S2sError::DeadlineExceeded { source } => {
+                write!(f, "deadline budget exhausted during exchange with source `{source}`")
             }
         }
     }
@@ -208,5 +219,7 @@ mod tests {
         assert_eq!(unknown.failure_class(), FailureClass::Permanent);
         let unmapped = S2sError::UnmappedAttribute { attribute: "a.b".into() };
         assert_eq!(unmapped.failure_class(), FailureClass::Permanent);
+        let expired = S2sError::DeadlineExceeded { source: "x".into() };
+        assert_eq!(expired.failure_class(), FailureClass::Permanent);
     }
 }

@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 use s2s_netsim::wire::{encode, encode_batch, FrameKind};
 use s2s_netsim::{
     invoke_with_retry, makespan, BreakerConfig, BreakerState, CircuitBreaker, Endpoint,
-    RetryPolicy, SimDuration, WorkerPool,
+    HedgeConfig, Hedger, RetryPolicy, SimDuration, WorkerPool,
 };
 use s2s_obs::{Span, SpanKind, SpanOutcome};
 use s2s_webdoc::{WebStore, WeblProgram, WeblValue};
@@ -89,13 +89,17 @@ pub struct ResiliencePolicy {
     pub failover: bool,
     /// Circuit-breaker tuning; `None` disables breakers.
     pub breaker: Option<BreakerConfig>,
+    /// Hedged-request tuning; `None` disables hedging. When set, a
+    /// successful exchange slower than the tracked latency percentile
+    /// is re-issued to the next replica and the faster reply wins.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl ResiliencePolicy {
     /// The legacy behaviour: one attempt, primary endpoint only, no
-    /// breaker.
+    /// breaker, no hedging.
     pub fn none() -> Self {
-        ResiliencePolicy { retry: RetryPolicy::none(), failover: false, breaker: None }
+        ResiliencePolicy { retry: RetryPolicy::none(), failover: false, breaker: None, hedge: None }
     }
 
     /// Replaces the retry schedule.
@@ -115,13 +119,21 @@ impl ResiliencePolicy {
         self.breaker = Some(config);
         self
     }
+
+    /// Enables hedged requests against straggling primaries. Requires
+    /// failover (a hedge needs a replica to race); callers without
+    /// replicas simply never hedge.
+    pub fn with_hedging(mut self, config: HedgeConfig) -> Self {
+        self.hedge = Some(config);
+        self
+    }
 }
 
 impl Default for ResiliencePolicy {
-    /// No retries, failover enabled, no breaker — replicas are used
-    /// when registered, nothing else changes.
+    /// No retries, failover enabled, no breaker, no hedging — replicas
+    /// are used when registered, nothing else changes.
     fn default() -> Self {
-        ResiliencePolicy { retry: RetryPolicy::none(), failover: true, breaker: None }
+        ResiliencePolicy { retry: RetryPolicy::none(), failover: true, breaker: None, hedge: None }
     }
 }
 
@@ -134,12 +146,15 @@ pub struct ResilienceContext {
     policy: ResiliencePolicy,
     breakers: Mutex<BTreeMap<String, Arc<CircuitBreaker>>>,
     clock: Mutex<SimDuration>,
+    hedger: Option<Hedger>,
 }
 
 impl ResilienceContext {
-    /// A fresh context (closed breakers, clock at zero).
+    /// A fresh context (closed breakers, clock at zero, cold hedge
+    /// tracker when the policy enables hedging).
     pub fn new(policy: ResiliencePolicy) -> Self {
-        ResilienceContext { policy, ..ResilienceContext::default() }
+        let hedger = policy.hedge.map(Hedger::new);
+        ResilienceContext { policy, hedger, ..ResilienceContext::default() }
     }
 
     /// The policy in force.
@@ -150,6 +165,11 @@ impl ResilienceContext {
     /// The breaker guarding `endpoint_id`, if one has been created.
     pub fn breaker(&self, endpoint_id: &str) -> Option<Arc<CircuitBreaker>> {
         self.breakers.lock().get(endpoint_id).cloned()
+    }
+
+    /// The hedged-request latency tracker, when hedging is enabled.
+    pub fn hedger(&self) -> Option<&Hedger> {
+        self.hedger.as_ref()
     }
 
     /// Accumulated virtual time across all resilient calls so far.
@@ -203,6 +223,14 @@ pub struct SourceHealth {
     /// State of the primary endpoint's breaker after the query
     /// (`None` when breakers are disabled).
     pub breaker_state: Option<BreakerState>,
+    /// Exchanges abandoned because the query's deadline budget ran out
+    /// (mid-attempt or mid-backoff).
+    pub deadline_hits: u64,
+    /// Hedged replica requests launched against straggling primaries.
+    pub hedges: u64,
+    /// Hedged requests whose replica reply beat the primary. Invariant:
+    /// `hedge_wins <= hedges`.
+    pub hedge_wins: u64,
 }
 
 /// Per-task resilience counters, folded into [`SourceHealth`].
@@ -213,6 +241,9 @@ struct TaskTrace {
     failovers: u64,
     breaker_rejections: u64,
     elapsed: SimDuration,
+    deadline_hits: u64,
+    hedges: u64,
+    hedge_wins: u64,
 }
 
 /// A failed extraction, attributed to its attribute and source (feeds
@@ -340,7 +371,7 @@ impl ExtractorManager {
         rules: &RuleCache,
     ) -> ExtractionReport {
         let pool = WorkerPool::new(strategy.workers());
-        Self::extract_with_rules_traced(registry, schemas, strategy, ctx, rules, false, &pool)
+        Self::extract_with_rules_traced(registry, schemas, strategy, ctx, rules, false, &pool, None)
     }
 
     /// [`ExtractorManager::extract_with_rules`] with optional span
@@ -352,6 +383,8 @@ impl ExtractorManager {
     /// multiplex onto one fixed set of threads; the legacy entry points
     /// above construct a transient pool per call. `strategy` still
     /// sizes the *simulated* makespan accounting independently.
+    /// `deadline` is the query's remaining budget, applied per source
+    /// exchange (see [`ResiliencePolicy`] and the overload layer).
     #[allow(clippy::too_many_arguments)]
     pub fn extract_with_rules_traced(
         registry: &SourceRegistry,
@@ -361,6 +394,7 @@ impl ExtractorManager {
         rules: &RuleCache,
         traced: bool,
         pool: &WorkerPool,
+        deadline: Option<SimDuration>,
     ) -> ExtractionReport {
         let workers = strategy.workers();
         let outcomes = pool.run(schemas, |schema| {
@@ -371,6 +405,7 @@ impl ExtractorManager {
                 &schema.mapping,
                 ctx,
                 rules,
+                deadline,
                 attempt_spans.as_mut(),
             );
             (schema, r, attempt_spans, started.elapsed())
@@ -448,7 +483,7 @@ impl ExtractorManager {
         rules: &RuleCache,
     ) -> ExtractionReport {
         let pool = WorkerPool::new(strategy.workers());
-        Self::extract_batched_traced(registry, schemas, strategy, ctx, rules, false, &pool)
+        Self::extract_batched_traced(registry, schemas, strategy, ctx, rules, false, &pool, None)
     }
 
     /// [`ExtractorManager::extract_batched`] with optional span
@@ -468,6 +503,7 @@ impl ExtractorManager {
         rules: &RuleCache,
         traced: bool,
         pool: &WorkerPool,
+        deadline: Option<SimDuration>,
     ) -> ExtractionReport {
         let workers = strategy.workers();
         let batches = plan_batches(registry, schemas, rules, traced);
@@ -486,6 +522,7 @@ impl ExtractorManager {
                     &salt,
                     batch.wire_bytes,
                     ctx,
+                    deadline,
                     attempt_spans.as_mut(),
                 )
             } else {
@@ -665,6 +702,9 @@ fn fold_trace(health: &mut SourceHealth, trace: TaskTrace) {
     health.failovers += trace.failovers;
     health.breaker_rejections += trace.breaker_rejections;
     health.elapsed += trace.elapsed;
+    health.deadline_hits += trace.deadline_hits;
+    health.hedges += trace.hedges;
+    health.hedge_wins += trace.hedge_wins;
 }
 
 /// Severity-composed outcome of a `batch` span: a failed wire exchange
@@ -681,6 +721,9 @@ fn batch_outcome(net_failed: bool, any_rule_failed: bool, trace: &TaskTrace) -> 
     }
     if trace.failovers > 0 {
         outcome = outcome.worst(SpanOutcome::FailedOver);
+    }
+    if trace.hedges > 0 {
+        outcome = outcome.worst(SpanOutcome::Hedged);
     }
     if trace.breaker_rejections > 0 {
         outcome = outcome.worst(SpanOutcome::BreakerRejected);
@@ -754,6 +797,7 @@ fn extract_one_resilient(
     mapping: &AttributeMapping,
     ctx: &ResilienceContext,
     rules: &RuleCache,
+    deadline: Option<SimDuration>,
     spans: Option<&mut Vec<Span>>,
 ) -> (Result<(Vec<String>, SimDuration), S2sError>, TaskTrace) {
     let (source, values, bytes) = match prepare_task(registry, mapping, rules) {
@@ -762,7 +806,8 @@ fn extract_one_resilient(
     };
     let source_label = mapping.source().to_string();
     let salt = mapping.path().to_string();
-    let (net, trace) = resilient_exchange(source, &source_label, &salt, bytes, ctx, spans);
+    let (net, trace) =
+        resilient_exchange(source, &source_label, &salt, bytes, ctx, deadline, spans);
     (net.map(|elapsed| (values, elapsed)), trace)
 }
 
@@ -775,12 +820,30 @@ fn extract_one_resilient(
 /// A failover is counted only once at least one real attempt has been
 /// made — skipping past a breaker-rejected endpoint costs no network
 /// attempt and is not a failover.
+///
+/// `deadline` is the query's remaining budget for this exchange (the
+/// parallel execution model starts every source at the same instant, so
+/// each exchange gets the full per-query budget). It tightens the retry
+/// policy's own deadline; when the budget runs out — mid-attempt or
+/// mid-backoff — the exchange stops immediately with
+/// [`S2sError::DeadlineExceeded`]: no further failover can fit in zero
+/// remaining budget.
+///
+/// Hedging (when the policy enables it) races a straggling-but-
+/// successful primary against the next replica: once the primary's
+/// elapsed time exceeds the tracked latency percentile, a single
+/// no-retry attempt is issued to the replica and the faster completion
+/// time is charged. The loser is "cancelled" by never charging its
+/// remainder — virtual time makes the race deterministic. Both the
+/// primary and the hedge attempt reach the wire, so both count toward
+/// `attempts` (and thus `round_trips`).
 fn resilient_exchange(
     source: &RegisteredSource,
     source_label: &str,
     salt: &str,
     bytes: usize,
     ctx: &ResilienceContext,
+    deadline: Option<SimDuration>,
     mut spans: Option<&mut Vec<Span>>,
 ) -> (Result<SimDuration, S2sError>, TaskTrace) {
     let mut trace = TaskTrace::default();
@@ -789,7 +852,7 @@ fn resilient_exchange(
 
     let mut attempted = false;
     let mut last_err = None;
-    for endpoint in endpoints {
+    for (slot, endpoint) in endpoints.iter().enumerate() {
         if attempted {
             trace.failovers += 1;
         }
@@ -807,22 +870,72 @@ fn resilient_exchange(
                 continue;
             }
         }
+        // The effective retry deadline is the tighter of the policy's
+        // own deadline and what remains of the query budget after the
+        // attempts already spent on this exchange.
+        let mut retry = ctx.policy.retry;
+        if let Some(budget) = deadline {
+            let remaining = budget.saturating_sub(trace.elapsed);
+            if remaining == SimDuration::ZERO {
+                trace.deadline_hits += 1;
+                note_deadline_exceeded();
+                last_err = Some(S2sError::DeadlineExceeded { source: source_label.to_string() });
+                break;
+            }
+            retry.deadline = Some(retry.deadline.map_or(remaining, |d| d.min(remaining)));
+        }
         let seed = crate::source::stable_seed(endpoint.id()) ^ crate::source::stable_seed(salt);
-        let out = invoke_with_retry(endpoint, &ctx.policy.retry, seed, bytes, || ());
+        let out = invoke_with_retry(endpoint, &retry, seed, bytes, || ());
         attempted = true;
         trace.attempts += u64::from(out.attempts);
         trace.retries += u64::from(out.retries());
-        trace.elapsed += out.elapsed;
-        let now = ctx.advance(out.elapsed);
+
+        // Hedge a straggling success against the next replica.
+        let mut charged = out.elapsed;
+        let mut hedged = false;
+        let mut hedge_won = false;
+        if out.result.is_ok() {
+            if let Some(hedger) = ctx.hedger() {
+                hedger.record(out.elapsed);
+                if let (Some(delay), Some(replica)) = (hedger.delay(), endpoints.get(slot + 1)) {
+                    if out.elapsed > delay {
+                        hedger.note_launch();
+                        trace.hedges += 1;
+                        hedged = true;
+                        let h_seed = crate::source::stable_seed(replica.id())
+                            ^ crate::source::stable_seed(salt)
+                            ^ HEDGE_SEED_SALT;
+                        let h =
+                            invoke_with_retry(replica, &RetryPolicy::none(), h_seed, bytes, || ());
+                        trace.attempts += u64::from(h.attempts);
+                        if h.result.is_ok() {
+                            let replica_done = delay + h.elapsed;
+                            if replica_done < out.elapsed {
+                                hedger.note_win();
+                                trace.hedge_wins += 1;
+                                hedge_won = true;
+                                charged = replica_done;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        trace.elapsed += charged;
+        let now = ctx.advance(charged);
         if let Some(spans) = spans.as_deref_mut() {
             let mut span = Span::new(SpanKind::Attempt, endpoint.id().to_string());
-            span.sim_us = out.elapsed.as_micros();
+            span.sim_us = charged.as_micros();
             span.outcome = match &out.result {
+                Ok(()) if hedged => SpanOutcome::Hedged,
                 Ok(()) if is_failover => SpanOutcome::FailedOver,
                 Ok(()) if out.retries() > 0 => SpanOutcome::Retried,
                 Ok(()) => SpanOutcome::Ok,
                 Err(_) => SpanOutcome::Failed,
             };
+            if hedged {
+                span.attr("hedge", if hedge_won { "win" } else { "loss" });
+            }
             if out.retries() > 0 {
                 span.attr("retries", out.retries().to_string());
             }
@@ -842,6 +955,17 @@ fn resilient_exchange(
                 if let Some(b) = &breaker {
                     b.record_failure(now);
                 }
+                if out.deadline_hit {
+                    // The budget expired mid-retry (possibly during a
+                    // backoff wait): stop immediately and label the
+                    // failure honestly — failover cannot fit in zero
+                    // remaining budget.
+                    trace.deadline_hits += 1;
+                    note_deadline_exceeded();
+                    last_err =
+                        Some(S2sError::DeadlineExceeded { source: source_label.to_string() });
+                    break;
+                }
                 let error = S2sError::Net(e);
                 let transient = error.failure_class() == FailureClass::Transient;
                 last_err = Some(error);
@@ -854,6 +978,19 @@ fn resilient_exchange(
     let error =
         last_err.unwrap_or_else(|| S2sError::CircuitOpen { source: source_label.to_string() });
     (Err(error), trace)
+}
+
+/// Decorrelates the hedge attempt's jitter stream from the replica's
+/// ordinary failover stream, so hedged and non-hedged runs stay
+/// independently deterministic.
+const HEDGE_SEED_SALT: u64 = 0x9e37_79b9_97f4_a7c5;
+
+/// Bumps the process-wide deadline-exceeded counter (no-op while
+/// observability is disabled).
+fn note_deadline_exceeded() {
+    if s2s_obs::enabled() {
+        s2s_obs::global().counter(s2s_obs::names::OVERLOAD_DEADLINE_EXCEEDED_TOTAL).inc();
+    }
 }
 
 /// The local half of a task: [`prepare_values`] plus wire-size

@@ -50,5 +50,5 @@ pub mod spec;
 pub use engine::{PlanCache, QueryResultCache, ResultCacheConfig};
 pub use error::{FailureClass, S2sError};
 pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};
-pub use middleware::S2s;
+pub use middleware::{Priority, QueryOptions, S2s};
 pub use rules::RuleCache;

@@ -8,7 +8,10 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use s2s_netsim::{CostModel, FailureModel, PoolStats, SimDuration, WorkerPool};
+use s2s_netsim::{
+    AdmissionConfig, AdmissionController, AdmissionStats, CostModel, FailureModel, PoolStats,
+    ShedReason, SimDuration, WorkerPool,
+};
 use s2s_obs::{Span, SpanKind, SpanOutcome, Trace};
 use s2s_owl::{AttributePath, Ontology};
 
@@ -41,10 +44,13 @@ pub struct QueryStats {
     /// Endpoint round trips this query actually put on the wire — the
     /// observable batching win: one trip per source instead of one per
     /// attribute. Every attempt that reaches an endpoint counts, so
-    /// retries and failover attempts each add a trip. Calls refused by
-    /// an open circuit breaker do **not** count: the breaker rejects
-    /// them before any wire exchange, and they are tallied separately
-    /// in [`SourceHealth::breaker_rejections`].
+    /// retries, failover attempts, and hedged replica attempts each add
+    /// a trip. Calls refused by an open circuit breaker do **not**
+    /// count: the breaker rejects them before any wire exchange, and
+    /// they are tallied separately in
+    /// [`SourceHealth::breaker_rejections`]. Shed queries likewise
+    /// contribute zero round trips — admission control refuses them
+    /// before any wire traffic.
     pub round_trips: u64,
     /// Extraction-cache hit/miss counters for this query alone.
     pub extraction_cache: CacheStats,
@@ -64,6 +70,74 @@ pub struct QueryStats {
     pub simulated: SimDuration,
     /// Simulated completion time had extraction run serially.
     pub simulated_serial: SimDuration,
+    /// `true` when admission control refused this query (load
+    /// shedding): the answer is empty and honestly labelled
+    /// (`completeness` is `0.0`), and nothing past the result-cache
+    /// lookup ran — no plan work, no wire traffic, no cache writes.
+    pub shed: bool,
+    /// Source exchanges abandoned because the query's deadline budget
+    /// ran out; each one fails its tasks honestly instead of blocking.
+    pub deadline_hits: u64,
+    /// Hedged replica requests launched against straggling primaries.
+    pub hedges: u64,
+    /// Hedged requests whose replica reply beat the primary.
+    /// Invariant: `hedge_wins <= hedges`.
+    pub hedge_wins: u64,
+}
+
+/// Per-query execution options for the overload layer: deadline
+/// budget, tenant attribution, and scheduling priority. The zero-cost
+/// default (`no deadline, tenant "default", normal priority`) is what
+/// [`S2s::query`] uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOptions {
+    /// Simulated-time budget for the whole query. Each source exchange
+    /// runs under it (sources start together in the parallel model);
+    /// when it expires the query returns a partial, honestly-labelled
+    /// answer instead of blocking. `None` = unbounded.
+    pub deadline: Option<SimDuration>,
+    /// Tenant id for per-tenant admission fairness (deficit round
+    /// robin) and backlog gauges.
+    pub tenant: String,
+    /// Admission priority; see [`Priority`].
+    pub priority: Priority,
+}
+
+impl QueryOptions {
+    /// Sets the deadline budget.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the tenant id.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets the admission priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { deadline: None, tenant: "default".into(), priority: Priority::Normal }
+    }
+}
+
+/// Admission priority of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Subject to every shed check.
+    #[default]
+    Normal,
+    /// Skips the estimated-wait shed check (still shed when the
+    /// admission queue is full outright).
+    High,
 }
 
 /// The outcome of an S2SQL query: the plan, the generated instances,
@@ -154,6 +228,7 @@ pub struct S2s {
     provenance: bool,
     tracing: bool,
     resilience: Arc<ResilienceContext>,
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl S2s {
@@ -174,6 +249,7 @@ impl S2s {
             provenance: false,
             tracing: false,
             resilience: Arc::new(ResilienceContext::default()),
+            admission: None,
         }
     }
 
@@ -232,6 +308,28 @@ impl S2s {
     /// inspection or clock manipulation in experiments.
     pub fn resilience(&self) -> &ResilienceContext {
         &self.resilience
+    }
+
+    /// Installs admission control: a bounded queue with per-tenant
+    /// deficit-round-robin dispatch and early load shedding. Queries
+    /// that would overflow the queue — or whose estimated wait already
+    /// exceeds their deadline budget — are refused at arrival with an
+    /// honestly-labelled empty answer ([`QueryStats::shed`]) instead of
+    /// queueing past their budget. Result-cache hits are always served;
+    /// only fresh work passes the gate.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(Arc::new(AdmissionController::new(config)));
+        self
+    }
+
+    /// The admission controller, when admission control is enabled.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_deref()
+    }
+
+    /// Admission counters (`None` when admission control is disabled).
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|c| c.stats())
     }
 
     /// Emits provenance triples
@@ -302,6 +400,18 @@ impl S2s {
     /// Plan-cache hit/miss counters (always active).
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.plans.stats()
+    }
+
+    /// Number of entries currently in the plan cache (cache-hygiene
+    /// inspection: shed and deadline-exceeded queries add none).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of entries currently in the result cache (`0` when
+    /// disabled).
+    pub fn result_cache_len(&self) -> usize {
+        self.results.as_ref().map(|c| c.len()).unwrap_or(0)
     }
 
     /// Result-cache hit/miss counters (zeros when disabled).
@@ -401,6 +511,19 @@ impl S2s {
         self.registry.write().register_remote_with_replicas(id, connection, cost, failure, replicas)
     }
 
+    /// Appends one replica endpoint to an already registered remote
+    /// source, reusing the primary's cost model. Use this to give a
+    /// detailed-registered source (explicit seed, fault schedule) a
+    /// standby for failover or hedged dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnknownSource`] if `id` is not registered.
+    pub fn add_source_replica(&mut self, id: &str, failure: FailureModel) -> Result<(), S2sError> {
+        self.invalidate_results();
+        self.registry.write().add_replica(&id.into(), failure)
+    }
+
     /// Registers an attribute mapping — the full 3-step workflow of
     /// Fig. 3: `attribute path = rule, source`.
     ///
@@ -476,10 +599,33 @@ impl S2s {
     /// Returns an error only for malformed or semantically invalid
     /// queries.
     pub fn query(&self, s2sql: &str) -> Result<QueryOutcome, S2sError> {
+        self.query_with_options(s2sql, &QueryOptions::default())
+    }
+
+    /// [`S2s::query`] with per-query overload options: a deadline
+    /// budget (propagated to every source exchange's retry policy),
+    /// tenant attribution for admission fairness, and priority.
+    ///
+    /// A query refused by admission control still returns `Ok`: the
+    /// outcome is an empty, honestly-labelled degraded answer with
+    /// [`QueryStats::shed`] set — shedding is an overload signal, not
+    /// a query error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for malformed or semantically invalid
+    /// queries.
+    pub fn query_with_options(
+        &self,
+        s2sql: &str,
+        opts: &QueryOptions,
+    ) -> Result<QueryOutcome, S2sError> {
         let query_started = std::time::Instant::now();
         let key = query::normalize(s2sql);
 
         // Layer 1: the semantic result cache replays whole answers.
+        // Served before the admission gate: a replay touches no source
+        // and costs nothing, so even an overloaded engine answers it.
         let mut result_cache_delta = CacheStats::default();
         if let Some(results) = &self.results {
             let before = results.stats();
@@ -490,18 +636,37 @@ impl S2s {
             }
         }
 
-        // Layer 2: the plan cache memoizes parse + validate + plan.
+        // Admission gate: fresh work must clear the overload layer
+        // before any plan or wire work happens. A refusal here is the
+        // cheapest possible outcome — shed at arrival, not after
+        // queueing past the caller's budget. The guard holds this
+        // query's permit until the outcome is built.
+        let _admission_guard = match &self.admission {
+            Some(ctl) => {
+                match ctl.admit(&opts.tenant, opts.deadline, opts.priority == Priority::High) {
+                    Ok(guard) => Some(guard),
+                    Err(reason) => {
+                        return Ok(self.shed(s2sql, &reason, result_cache_delta, query_started))
+                    }
+                }
+            }
+            None => None,
+        };
+
+        // Layer 2: the plan cache memoizes parse + validate + plan. A
+        // fresh plan is *not* inserted here — insertion is deferred
+        // until the query completes without exhausting its deadline,
+        // so overload casualties cannot churn plan-cache entries.
         let plans_before = self.plans.stats();
         let parse_started = std::time::Instant::now();
-        let (plan, parse_wall, plan_wall) = match self.plans.get(&key) {
-            Some(plan) => (plan, parse_started.elapsed(), std::time::Duration::ZERO),
+        let (plan, fresh_plan, parse_wall, plan_wall) = match self.plans.get(&key) {
+            Some(plan) => (plan, false, parse_started.elapsed(), std::time::Duration::ZERO),
             None => {
                 let parsed = query::parse(s2sql)?;
                 let parse_wall = parse_started.elapsed();
                 let plan_started = std::time::Instant::now();
                 let plan = Arc::new(query::plan(&parsed, &self.ontology)?);
-                self.plans.insert(key.clone(), Arc::clone(&plan));
-                (plan, parse_wall, plan_started.elapsed())
+                (plan, true, parse_wall, plan_started.elapsed())
             }
         };
         let plan_cache_delta = delta(plans_before, self.plans.stats());
@@ -570,6 +735,7 @@ impl S2s {
                 &self.rules,
                 self.tracing,
                 &self.pool,
+                opts.deadline,
             )
         } else {
             ExtractorManager::extract_with_rules_traced(
@@ -580,6 +746,7 @@ impl S2s {
                 &self.rules,
                 self.tracing,
                 &self.pool,
+                opts.deadline,
             )
         };
         drop(registry);
@@ -607,7 +774,17 @@ impl S2s {
             completeness: report.completeness(),
             simulated: report.simulated,
             simulated_serial: report.simulated_serial,
+            shed: false,
+            deadline_hits: report.resilience.values().map(|h| h.deadline_hits).sum(),
+            hedges: report.resilience.values().map(|h| h.hedges).sum(),
+            hedge_wins: report.resilience.values().map(|h| h.hedge_wins).sum(),
         };
+        // Deferred plan-cache insert (hygiene): a query that blew its
+        // deadline does not get to publish cache entries, so overload
+        // casualties cannot evict plans that healthy queries rely on.
+        if fresh_plan && stats.deadline_hits == 0 {
+            self.plans.insert(key.clone(), Arc::clone(&plan));
+        }
         // Wire time per source comes from the resilience telemetry
         // (batched results share one exchange, so summing per-result
         // `elapsed` would double-count); cache-served sources still get
@@ -630,8 +807,11 @@ impl S2s {
 
         // Admission: only complete, failure-free answers are cached, so
         // a degraded result is never replayed after sources recover.
+        // The explicit deadline guard is redundant with `failed_tasks`
+        // (an exhausted budget always fails its tasks) but documents
+        // the cache-hygiene contract.
         if let Some(results) = &self.results {
-            if stats.failed_tasks == 0 && stats.completeness >= 1.0 {
+            if stats.failed_tasks == 0 && stats.completeness >= 1.0 && stats.deadline_hits == 0 {
                 results.insert(
                     key,
                     Arc::clone(&plan),
@@ -668,6 +848,13 @@ impl S2s {
             root.attr("failed_tasks", stats.failed_tasks.to_string());
             root.attr("round_trips", stats.round_trips.to_string());
             root.attr("cache_hits", stats.cache_hits.to_string());
+            if stats.deadline_hits > 0 {
+                root.attr("deadline_hits", stats.deadline_hits.to_string());
+            }
+            if stats.hedges > 0 {
+                root.attr("hedges", stats.hedges.to_string());
+                root.attr("hedge_wins", stats.hedge_wins.to_string());
+            }
 
             let mut parse_span = Span::new(SpanKind::Parse, "s2sql");
             parse_span.wall_us = parse_wall.as_micros() as u64;
@@ -756,6 +943,65 @@ impl S2s {
             trace,
         }
     }
+
+    /// Builds the outcome of a shed query: an empty, honestly-labelled
+    /// degraded answer. No plan work ran (the plan is a sentinel), no
+    /// source was contacted, and no cache was written.
+    fn shed(
+        &self,
+        s2sql: &str,
+        reason: &ShedReason,
+        result_cache_delta: CacheStats,
+        query_started: std::time::Instant,
+    ) -> QueryOutcome {
+        let stats = QueryStats {
+            shed: true,
+            completeness: 0.0,
+            result_cache: result_cache_delta,
+            ..QueryStats::default()
+        };
+        if s2s_obs::enabled() {
+            let metrics = s2s_obs::global();
+            metrics.counter("s2s_queries_total").inc();
+            metrics.counter(s2s_obs::names::OVERLOAD_SHED_TOTAL).inc();
+        }
+        let trace = if self.tracing {
+            let mut root = Span::new(SpanKind::Query, s2sql.to_string());
+            root.wall_us = query_started.elapsed().as_micros() as u64;
+            root.outcome = SpanOutcome::Shed;
+            root.attr("shed", reason.to_string());
+            root.attr("completeness", "0");
+            Some(Trace::new(root))
+        } else {
+            None
+        };
+        QueryOutcome {
+            plan: QueryPlan {
+                class: shed_sentinel_iri(),
+                output_classes: Vec::new(),
+                attributes: Vec::new(),
+                condition: None,
+            },
+            instances: InstanceSet {
+                graph: Default::default(),
+                individuals: Vec::new(),
+                errors: Vec::new(),
+                completeness: 0.0,
+                round_trips: 0,
+                cache_hits: 0,
+            },
+            stats,
+            source_times: std::collections::BTreeMap::new(),
+            resilience: std::collections::BTreeMap::new(),
+            trace,
+        }
+    }
+}
+
+/// The placeholder class IRI of a shed query's outcome: shedding
+/// happens before parse/plan, so there is no real plan to attach.
+fn shed_sentinel_iri() -> s2s_rdf::Iri {
+    s2s_rdf::Iri::new("urn:s2s:shed").expect("sentinel IRI is valid")
 }
 
 /// Counter movement between two snapshots of the same cache.
@@ -1150,5 +1396,142 @@ mod tests {
         let owl = outcome.render(s2s.ontology(), OutputFormat::OwlRdfXml);
         assert!(owl.contains("rdf:RDF"));
         assert!(owl.contains("Seiko"));
+    }
+
+    /// A remote deployment with one replicated source (primary +
+    /// replica behind the same cost model) under `policy`.
+    fn deploy_replicated(
+        primary: FailureModel,
+        replica: FailureModel,
+        policy: ResiliencePolicy,
+    ) -> S2s {
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
+        for i in 0..6 {
+            db.execute(&format!("INSERT INTO w VALUES ({}, 'B{i}', {})", i + 1, 10 + i)).unwrap();
+        }
+        let mut s2s = S2s::new(ontology()).with_resilience(policy);
+        s2s.register_remote_source_with_replicas(
+            "DB",
+            Connection::Database { db: Arc::new(db) },
+            CostModel::wan(),
+            primary,
+            &[replica],
+        )
+        .unwrap();
+        for (attr, col) in [("brand", "brand"), ("price", "price")] {
+            s2s.register_attribute(
+                &format!("thing.product.watch.{attr}"),
+                ExtractionRule::Sql {
+                    query: format!("SELECT {col} FROM w ORDER BY id"),
+                    column: col.into(),
+                },
+                "DB",
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        s2s
+    }
+
+    #[test]
+    fn shed_query_returns_honest_empty_answer() {
+        let s2s =
+            deploy().with_admission(s2s_netsim::AdmissionConfig::with_permits(1)).with_tracing();
+        // Occupy the only permit so the next arrival sees a backlog its
+        // 1 ms budget cannot absorb.
+        let slot = s2s.admission().unwrap().admit("hog", None, false).unwrap();
+        let opts =
+            QueryOptions::default().with_deadline(SimDuration::from_millis(1)).with_tenant("meek");
+        let out = s2s.query_with_options("SELECT watch", &opts).unwrap();
+        drop(slot);
+
+        assert!(out.stats.shed);
+        assert_eq!(out.stats.completeness, 0.0);
+        assert!(out.individuals().is_empty());
+        assert_eq!(out.stats.round_trips, 0, "a shed query puts nothing on the wire");
+        assert_eq!(out.stats.plan_cache, CacheStats::default(), "shed before any plan work");
+        let root = out.trace.unwrap().root;
+        assert_eq!(root.outcome, SpanOutcome::Shed);
+        assert!(root.get_attr("shed").is_some());
+        assert_eq!(s2s.admission_stats().unwrap().shed, 1);
+        assert_eq!(s2s.plan_cache_len(), 0, "shed queries publish nothing");
+
+        // With the permit free again the same engine answers normally.
+        let ok = s2s.query("SELECT watch").unwrap();
+        assert!(!ok.stats.shed);
+        assert!(!ok.individuals().is_empty());
+    }
+
+    #[test]
+    fn urgent_queries_skip_the_budget_shed_check() {
+        let s2s = deploy().with_admission(s2s_netsim::AdmissionConfig::with_permits(2));
+        let slot = s2s.admission().unwrap().admit("hog", None, false).unwrap();
+        let opts = QueryOptions::default()
+            .with_deadline(SimDuration::from_micros(1))
+            .with_priority(Priority::High);
+        let out = s2s.query_with_options("SELECT watch", &opts).unwrap();
+        drop(slot);
+        assert!(!out.stats.shed, "high priority bypasses the estimated-wait shed");
+    }
+
+    #[test]
+    fn deadline_exhaustion_returns_partial_answer_with_attempts_counted() {
+        let policy = ResiliencePolicy::default().with_retry(
+            s2s_netsim::RetryPolicy::attempts(10)
+                .with_backoff(SimDuration::from_millis(50), 2, SimDuration::from_millis(400))
+                .with_jitter(0.0),
+        );
+        // Primary and replica both hard down: without a budget this
+        // query would grind through the whole retry/failover schedule.
+        let s2s =
+            deploy_replicated(FailureModel::unreachable(), FailureModel::unreachable(), policy);
+        let opts = QueryOptions::default().with_deadline(SimDuration::from_millis(60));
+        let out = s2s.query_with_options("SELECT watch", &opts).unwrap();
+
+        assert!(!out.stats.shed);
+        assert!(out.stats.deadline_hits >= 1);
+        assert!(out.stats.failed_tasks > 0);
+        assert!(out.stats.completeness < 1.0, "the answer is honestly degraded");
+        assert!(out.stats.round_trips >= 1, "attempts made before expiry still count");
+        assert!(
+            out.errors().iter().any(|e| matches!(e.error, S2sError::DeadlineExceeded { .. })),
+            "failures are labelled as deadline casualties"
+        );
+        let health = &out.resilience["DB"];
+        assert_eq!(health.deadline_hits, out.stats.deadline_hits);
+        // No failover happened after expiry: the budget is gone.
+        assert_eq!(out.stats.failovers, 0);
+    }
+
+    #[test]
+    fn hedging_races_stragglers_and_wins_stay_bounded_by_launches() {
+        let policy = ResiliencePolicy::default()
+            .with_retry(
+                s2s_netsim::RetryPolicy::attempts(4)
+                    .with_backoff(SimDuration::from_millis(60), 2, SimDuration::from_millis(240))
+                    .with_jitter(0.0),
+            )
+            .with_hedging(s2s_netsim::HedgeConfig {
+                percentile: 50,
+                min_samples: 1,
+                min_delay: SimDuration::from_micros(1),
+            });
+        // A flaky primary makes some exchanges straggle through retries
+        // and backoff; the reliable replica answers hedges quickly.
+        let s2s = deploy_replicated(FailureModel::flaky(0.7), FailureModel::reliable(), policy);
+        let (mut hedges, mut wins) = (0, 0);
+        for i in 0..20 {
+            let out = s2s.query(&format!("SELECT watch WHERE price < {}", 11 + i)).unwrap();
+            assert!(out.stats.hedge_wins <= out.stats.hedges, "wins bounded per query");
+            hedges += out.stats.hedges;
+            wins += out.stats.hedge_wins;
+        }
+        assert!(hedges >= 1, "no hedge launched across 20 queries");
+        assert!(wins >= 1, "no hedge won across 20 queries");
+        assert!(wins <= hedges);
+        let hedger = s2s.resilience().hedger().expect("hedging enabled");
+        assert_eq!(hedger.launched(), hedges);
+        assert_eq!(hedger.wins(), wins);
     }
 }

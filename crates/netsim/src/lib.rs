@@ -25,13 +25,17 @@
 //!   virtual time,
 //! * [`breaker`] — per-endpoint circuit breakers (Closed → Open →
 //!   HalfOpen) driven by explicit virtual `now`, with transition
-//!   counters.
+//!   counters,
+//! * [`admission`] — bounded admission with per-tenant deficit-round-
+//!   robin dequeue, early load shedding against deadline budgets, and
+//!   the percentile latency tracker behind hedged requests.
 //!
 //! Time is **virtual**: calls return a [`SimDuration`] cost instead of
 //! sleeping, so experiments are deterministic and fast while preserving
 //! the *shape* of distributed-systems effects (stragglers, crossover
 //! points, partial failure).
 
+pub mod admission;
 pub mod breaker;
 pub mod cost;
 pub mod endpoint;
@@ -41,6 +45,10 @@ pub mod retry;
 pub mod sched;
 pub mod wire;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionGuard, AdmissionStats, HedgeConfig, Hedger,
+    ShedReason,
+};
 pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use cost::{CostModel, SimDuration};
 pub use endpoint::{Endpoint, EndpointStats, FailureModel, FaultKind, FaultSchedule, RemoteCall};

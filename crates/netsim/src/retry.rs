@@ -343,6 +343,34 @@ mod tests {
     }
 
     #[test]
+    fn deadline_expiring_during_backoff_is_deadline_exceeded_not_transient() {
+        // Regression: the overall deadline lands *inside* the first
+        // backoff sleep. The schedule must stop right there, classify
+        // the outcome as deadline-exceeded (deadline_hit, not merely
+        // another transient error), spend no part of the truncated
+        // wait, and report exactly the wire attempts actually made.
+        let p = RetryPolicy::attempts(10)
+            .with_backoff(SimDuration::from_millis(50), 2, SimDuration::from_millis(400))
+            .with_jitter(0.0)
+            .with_deadline(SimDuration::from_millis(30));
+        let ep = Endpoint::new("a", CostModel::lan(), hard_down(), 1);
+        let out = invoke_with_retry(&ep, &p, 9, 8, || ());
+
+        // An unreachable LAN endpoint charges ~0.5 ms per attempt, so
+        // the first attempt fits the 30 ms budget but the 50 ms
+        // backoff before attempt 2 overshoots it mid-sleep.
+        assert!(out.deadline_hit, "must classify as deadline-exceeded");
+        assert!(
+            matches!(out.result, Err(ref e) if e.is_transient()),
+            "the last wire error stays transient; deadline_hit is the classifier"
+        );
+        assert_eq!(out.attempts, 1, "stops immediately: no attempt after the cut");
+        assert_eq!(ep.stats().calls, 1, "the endpoint saw exactly the attempts made");
+        assert_eq!(out.backoff, SimDuration::ZERO, "truncated wait is not charged");
+        assert!(out.elapsed < SimDuration::from_millis(30), "never overdraws the budget");
+    }
+
+    #[test]
     fn attempt_timeout_converts_slow_success() {
         let slow = CostModel::new(SimDuration::from_millis(100), SimDuration::ZERO, 0);
         let ep = Endpoint::new("slow", slow, FailureModel::reliable(), 1);

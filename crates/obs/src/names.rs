@@ -37,6 +37,28 @@ pub const EXTRACTION_CACHE_EVICTIONS_TOTAL: &str = "s2s_extraction_cache_evictio
 /// Counter: compiled-rule-cache entries evicted by the LRU bound.
 pub const RULE_CACHE_EVICTIONS_TOTAL: &str = "s2s_rule_cache_evictions_total";
 
+/// Counter: queries refused by admission control (load shedding).
+pub const OVERLOAD_SHED_TOTAL: &str = "s2s_overload_shed_total";
+/// Counter: queries (or per-source exchanges) that exhausted their
+/// deadline budget and returned degraded.
+pub const OVERLOAD_DEADLINE_EXCEEDED_TOTAL: &str = "s2s_overload_deadline_exceeded_total";
+/// Counter: hedged replica requests launched against stragglers.
+pub const HEDGE_LAUNCHED_TOTAL: &str = "s2s_hedge_launched_total";
+/// Counter: hedged requests whose replica reply beat the primary.
+/// Invariant: `hedge_wins ≤ hedge_launched`.
+pub const HEDGE_WINS_TOTAL: &str = "s2s_hedge_wins_total";
+/// Gauge: queries currently waiting in the admission queue.
+pub const ADMISSION_QUEUE_DEPTH: &str = "s2s_admission_queue_depth";
+
+/// Gauge name for one tenant's admission backlog.
+///
+/// Per-tenant series share the `s2s_admission_tenant_backlog_` prefix;
+/// the tenant id is embedded in the metric name because the registry
+/// is label-free.
+pub fn tenant_backlog_gauge(tenant: &str) -> String {
+    format!("s2s_admission_tenant_backlog_{tenant}")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -55,9 +77,16 @@ mod tests {
             super::PLAN_CACHE_EVICTIONS_TOTAL,
             super::EXTRACTION_CACHE_EVICTIONS_TOTAL,
             super::RULE_CACHE_EVICTIONS_TOTAL,
+            super::OVERLOAD_SHED_TOTAL,
+            super::OVERLOAD_DEADLINE_EXCEEDED_TOTAL,
+            super::HEDGE_LAUNCHED_TOTAL,
+            super::HEDGE_WINS_TOTAL,
+            super::ADMISSION_QUEUE_DEPTH,
         ];
         let unique: std::collections::BTreeSet<_> = all.iter().collect();
         assert_eq!(unique.len(), all.len());
         assert!(all.iter().all(|n| n.starts_with("s2s_")));
+        assert!(super::tenant_backlog_gauge("acme").starts_with("s2s_"));
+        assert_ne!(super::tenant_backlog_gauge("a"), super::tenant_backlog_gauge("b"));
     }
 }

@@ -81,8 +81,14 @@ pub enum SpanOutcome {
     Retried,
     /// Succeeded on a replica after the primary failed.
     FailedOver,
+    /// Succeeded, but only after a hedged replica request was launched
+    /// against a straggling primary (whichever reply came first won).
+    Hedged,
     /// An open circuit breaker refused the call before the wire.
     BreakerRejected,
+    /// Refused by admission control before any work was done (overload
+    /// shedding). No wire traffic, no cache writes.
+    Shed,
     /// Partially succeeded (some children failed).
     Degraded,
     /// Failed outright.
@@ -97,7 +103,9 @@ impl SpanOutcome {
             SpanOutcome::CacheHit => "cache-hit",
             SpanOutcome::Retried => "retried",
             SpanOutcome::FailedOver => "failed-over",
+            SpanOutcome::Hedged => "hedged",
             SpanOutcome::BreakerRejected => "breaker-rejected",
+            SpanOutcome::Shed => "shed",
             SpanOutcome::Degraded => "degraded",
             SpanOutcome::Failed => "failed",
         }
@@ -110,7 +118,9 @@ impl SpanOutcome {
             "cache-hit" => SpanOutcome::CacheHit,
             "retried" => SpanOutcome::Retried,
             "failed-over" => SpanOutcome::FailedOver,
+            "hedged" => SpanOutcome::Hedged,
             "breaker-rejected" => SpanOutcome::BreakerRejected,
+            "shed" => SpanOutcome::Shed,
             "degraded" => SpanOutcome::Degraded,
             "failed" => SpanOutcome::Failed,
             _ => return None,
@@ -245,7 +255,9 @@ mod tests {
             SpanOutcome::CacheHit,
             SpanOutcome::Retried,
             SpanOutcome::FailedOver,
+            SpanOutcome::Hedged,
             SpanOutcome::BreakerRejected,
+            SpanOutcome::Shed,
             SpanOutcome::Degraded,
             SpanOutcome::Failed,
         ] {

@@ -184,6 +184,90 @@ fn result_cache_ttl_expires_in_simulated_time() {
     assert_eq!(s2s.query("SELECT watch").unwrap().stats.result_cache.hits, 1);
 }
 
+/// Overload hygiene: a shed query runs nothing past the result-cache
+/// lookup, so the plan cache sees zero operations and neither cache
+/// gains an entry.
+#[test]
+fn shed_queries_leave_plan_and_result_caches_untouched() {
+    use s2s::netsim::AdmissionConfig;
+    use s2s::QueryOptions;
+
+    let shared = deploy(6, Strategy::Serial)
+        .with_result_cache()
+        .with_admission(AdmissionConfig::with_permits(1));
+    // Warm one unrelated entry so the assertions compare real counts,
+    // not just zeros.
+    shared.query("SELECT watch WHERE price < 20").unwrap();
+    let plan_len = shared.plan_cache_len();
+    let plan_stats = shared.plan_cache_stats();
+    let result_len = shared.result_cache_len();
+
+    // Occupy the only permit; the next arrival's 1 ms budget cannot
+    // absorb the estimated wait, so it is shed at the door.
+    let slot = shared.admission().unwrap().admit("hog", None, false).unwrap();
+    let opts =
+        QueryOptions::default().with_deadline(SimDuration::from_millis(1)).with_tenant("meek");
+    let out = shared.query_with_options("SELECT watch WHERE price < 999", &opts).unwrap();
+    drop(slot);
+
+    assert!(out.stats.shed);
+    assert_eq!(shared.plan_cache_len(), plan_len, "shed query must not add a plan entry");
+    assert_eq!(shared.plan_cache_stats(), plan_stats, "shed query must not touch the plan cache");
+    assert_eq!(out.stats.plan_cache, Default::default());
+    assert_eq!(shared.result_cache_len(), result_len, "shed query must not cache an answer");
+    // The result-cache lookup itself is permitted (a hit would have
+    // been served): exactly one miss, no write.
+    assert_eq!((out.stats.result_cache.hits, out.stats.result_cache.misses), (0, 1));
+}
+
+/// Overload hygiene: a query that exhausts its deadline publishes
+/// nothing — no plan-cache entry, no result-cache entry — so overload
+/// casualties cannot churn entries that healthy queries rely on.
+#[test]
+fn deadline_exceeded_queries_publish_no_cache_entries() {
+    use s2s::core::extract::ResiliencePolicy;
+    use s2s::netsim::RetryPolicy;
+    use s2s::QueryOptions;
+
+    let policy = ResiliencePolicy::default().with_retry(
+        RetryPolicy::attempts(8)
+            .with_backoff(SimDuration::from_millis(50), 2, SimDuration::from_millis(400))
+            .with_jitter(0.0),
+    );
+    let mut s2s = S2s::new(ontology()).with_result_cache().with_resilience(policy);
+    s2s.register_remote_source(
+        "DB",
+        Connection::Database { db: Arc::new(watch_db(4)) },
+        CostModel::wan(),
+        FailureModel::unreachable(),
+    )
+    .unwrap();
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        ExtractionRule::Sql {
+            query: "SELECT brand FROM w ORDER BY id".into(),
+            column: "brand".into(),
+        },
+        "DB",
+        RecordScenario::MultiRecord,
+    )
+    .unwrap();
+
+    let opts = QueryOptions::default().with_deadline(SimDuration::from_millis(60));
+    let out = s2s.query_with_options("SELECT watch WHERE price < 50", &opts).unwrap();
+    assert!(out.stats.deadline_hits >= 1, "the tight budget must expire mid-retry");
+    assert_eq!(out.stats.round_trips, out.resilience["DB"].attempts);
+    assert_eq!(s2s.plan_cache_len(), 0, "deadline casualty must not publish a plan");
+    assert_eq!(s2s.result_cache_len(), 0, "degraded answer must not be cached");
+
+    // Re-running without a deadline proves nothing was published: the
+    // plan cache misses again, then (deadline_hits == 0) publishes.
+    let retry = s2s.query("SELECT watch WHERE price < 50").unwrap();
+    assert_eq!(retry.stats.deadline_hits, 0);
+    assert_eq!((retry.stats.plan_cache.hits, retry.stats.plan_cache.misses), (0, 1));
+    assert_eq!(s2s.plan_cache_len(), 1, "healthy (if failing) query does publish its plan");
+}
+
 proptest! {
     /// Equivalent S2SQL spellings (whitespace, keyword case) normalize
     /// to the same key, produce identical plans, and share one
