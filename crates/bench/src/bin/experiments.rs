@@ -27,9 +27,13 @@
 //!   budget, if goodput collapses below the unprotected baseline, or
 //!   if the unprotected baseline fails to melt down (the CI overload
 //!   gate).
+//! * `--reactor-smoke <dir>` — 1000 clients multiplexed on one OS
+//!   thread through the virtual-time reactor, each issuing one cold
+//!   query; writes `e13.json` into `<dir>` and exits non-zero on any
+//!   divergence from the serial baseline (the CI reactor gate).
 //! * `--conform-fuzz` — deterministic differential fuzzing: generated
-//!   scenarios run through the serial, batched, replay, and pooled
-//!   execution paths and every oracle in `s2s-conform`. Options:
+//!   scenarios run through the serial, batched, replay, pooled, and
+//!   reactor execution paths and every oracle in `s2s-conform`. Options:
 //!   `--budget-ms <N>` (wall-clock budget, default 10000),
 //!   `--seed <S>` (integer or any string, e.g. a git SHA; hashed),
 //!   `--out <dir>` (where shrunk failing cases are written),
@@ -94,6 +98,19 @@ fn main() {
             }
             println!("overload-smoke OK");
         }
+        Some("--reactor-smoke") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--reactor-smoke requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = reactor_smoke(dir) {
+                for v in &violations {
+                    eprintln!("reactor-smoke FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("reactor-smoke OK");
+        }
         Some("--conform-fuzz") => {
             if let Err(violations) = conform_fuzz(&args[1..]) {
                 for v in &violations {
@@ -133,10 +150,15 @@ fn usage() {
     println!("                                 baseline; writes e14.json into DIR; fails");
     println!("                                 if shedding does not bound p99 or goodput");
     println!("                                 collapses below the unprotected baseline");
+    println!("  experiments --reactor-smoke DIR");
+    println!("                                 1000 clients multiplexed on one thread");
+    println!("                                 through the virtual-time reactor; writes");
+    println!("                                 e13.json into DIR; fails on any answer");
+    println!("                                 diverging from the serial baseline");
     println!("  experiments --conform-fuzz [--budget-ms N] [--seed S] [--out DIR]");
     println!("                                 differential fuzzing across the serial,");
-    println!("                                 batched, replay, and pooled paths; the");
-    println!("                                 seed may be any string (a git SHA is");
+    println!("                                 batched, replay, pooled, and reactor paths;");
+    println!("                                 the seed may be any string (a git SHA is");
     println!("                                 hashed); shrunk failing cases go to DIR");
     println!("  experiments --conform-fuzz --replay FILE");
     println!("                                 re-check one corpus case file");
@@ -424,6 +446,16 @@ fn smoke_audit(dir: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// Checks that a written smoke artifact declares the schema version
+/// this binary was built with, so CI fails loudly on silent artifact
+/// format drift instead of downstream tooling misreading old fields.
+fn check_schema_version(path: &str, json: &str, violations: &mut Vec<String>) {
+    let expected = format!("\"schema_version\":{}", SCHEMA_VERSION);
+    if !json.contains(&expected) {
+        violations.push(format!("{path} does not declare {expected}"));
+    }
+}
+
 /// The CI concurrency gate: 4 client threads share one engine and replay
 /// a warm (repeated-text) workload; every answer must match the serial
 /// baseline and the run must make forward progress.
@@ -441,7 +473,9 @@ fn throughput_smoke(dir: &str) -> Result<(), Vec<String>> {
     std::fs::create_dir_all(dir)
         .unwrap_or_else(|e| panic!("cannot create throughput-smoke dir {dir}: {e}"));
     let json_path = format!("{dir}/e13.json");
-    std::fs::write(&json_path, report.to_json()).expect("write e13.json");
+    let json = report.to_json();
+    std::fs::write(&json_path, &json).expect("write e13.json");
+    check_schema_version(&json_path, &json, &mut violations);
 
     if report.mismatches > 0 {
         violations.push(format!(
@@ -468,6 +502,64 @@ fn throughput_smoke(dir: &str) -> Result<(), Vec<String>> {
         report.mismatches,
         report.result_cache.hits,
         report.result_cache.hits + report.result_cache.misses,
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// The CI reactor gate: 1000 clients multiplexed on one OS thread
+/// through the virtual-time reactor, each issuing one distinct (cold)
+/// query — a client count the thread-per-client runner cannot reach.
+/// Every answer must match the serial baseline bit-for-bit and every
+/// answer must be complete. Writes `e13.json` into `dir`.
+fn reactor_smoke(dir: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+
+    let clients = 1_000;
+    let workload = cold_workload(clients, 1);
+    let reference = deploy_paced(12, 42, 0, Strategy::Serial, false);
+    let baseline = serial_baseline(&reference, &workload);
+    // Same light pace as the throughput gate: the wire waits are real
+    // enough that only overlap keeps the run inside the CI budget.
+    let engine = deploy_paced(12, 42, 60, Strategy::Reactor { shards: 4 }, true);
+    let report = run_throughput_reactor(&engine, &workload, &baseline, 4);
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create reactor-smoke dir {dir}: {e}"));
+    let json_path = format!("{dir}/e13.json");
+    let json = report.to_json();
+    std::fs::write(&json_path, &json).expect("write e13.json");
+    check_schema_version(&json_path, &json, &mut violations);
+
+    if report.queries != clients {
+        violations.push(format!("expected {clients} answers, got {}", report.queries));
+    }
+    if report.mismatches > 0 {
+        violations.push(format!(
+            "{} of {} reactor answers diverged from the serial baseline",
+            report.mismatches, report.queries
+        ));
+    }
+    if report.qps <= 0.0 {
+        violations.push(format!("throughput not positive: {} queries/sec", report.qps));
+    }
+    if report.min_completeness < 1.0 {
+        violations.push(format!(
+            "degraded answer under the reactor: min completeness {} < 1.0",
+            report.min_completeness
+        ));
+    }
+
+    println!(
+        "reactor-smoke: {} clients on one thread → {:.0} qps, {} mismatches, \
+         wall {} ms → {json_path}",
+        report.clients,
+        report.qps,
+        report.mismatches,
+        report.wall.as_millis(),
     );
     if violations.is_empty() {
         Ok(())
@@ -520,7 +612,8 @@ fn overload_smoke(dir: &str) -> Result<(), Vec<String>> {
     let json_path = format!("{dir}/e14.json");
     let json =
         format!("{{\"runs\":[{},{},{}]}}", shed_1x.to_json(), shed_4x.to_json(), open_4x.to_json());
-    std::fs::write(&json_path, json).expect("write e14.json");
+    std::fs::write(&json_path, &json).expect("write e14.json");
+    check_schema_version(&json_path, &json, &mut violations);
 
     // The deadline budget, read as a wall bound: simulated time is
     // paced well below real time, so a served query that stayed within
@@ -1182,6 +1275,43 @@ fn e13() {
         warm_qps[&4] / unreport.qps,
         warm_qps[&8] / unreport.qps,
     );
+
+    // Reactor mode: every client is a timer-driven state machine on
+    // one OS thread, so the client count sails past the pool's thread
+    // ceiling. Each client issues one distinct (cold) query; the
+    // baseline is computed once at the largest C, since smaller sweeps
+    // use a prefix of the same texts. p50/p99 here are *virtual*
+    // per-query service times (see `run_throughput_reactor`).
+    let big = cold_workload(10_000, 1);
+    let baseline = serial_baseline(&reference, &big);
+    let mut react_qps = std::collections::BTreeMap::new();
+    for clients in [100usize, 1_000, 10_000] {
+        let workload = cold_workload(clients, 1);
+        let engine = deploy_paced(12, 42, E13_PACE, Strategy::Reactor { shards: 4 }, true);
+        let report = run_throughput_reactor(&engine, &workload, &baseline, 4);
+        assert_eq!(report.mismatches, 0, "react C={clients}: results diverged from serial");
+        assert_eq!(report.min_completeness, 1.0, "react C={clients}: degraded answer");
+        println!(
+            "{:>6} {:>8} {:>8} {:>7}ms {:>9.0} {:>7}us {:>7}us {:>10} {:>8.0}% {:>8.0}%",
+            "react",
+            clients,
+            report.queries,
+            report.wall.as_millis(),
+            report.qps,
+            report.p50_us,
+            report.p99_us,
+            "-",
+            ThroughputReport::hit_rate(report.result_cache) * 100.0,
+            ThroughputReport::hit_rate(report.plan_cache) * 100.0,
+        );
+        react_qps.insert(clients, report.qps);
+    }
+    let threaded_best = cold_qps.values().cloned().fold(0.0f64, f64::max);
+    let ratios: Vec<String> = react_qps
+        .iter()
+        .map(|(c, q)| format!("C={c}: {:.1}x", q / threaded_best.max(1e-9)))
+        .collect();
+    println!("  reactor qps vs best threaded cold run: {}", ratios.join("  "));
 }
 
 fn e12() {

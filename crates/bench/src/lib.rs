@@ -468,6 +468,12 @@ pub fn serial_baseline(
     baseline
 }
 
+/// Version of the JSON artifact layout emitted by
+/// [`ThroughputReport::to_json`] and [`OverloadReport::to_json`].
+/// Bump when a field is added, removed, or re-typed; the smoke jobs
+/// refuse artifacts whose `schema_version` differs from the binary's.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// What one throughput run measured.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -521,13 +527,15 @@ impl ThroughputReport {
         }
         format!(
             concat!(
-                "{{\"clients\":{},\"queries\":{},\"wall_us\":{},\"qps\":{:.1},",
+                "{{\"schema_version\":{},",
+                "\"clients\":{},\"queries\":{},\"wall_us\":{},\"qps\":{:.1},",
                 "\"p50_us\":{},\"p99_us\":{},\"mismatches\":{},\"min_completeness\":{},",
                 "\"pool\":{{\"workers\":{},\"jobs\":{},\"completed\":{},",
                 "\"peak_queue_depth\":{},\"queue_wait_us\":{}}},",
                 "\"plan_cache\":{},\"result_cache\":{},",
                 "\"extraction_cache\":{},\"rule_cache\":{}}}"
             ),
+            SCHEMA_VERSION,
             self.clients,
             self.queries,
             self.wall.as_micros(),
@@ -580,11 +588,88 @@ pub fn run_throughput(
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
     let wall = started.elapsed();
+    let samples: Vec<(u64, bool, f64)> = per_client.into_iter().flatten().collect();
+    throughput_report(engine, workload.len(), wall, samples)
+}
 
-    let mut latencies: Vec<u64> = Vec::new();
+/// Runs `workload` on a single OS thread through a virtual-time
+/// [`Reactor`](s2s_netsim::Reactor): every client is one
+/// [`EventTask`](s2s_netsim::EventTask) that issues its queries in
+/// order, parking on a timer for each answer's simulated cost before
+/// issuing the next. No thread blocks per client, so the client count
+/// can exceed the core count by orders of magnitude; with a paced
+/// engine, the reactor pays the pacing once per virtual-clock advance,
+/// so wall time tracks the virtual makespan across all clients exactly
+/// as a thread-per-client run would — without the threads.
+///
+/// Latency percentiles report *virtual* per-query service time
+/// (simulated microseconds) rather than wall time: under a multiplexer,
+/// per-query wall time would mostly measure other clients' compute,
+/// not this query's service.
+pub fn run_throughput_reactor(
+    engine: &S2s,
+    workload: &[Vec<String>],
+    baseline: &std::collections::BTreeMap<String, String>,
+    shards: usize,
+) -> ThroughputReport {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Client<'a> {
+        engine: &'a S2s,
+        texts: &'a [String],
+        baseline: &'a std::collections::BTreeMap<String, String>,
+        next: usize,
+        samples: Rc<RefCell<Vec<(u64, bool, f64)>>>,
+    }
+
+    impl s2s_netsim::EventTask for Client<'_> {
+        fn fire(&mut self, _now: SimDuration) -> s2s_netsim::Poll {
+            let Some(text) = self.texts.get(self.next) else {
+                return s2s_netsim::Poll::Done;
+            };
+            self.next += 1;
+            let outcome = self.engine.query(text).expect("reactor throughput query");
+            self.samples.borrow_mut().push((
+                outcome.stats.simulated.as_micros(),
+                self.baseline.get(text) == Some(&result_key(&outcome)),
+                outcome.stats.completeness,
+            ));
+            s2s_netsim::Poll::Sleep(outcome.stats.simulated)
+        }
+    }
+
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let started = std::time::Instant::now();
+    let mut reactor = s2s_netsim::Reactor::new(shards);
+    for texts in workload {
+        reactor.spawn(Box::new(Client {
+            engine,
+            texts,
+            baseline,
+            next: 0,
+            samples: Rc::clone(&samples),
+        }));
+    }
+    reactor.run();
+    let wall = started.elapsed();
+    drop(reactor);
+    let samples = Rc::try_unwrap(samples).expect("client tasks dropped").into_inner();
+    throughput_report(engine, workload.len(), wall, samples)
+}
+
+/// Folds per-query `(latency_us, key_matches, completeness)` samples
+/// and the engine's end-of-run counters into a [`ThroughputReport`].
+fn throughput_report(
+    engine: &S2s,
+    clients: usize,
+    wall: std::time::Duration,
+    samples: Vec<(u64, bool, f64)>,
+) -> ThroughputReport {
+    let mut latencies: Vec<u64> = Vec::with_capacity(samples.len());
     let mut mismatches = 0usize;
     let mut min_completeness = 1.0f64;
-    for (lat, ok, completeness) in per_client.iter().flatten() {
+    for (lat, ok, completeness) in &samples {
         latencies.push(*lat);
         if !ok {
             mismatches += 1;
@@ -601,7 +686,7 @@ pub fn run_throughput(
     };
     let queries = latencies.len();
     ThroughputReport {
-        clients: workload.len(),
+        clients,
         queries,
         wall,
         qps: if wall.as_secs_f64() > 0.0 { queries as f64 / wall.as_secs_f64() } else { 0.0 },
@@ -712,11 +797,13 @@ impl OverloadReport {
             .collect();
         format!(
             concat!(
-                "{{\"load\":{},\"shedding\":{},\"capacity_qps\":{:.1},",
+                "{{\"schema_version\":{},",
+                "\"load\":{},\"shedding\":{},\"capacity_qps\":{:.1},",
                 "\"arrivals\":{},\"served\":{},\"shed\":{},\"degraded\":{},",
                 "\"p50_ms\":{:.2},\"p99_ms\":{:.2},\"goodput_qps\":{:.1},",
                 "\"wall_ms\":{},\"peak_queued\":{},\"tenants\":[{}]}}"
             ),
+            SCHEMA_VERSION,
             self.load,
             self.shedding,
             self.capacity_qps,
@@ -963,6 +1050,45 @@ mod tests {
         assert_eq!(report.result_cache.hits, 0);
         let json = report.to_json();
         assert!(json.contains("\"mismatches\":0"), "{json}");
+    }
+
+    #[test]
+    fn reactor_harness_matches_serial_baseline_at_high_client_counts() {
+        // 32 clients on one thread — already past what the pool's
+        // thread-per-client runner would tolerate at this granularity.
+        let workload = cold_workload(32, 2);
+        let reference = deploy_paced(10, 5, 0, Strategy::Serial, false);
+        let baseline = serial_baseline(&reference, &workload);
+
+        let engine = deploy_paced(10, 5, 0, Strategy::Reactor { shards: 2 }, true);
+        let report = run_throughput_reactor(&engine, &workload, &baseline, 4);
+        assert_eq!(report.clients, 32);
+        assert_eq!(report.queries, 64);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.min_completeness, 1.0);
+        assert!(report.qps > 0.0);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+    }
+
+    #[test]
+    fn overload_report_json_carries_schema_version() {
+        let report = OverloadReport {
+            load: 1.0,
+            shedding: true,
+            capacity_qps: 10.0,
+            arrivals: 4,
+            served: 3,
+            shed: 1,
+            degraded: 0,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            goodput_qps: 3.0,
+            wall: std::time::Duration::from_millis(5),
+            peak_queued: 1,
+            tenants: vec![("t".into(), TenantOutcome { arrivals: 4, served: 3, shed: 1 })],
+        };
+        assert!(report.to_json().starts_with("{\"schema_version\":1,"), "{}", report.to_json());
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! healthy scenario). The oracles formalize the promises scattered
 //! through the engine's docs:
 //!
-//! * **Path equality** — serial, batched, result-cached, and pooled
-//!   N-thread execution agree on the instance set (modulo ordering)
-//!   and on the failed-attribute set.
+//! * **Path equality** — serial, batched, result-cached, pooled
+//!   N-thread, and event-reactor execution agree on the instance set
+//!   (modulo ordering) and on the failed-attribute set.
 //! * **Stats conservation** — `tasks == answered + failed`,
 //!   `completeness == answered/tasks`, `round_trips == Σ attempts`,
 //!   `retries`/`failovers` match the per-source health report, and
@@ -82,7 +82,7 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
     let n_sources = scenario.sources.len();
     let n_schemas = n_sources * crate::scenario::ATTRS.len();
 
-    // --- The four execution paths -----------------------------------
+    // --- The five execution paths -----------------------------------
     let serial = scenario.build(&BuildConfig::serial());
     let serial_outcome = match serial.query(&query) {
         Ok(o) => o,
@@ -118,16 +118,46 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
         check_stats(outcome, &format!("pooled-t{t}"), true, &mut violations);
     }
 
+    let reactor = scenario.build(&BuildConfig::reactor(2));
+    let reactor_outcome = reactor.query(&query).expect("parsed on the serial path");
+    check_stats(&reactor_outcome, "reactor", false, &mut violations);
+    // Reactor-specific accounting: every exchange overlaps every
+    // other, so the simulated makespan is the per-exchange max — never
+    // more than the summed serial cost, and equal to the batched
+    // path's sum of exchanges (same wire legs, same charges).
+    if reactor_outcome.stats.simulated > reactor_outcome.stats.simulated_serial {
+        violations.push(Violation::new(
+            "reactor-overlap",
+            format!(
+                "reactor simulated {} exceeds its serial cost {}",
+                reactor_outcome.stats.simulated, reactor_outcome.stats.simulated_serial
+            ),
+        ));
+    }
+    if reactor_outcome.stats.simulated_serial != batched_outcome.stats.simulated_serial {
+        violations.push(Violation::new(
+            "reactor-overlap",
+            format!(
+                "reactor serial cost {} != batched serial cost {} (same wire legs)",
+                reactor_outcome.stats.simulated_serial, batched_outcome.stats.simulated_serial
+            ),
+        ));
+    }
+
     // --- Cross-path equality ----------------------------------------
     let reference = fingerprint(&serial_outcome);
-    for (path, outcome) in
-        [("batched", &batched_outcome), ("replay-first", &replay_first)].into_iter().chain(
-            pooled_outcomes
-                .iter()
-                .enumerate()
-                .map(|(t, o)| (["pooled-t0", "pooled-t1", "pooled-t2"][t], o)),
-        )
-    {
+    for (path, outcome) in [
+        ("batched", &batched_outcome),
+        ("replay-first", &replay_first),
+        ("reactor", &reactor_outcome),
+    ]
+    .into_iter()
+    .chain(
+        pooled_outcomes
+            .iter()
+            .enumerate()
+            .map(|(t, o)| (["pooled-t0", "pooled-t1", "pooled-t2"][t], o)),
+    ) {
         if fingerprint(outcome) != reference {
             violations.push(Violation::new(
                 "path-equality",

@@ -361,6 +361,12 @@ impl BuildConfig {
             ..Default::default()
         }
     }
+
+    /// The event-reactor path: batched extraction dispatched as timer
+    /// events over virtual time instead of pool threads.
+    pub fn reactor(shards: usize) -> Self {
+        BuildConfig { batching: true, strategy: Strategy::Reactor { shards }, ..Default::default() }
+    }
 }
 
 /// Draws 1..`RETRY_ATTEMPTS` scheduled faults at distinct call

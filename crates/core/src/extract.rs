@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use s2s_netsim::wire::{encode, encode_batch, FrameKind};
@@ -53,16 +54,28 @@ pub enum Strategy {
         /// Worker-thread count (>= 1).
         workers: usize,
     },
+    /// Every task in flight at once on an event-driven reactor over
+    /// virtual time ([`s2s_netsim::Reactor`]): exchanges become timer
+    /// events instead of blocked threads, so the concurrency ceiling
+    /// is memory, not core count. Simulated makespan is the maximum
+    /// per-task cost (unbounded overlap); answers are byte-identical
+    /// to the threaded paths.
+    Reactor {
+        /// Timer shards of the reactor (>= 1; clamped).
+        shards: usize,
+    },
 }
 
 impl Strategy {
     /// The worker count this strategy asks for (>= 1). Sizes both the
     /// makespan accounting and the [`WorkerPool`] a resident engine
-    /// spawns for the strategy.
+    /// spawns for the strategy. The reactor answers 1 — it runs on the
+    /// calling thread and never dispatches to the pool.
     pub fn workers(self) -> usize {
         match self {
             Strategy::Serial => 1,
             Strategy::Parallel { workers } => workers.max(1),
+            Strategy::Reactor { .. } => 1,
         }
     }
 }
@@ -397,7 +410,7 @@ impl ExtractorManager {
         deadline: Option<SimDuration>,
     ) -> ExtractionReport {
         let workers = strategy.workers();
-        let outcomes = pool.run(schemas, |schema| {
+        let run_one = |schema: ExtractionSchema| {
             let started = std::time::Instant::now();
             let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
             let r = extract_one_resilient(
@@ -409,7 +422,16 @@ impl ExtractorManager {
                 attempt_spans.as_mut(),
             );
             (schema, r, attempt_spans, started.elapsed())
-        });
+        };
+        let outcomes = match strategy {
+            Strategy::Reactor { shards } => {
+                s2s_netsim::reactor::run_tasks(shards, schemas, run_one, |(_, (_, trace), _, _)| {
+                    trace.elapsed
+                })
+                .0
+            }
+            _ => pool.run(schemas, run_one),
+        };
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
@@ -458,7 +480,7 @@ impl ExtractorManager {
         }
         fill_breaker_states(&mut report, registry, ctx);
         report.simulated_serial = durations.iter().copied().sum();
-        report.simulated = makespan(&durations, workers);
+        report.simulated = makespan(&durations, simulated_workers(strategy, &durations, workers));
         record_report_metrics(&report);
         report
     }
@@ -511,27 +533,18 @@ impl ExtractorManager {
             s2s_obs::global().counter("s2s_extract_batches_total").add(batches.len() as u64);
         }
 
-        let outcomes = pool.run(batches, |batch| {
-            let started = std::time::Instant::now();
-            let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
-            let net = if let (Some(source), false) = (batch.source, batch.ok.is_empty()) {
-                let salt = format!("{}:batch", batch.source_id);
-                resilient_exchange(
-                    source,
-                    &batch.source_id,
-                    &salt,
-                    batch.wire_bytes,
-                    ctx,
-                    deadline,
-                    attempt_spans.as_mut(),
+        let outcomes = match strategy {
+            Strategy::Reactor { shards } => {
+                s2s_netsim::reactor::run_tasks(
+                    shards,
+                    batches,
+                    |batch| run_batch(batch, ctx, deadline, traced),
+                    |(_, (_, trace), _, _)| trace.elapsed,
                 )
-            } else {
-                // Nothing survived the wrappers (or the source is
-                // unknown): no wire leg at all.
-                (Ok(SimDuration::ZERO), TaskTrace::default())
-            };
-            (batch, net, attempt_spans, started.elapsed())
-        });
+                .0
+            }
+            _ => pool.run(batches, |batch| run_batch(batch, ctx, deadline, traced)),
+        };
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
@@ -590,10 +603,55 @@ impl ExtractorManager {
         report.failures = failures.into_iter().map(|(_, f)| f).collect();
         fill_breaker_states(&mut report, registry, ctx);
         report.simulated_serial = durations.iter().copied().sum();
-        report.simulated = makespan(&durations, workers);
+        report.simulated = makespan(&durations, simulated_workers(strategy, &durations, workers));
         record_report_metrics(&report);
         report
     }
+}
+
+/// The worker count the makespan accounting should assume: the
+/// strategy's thread count, except under the reactor, where every task
+/// overlaps every other (simulated makespan = max per-task cost).
+fn simulated_workers(strategy: Strategy, durations: &[SimDuration], workers: usize) -> usize {
+    match strategy {
+        Strategy::Reactor { .. } => durations.len().max(1),
+        _ => workers,
+    }
+}
+
+/// One batch's outcome: the batch back (results/failures inside), the
+/// wire leg's verdict and trace, optional attempt spans, wall elapsed.
+type BatchOutcome<'a> =
+    (PlannedBatch<'a>, (Result<SimDuration, S2sError>, TaskTrace), Option<Vec<Span>>, Duration);
+
+/// Executes one planned batch's wire leg — the task body shared by the
+/// pooled and reactor dispatchers of
+/// [`ExtractorManager::extract_batched_traced`].
+fn run_batch<'a>(
+    batch: PlannedBatch<'a>,
+    ctx: &ResilienceContext,
+    deadline: Option<SimDuration>,
+    traced: bool,
+) -> BatchOutcome<'a> {
+    let started = std::time::Instant::now();
+    let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
+    let net = if let (Some(source), false) = (batch.source, batch.ok.is_empty()) {
+        let salt = format!("{}:batch", batch.source_id);
+        resilient_exchange(
+            source,
+            &batch.source_id,
+            &salt,
+            batch.wire_bytes,
+            ctx,
+            deadline,
+            attempt_spans.as_mut(),
+        )
+    } else {
+        // Nothing survived the wrappers (or the source is unknown): no
+        // wire leg at all.
+        (Ok(SimDuration::ZERO), TaskTrace::default())
+    };
+    (batch, net, attempt_spans, started.elapsed())
 }
 
 /// One per-source unit of batched work, planned before any wire leg.

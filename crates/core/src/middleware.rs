@@ -371,10 +371,12 @@ impl S2s {
         }
     }
 
-    /// Sets the mediation strategy (serial or parallel workers) and
-    /// resizes the engine's shared worker pool to match: one long-lived
-    /// pool of `strategy.workers()` threads serves every query on this
-    /// instance, however many callers run concurrently.
+    /// Sets the mediation strategy (serial, parallel workers, or the
+    /// event reactor) and resizes the engine's shared worker pool to
+    /// match: one long-lived pool of `strategy.workers()` threads
+    /// serves every query on this instance, however many callers run
+    /// concurrently. [`Strategy::Reactor`] keeps the pool inline —
+    /// extraction runs as timer events on the calling thread instead.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
         self.pool = Arc::new(WorkerPool::new(strategy.workers()));
@@ -779,6 +781,16 @@ impl S2s {
             hedges: report.resilience.values().map(|h| h.hedges).sum(),
             hedge_wins: report.resilience.values().map(|h| h.hedge_wins).sum(),
         };
+        // Recalibrate admission's service estimate from what this query
+        // actually cost (EWMA over completion events), so shed decisions
+        // track the live scheduler and workload instead of the static
+        // configured guess. Queries that never touched the wire (fully
+        // cache-served extractions) say nothing about service cost.
+        if let Some(ctl) = &self.admission {
+            if stats.round_trips > 0 {
+                ctl.record_completion(stats.simulated);
+            }
+        }
         // Deferred plan-cache insert (hygiene): a query that blew its
         // deadline does not get to publish cache entries, so overload
         // casualties cannot evict plans that healthy queries rely on.
@@ -1240,6 +1252,101 @@ mod tests {
             v
         };
         assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn reactor_strategy_same_answers() {
+        let serial = deploy();
+        let reactor = deploy().with_strategy(Strategy::Reactor { shards: 2 });
+        let a = serial.query("SELECT watch").unwrap();
+        let b = reactor.query("SELECT watch").unwrap();
+        let key = |o: &QueryOutcome| {
+            let mut v: Vec<String> =
+                o.individuals().iter().map(|i| format!("{:?}", i.values)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&a), key(&b));
+        assert!(
+            b.stats.simulated <= b.stats.simulated_serial,
+            "reactor overlap cannot exceed the serial cost"
+        );
+    }
+
+    /// Three remote flaky sources behind WAN cost models, for the
+    /// threaded-vs-reactor determinism regression.
+    fn deploy_remote_trio(policy: ResiliencePolicy) -> S2s {
+        let mut s2s = S2s::new(ontology()).with_resilience(policy);
+        for (i, brand) in ["Seiko", "Casio", "Orient"].iter().enumerate() {
+            let mut db = Database::new("d");
+            db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
+            db.execute(&format!("INSERT INTO w VALUES (1, '{brand}', {})", 50 + 10 * i)).unwrap();
+            let id = format!("DB{i}");
+            s2s.register_remote_source(
+                &id,
+                Connection::Database { db: Arc::new(db) },
+                CostModel::wan(),
+                FailureModel::flaky(0.3),
+            )
+            .unwrap();
+            for (attr, col) in [("brand", "brand"), ("price", "price")] {
+                s2s.register_attribute(
+                    &format!("thing.product.watch.{attr}"),
+                    ExtractionRule::Sql {
+                        query: format!("SELECT {col} FROM w ORDER BY id"),
+                        column: col.into(),
+                    },
+                    &id,
+                    RecordScenario::MultiRecord,
+                )
+                .unwrap();
+            }
+        }
+        s2s
+    }
+
+    /// Recursive trace-tree equality, masking only `wall_us` (the one
+    /// nondeterministic span field).
+    fn assert_spans_equal_modulo_wall(a: &Span, b: &Span, path: &str) {
+        assert_eq!(a.kind, b.kind, "span kind diverged at {path}");
+        assert_eq!(a.name, b.name, "span name diverged at {path}");
+        assert_eq!(a.outcome, b.outcome, "span outcome diverged at {path}");
+        assert_eq!(a.sim_us, b.sim_us, "span sim_us diverged at {path}");
+        assert_eq!(a.attrs, b.attrs, "span attrs diverged at {path}");
+        assert_eq!(a.children.len(), b.children.len(), "child count diverged at {path}");
+        for (i, (ca, cb)) in a.children.iter().zip(&b.children).enumerate() {
+            assert_spans_equal_modulo_wall(ca, cb, &format!("{path}/{}[{i}]", ca.name));
+        }
+    }
+
+    #[test]
+    fn reactor_trace_tree_is_identical_to_threaded_modulo_wall() {
+        // Same seed + same scenario on the threaded pool vs the event
+        // reactor: answers, stats, and the full trace tree (modulo
+        // wall_us) must be bit-identical. Three sources keep the
+        // 4-worker makespan at the per-task max — the same accounting
+        // the reactor reports — so even the root's sim time agrees.
+        let policy = ResiliencePolicy::default().with_retry(
+            s2s_netsim::RetryPolicy::attempts(3).with_backoff(
+                SimDuration::from_millis(5),
+                2,
+                SimDuration::from_millis(50),
+            ),
+        );
+        let threaded = deploy_remote_trio(policy)
+            .with_strategy(Strategy::Parallel { workers: 4 })
+            .with_tracing();
+        let reactor = deploy_remote_trio(policy)
+            .with_strategy(Strategy::Reactor { shards: 2 })
+            .with_tracing();
+        for query in ["SELECT watch", "SELECT watch WHERE price < 65"] {
+            let a = threaded.query(query).unwrap();
+            let b = reactor.query(query).unwrap();
+            assert_eq!(a.stats, b.stats, "stats diverged on {query}");
+            let ta = a.trace.expect("threaded trace");
+            let tb = b.trace.expect("reactor trace");
+            assert_spans_equal_modulo_wall(&ta.root, &tb.root, query);
+        }
     }
 
     #[test]

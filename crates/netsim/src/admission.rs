@@ -164,6 +164,10 @@ struct State {
     granted: Vec<u64>,
     /// DRR rotation pointer: the tenant served last.
     last_tenant: Option<String>,
+    /// EWMA of observed per-query service times in sim-µs, fed by
+    /// [`AdmissionController::record_completion`]. `0` = no completion
+    /// observed yet; fall back to the configured estimate.
+    service_ewma_us: u64,
 }
 
 /// Bounded, tenant-fair admission in front of the engine.
@@ -229,11 +233,49 @@ impl AdmissionController {
         self.estimate_locked(&st)
     }
 
+    /// The live per-query service estimate: the EWMA of observed
+    /// completions once any have been recorded, the configured
+    /// estimate until then.
+    pub fn service_estimate(&self) -> SimDuration {
+        let st = self.state.lock().expect("admission state lock");
+        SimDuration::from_micros(self.service_estimate_us_locked(&st))
+    }
+
+    /// Recalibrates the service estimate from one completed query's
+    /// simulated service time (EWMA, α = 1/8; the first observation
+    /// seeds the average). The engine calls this per completion event,
+    /// so shed decisions track what queries *actually* cost under the
+    /// current scheduler and workload rather than the static configured
+    /// guess — which was calibrated against threaded-pool service times
+    /// and goes stale the moment the reactor changes the cost shape.
+    pub fn record_completion(&self, service: SimDuration) {
+        let observed = service.as_micros().max(1);
+        let mut st = self.state.lock().expect("admission state lock");
+        st.service_ewma_us = if st.service_ewma_us == 0 {
+            observed
+        } else {
+            (st.service_ewma_us.saturating_mul(7).saturating_add(observed)) / 8
+        };
+        let live = st.service_ewma_us;
+        drop(st);
+        if s2s_obs::enabled() {
+            s2s_obs::global().gauge(s2s_obs::names::ADMISSION_SERVICE_ESTIMATE_US).set(live as f64);
+        }
+    }
+
+    fn service_estimate_us_locked(&self, st: &State) -> u64 {
+        if st.service_ewma_us > 0 {
+            st.service_ewma_us
+        } else {
+            self.cfg.service_estimate.as_micros()
+        }
+    }
+
     fn estimate_locked(&self, st: &State) -> SimDuration {
         // Everything queued, plus the portion of in-flight work beyond
         // what free permits absorb, spread over the permit count.
         let backlog = st.queued + st.in_flight.saturating_sub(self.cfg.permits.saturating_sub(1));
-        let us = self.cfg.service_estimate.as_micros().saturating_mul(backlog as u64)
+        let us = self.service_estimate_us_locked(st).saturating_mul(backlog as u64)
             / self.cfg.permits.max(1) as u64;
         SimDuration::from_micros(us)
     }
@@ -284,7 +326,7 @@ impl AdmissionController {
         // Queue under this tenant and wait for the DRR dispatcher.
         let serial = st.next_serial;
         st.next_serial += 1;
-        let cost = self.cfg.service_estimate.as_micros().max(1);
+        let cost = self.service_estimate_us_locked(&st).max(1);
         st.tenants.entry(tenant.to_string()).or_default().waiting.push_back((serial, cost));
         st.queued += 1;
         st.peak_queued = st.peak_queued.max(st.queued);
@@ -672,6 +714,55 @@ mod tests {
         // Both permits busy: next arrival waits ~half a service time
         // (two permits drain the backlog in parallel).
         assert_eq!(ctl.estimated_wait(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn completions_recalibrate_the_service_estimate() {
+        let ctl = AdmissionController::new(cfg(1, 8).with_service_estimate(ms(100)));
+        assert_eq!(ctl.service_estimate(), ms(100), "configured estimate until calibrated");
+        // First observation seeds the EWMA outright.
+        ctl.record_completion(ms(8));
+        assert_eq!(ctl.service_estimate(), ms(8));
+        // Subsequent observations blend in at α = 1/8.
+        ctl.record_completion(ms(16));
+        assert_eq!(ctl.service_estimate(), ms(9));
+        // Convergence: a run of consistent observations pulls the
+        // estimate to them regardless of the configured starting point.
+        for _ in 0..64 {
+            ctl.record_completion(ms(16));
+        }
+        let settled = ctl.service_estimate().as_micros();
+        assert!((15_000..=16_000).contains(&settled), "settled at {settled}us");
+    }
+
+    #[test]
+    fn recalibrated_estimate_drives_shed_decisions() {
+        // Configured estimate says 100 ms/query — far above the 5 ms
+        // budget — but observed completions say 1 ms, so an arrival
+        // with one query ahead should be admitted, not shed.
+        let ctl = AdmissionController::new(cfg(1, 8).with_service_estimate(ms(100)));
+        for _ in 0..8 {
+            ctl.record_completion(ms(1));
+        }
+        let held = ctl.admit("t1", None, false).unwrap();
+        assert!(ctl.estimated_wait() <= ms(2), "estimate tracks completions");
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| ctl.admit("t1", Some(ms(5)), false).map(drop));
+            while ctl.queue_depth() == 0 && !waiter.is_finished() {
+                std::thread::yield_now();
+            }
+            drop(held);
+            assert!(waiter.join().unwrap().is_ok(), "honest estimate admits within budget");
+        });
+        // And the mirror image: observed completions far above the
+        // configured estimate make the same arrival pattern shed.
+        let ctl = AdmissionController::new(cfg(1, 8).with_service_estimate(ms(1)));
+        for _ in 0..8 {
+            ctl.record_completion(ms(200));
+        }
+        let _held = ctl.admit("t1", None, false).unwrap();
+        let refused = ctl.admit("t1", Some(ms(5)), false);
+        assert!(matches!(refused.err(), Some(ShedReason::BudgetExceeded { .. })));
     }
 
     #[test]

@@ -1,7 +1,53 @@
 //! Virtual time and latency/bandwidth cost models.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::{Add, AddAssign};
+
+thread_local! {
+    /// Wall-clock microseconds of pacing collected instead of slept
+    /// while a [`defer_pacing`] scope is active on this thread.
+    /// `None` = no scope active, sleeps happen for real.
+    static DEFERRED_PACE_US: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with real-time pacing *deferred* on the calling thread:
+/// every [`CostModel::pace`] inside the closure accumulates its
+/// would-be sleep instead of blocking. Returns the closure's result
+/// plus the total deferred wall-clock microseconds.
+///
+/// This is how the event reactor replaces thread sleeps with timer
+/// events: it executes an exchange under deferral, reads off how much
+/// wall time the exchange *would* have blocked, and pays that time
+/// back once per virtual-clock advance instead of once per in-flight
+/// task. Scopes nest — an engine-internal reactor running inside a
+/// benchmark-level reactor re-emits its paid-back time through
+/// [`pace_sleep`], which the outer scope captures in turn.
+pub fn defer_pacing<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let prev = DEFERRED_PACE_US.with(|c| c.replace(Some(0)));
+    let out = f();
+    let deferred = DEFERRED_PACE_US.with(|c| c.replace(prev)).unwrap_or(0);
+    (out, deferred)
+}
+
+/// Sleeps `us` wall-clock microseconds — unless a [`defer_pacing`]
+/// scope is active on this thread, in which case the time is added to
+/// that scope's accumulator and the call returns immediately.
+pub fn pace_sleep(us: u64) {
+    if us == 0 {
+        return;
+    }
+    let deferred = DEFERRED_PACE_US.with(|c| match c.get() {
+        Some(acc) => {
+            c.set(Some(acc.saturating_add(us)));
+            true
+        }
+        None => false,
+    });
+    if !deferred {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+}
 
 /// A span of simulated time, in microseconds.
 ///
@@ -158,14 +204,14 @@ impl CostModel {
 
     /// Blocks the calling thread for the paced real-time equivalent of
     /// `charged` simulated time. A no-op unless pacing is enabled.
+    /// Inside a [`defer_pacing`] scope the sleep is accumulated rather
+    /// than taken, so an event reactor can pay it back per clock
+    /// advance instead of per blocked task.
     pub fn pace(&self, charged: SimDuration) {
         if self.pace_us_per_sim_ms == 0 {
             return;
         }
-        let us = charged.as_micros().saturating_mul(self.pace_us_per_sim_ms) / 1_000;
-        if us > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(us));
-        }
+        pace_sleep(charged.as_micros().saturating_mul(self.pace_us_per_sim_ms) / 1_000);
     }
 }
 
@@ -227,6 +273,43 @@ mod tests {
         let paced = CostModel::instant().with_pace(100); // 0.1 ms real per sim ms
         let started = std::time::Instant::now();
         paced.pace(SimDuration::from_millis(20));
+        assert!(started.elapsed() >= std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn deferred_pacing_accumulates_instead_of_sleeping() {
+        let paced = CostModel::instant().with_pace(1_000); // 1 ms real per sim ms
+        let started = std::time::Instant::now();
+        let ((), deferred) = defer_pacing(|| {
+            paced.pace(SimDuration::from_millis(100));
+            paced.pace(SimDuration::from_millis(150));
+        });
+        // 250 sim ms × 1000 us/ms would be a 250 ms sleep; deferral
+        // must make this effectively instant.
+        assert!(started.elapsed() < std::time::Duration::from_millis(100));
+        assert_eq!(deferred, 250_000);
+    }
+
+    #[test]
+    fn deferred_pacing_scopes_nest() {
+        let paced = CostModel::instant().with_pace(1_000);
+        let ((inner_deferred, relayed), outer_deferred) = defer_pacing(|| {
+            let ((), inner) = defer_pacing(|| {
+                paced.pace(SimDuration::from_millis(40));
+            });
+            // An inner reactor pays its collected time back through
+            // pace_sleep; the outer scope captures that.
+            pace_sleep(inner / 2);
+            (inner, inner / 2)
+        });
+        assert_eq!(inner_deferred, 40_000);
+        assert_eq!(outer_deferred, relayed);
+    }
+
+    #[test]
+    fn pace_sleep_outside_scope_sleeps() {
+        let started = std::time::Instant::now();
+        pace_sleep(2_000);
         assert!(started.elapsed() >= std::time::Duration::from_millis(2));
     }
 }

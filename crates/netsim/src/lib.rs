@@ -28,7 +28,10 @@
 //!   counters,
 //! * [`admission`] — bounded admission with per-tenant deficit-round-
 //!   robin dequeue, early load shedding against deadline budgets, and
-//!   the percentile latency tracker behind hedged requests.
+//!   the percentile latency tracker behind hedged requests,
+//! * [`reactor`] — an event-driven scheduler over virtual time: tasks
+//!   are state machines advanced by timer events instead of blocked
+//!   threads, so one core holds thousands of in-flight exchanges.
 //!
 //! Time is **virtual**: calls return a [`SimDuration`] cost instead of
 //! sleeping, so experiments are deterministic and fast while preserving
@@ -41,6 +44,7 @@ pub mod cost;
 pub mod endpoint;
 pub mod error;
 pub mod pool;
+pub mod reactor;
 pub mod retry;
 pub mod sched;
 pub mod wire;
@@ -50,10 +54,11 @@ pub use admission::{
     ShedReason,
 };
 pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
-pub use cost::{CostModel, SimDuration};
+pub use cost::{defer_pacing, pace_sleep, CostModel, SimDuration};
 pub use endpoint::{Endpoint, EndpointStats, FailureModel, FaultKind, FaultSchedule, RemoteCall};
 pub use error::NetError;
 pub use pool::{PoolStats, WorkerPool};
+pub use reactor::{run_tasks, EventTask, Poll, Reactor, ReactorStats};
 pub use retry::{invoke_with_retry, RetryOutcome, RetryPolicy};
 pub use sched::{makespan, run_parallel};
 pub use wire::{decode, decode_batch, encode, encode_batch, Frame, FrameKind};

@@ -157,9 +157,24 @@ impl WorkerPool {
             Some(queue) if n > 1 => queue,
             _ => {
                 // Inline fast path: a 1-worker pool or a 1-task batch
-                // gains nothing from the queue.
+                // gains nothing from the queue — but it must feed the
+                // same depth/wait telemetry as the queued path, or obs
+                // reports depth 0 under single-worker configs.
                 let mut out = Vec::with_capacity(n);
                 for t in tasks {
+                    let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.peak_queued.fetch_max(depth, Ordering::Relaxed);
+                    if s2s_obs::enabled() {
+                        s2s_obs::global().gauge(s2s_obs::names::POOL_QUEUE_DEPTH).set(depth as f64);
+                    }
+                    let depth = self.queued.fetch_sub(1, Ordering::Relaxed) - 1;
+                    if s2s_obs::enabled() {
+                        let metrics = s2s_obs::global();
+                        metrics.gauge(s2s_obs::names::POOL_QUEUE_DEPTH).set(depth as f64);
+                        // Inline tasks never wait: the "queue" hands
+                        // straight to the calling thread.
+                        metrics.histogram(s2s_obs::names::POOL_QUEUE_WAIT_US).observe(0);
+                    }
                     out.push(f(t));
                     self.completed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -414,6 +429,20 @@ mod tests {
         // Non-&str payloads get a generic label instead of aborting.
         let out = pool.try_run(vec![1u32], |_| -> u32 { std::panic::panic_any(42u8) });
         assert!(out[0].as_ref().is_err_and(|m| m.contains("panicked")));
+    }
+
+    #[test]
+    fn inline_path_tracks_queue_depth_like_the_queued_path() {
+        // Regression: the inline ≤1-worker path used to skip the
+        // depth counters entirely, so obs reported depth 0 forever
+        // under single-worker configs.
+        let pool = WorkerPool::new(1);
+        let _ = pool.run(vec![1u32, 2, 3], |x| x);
+        let stats = pool.stats();
+        assert!(stats.peak_queue_depth >= 1, "stats: {stats:?}");
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.completed, 3);
     }
 
     #[test]

@@ -49,6 +49,22 @@ pub const HEDGE_LAUNCHED_TOTAL: &str = "s2s_hedge_launched_total";
 pub const HEDGE_WINS_TOTAL: &str = "s2s_hedge_wins_total";
 /// Gauge: queries currently waiting in the admission queue.
 pub const ADMISSION_QUEUE_DEPTH: &str = "s2s_admission_queue_depth";
+/// Gauge: the admission controller's live per-query service-time
+/// estimate, microseconds of simulated time (EWMA of completions).
+pub const ADMISSION_SERVICE_ESTIMATE_US: &str = "s2s_admission_service_estimate_us";
+
+/// Gauge: tasks currently live (spawned, not yet done) on the reactor.
+pub const REACTOR_IN_FLIGHT: &str = "s2s_reactor_in_flight";
+/// Gauge: timers pending across all reactor shards.
+pub const REACTOR_TIMER_DEPTH: &str = "s2s_reactor_timer_depth";
+/// Counter: timer events fired by the reactor.
+pub const REACTOR_EVENTS_TOTAL: &str = "s2s_reactor_events_total";
+/// Counter: tasks spawned onto the reactor.
+pub const REACTOR_TASKS_TOTAL: &str = "s2s_reactor_tasks_total";
+/// Gauge: shard balance of the last completed reactor run — events
+/// fired on the busiest shard divided by the per-shard mean (1.0 =
+/// perfectly balanced).
+pub const REACTOR_SHARD_BALANCE: &str = "s2s_reactor_shard_balance";
 
 /// Gauge name for one tenant's admission backlog.
 ///
@@ -82,6 +98,12 @@ mod tests {
             super::HEDGE_LAUNCHED_TOTAL,
             super::HEDGE_WINS_TOTAL,
             super::ADMISSION_QUEUE_DEPTH,
+            super::ADMISSION_SERVICE_ESTIMATE_US,
+            super::REACTOR_IN_FLIGHT,
+            super::REACTOR_TIMER_DEPTH,
+            super::REACTOR_EVENTS_TOTAL,
+            super::REACTOR_TASKS_TOTAL,
+            super::REACTOR_SHARD_BALANCE,
         ];
         let unique: std::collections::BTreeSet<_> = all.iter().collect();
         assert_eq!(unique.len(), all.len());
