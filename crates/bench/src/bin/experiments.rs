@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p s2s-bench --bin experiments`
 //!
-//! Each section prints the id (E1–E14), the parameters swept, and the
+//! Each section prints the id (E1–E15), the parameters swept, and the
 //! measured values (wall-clock for CPU work, simulated time for network
 //! behaviour, plus counts/correctness indicators).
 //!
@@ -31,11 +31,22 @@
 //!   thread through the virtual-time reactor, each issuing one cold
 //!   query; writes `e13.json` into `<dir>` and exits non-zero on any
 //!   divergence from the serial baseline (the CI reactor gate).
+//! * `--pushdown-smoke <dir>` — the E15 selectivity sweep (0.1%–100%)
+//!   on a planner-enabled engine vs its planner-free twin; writes
+//!   `e15.json` into `<dir>` and exits non-zero on any answer
+//!   mismatch, response-byte growth, or a wire-byte reduction below
+//!   5× at 1% selectivity (the CI pushdown gate).
+//! * `--validate-report <path>` — schema-check one uploaded smoke
+//!   artifact (`e13.json`, `e14.json`, `e15.json`): the file must be
+//!   well-formed JSON and every `schema_version` in it must match the
+//!   binary's. Exits non-zero otherwise.
 //! * `--conform-fuzz` — deterministic differential fuzzing: generated
-//!   scenarios run through the serial, batched, replay, pooled, and
-//!   reactor execution paths and every oracle in `s2s-conform`. Options:
+//!   scenarios run through the serial, batched, replay, pooled,
+//!   reactor, and pushdown execution paths and every oracle in
+//!   `s2s-conform`. Options:
 //!   `--budget-ms <N>` (wall-clock budget, default 10000),
-//!   `--seed <S>` (integer or any string, e.g. a git SHA; hashed),
+//!   `--seed <S>` (integer or any string, e.g. a git SHA; hashed —
+//!   the derived u64 is printed and embedded in shrunk artifacts),
 //!   `--out <dir>` (where shrunk failing cases are written),
 //!   `--replay <file>` (check one corpus case file instead of fuzzing).
 //!   Exits non-zero on any divergence (the CI conformance gate).
@@ -111,6 +122,34 @@ fn main() {
             }
             println!("reactor-smoke OK");
         }
+        Some("--pushdown-smoke") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--pushdown-smoke requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = pushdown_smoke(dir) {
+                for v in &violations {
+                    eprintln!("pushdown-smoke FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("pushdown-smoke OK");
+        }
+        Some("--validate-report") => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--validate-report requires a report path argument");
+                std::process::exit(2);
+            });
+            let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read report {path}: {e}");
+                std::process::exit(2);
+            });
+            if let Err(e) = validate_report(&json) {
+                eprintln!("validate-report FAIL: {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("validate-report OK: {path} (schema_version {SCHEMA_VERSION})");
+        }
         Some("--conform-fuzz") => {
             if let Err(violations) = conform_fuzz(&args[1..]) {
                 for v in &violations {
@@ -132,7 +171,7 @@ fn usage() {
     println!("experiments — S2S experiment harness and observability driver");
     println!();
     println!("USAGE:");
-    println!("  experiments                    run the full E1–E14 experiment suite");
+    println!("  experiments                    run the full E1–E15 experiment suite");
     println!("  experiments --trace            print span trees + JSONL for a healthy");
     println!("                                 and a degraded (breaker-open) query");
     println!("  experiments --metrics          print a Prometheus-style metrics");
@@ -155,6 +194,15 @@ fn usage() {
     println!("                                 through the virtual-time reactor; writes");
     println!("                                 e13.json into DIR; fails on any answer");
     println!("                                 diverging from the serial baseline");
+    println!("  experiments --pushdown-smoke DIR");
+    println!("                                 E15 selectivity sweep with the federated");
+    println!("                                 planner on vs off; writes e15.json into");
+    println!("                                 DIR; fails on mismatch or a wire-byte");
+    println!("                                 reduction below 5x at 1% selectivity");
+    println!("  experiments --validate-report FILE");
+    println!("                                 schema-check one smoke artifact: well-");
+    println!("                                 formed JSON declaring this binary's");
+    println!("                                 schema_version");
     println!("  experiments --conform-fuzz [--budget-ms N] [--seed S] [--out DIR]");
     println!("                                 differential fuzzing across the serial,");
     println!("                                 batched, replay, pooled, and reactor paths;");
@@ -245,7 +293,16 @@ fn conform_fuzz(args: &[String]) -> Result<(), Vec<String>> {
     }
     let mut violations = Vec::new();
     for failure in &outcome.failures {
-        let case = s2s_conform::to_case(&failure.shrunk);
+        // Embed the seed derivation so the artifact alone is enough to
+        // replay the red run: `#` lines are comments to the parser.
+        let mut case = s2s_conform::to_case(&failure.shrunk);
+        case.push_str(&format!(
+            "# fuzz run: --seed {seed_str:?} -> base 0x{base_seed:016x}, scenario index {}\n\
+             # scenario seed: {} (0x{:016x})\n\
+             # replay: experiments --conform-fuzz --replay <this file>\n\
+             # or rerun: experiments --conform-fuzz --seed 0x{base_seed:016x}\n",
+            failure.index, failure.shrunk.seed, failure.shrunk.seed
+        ));
         let name = format!("shrunk-{:016x}-{}.case", base_seed, failure.index);
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir)
@@ -281,6 +338,7 @@ fn run_experiments() {
     e12();
     e13();
     e14();
+    e15();
 }
 
 /// A deployment where one of two sources is hard-down and the breaker
@@ -560,6 +618,123 @@ fn reactor_smoke(dir: &str) -> Result<(), Vec<String>> {
         report.qps,
         report.mismatches,
         report.wall.as_millis(),
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// The E15 selectivity ladder, percent of catalog rows matched.
+const E15_SELECTIVITIES: [f64; 5] = [0.1, 1.0, 10.0, 50.0, 100.0];
+
+/// The E15 catalog size: large enough that responses dominate the wire
+/// and a 1%-selective pushed predicate saves well over the 5× gate.
+const E15_ROWS: usize = 2000;
+
+/// Runs the E15 sweep: the same `price <` query ladder on a
+/// planner-enabled engine and its planner-free twin (the catalog in
+/// all four source formats behind unpaced WAN endpoints, batched).
+fn e15_sweep() -> PushdownReport {
+    let recs = records(E15_ROWS, 42);
+    let off = deploy_paced(E15_ROWS, 42, 0, Strategy::Serial, false);
+    let on = deploy_paced(E15_ROWS, 42, 0, Strategy::Serial, false).with_pushdown();
+    let points = E15_SELECTIVITIES
+        .iter()
+        .map(|&pct| {
+            let threshold = selectivity_threshold(&recs, pct);
+            let query = format!("SELECT watch WHERE price < {threshold}");
+            run_pushdown_point(&on, &off, &query, pct, threshold)
+        })
+        .collect();
+    PushdownReport { rows: E15_ROWS, points }
+}
+
+fn e15() {
+    header("E15", "predicate pushdown: wire bytes vs selectivity (federated planner)");
+    println!(
+        "{:>6} {:>9} {:>8} {:>12} {:>12} {:>11} {:>7} {:>9}",
+        "sel%", "thresh", "matched", "wire-off", "wire-on", "saved", "pushed", "reduction"
+    );
+    let report = e15_sweep();
+    for p in &report.points {
+        assert!(!p.mismatch, "pushdown diverged at {}% selectivity", p.selectivity_pct);
+        println!(
+            "{:>6} {:>9.2} {:>8} {:>11}B {:>11}B {:>10}B {:>7} {:>8.1}x",
+            p.selectivity_pct,
+            p.threshold,
+            p.matched,
+            p.baseline_wire_bytes,
+            p.pushed_wire_bytes,
+            p.wire_bytes_saved,
+            p.pushed_predicates,
+            p.reduction(),
+        );
+    }
+}
+
+/// The CI pushdown gate: the E15 sweep must answer identically to the
+/// planner-free twin at every selectivity, never grow response bytes,
+/// and cut total wire bytes at least 5× at 1% selectivity — both
+/// against the planner-free twin and against its own 100% point.
+/// Writes `e15.json` into `dir`.
+fn pushdown_smoke(dir: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let report = e15_sweep();
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create pushdown-smoke dir {dir}: {e}"));
+    let json_path = format!("{dir}/e15.json");
+    let json = report.to_json();
+    std::fs::write(&json_path, &json).expect("write e15.json");
+    check_schema_version(&json_path, &json, &mut violations);
+    if let Err(e) = validate_report(&json) {
+        violations.push(format!("e15.json fails its own schema check: {e}"));
+    }
+
+    for p in &report.points {
+        if p.mismatch {
+            violations.push(format!(
+                "pushdown answer diverged from the planner-free twin at {}% selectivity",
+                p.selectivity_pct
+            ));
+        }
+        if p.pushed_response_bytes > p.baseline_response_bytes {
+            violations.push(format!(
+                "pushed responses grew at {}% selectivity: {} vs {} bytes",
+                p.selectivity_pct, p.pushed_response_bytes, p.baseline_response_bytes
+            ));
+        }
+        if p.pushed_predicates == 0 {
+            violations
+                .push(format!("no predicate was pushed at {}% selectivity", p.selectivity_pct));
+        }
+    }
+    let low = report.points.iter().find(|p| p.selectivity_pct == 1.0).expect("1% point");
+    let full = report.points.iter().find(|p| p.selectivity_pct == 100.0).expect("100% point");
+    if low.reduction() < 5.0 {
+        violations.push(format!(
+            "wire bytes dropped only {:.1}x vs the planner-free twin at 1% selectivity (< 5x)",
+            low.reduction()
+        ));
+    }
+    let vs_full = full.pushed_wire_bytes as f64 / low.pushed_wire_bytes.max(1) as f64;
+    if vs_full < 5.0 {
+        violations.push(format!(
+            "wire bytes at 1% selectivity are only {vs_full:.1}x below the 100% point (< 5x)"
+        ));
+    }
+
+    println!(
+        "pushdown-smoke: {} rows, 1% selectivity → {} wire bytes vs {} planner-free \
+         ({:.1}x, {:.1}x vs the 100% point), {} saved → {json_path}",
+        report.rows,
+        low.pushed_wire_bytes,
+        low.baseline_wire_bytes,
+        low.reduction(),
+        vs_full,
+        low.wire_bytes_saved,
     );
     if violations.is_empty() {
         Ok(())

@@ -557,6 +557,341 @@ impl ThroughputReport {
     }
 }
 
+/// The price threshold whose `price < T` predicate selects about `pct`
+/// percent of `records`: the k-th smallest price (k = ⌈n·pct/100⌉),
+/// nudged one cent up so the k-th record itself matches.
+pub fn selectivity_threshold(records: &[Record], pct: f64) -> f64 {
+    let mut prices: Vec<f64> = records.iter().map(|r| r.price).collect();
+    prices.sort_by(f64::total_cmp);
+    let k = ((records.len() as f64 * pct / 100.0).ceil() as usize).clamp(1, records.len());
+    ((prices[k - 1] * 100.0).round() as i64 + 1) as f64 / 100.0
+}
+
+/// One selectivity point of the E15 pushdown sweep: the same query run
+/// on a planner-enabled engine and its planner-free twin.
+#[derive(Debug, Clone)]
+pub struct PushdownPoint {
+    /// Target selectivity, percent of catalog rows.
+    pub selectivity_pct: f64,
+    /// The swept `price <` threshold.
+    pub threshold: f64,
+    /// Individuals in the pushed answer.
+    pub matched: usize,
+    /// Whether the pushed answer diverged from the planner-free one.
+    pub mismatch: bool,
+    /// Total wire bytes without the planner.
+    pub baseline_wire_bytes: u64,
+    /// Total wire bytes with the planner.
+    pub pushed_wire_bytes: u64,
+    /// Response wire bytes without the planner.
+    pub baseline_response_bytes: u64,
+    /// Response wire bytes with the planner.
+    pub pushed_response_bytes: u64,
+    /// Bytes the planner reports avoided (response shrinkage plus
+    /// pruned/projected-out work priced at baseline cost).
+    pub wire_bytes_saved: u64,
+    /// Predicates pushed into source-native rules.
+    pub pushed_predicates: u64,
+    /// Sources pruned outright.
+    pub pruned_sources: u64,
+}
+
+impl PushdownPoint {
+    /// Total-wire-bytes reduction factor of the planner at this point.
+    pub fn reduction(&self) -> f64 {
+        self.baseline_wire_bytes as f64 / (self.pushed_wire_bytes.max(1)) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"selectivity_pct\":{},\"threshold\":{},\"matched\":{},",
+                "\"mismatch\":{},\"baseline_wire_bytes\":{},\"pushed_wire_bytes\":{},",
+                "\"baseline_response_bytes\":{},\"pushed_response_bytes\":{},",
+                "\"wire_bytes_saved\":{},\"pushed_predicates\":{},",
+                "\"pruned_sources\":{},\"reduction\":{:.2}}}"
+            ),
+            self.selectivity_pct,
+            self.threshold,
+            self.matched,
+            self.mismatch,
+            self.baseline_wire_bytes,
+            self.pushed_wire_bytes,
+            self.baseline_response_bytes,
+            self.pushed_response_bytes,
+            self.wire_bytes_saved,
+            self.pushed_predicates,
+            self.pruned_sources,
+            self.reduction(),
+        )
+    }
+}
+
+/// The full E15 sweep (the `e15.json` smoke artifact).
+#[derive(Debug, Clone)]
+pub struct PushdownReport {
+    /// Catalog rows behind every source.
+    pub rows: usize,
+    /// One entry per swept selectivity.
+    pub points: Vec<PushdownPoint>,
+}
+
+impl PushdownReport {
+    /// Renders the report as a single JSON object (no dependencies;
+    /// the smoke-artifact format).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(PushdownPoint::to_json).collect();
+        format!(
+            "{{\"schema_version\":{},\"rows\":{},\"points\":[{}]}}",
+            SCHEMA_VERSION,
+            self.rows,
+            points.join(",")
+        )
+    }
+}
+
+/// Runs `query` on the planner-enabled engine `on` and its planner-free
+/// twin `off`, returning the measured [`PushdownPoint`].
+pub fn run_pushdown_point(
+    on: &S2s,
+    off: &S2s,
+    query: &str,
+    selectivity_pct: f64,
+    threshold: f64,
+) -> PushdownPoint {
+    let pushed = on.query(query).expect("pushdown query");
+    let baseline = off.query(query).expect("baseline query");
+    PushdownPoint {
+        selectivity_pct,
+        threshold,
+        matched: pushed.individuals().len(),
+        mismatch: result_key(&pushed) != result_key(&baseline),
+        baseline_wire_bytes: baseline.stats.wire_bytes,
+        pushed_wire_bytes: pushed.stats.wire_bytes,
+        baseline_response_bytes: baseline.stats.wire_response_bytes,
+        pushed_response_bytes: pushed.stats.wire_response_bytes,
+        wire_bytes_saved: pushed.stats.wire_bytes_saved,
+        pushed_predicates: pushed.stats.pushed_predicates,
+        pruned_sources: pushed.stats.pruned_sources,
+    }
+}
+
+/// Validates one smoke-report artifact (`e13.json`, `e14.json`,
+/// `e15.json`): the text must be a single well-formed JSON document and
+/// every `schema_version` field in it must equal [`SCHEMA_VERSION`]
+/// (top-level for e13/e15, per run for e14). Dependency-free.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, a missing
+/// `schema_version`, or a version mismatch.
+pub fn validate_report(json: &str) -> Result<(), String> {
+    let mut p = JsonCheck { bytes: json.as_bytes(), pos: 0, versions: Vec::new() };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    if p.versions.is_empty() {
+        return Err("no schema_version field anywhere in the document".into());
+    }
+    for v in &p.versions {
+        if *v != i64::from(SCHEMA_VERSION) {
+            return Err(format!("schema_version {v} != expected {SCHEMA_VERSION}"));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal recursive-descent JSON well-formedness checker that also
+/// collects every integer-valued `"schema_version"` member it passes.
+struct JsonCheck<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    versions: Vec<i64>,
+}
+
+impl JsonCheck<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number().map(|_| ()),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            if key == "schema_version" {
+                match self.peek() {
+                    Some(c) if c == b'-' || c.is_ascii_digit() => {
+                        let text = self.number()?;
+                        let v = text
+                            .parse::<i64>()
+                            .map_err(|_| format!("schema_version is not an integer: {text:?}"))?;
+                        self.versions.push(v);
+                    }
+                    _ => {
+                        return Err(format!("schema_version is not a number at byte {}", self.pos))
+                    }
+                }
+            } else {
+                self.value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(format!("bad \\u escape at byte {}", self.pos))
+                                    }
+                                }
+                            }
+                        }
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.pos)),
+                    }
+                }
+                Some(_) => self.pos += 1,
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(format!("malformed number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(format!("malformed number at byte {start}"));
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
 /// Runs `workload[c]` on client thread `c`, all threads sharing the one
 /// `engine`, and checks every answer against `baseline`.
 pub fn run_throughput(
@@ -1148,5 +1483,51 @@ mod tests {
         let c30 = o.class_iri("C30").unwrap();
         let c0 = o.class_iri("C0").unwrap();
         assert!(o.is_subclass_of(&c30, &c0));
+    }
+
+    #[test]
+    fn selectivity_threshold_hits_its_target() {
+        let recs = records(1000, 42);
+        for pct in [0.1, 1.0, 10.0, 50.0, 100.0] {
+            let t = selectivity_threshold(&recs, pct);
+            let matched = recs.iter().filter(|r| r.price < t).count();
+            let want = ((recs.len() as f64 * pct / 100.0).ceil() as usize).max(1);
+            assert!(
+                matched >= want && matched <= want + 5,
+                "{pct}%: threshold {t} matched {matched}, wanted about {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn pushdown_point_equivalence_and_savings() {
+        let recs = records(200, 42);
+        let off = deploy_paced(200, 42, 0, Strategy::Serial, false);
+        let on = deploy_paced(200, 42, 0, Strategy::Serial, false).with_pushdown();
+        let t = selectivity_threshold(&recs, 5.0);
+        let point =
+            run_pushdown_point(&on, &off, &format!("SELECT watch WHERE price < {t}"), 5.0, t);
+        assert!(!point.mismatch, "pushdown diverged from the planner-free twin");
+        assert!(point.pushed_predicates > 0, "nothing was pushed");
+        assert!(
+            point.pushed_response_bytes < point.baseline_response_bytes,
+            "pushed responses did not shrink: {point:?}"
+        );
+        assert!(point.reduction() > 1.0, "{point:?}");
+    }
+
+    #[test]
+    fn report_validator_accepts_real_reports_and_rejects_drift() {
+        let report = PushdownReport { rows: 1, points: Vec::new() };
+        validate_report(&report.to_json()).expect("fresh e15 report validates");
+        // e14 shape: versions nested one per run.
+        validate_report(r#"{"runs":[{"schema_version":1,"p99_ms":3.5},{"schema_version":1}]}"#)
+            .expect("nested versions validate");
+        assert!(validate_report("{}").is_err(), "missing schema_version");
+        assert!(validate_report(r#"{"schema_version":999}"#).is_err(), "version drift");
+        assert!(validate_report(r#"{"schema_version":1"#).is_err(), "truncated JSON");
+        assert!(validate_report(r#"{"schema_version":1} extra"#).is_err(), "trailing data");
+        assert!(validate_report(r#"{"schema_version":"1"}"#).is_err(), "non-numeric version");
+        assert!(validate_report(r#"{"schema_version":1.5}"#).is_err(), "fractional version");
     }
 }

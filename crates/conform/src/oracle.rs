@@ -28,6 +28,11 @@
 //!   consistent with what was shed or cut off, shed queries touch
 //!   neither the wire nor the caches, and a fixed seed reproduces the
 //!   degraded run exactly.
+//! * **Pushdown equivalence** — the federated planner (predicate and
+//!   projection pushdown plus source pruning) answers byte-for-byte
+//!   like the post-filter path on both the batched and reactor
+//!   strategies, never inflates `wire_response_bytes`, never dials a
+//!   pruned source, and reproduces deterministically.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -250,7 +255,194 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
     // --- Overload honesty -------------------------------------------
     violations.extend(check_overload(scenario, &batched_outcome));
 
+    // --- Pushdown equivalence ---------------------------------------
+    violations.extend(check_pushdown(scenario, &batched_outcome));
+
     violations
+}
+
+/// Pushdown equivalence: the federated planner may rewrite rules,
+/// prune sources, and shrink responses, but never change the answer.
+///
+/// Five invariants, each against the unconstrained batched path:
+///
+/// * **equality** — pushdown-on (batched and reactor) fingerprints
+///   and completeness match pushdown-off exactly; the residual filter
+///   guarantees any record a pushed predicate drops would have been
+///   dropped post-extraction anyway.
+/// * **wire monotonicity** — pushed responses are subsets of the full
+///   responses, so `wire_response_bytes` never exceeds the
+///   post-filter path's.
+/// * **stats honesty** — `pushed_predicates`/`pruned_sources` agree
+///   with the reported [`s2s_core::PushdownPlan`].
+/// * **pruned silence** — a pruned source never appears in the
+///   resilience report (it was never dialled).
+/// * **determinism** — two identically seeded pushdown runs agree.
+///
+/// A decoy variant adds a reliable DB source that maps only `brand`:
+/// any condition on `price` or `case` must prune it, and pruning must
+/// not change the answer.
+fn check_pushdown(scenario: &Scenario, baseline: &QueryOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let query = scenario.query_text();
+    let full_fp = fingerprint(baseline);
+
+    let pushed =
+        scenario.build(&BuildConfig::pushdown()).query(&query).expect("parsed on the serial path");
+    check_stats(&pushed, "pushdown", false, &mut violations);
+    if fingerprint(&pushed) != full_fp {
+        violations.push(Violation::new(
+            "pushdown-equality",
+            format!(
+                "pushdown changed the answer\nfull:\n{full_fp}\npushed:\n{}",
+                fingerprint(&pushed)
+            ),
+        ));
+    }
+    if (pushed.stats.completeness - baseline.stats.completeness).abs() > 1e-12 {
+        violations.push(Violation::new(
+            "pushdown-equality",
+            format!(
+                "pushdown completeness {} != batched {}",
+                pushed.stats.completeness, baseline.stats.completeness
+            ),
+        ));
+    }
+    if pushed.stats.wire_response_bytes > baseline.stats.wire_response_bytes {
+        violations.push(Violation::new(
+            "pushdown-wire-monotonicity",
+            format!(
+                "pushed responses grew: {} bytes vs post-filter {}",
+                pushed.stats.wire_response_bytes, baseline.stats.wire_response_bytes
+            ),
+        ));
+    }
+    match &pushed.pushdown {
+        Some(plan) => {
+            if pushed.stats.pushed_predicates != plan.pushed_predicates()
+                || pushed.stats.pruned_sources != plan.pruned_sources()
+            {
+                violations.push(Violation::new(
+                    "pushdown-stats",
+                    format!(
+                        "stats pushed/pruned {}/{} disagree with the plan {}/{}",
+                        pushed.stats.pushed_predicates,
+                        pushed.stats.pruned_sources,
+                        plan.pushed_predicates(),
+                        plan.pruned_sources()
+                    ),
+                ));
+            }
+            for src in &plan.pruned {
+                if pushed.resilience.contains_key(src) {
+                    violations.push(Violation::new(
+                        "pushdown-pruned-attempts",
+                        format!("pruned source {src} was dialled anyway"),
+                    ));
+                }
+            }
+        }
+        None if !scenario.conditions.is_empty() => {
+            violations.push(Violation::new(
+                "pushdown-stats",
+                "no pushdown plan though the query has conditions".to_string(),
+            ));
+        }
+        None => {}
+    }
+
+    let reactor_pushed = scenario
+        .build(&BuildConfig::pushdown_reactor(2))
+        .query(&query)
+        .expect("parsed on the serial path");
+    if fingerprint(&reactor_pushed) != full_fp {
+        violations.push(Violation::new(
+            "pushdown-equality",
+            format!(
+                "pushdown+reactor changed the answer\nfull:\n{full_fp}\nreactor:\n{}",
+                fingerprint(&reactor_pushed)
+            ),
+        ));
+    }
+
+    let again =
+        scenario.build(&BuildConfig::pushdown()).query(&query).expect("parsed on the serial path");
+    if fingerprint(&again) != fingerprint(&pushed)
+        || again.stats.round_trips != pushed.stats.round_trips
+        || again.stats.pushed_predicates != pushed.stats.pushed_predicates
+        || again.stats.wire_response_bytes != pushed.stats.wire_response_bytes
+    {
+        violations.push(Violation::new(
+            "pushdown-determinism",
+            "two identically seeded pushdown runs disagreed".to_string(),
+        ));
+    }
+
+    // --- Decoy pruning arm -------------------------------------------
+    if !scenario.conditions.is_empty() {
+        let on = decoy_engine(scenario, true).query(&query).expect("parsed on the serial path");
+        let off = decoy_engine(scenario, false).query(&query).expect("parsed on the serial path");
+        if fingerprint(&on) != fingerprint(&off) {
+            violations.push(Violation::new(
+                "pushdown-prune-equality",
+                format!(
+                    "pruning changed the answer\noff:\n{}\non:\n{}",
+                    fingerprint(&off),
+                    fingerprint(&on)
+                ),
+            ));
+        }
+        let constrains_beyond_brand = scenario.conditions.iter().any(|c| c.attr != 0);
+        let pruned_decoy =
+            on.pushdown.as_ref().is_some_and(|p| p.pruned.iter().any(|s| s == "DECOY"));
+        if constrains_beyond_brand && !pruned_decoy {
+            violations.push(Violation::new(
+                "pushdown-prune",
+                "decoy source mapping only `brand` was not pruned though the query \
+                 constrains another attribute"
+                    .to_string(),
+            ));
+        }
+        if pruned_decoy && on.resilience.contains_key("DECOY") {
+            violations.push(Violation::new(
+                "pushdown-pruned-attempts",
+                "pruned decoy source was dialled anyway".to_string(),
+            ));
+        }
+    }
+
+    violations
+}
+
+/// A deployment variant with one extra reliable DB source (`DECOY`)
+/// that maps only `brand` — prunable whenever the query constrains
+/// `price` or `case`, and a harmless extra contributor otherwise.
+fn decoy_engine(scenario: &Scenario, pushdown: bool) -> S2s {
+    use s2s_core::source::Connection;
+    use s2s_netsim::{CostModel, FailureModel, FaultSchedule};
+
+    let config = if pushdown { BuildConfig::pushdown() } else { BuildConfig::batched() };
+    let mut s2s = scenario.build(&config);
+    let records = scenario.records();
+    let connection: Connection =
+        crate::scenario::connection_for(crate::scenario::SourceKindSpec::Db, &records);
+    s2s.register_remote_source_detailed(
+        "DECOY",
+        connection,
+        CostModel::wan(),
+        FailureModel::reliable(),
+        Some(scenario.endpoint_seed(scenario.sources.len())),
+        FaultSchedule::new(),
+    )
+    .expect("fresh id");
+    s2s.register_attribute(
+        "thing.product.watch.brand",
+        crate::scenario::rule_for(crate::scenario::SourceKindSpec::Db, 0),
+        "DECOY",
+        s2s_core::mapping::RecordScenario::MultiRecord,
+    )
+    .expect("valid by construction");
+    s2s
 }
 
 /// Internal-consistency invariants of one outcome's [`QueryStats`].
@@ -648,6 +840,37 @@ mod tests {
             let violations = check_scenario(&scenario);
             assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
         }
+    }
+
+    /// A pushed predicate must survive failover: the rule rewrite
+    /// happens before the wire, so the replica serves the same
+    /// rewritten SQL and the response stays filtered — pushdown must
+    /// not silently fall back to full extraction when the primary
+    /// endpoint dies.
+    #[test]
+    fn pushed_predicate_survives_replica_failover() {
+        let scenario =
+            crate::case::from_case(include_str!("../corpus/pushdown-replica-failover.case"))
+                .expect("corpus case parses");
+        let query = scenario.query_text();
+        let baseline = scenario.build(&BuildConfig::batched()).query(&query).unwrap();
+        let pushed = scenario.build(&BuildConfig::pushdown()).query(&query).unwrap();
+        assert_eq!(pushed.stats.completeness, 1.0, "replica rescues the outage");
+        assert!(pushed.stats.failovers >= 1, "the primary endpoint is hard-down");
+        let plan = pushed.pushdown.as_ref().expect("the query has a condition");
+        assert!(
+            plan.sources.values().any(|s| !s.pushed.is_empty()),
+            "the price predicate is pushable into SQL"
+        );
+        assert_eq!(fingerprint(&pushed), fingerprint(&baseline));
+        assert!(
+            pushed.stats.wire_response_bytes < baseline.stats.wire_response_bytes,
+            "replica answered the rewritten (filtered) rule: {} vs {} response bytes",
+            pushed.stats.wire_response_bytes,
+            baseline.stats.wire_response_bytes
+        );
+        let violations = check_scenario(&scenario);
+        assert!(violations.is_empty(), "{violations:#?}");
     }
 
     #[test]

@@ -209,6 +209,9 @@ impl Scenario {
         if config.result_cache {
             s2s = s2s.with_result_cache();
         }
+        if config.pushdown {
+            s2s = s2s.with_pushdown();
+        }
         let source_order: Vec<usize> = match &config.source_order {
             Some(order) => order.clone(),
             None => (0..self.sources.len()).collect(),
@@ -319,6 +322,8 @@ pub struct BuildConfig {
     pub strategy: Strategy,
     /// Enable the whole-answer result cache.
     pub result_cache: bool,
+    /// Enable the federated pushdown planner.
+    pub pushdown: bool,
     /// Source registration order override (indices into `sources`).
     pub source_order: Option<Vec<usize>>,
     /// Attribute registration order override (indices into [`ATTRS`]).
@@ -331,6 +336,7 @@ impl Default for BuildConfig {
             batching: true,
             strategy: Strategy::Serial,
             result_cache: false,
+            pushdown: false,
             source_order: None,
             attr_order: None,
         }
@@ -366,6 +372,16 @@ impl BuildConfig {
     /// events over virtual time instead of pool threads.
     pub fn reactor(shards: usize) -> Self {
         BuildConfig { batching: true, strategy: Strategy::Reactor { shards }, ..Default::default() }
+    }
+
+    /// The batched path with the federated pushdown planner enabled.
+    pub fn pushdown() -> Self {
+        BuildConfig { pushdown: true, ..BuildConfig::batched() }
+    }
+
+    /// The event-reactor path with the pushdown planner enabled.
+    pub fn pushdown_reactor(shards: usize) -> Self {
+        BuildConfig { pushdown: true, ..BuildConfig::reactor(shards) }
     }
 }
 

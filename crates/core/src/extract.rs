@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use s2s_netsim::wire::{encode, encode_batch, FrameKind};
+use s2s_netsim::wire::{batch_exchange_size, batch_frame_size, exchange_size, frame_size};
 use s2s_netsim::{
     invoke_with_retry, makespan, BreakerConfig, BreakerState, CircuitBreaker, Endpoint,
     HedgeConfig, Hedger, RetryPolicy, SimDuration, WorkerPool,
@@ -42,6 +42,10 @@ use crate::source::{Connection, RegisteredSource, SourceRegistry};
 pub struct ExtractionSchema {
     /// The mapping driving this extraction.
     pub mapping: AttributeMapping,
+    /// The pre-pushdown mapping when the federated planner rewrote the
+    /// rule ([`crate::planner`]); wire accounting prices it to measure
+    /// the response bytes the rewrite avoided shipping.
+    pub baseline: Option<AttributeMapping>,
 }
 
 /// How the mediator dispatches extraction tasks.
@@ -290,6 +294,15 @@ pub struct ExtractionReport {
     /// thread-locally inside each worker and ride the result channel
     /// back, so collecting them adds no locks to the parallel path.
     pub spans: Vec<Span>,
+    /// Total on-wire bytes (request plus response frames) of every
+    /// exchange whose network leg completed.
+    pub wire_bytes: u64,
+    /// The response-frame share of `wire_bytes`.
+    pub wire_response_bytes: u64,
+    /// Response bytes the pushdown planner's rule rewrites avoided
+    /// shipping versus the pre-rewrite (baseline) rules, summed over
+    /// completed exchanges.
+    pub wire_bytes_saved: u64,
 }
 
 impl ExtractionReport {
@@ -337,7 +350,11 @@ impl ExtractorManager {
             if mappings.is_empty() {
                 return Err(S2sError::UnmappedAttribute { attribute: p.to_string() });
             }
-            schemas.extend(mappings.into_iter().map(|m| ExtractionSchema { mapping: m.clone() }));
+            schemas.extend(
+                mappings
+                    .into_iter()
+                    .map(|m| ExtractionSchema { mapping: m.clone(), baseline: None }),
+            );
         }
         Ok(schemas)
     }
@@ -415,7 +432,7 @@ impl ExtractorManager {
             let mut attempt_spans = if traced { Some(Vec::new()) } else { None };
             let r = extract_one_resilient(
                 registry,
-                &schema.mapping,
+                &schema,
                 ctx,
                 rules,
                 deadline,
@@ -425,9 +442,12 @@ impl ExtractorManager {
         };
         let outcomes = match strategy {
             Strategy::Reactor { shards } => {
-                s2s_netsim::reactor::run_tasks(shards, schemas, run_one, |(_, (_, trace), _, _)| {
-                    trace.elapsed
-                })
+                s2s_netsim::reactor::run_tasks(
+                    shards,
+                    schemas,
+                    run_one,
+                    |(_, (_, trace, _), _, _)| trace.elapsed,
+                )
                 .0
             }
             _ => pool.run(schemas, run_one),
@@ -435,7 +455,7 @@ impl ExtractorManager {
 
         let mut report = ExtractionReport::default();
         let mut durations = Vec::new();
-        for (schema, (outcome, trace), attempt_spans, wall) in outcomes {
+        for (schema, (outcome, trace, wire), attempt_spans, wall) in outcomes {
             let health = report.resilience.entry(schema.mapping.source().to_string()).or_default();
             health.tasks += 1;
             fold_trace(health, trace);
@@ -462,6 +482,9 @@ impl ExtractorManager {
             match outcome {
                 Ok((values, elapsed)) => {
                     durations.push(elapsed);
+                    report.wire_bytes += wire.total;
+                    report.wire_response_bytes += wire.response;
+                    report.wire_bytes_saved += wire.saved;
                     report.results.push(AttributeResult {
                         mapping: schema.mapping,
                         values,
@@ -577,6 +600,9 @@ impl ExtractorManager {
                 Ok(elapsed) => {
                     if !batch.ok.is_empty() {
                         durations.push(elapsed);
+                        report.wire_bytes += batch.wire_bytes as u64;
+                        report.wire_response_bytes += batch.response_bytes as u64;
+                        report.wire_bytes_saved += batch.saved_response_bytes as u64;
                     }
                     for (i, schema, values) in batch.ok {
                         results.push((
@@ -664,6 +690,11 @@ struct PlannedBatch<'a> {
     failed: Vec<(usize, ExtractionSchema, S2sError)>,
     /// Total on-wire bytes of the coalesced exchange.
     wire_bytes: usize,
+    /// The `BatchResponse` frame's share of `wire_bytes`.
+    response_bytes: usize,
+    /// Response payload the pushdown rewrites kept off the wire
+    /// (baseline minus actual, per pushed section).
+    saved_response_bytes: usize,
     /// LPT sort key: estimated wire cost under the source's cost model.
     estimate: SimDuration,
     /// Per-rule trace spans in submission order (empty unless tracing).
@@ -717,15 +748,33 @@ fn plan_batches<'a>(
         // Every surviving rule travels as one section of a single
         // BatchRequest; every value list comes back as one section of
         // the matching BatchResponse.
-        let wire_bytes = if ok.is_empty() {
-            0
+        let (wire_bytes, response_bytes, saved_response_bytes) = if ok.is_empty() {
+            (0, 0, 0)
         } else {
-            let request_sections: Vec<&[u8]> =
-                ok.iter().map(|(_, s, _)| s.mapping.rule().text().as_bytes()).collect();
-            let response_sections: Vec<Vec<u8>> =
-                ok.iter().map(|(_, _, v)| vec![0u8; v.iter().map(String::len).sum()]).collect();
-            encode_batch(FrameKind::BatchRequest, &request_sections).len()
-                + encode_batch(FrameKind::BatchResponse, &response_sections).len()
+            let request_lens: Vec<usize> =
+                ok.iter().map(|(_, s, _)| s.mapping.rule().text().len()).collect();
+            let response_lens: Vec<usize> =
+                ok.iter().map(|(_, _, v)| v.iter().map(String::len).sum()).collect();
+            // Price the pre-rewrite rules of pushed schemas locally:
+            // the difference is the response payload the rewrite keeps
+            // off the wire. A baseline that fails locally saves
+            // nothing (it would never have flown).
+            let saved: usize = ok
+                .iter()
+                .zip(&response_lens)
+                .map(|((_, s, _), &actual)| match &s.baseline {
+                    Some(b) => prepare_values(registry, b, rules)
+                        .map(|v| v.iter().map(String::len).sum::<usize>())
+                        .unwrap_or(actual)
+                        .saturating_sub(actual),
+                    None => 0,
+                })
+                .sum();
+            (
+                batch_exchange_size(request_lens.iter().copied(), response_lens.iter().copied()),
+                batch_frame_size(response_lens.iter().copied()),
+                saved,
+            )
         };
         let estimate =
             source.map(|s| s.endpoint().cost_model().cost(wire_bytes, 0.5)).unwrap_or_default();
@@ -735,6 +784,8 @@ fn plan_batches<'a>(
             ok,
             failed,
             wire_bytes,
+            response_bytes,
+            saved_response_bytes,
             estimate,
             rule_spans,
         });
@@ -835,7 +886,7 @@ pub fn extract_one(
     registry: &SourceRegistry,
     mapping: &AttributeMapping,
 ) -> Result<(Vec<String>, SimDuration), S2sError> {
-    let (source, values, bytes) = prepare_task(registry, mapping, &RuleCache::new())?;
+    let (source, values, bytes, _) = prepare_task(registry, mapping, &RuleCache::new())?;
     let call = source.endpoint().invoke(bytes, || ())?;
     Ok((values, call.elapsed))
 }
@@ -850,23 +901,48 @@ pub fn extract_one(
 /// Returns the task outcome plus its resilience counters. The elapsed
 /// time of a success includes every failed attempt and backoff wait
 /// that led up to it.
+/// Wire accounting of one completed exchange: total bytes, the
+/// response-frame share, and the response payload a pushdown rewrite
+/// avoided versus the baseline rule.
+#[derive(Debug, Clone, Copy, Default)]
+struct WireUsage {
+    total: u64,
+    response: u64,
+    saved: u64,
+}
+
+type TaskOutcome = (Result<(Vec<String>, SimDuration), S2sError>, TaskTrace, WireUsage);
+
 fn extract_one_resilient(
     registry: &SourceRegistry,
-    mapping: &AttributeMapping,
+    schema: &ExtractionSchema,
     ctx: &ResilienceContext,
     rules: &RuleCache,
     deadline: Option<SimDuration>,
     spans: Option<&mut Vec<Span>>,
-) -> (Result<(Vec<String>, SimDuration), S2sError>, TaskTrace) {
-    let (source, values, bytes) = match prepare_task(registry, mapping, rules) {
+) -> TaskOutcome {
+    let mapping = &schema.mapping;
+    let (source, values, bytes, response_len) = match prepare_task(registry, mapping, rules) {
         Ok(prepared) => prepared,
-        Err(e) => return (Err(e), TaskTrace::default()),
+        Err(e) => return (Err(e), TaskTrace::default(), WireUsage::default()),
+    };
+    let saved = match &schema.baseline {
+        Some(b) => prepare_values(registry, b, rules)
+            .map(|v| v.iter().map(String::len).sum::<usize>())
+            .unwrap_or(response_len)
+            .saturating_sub(response_len),
+        None => 0,
+    };
+    let wire = WireUsage {
+        total: bytes as u64,
+        response: frame_size(response_len) as u64,
+        saved: saved as u64,
     };
     let source_label = mapping.source().to_string();
     let salt = mapping.path().to_string();
     let (net, trace) =
         resilient_exchange(source, &source_label, &salt, bytes, ctx, deadline, spans);
-    (net.map(|elapsed| (values, elapsed)), trace)
+    (net.map(|elapsed| (values, elapsed)), trace, wire)
 }
 
 /// The resilient network leg shared by the per-attribute and batched
@@ -1053,24 +1129,25 @@ fn note_deadline_exceeded() {
 
 /// The local half of a task: [`prepare_values`] plus wire-size
 /// accounting (request frame carrying the rule text plus response frame
-/// carrying the values).
+/// carrying the values). Returns the source, the values, the total
+/// exchange bytes, and the response payload length.
 fn prepare_task<'a>(
     registry: &'a SourceRegistry,
     mapping: &AttributeMapping,
     rules: &RuleCache,
-) -> Result<(&'a RegisteredSource, Vec<String>, usize), S2sError> {
+) -> Result<(&'a RegisteredSource, Vec<String>, usize, usize), S2sError> {
     let source = registry.require(mapping.source())?;
     let values = prepare_values(registry, mapping, rules)?;
-    let request = encode(FrameKind::Request, mapping.rule().text().as_bytes());
     let response_len: usize = values.iter().map(String::len).sum();
-    let response = encode(FrameKind::Response, &vec![0u8; response_len]);
-    let bytes = request.len() + response.len();
-    Ok((source, values, bytes))
+    let bytes = exchange_size(mapping.rule().text().len(), response_len);
+    Ok((source, values, bytes, response_len))
 }
 
 /// Source lookup, rule/kind check, wrapper run, and scenario
-/// truncation — everything local; no wire accounting.
-fn prepare_values(
+/// truncation — everything local; no wire accounting. Also the
+/// pushdown planner's pricing oracle: it runs baseline rules locally
+/// to size the exchanges a rewrite avoids.
+pub(crate) fn prepare_values(
     registry: &SourceRegistry,
     mapping: &AttributeMapping,
     rules: &RuleCache,

@@ -171,6 +171,14 @@ pub fn generate_with_options(
                     continue;
                 }
             }
+            // Apply the projection after the condition: condition
+            // attributes may be filtered on without being output.
+            if let Some(projection) = &plan.projection {
+                values.retain(|property, _| projection.contains(property));
+                if values.is_empty() {
+                    continue;
+                }
+            }
             let iri = mint_iri(&data_ns, &record_class, source, i);
             individuals.push(Individual {
                 iri,

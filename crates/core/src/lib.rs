@@ -42,6 +42,7 @@ pub mod extract;
 pub mod instance;
 pub mod mapping;
 pub mod middleware;
+pub mod planner;
 pub mod query;
 pub mod rules;
 pub mod source;
@@ -51,4 +52,5 @@ pub use engine::{PlanCache, QueryResultCache, ResultCacheConfig};
 pub use error::{FailureClass, S2sError};
 pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};
 pub use middleware::{Priority, QueryOptions, S2s};
+pub use planner::{plan_pushdown, PushdownPlan, SourcePlan};
 pub use rules::RuleCache;

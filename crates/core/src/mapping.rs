@@ -154,6 +154,14 @@ impl AttributeMapping {
     pub fn scenario(&self) -> RecordScenario {
         self.scenario
     }
+
+    /// A copy of this mapping with its extraction rule replaced — the
+    /// hook the federated pushdown planner uses to substitute a
+    /// natively rewritten rule (same attribute, same source, same
+    /// scenario) without re-resolving the path against the ontology.
+    pub fn with_rule(&self, rule: ExtractionRule) -> AttributeMapping {
+        AttributeMapping { rule, ..self.clone() }
+    }
 }
 
 /// The attribute repository: all registered mappings, indexed by path

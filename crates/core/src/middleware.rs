@@ -83,6 +83,21 @@ pub struct QueryStats {
     /// Hedged requests whose replica reply beat the primary.
     /// Invariant: `hedge_wins <= hedges`.
     pub hedge_wins: u64,
+    /// Conjuncts the federated planner pushed into native source rules
+    /// (0 when pushdown is disabled or nothing was pushable).
+    pub pushed_predicates: u64,
+    /// Sources the planner pruned before any wire exchange because no
+    /// mapping of theirs could satisfy a required conjunct.
+    pub pruned_sources: u64,
+    /// Total on-wire bytes (request + response frames) of completed
+    /// exchanges.
+    pub wire_bytes: u64,
+    /// The response-frame share of `wire_bytes`.
+    pub wire_response_bytes: u64,
+    /// Wire bytes pushdown avoided: response payload trimmed by pushed
+    /// predicates plus whole exchanges of pruned sources and
+    /// projected-out schemas.
+    pub wire_bytes_saved: u64,
 }
 
 /// Per-query execution options for the overload layer: deadline
@@ -158,6 +173,10 @@ pub struct QueryOutcome {
     /// The query's trace tree (`Some` only when tracing is enabled via
     /// [`S2s::with_tracing`]).
     pub trace: Option<Trace>,
+    /// The federated pushdown plan (`Some` only when pushdown ran via
+    /// [`S2s::with_pushdown`] and the query had a condition or
+    /// projection to plan against).
+    pub pushdown: Option<crate::planner::PushdownPlan>,
 }
 
 impl QueryOutcome {
@@ -229,6 +248,7 @@ pub struct S2s {
     tracing: bool,
     resilience: Arc<ResilienceContext>,
     admission: Option<Arc<AdmissionController>>,
+    pushdown: bool,
 }
 
 impl S2s {
@@ -250,7 +270,26 @@ impl S2s {
             tracing: false,
             resilience: Arc::new(ResilienceContext::default()),
             admission: None,
+            pushdown: false,
         }
+    }
+
+    /// Enables the federated pushdown planner ([`crate::planner`]):
+    /// before dispatch, each query's required conjuncts are rewritten
+    /// into the native capability of every source that can evaluate
+    /// them (`WHERE` for SQL, XPath predicates for XML, `Where` guards
+    /// for WebL/regex), projections drop unneeded schemas, and sources
+    /// that cannot contribute are pruned. Answers are identical with
+    /// the planner on or off — everything unpushable stays in the
+    /// residual post-filter. Off by default.
+    pub fn with_pushdown(mut self) -> Self {
+        self.pushdown = true;
+        self
+    }
+
+    /// Whether the federated pushdown planner is enabled.
+    pub fn pushdown(&self) -> bool {
+        self.pushdown
     }
 
     /// Enables per-query trace trees: every [`QueryOutcome`] carries a
@@ -683,6 +722,28 @@ impl S2s {
         drop(mappings);
         let mapped_schemas = schemas.len();
 
+        // Federated pushdown planning: rewrite rules toward each
+        // source's native capability, drop projected-out schemas, and
+        // prune non-contributing sources — all before the cache
+        // partition, so cache keys see the rewritten rules (a pushed
+        // rule answers a different wire question than its baseline).
+        let registry = self.registry.read();
+        let pushdown_started = std::time::Instant::now();
+        let (schemas, pushdown_plan) =
+            if self.pushdown && (plan.condition.is_some() || plan.projection.is_some()) {
+                let (schemas, p) = crate::planner::plan_pushdown(
+                    &registry,
+                    &schemas,
+                    plan.condition.as_ref(),
+                    plan.projection.as_deref(),
+                    &self.rules,
+                );
+                (schemas, Some(p))
+            } else {
+                (schemas, None)
+            };
+        let pushdown_wall = pushdown_started.elapsed();
+
         // Cache partition: answered entries skip the mediator entirely.
         let mut cached_results: Vec<AttributeResult> = Vec::new();
         let schemas = match &self.cache {
@@ -727,7 +788,6 @@ impl S2s {
         // Step 3-4: source definitions + extraction, under the
         // resilience policy. Batched: one coalesced wire exchange per
         // source; legacy: one exchange per attribute.
-        let registry = self.registry.read();
         let mut report = if self.batching {
             ExtractorManager::extract_batched_traced(
                 &registry,
@@ -780,6 +840,12 @@ impl S2s {
             deadline_hits: report.resilience.values().map(|h| h.deadline_hits).sum(),
             hedges: report.resilience.values().map(|h| h.hedges).sum(),
             hedge_wins: report.resilience.values().map(|h| h.hedge_wins).sum(),
+            pushed_predicates: pushdown_plan.as_ref().map_or(0, |p| p.pushed_predicates()),
+            pruned_sources: pushdown_plan.as_ref().map_or(0, |p| p.pruned_sources()),
+            wire_bytes: report.wire_bytes,
+            wire_response_bytes: report.wire_response_bytes,
+            wire_bytes_saved: report.wire_bytes_saved
+                + pushdown_plan.as_ref().map_or(0, |p| p.avoided_wire_bytes),
         };
         // Recalibrate admission's service estimate from what this query
         // actually cost (EWMA over completion events), so shed decisions
@@ -845,6 +911,11 @@ impl S2s {
             metrics
                 .histogram("s2s_query_wall_us")
                 .observe(query_started.elapsed().as_micros() as u64);
+            if pushdown_plan.is_some() {
+                metrics.counter("s2s_pushdown_predicates_total").add(stats.pushed_predicates);
+                metrics.counter("s2s_pushdown_pruned_sources_total").add(stats.pruned_sources);
+                metrics.counter("s2s_pushdown_wire_bytes_saved_total").add(stats.wire_bytes_saved);
+            }
         }
 
         let trace = if self.tracing {
@@ -893,6 +964,18 @@ impl S2s {
             }
             root.push(map_span);
 
+            if let Some(p) = &pushdown_plan {
+                let mut pushdown_span = Span::new(SpanKind::Pushdown, "planner");
+                pushdown_span.wall_us = pushdown_wall.as_micros() as u64;
+                pushdown_span.attr("pushed_predicates", stats.pushed_predicates.to_string());
+                pushdown_span.attr("pruned_sources", stats.pruned_sources.to_string());
+                pushdown_span.attr("wire_bytes_saved", stats.wire_bytes_saved.to_string());
+                if !p.pruned.is_empty() {
+                    pushdown_span.attr("pruned", p.pruned.join(","));
+                }
+                root.push(pushdown_span);
+            }
+
             for span in std::mem::take(&mut report.spans) {
                 root.push(span);
             }
@@ -908,6 +991,7 @@ impl S2s {
             source_times,
             resilience: report.resilience,
             trace,
+            pushdown: pushdown_plan,
         })
     }
 
@@ -953,6 +1037,7 @@ impl S2s {
             source_times: std::collections::BTreeMap::new(),
             resilience: std::collections::BTreeMap::new(),
             trace,
+            pushdown: None,
         }
     }
 
@@ -992,6 +1077,7 @@ impl S2s {
                 class: shed_sentinel_iri(),
                 output_classes: Vec::new(),
                 attributes: Vec::new(),
+                projection: None,
                 condition: None,
             },
             instances: InstanceSet {
@@ -1006,6 +1092,7 @@ impl S2s {
             source_times: std::collections::BTreeMap::new(),
             resilience: std::collections::BTreeMap::new(),
             trace,
+            pushdown: None,
         }
     }
 }
@@ -1640,5 +1727,164 @@ mod tests {
         let hedger = s2s.resilience().hedger().expect("hedging enabled");
         assert_eq!(hedger.launched(), hedges);
         assert_eq!(hedger.wins(), wins);
+    }
+
+    /// Values-only fingerprint of an answer: IRIs are minted from
+    /// post-pushdown record indices, so equivalence is judged on
+    /// (source, class, values) triples.
+    fn fingerprint(outcome: &QueryOutcome) -> Vec<String> {
+        let mut lines: Vec<String> = outcome
+            .individuals()
+            .iter()
+            .map(|i| format!("{}|{}|{:?}", i.source, i.class, i.values))
+            .collect();
+        lines.sort();
+        lines
+    }
+
+    #[test]
+    fn pushdown_answers_match_baseline_across_source_kinds() {
+        let queries = [
+            "SELECT watch WHERE case='stainless-steel'",
+            "SELECT watch WHERE price<100",
+            "SELECT watch WHERE brand LIKE 'S%'",
+            "SELECT watch WHERE brand!='Casio' AND price>=100",
+            "SELECT watch WHERE brand='Seiko' OR case='resin'",
+            "SELECT watch(brand) WHERE price<200",
+            "SELECT watch(brand, price)",
+        ];
+        for q in queries {
+            let baseline = deploy().query(q).unwrap();
+            let pushed = deploy().with_pushdown().query(q).unwrap();
+            assert_eq!(fingerprint(&baseline), fingerprint(&pushed), "answers diverged for `{q}`");
+            assert!(
+                pushed.stats.wire_response_bytes <= baseline.stats.wire_response_bytes,
+                "pushdown shipped more response bytes for `{q}`: {} > {}",
+                pushed.stats.wire_response_bytes,
+                baseline.stats.wire_response_bytes,
+            );
+        }
+    }
+
+    #[test]
+    fn pushdown_rewrites_sql_and_xpath_rules() {
+        let s2s = deploy().with_pushdown();
+        let out = s2s.query("SELECT watch WHERE case='stainless-steel'").unwrap();
+        let plan = out.pushdown.as_ref().expect("planner ran");
+        // DB and XML both map `case` with pushable rules; the web page
+        // lacks `case` entirely (pruned) and the text file is
+        // single-record (no predicate pushing).
+        assert_eq!(plan.sources["DB_ID_45"].pushed, vec!["case = stainless-steel"]);
+        assert_eq!(plan.sources["XML_7"].pushed, vec!["case = stainless-steel"]);
+        assert_eq!(out.stats.pushed_predicates, 2);
+        assert!(out.stats.wire_bytes_saved > 0, "trimmed responses must be counted as saved");
+    }
+
+    #[test]
+    fn pushdown_prunes_source_missing_required_property() {
+        let s2s = deploy().with_pushdown();
+        let out = s2s.query("SELECT watch WHERE case='resin'").unwrap();
+        let plan = out.pushdown.as_ref().expect("planner ran");
+        // wpage_81 maps only brand and price: it cannot satisfy the
+        // required `case` conjunct, so it is pruned before the wire.
+        assert_eq!(plan.pruned, vec!["wpage_81"]);
+        assert_eq!(out.stats.pruned_sources, 1);
+        assert!(
+            !out.resilience.contains_key("wpage_81"),
+            "pruned source must never reach the mediator"
+        );
+        assert_eq!(
+            fingerprint(&out),
+            fingerprint(&deploy().query("SELECT watch WHERE case='resin'").unwrap())
+        );
+    }
+
+    #[test]
+    fn pushdown_projection_drops_unneeded_schemas() {
+        let baseline = deploy().query("SELECT watch(brand)").unwrap();
+        let pushed = deploy().with_pushdown().query("SELECT watch(brand)").unwrap();
+        assert_eq!(fingerprint(&baseline), fingerprint(&pushed));
+        // Only the four brand schemas are dispatched; price/case stay home.
+        assert_eq!(pushed.stats.tasks, 4);
+        assert!(pushed.stats.tasks < baseline.stats.tasks);
+        assert!(pushed.stats.wire_bytes < baseline.stats.wire_bytes);
+        let plan = pushed.pushdown.as_ref().expect("planner ran");
+        assert!(plan.sources.values().any(|s| s.projected_out > 0));
+    }
+
+    /// A multi-record plain-text source: predicate pushing must guard
+    /// the WebL/regex rules with `Where` masks.
+    fn deploy_multirecord_text() -> S2s {
+        let mut web = WebStore::new();
+        web.register_text(
+            "http://files/list.txt",
+            "brand: Alpha\nprice: 40\nbrand: Beta\nprice: 150\nbrand: Gamma\nprice: 90\n",
+        );
+        let mut s2s = S2s::new(ontology());
+        s2s.register_source(
+            "txt_list",
+            Connection::Text { store: Arc::new(web), url: "http://files/list.txt".into() },
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.brand",
+            ExtractionRule::TextRegex { pattern: r"brand: (\w+)".into(), group: 1 },
+            "txt_list",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.product.watch.price",
+            ExtractionRule::TextRegex { pattern: r"price: (\d+)".into(), group: 1 },
+            "txt_list",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s
+    }
+
+    #[test]
+    fn pushdown_guards_multirecord_text_rules() {
+        let q = "SELECT watch WHERE price<100";
+        let baseline = deploy_multirecord_text().query(q).unwrap();
+        let pushed = deploy_multirecord_text().with_pushdown().query(q).unwrap();
+        assert_eq!(baseline.individuals().len(), 2, "Alpha and Gamma");
+        assert_eq!(fingerprint(&baseline), fingerprint(&pushed));
+        let plan = pushed.pushdown.as_ref().expect("planner ran");
+        assert_eq!(plan.sources["txt_list"].pushed, vec!["price < 100"]);
+        assert!(
+            pushed.stats.wire_response_bytes < baseline.stats.wire_response_bytes,
+            "the Where mask must trim Beta off the wire"
+        );
+    }
+
+    #[test]
+    fn pushdown_is_inert_without_condition_or_projection() {
+        let baseline = deploy().query("SELECT watch").unwrap();
+        let pushed = deploy().with_pushdown().query("SELECT watch").unwrap();
+        assert_eq!(fingerprint(&baseline), fingerprint(&pushed));
+        assert!(pushed.pushdown.is_none(), "nothing to plan against");
+        assert_eq!(pushed.stats.wire_bytes, baseline.stats.wire_bytes);
+    }
+
+    #[test]
+    fn pushdown_equivalence_holds_on_every_execution_path() {
+        let q = "SELECT watch WHERE price<100";
+        let reference = fingerprint(&deploy().query(q).unwrap());
+        for batching in [true, false] {
+            for strategy in [
+                Strategy::Serial,
+                Strategy::Parallel { workers: 4 },
+                Strategy::Reactor { shards: 2 },
+            ] {
+                let s2s = deploy().with_pushdown().with_batching(batching).with_strategy(strategy);
+                let out = s2s.query(q).unwrap();
+                assert_eq!(
+                    fingerprint(&out),
+                    reference,
+                    "pushdown diverged under batching={batching}, {strategy:?}"
+                );
+            }
+        }
     }
 }

@@ -8,13 +8,16 @@
 //! Syntax:
 //!
 //! ```text
-//! SELECT <ontology class>
+//! SELECT <ontology class>[(<attribute>, <attribute>, …)]
 //! WHERE <attribute><operator><constraint> AND <attribute><operator><constraint> …
 //! ```
 //!
 //! The paper's example: `SELECT product WHERE brand='Seiko' AND
 //! case='stainless-steel'`. We additionally support `!=`, `<`, `<=`,
-//! `>`, `>=`, and `LIKE` with `%`/`_` wildcards.
+//! `>`, `>=`, `LIKE` with `%`/`_` wildcards, and an explicit
+//! projection list (`SELECT watch(brand, price)`) that restricts the
+//! output to the named attributes — and lets the federated planner
+//! skip extracting everything else.
 
 use s2s_owl::{AttributePath, Ontology, PropertyKind, Reasoner};
 use s2s_rdf::Iri;
@@ -103,6 +106,8 @@ impl ConditionExpr {
 pub struct S2sqlQuery {
     /// The ontology class selected.
     pub class: String,
+    /// The projection list as written (`SELECT class(a, b)`), if any.
+    pub projection: Option<Vec<String>>,
     /// The WHERE clause, if any.
     pub condition: Option<ConditionExpr>,
 }
@@ -176,6 +181,11 @@ pub struct QueryPlan {
     /// Canonical attribute paths for every property applicable to the
     /// selected class — the extraction attribute list (Fig. 5 step 1).
     pub attributes: Vec<AttributePath>,
+    /// The resolved projection, if the query named one: only these
+    /// properties appear in the output, and the pushdown planner may
+    /// skip extracting anything outside the projection and the
+    /// condition attributes.
+    pub projection: Option<Vec<Iri>>,
     /// The validated condition tree, if the query had a WHERE clause.
     pub condition: Option<ConditionTree>,
 }
@@ -204,6 +214,27 @@ fn parse_inner(input: &str) -> Result<S2sqlQuery, S2sError> {
     p.skip_ws();
     let class = p.parse_identifier()?;
     p.skip_ws();
+    let projection = if p.peek() == Some('(') {
+        p.pos += 1;
+        let mut names = Vec::new();
+        loop {
+            p.skip_ws();
+            names.push(p.parse_identifier()?);
+            p.skip_ws();
+            match p.peek() {
+                Some(',') => p.pos += 1,
+                Some(')') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(p.err("expected `,` or `)` in projection list")),
+            }
+        }
+        Some(names)
+    } else {
+        None
+    };
+    p.skip_ws();
     let condition = if p.peek_keyword("WHERE") {
         p.expect_keyword("WHERE")?;
         Some(p.parse_or_expr()?)
@@ -214,7 +245,7 @@ fn parse_inner(input: &str) -> Result<S2sqlQuery, S2sError> {
     if p.peek().is_some() {
         return Err(p.err("unexpected trailing content"));
     }
-    Ok(S2sqlQuery { class, condition })
+    Ok(S2sqlQuery { class, projection, condition })
 }
 
 /// Keywords whose case is insignificant in S2SQL.
@@ -408,7 +439,38 @@ pub fn plan(query: &S2sqlQuery, ontology: &Ontology) -> Result<QueryPlan, S2sErr
         None => None,
     };
 
-    Ok(QueryPlan { class, output_classes, attributes, condition })
+    // The projection resolves exactly like condition attributes: simple
+    // names against the selected class's properties, dotted names as
+    // full attribute paths.
+    let projection = match &query.projection {
+        Some(names) => {
+            let mut resolved = Vec::new();
+            for name in names {
+                let property = if name.contains('.') {
+                    let path: AttributePath = name.parse().map_err(S2sError::Owl)?;
+                    path.resolve(ontology)?.property
+                } else {
+                    properties
+                        .iter()
+                        .find(|p| p.iri().local_name().eq_ignore_ascii_case(name))
+                        .map(|p| p.iri().clone())
+                        .ok_or_else(|| S2sError::QuerySemantics {
+                            message: format!(
+                                "class `{}` has no attribute `{name}` to project",
+                                class.local_name()
+                            ),
+                        })?
+                };
+                if !resolved.contains(&property) {
+                    resolved.push(property);
+                }
+            }
+            Some(resolved)
+        }
+        None => None,
+    };
+
+    Ok(QueryPlan { class, output_classes, attributes, projection, condition })
 }
 
 /// Evaluates one resolved condition against a candidate value. Numeric
@@ -746,6 +808,39 @@ mod tests {
     fn parses_without_where() {
         let q = parse("SELECT watch").unwrap();
         assert!(q.condition.is_none());
+        assert!(q.projection.is_none());
+    }
+
+    #[test]
+    fn parses_projection_list() {
+        let q = parse("SELECT watch(brand, price) WHERE price<100").unwrap();
+        assert_eq!(q.projection.as_deref(), Some(&["brand".to_string(), "price".into()][..]));
+        assert!(q.condition.is_some());
+        // Without WHERE, and with odd spacing.
+        let q = parse("SELECT watch ( brand )").unwrap();
+        assert_eq!(q.projection.as_deref(), Some(&["brand".to_string()][..]));
+        // Malformed lists are rejected.
+        assert!(parse("SELECT watch(").is_err());
+        assert!(parse("SELECT watch()").is_err());
+        assert!(parse("SELECT watch(brand,)").is_err());
+        assert!(parse("SELECT watch(brand").is_err());
+    }
+
+    #[test]
+    fn plan_resolves_projection() {
+        let o = onto();
+        let q = parse("SELECT product(brand, price, brand)").unwrap();
+        let p = plan(&q, &o).unwrap();
+        let names: Vec<&str> =
+            p.projection.as_ref().unwrap().iter().map(|i| i.local_name()).collect();
+        assert_eq!(names, ["brand", "price"], "duplicates collapse");
+        // Dotted paths resolve too.
+        let q = parse("SELECT watch(thing.product.watch.case)").unwrap();
+        let p = plan(&q, &o).unwrap();
+        assert_eq!(p.projection.as_ref().unwrap()[0].local_name(), "case");
+        // Unknown projection attributes are rejected.
+        let q = parse("SELECT product(nonexistent)").unwrap();
+        assert!(matches!(plan(&q, &o), Err(S2sError::QuerySemantics { .. })));
     }
 
     #[test]

@@ -49,5 +49,6 @@ pub mod value;
 pub use db::{Database, QueryResult};
 pub use error::DbError;
 pub use schema::{ColumnDef, TableSchema};
-pub use sql::ast::SelectStmt;
+pub use sql::ast::{CmpOp, ColumnRef, Expr, Operand, SelectStmt};
+pub use sql::render::sql_literal;
 pub use value::{DataType, Value};

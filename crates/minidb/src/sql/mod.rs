@@ -3,6 +3,8 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod render;
 
-pub use ast::{Expr, OrderDir, SelectStmt, Statement};
+pub use ast::{CmpOp, ColumnRef, Expr, Operand, OrderDir, SelectStmt, Statement};
 pub use parser::parse;
+pub use render::sql_literal;

@@ -101,6 +101,25 @@ pub fn frame_size(payload_len: usize) -> usize {
     7 + payload_len
 }
 
+/// Total on-wire size of one request/response exchange whose request
+/// payload is `request_len` bytes and whose response payload is
+/// `response_len` bytes — pure arithmetic, no frame is allocated.
+/// Equals `encode(Request, req).len() + encode(Response, resp).len()`.
+pub fn exchange_size(request_len: usize, response_len: usize) -> usize {
+    frame_size(request_len) + frame_size(response_len)
+}
+
+/// Total on-wire size of one batched exchange: a `BatchRequest` whose
+/// sections have the `request_lens` payload lengths plus the matching
+/// `BatchResponse` sized by `response_lens`. Pure arithmetic, no frame
+/// is allocated; equals the encoded sizes byte for byte.
+pub fn batch_exchange_size(
+    request_lens: impl IntoIterator<Item = usize>,
+    response_lens: impl IntoIterator<Item = usize>,
+) -> usize {
+    batch_frame_size(request_lens) + batch_frame_size(response_lens)
+}
+
 /// Encodes a batch frame: each section is length-prefixed (4 bytes, BE)
 /// inside the payload, so a `BatchRequest` carries every rule of the
 /// batch and a `BatchResponse` every per-rule result section, all in a
@@ -211,6 +230,23 @@ mod tests {
     fn size_accounting() {
         let e = encode(FrameKind::Response, &[0u8; 100]);
         assert_eq!(e.len(), frame_size(100));
+    }
+
+    #[test]
+    fn arithmetic_sizes_match_encoded_frames() {
+        let req = b"SELECT brand FROM w";
+        let resp = vec![0u8; 42];
+        assert_eq!(
+            exchange_size(req.len(), resp.len()),
+            encode(FrameKind::Request, req).len() + encode(FrameKind::Response, &resp).len()
+        );
+        let rules: &[&[u8]] = &[b"//a/text()", b"//b/text()"];
+        let values = [vec![0u8; 9], vec![0u8; 0]];
+        assert_eq!(
+            batch_exchange_size(rules.iter().map(|r| r.len()), values.iter().map(Vec::len)),
+            encode_batch(FrameKind::BatchRequest, rules).len()
+                + encode_batch(FrameKind::BatchResponse, &values).len()
+        );
     }
 
     #[test]

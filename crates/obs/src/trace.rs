@@ -31,6 +31,9 @@ pub enum SpanKind {
     Map,
     /// Extraction planning (grouping, cost estimates, LPT order).
     Plan,
+    /// Federated pushdown planning (predicate/projection rewriting and
+    /// source pruning).
+    Pushdown,
     /// One per-source wire exchange (or one task in unbatched mode).
     Batch,
     /// One endpoint tried during a batch exchange.
@@ -47,6 +50,7 @@ impl SpanKind {
             SpanKind::Parse => "parse",
             SpanKind::Map => "map",
             SpanKind::Plan => "plan",
+            SpanKind::Pushdown => "pushdown",
             SpanKind::Batch => "batch",
             SpanKind::Attempt => "attempt",
             SpanKind::Rule => "rule",
@@ -60,6 +64,7 @@ impl SpanKind {
             "parse" => SpanKind::Parse,
             "map" => SpanKind::Map,
             "plan" => SpanKind::Plan,
+            "pushdown" => SpanKind::Pushdown,
             "batch" => SpanKind::Batch,
             "attempt" => SpanKind::Attempt,
             "rule" => SpanKind::Rule,
@@ -244,6 +249,7 @@ mod tests {
             SpanKind::Parse,
             SpanKind::Map,
             SpanKind::Plan,
+            SpanKind::Pushdown,
             SpanKind::Batch,
             SpanKind::Attempt,
             SpanKind::Rule,

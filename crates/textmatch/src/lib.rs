@@ -34,9 +34,11 @@
 
 pub mod ast;
 pub mod compiler;
+pub mod constraint;
 pub mod error;
 pub mod vm;
 
+pub use constraint::{like_match, Constraint, ConstraintOp};
 pub use error::RegexError;
 
 use compiler::Program;

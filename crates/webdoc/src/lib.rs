@@ -50,4 +50,4 @@ pub mod webl;
 pub use error::WebdocError;
 pub use html::HtmlDocument;
 pub use store::{WebDocument, WebStore};
-pub use webl::{WeblProgram, WeblValue};
+pub use webl::{with_guard, with_guards, GuardSpec, WeblProgram, WeblValue};

@@ -34,3 +34,4 @@ pub use dom::{Document, Element, Node};
 pub use error::XmlError;
 pub use parser::parse;
 pub use writer::{serialize, serialize_element};
+pub use xpath::push_child_predicate;

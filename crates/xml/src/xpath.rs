@@ -10,6 +10,9 @@
 //! predicate := '[' N ']'                      positional (1-based)
 //!            | '[@name="v"]'                   attribute equality
 //!            | '[name="v"]'                    child-element text equality
+//!            | '[name op "v"]'                 child-element comparison
+//!                                              (op: != < <= > >=; numeric
+//!                                              when both sides parse)
 //!            | '[text()="v"]'                  own-text equality
 //!            | '[contains(., "v")]'            substring on text content
 //!            | '[contains(@name, "v")]'        substring on attribute
@@ -21,6 +24,7 @@
 
 use crate::dom::{Document, Element};
 use crate::error::XmlError;
+use s2s_textmatch::{Constraint, ConstraintOp};
 
 /// A compiled XPath expression.
 ///
@@ -76,11 +80,27 @@ impl NameTest {
 #[derive(Debug, Clone, PartialEq)]
 enum Predicate {
     Position(usize),
-    AttrEq { name: String, value: String },
-    ChildEq { name: String, value: String },
+    AttrEq {
+        name: String,
+        value: String,
+    },
+    ChildEq {
+        name: String,
+        value: String,
+    },
+    /// `[child op 'v']` — keeps elements having a `child` whose text
+    /// satisfies the constraint (numeric comparison when both sides
+    /// parse as numbers, lexicographic otherwise).
+    ChildCmp {
+        name: String,
+        constraint: Constraint,
+    },
     TextEq(String),
     ContainsText(String),
-    ContainsAttr { name: String, value: String },
+    ContainsAttr {
+        name: String,
+        value: String,
+    },
 }
 
 impl XPath {
@@ -316,6 +336,13 @@ fn apply_predicate<'d>(elements: &[&'d Element], p: &Predicate) -> Vec<&'d Eleme
             .copied()
             .filter(|e| e.child_elements().any(|c| c.name == *name && c.text() == *value))
             .collect(),
+        Predicate::ChildCmp { name, constraint } => elements
+            .iter()
+            .copied()
+            .filter(|e| {
+                e.child_elements().any(|c| c.name == *name && constraint.matches(&c.text()))
+            })
+            .collect(),
         Predicate::TextEq(value) => {
             elements.iter().copied().filter(|e| e.own_text() == *value).collect()
         }
@@ -368,6 +395,9 @@ fn parse_predicate(body: &str, path: &str) -> Result<Predicate, XmlError> {
         }
         return Err(bad(format!("unsupported contains() target `{target}`")));
     }
+    if let Some(p) = parse_cmp_predicate(body) {
+        return Ok(p);
+    }
     if let Some((lhs, rhs)) = body.split_once('=') {
         let value = parse_quoted(rhs.trim()).ok_or_else(|| bad("expected quoted string".into()))?;
         let lhs = lhs.trim();
@@ -383,6 +413,78 @@ fn parse_predicate(body: &str, path: &str) -> Result<Predicate, XmlError> {
         return Err(bad(format!("unsupported predicate lhs `{lhs}`")));
     }
     Err(bad(format!("unsupported predicate `{body}`")))
+}
+
+/// Tries `child op 'value'` with a non-equality operator. Returns
+/// `None` (rather than an error) when the body doesn't have that
+/// shape, so other predicate forms still get their chance.
+fn parse_cmp_predicate(body: &str) -> Option<Predicate> {
+    for token in ["!=", "<=", ">=", "<", ">"] {
+        let Some((lhs, rhs)) = body.split_once(token) else { continue };
+        let name = lhs.trim();
+        if name.is_empty()
+            || !name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            || !name.chars().all(|c| c.is_alphanumeric() || "_-.:".contains(c))
+        {
+            return None;
+        }
+        let value = parse_quoted(rhs.trim())?;
+        let op = ConstraintOp::parse(token).expect("token list matches ConstraintOp");
+        return Some(Predicate::ChildCmp {
+            name: name.to_string(),
+            constraint: Constraint::new(op, value),
+        });
+    }
+    None
+}
+
+/// Splices a pushed predicate into an extraction-rule XPath.
+///
+/// `path` must have the canonical record shape `…/record/attr/text()`;
+/// the result is `…/record[guard op 'value']/attr/text()` — the same
+/// rows, pre-filtered at the source. `op` is one of `=`, `!=`, `<`,
+/// `<=`, `>`, `>=` (`=` uses the string-equality `ChildEq` form).
+///
+/// # Errors
+///
+/// Returns [`XmlError::BadXPath`] when the path doesn't have the
+/// record shape, the operator is unknown, or the guard/value cannot be
+/// spliced without changing the grammar (quotes or `]` in the value).
+pub fn push_child_predicate(
+    path: &str,
+    guard: &str,
+    op: &str,
+    value: &str,
+) -> Result<String, XmlError> {
+    let bad = |m: String| XmlError::BadXPath { path: path.to_string(), message: m };
+    if !matches!(op, "=" | "!=" | "<" | "<=" | ">" | ">=") {
+        return Err(bad(format!("unsupported pushdown operator `{op}`")));
+    }
+    if guard.is_empty()
+        || !guard.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        || !guard.chars().all(|c| c.is_alphanumeric() || "_-.:".contains(c))
+    {
+        return Err(bad(format!("`{guard}` is not a valid guard element name")));
+    }
+    if value.contains('\'') || value.contains(']') {
+        return Err(bad("pushdown value cannot contain `'` or `]`".into()));
+    }
+    let compiled = XPath::new(path)?;
+    let attr = match &compiled.steps[..] {
+        [.., Step::Child { name: NameTest::Named(attr), predicates }, Step::Text]
+            if predicates.is_empty() && compiled.steps.len() >= 3 =>
+        {
+            attr.clone()
+        }
+        _ => return Err(bad("path is not of the record shape `…/record/attr/text()`".into())),
+    };
+    let suffix = format!("/{attr}/text()");
+    let Some(prefix) = compiled.source.strip_suffix(suffix.as_str()) else {
+        return Err(bad("path text does not end with its own final step".into()));
+    };
+    let pushed = format!("{prefix}[{guard} {op} '{value}']{suffix}");
+    XPath::new(&pushed)?;
+    Ok(pushed)
 }
 
 fn parse_quoted(s: &str) -> Option<String> {
@@ -544,6 +646,54 @@ mod tests {
         assert!(XPath::new("/a[0]").is_err());
         assert!(XPath::new("/a[@x=unquoted]").is_err());
         assert!(XPath::new("/a[contains(x, 'y')]").is_err());
+    }
+
+    #[test]
+    fn child_cmp_predicates() {
+        let d = parse(
+            "<catalog><watch><brand>seiko</brand><price>120</price></watch>\
+             <watch><brand>casio</brand><price>45</price></watch></catalog>",
+        )
+        .unwrap();
+        let q = |p: &str| XPath::new(p).unwrap().eval_strings(&d);
+        assert_eq!(q("/catalog/watch[price < '100']/brand/text()"), ["casio"]);
+        assert_eq!(q("/catalog/watch[price >= '100']/brand/text()"), ["seiko"]);
+        assert_eq!(q("/catalog/watch[brand != 'seiko']/price/text()"), ["45"]);
+        // Numeric, not lexicographic: '45' < '100' numerically.
+        assert_eq!(q("/catalog/watch[price <= '45']/brand/text()"), ["casio"]);
+        // Missing guard child filters the element out.
+        assert!(q("/catalog/watch[missing > '1']/brand/text()").is_empty());
+    }
+
+    #[test]
+    fn push_child_predicate_splices() {
+        let pushed =
+            push_child_predicate("/catalog/watch/brand/text()", "price", "<", "100").unwrap();
+        assert_eq!(pushed, "/catalog/watch[price < '100']/brand/text()");
+        // Equality uses the existing string-equality predicate form.
+        let eq = push_child_predicate("/catalog/watch/brand/text()", "brand", "=", "x").unwrap();
+        assert_eq!(eq, "/catalog/watch[brand = 'x']/brand/text()");
+        // Splicing stacks with existing predicates.
+        let twice = push_child_predicate(&pushed, "case", "!=", "resin").unwrap();
+        assert_eq!(twice, "/catalog/watch[price < '100'][case != 'resin']/brand/text()");
+        let d = parse(
+            "<catalog><watch><brand>a</brand><price>5</price><case>resin</case></watch>\
+             <watch><brand>b</brand><price>6</price><case>steel</case></watch></catalog>",
+        )
+        .unwrap();
+        assert_eq!(XPath::new(&twice).unwrap().eval_strings(&d), ["b"]);
+    }
+
+    #[test]
+    fn push_child_predicate_rejects_bad_shapes() {
+        let p = push_child_predicate;
+        assert!(p("/catalog/watch/@id", "a", "<", "1").is_err()); // attribute terminal
+        assert!(p("/catalog/watch/brand", "a", "<", "1").is_err()); // no text() step
+        assert!(p("/brand/text()", "a", "<", "1").is_err()); // no record step
+        assert!(p("/c/w/b/text()", "a", "LIKE", "x%").is_err()); // unsupported op
+        assert!(p("/c/w/b/text()", "@attr", "<", "1").is_err()); // bad guard name
+        assert!(p("/c/w/b/text()", "a", "<", "it's").is_err()); // quote in value
+        assert!(p("/c/w/b/text()", "a", "<", "x]y").is_err()); // bracket in value
     }
 
     #[test]
