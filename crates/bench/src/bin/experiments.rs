@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p s2s-bench --bin experiments`
 //!
-//! Each section prints the id (E1–E15), the parameters swept, and the
+//! Each section prints the id (E1–E16), the parameters swept, and the
 //! measured values (wall-clock for CPU work, simulated time for network
 //! behaviour, plus counts/correctness indicators).
 //!
@@ -36,10 +36,16 @@
 //!   `e15.json` into `<dir>` and exits non-zero on any answer
 //!   mismatch, response-byte growth, or a wire-byte reduction below
 //!   5× at 1% selectivity (the CI pushdown gate).
+//! * `--delta-smoke <dir>` — the E16 mutation-rate sweep: a paced
+//!   query stream with background source mutations on a views-enabled
+//!   engine vs its invalidate-and-recompute twin; writes `e16.json`
+//!   into `<dir>` and exits non-zero on any answer divergence or a
+//!   sustained-throughput advantage below 3× at a 10% mutation rate
+//!   (the CI incremental-delta gate).
 //! * `--validate-report <path>` — schema-check one uploaded smoke
-//!   artifact (`e13.json`, `e14.json`, `e15.json`): the file must be
-//!   well-formed JSON and every `schema_version` in it must match the
-//!   binary's. Exits non-zero otherwise.
+//!   artifact (`e13.json`, `e14.json`, `e15.json`, `e16.json`): the
+//!   file must be well-formed JSON and every `schema_version` in it
+//!   must match the binary's. Exits non-zero otherwise.
 //! * `--conform-fuzz` — deterministic differential fuzzing: generated
 //!   scenarios run through the serial, batched, replay, pooled,
 //!   reactor, and pushdown execution paths and every oracle in
@@ -135,6 +141,19 @@ fn main() {
             }
             println!("pushdown-smoke OK");
         }
+        Some("--delta-smoke") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--delta-smoke requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = delta_smoke(dir) {
+                for v in &violations {
+                    eprintln!("delta-smoke FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("delta-smoke OK");
+        }
         Some("--validate-report") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| {
                 eprintln!("--validate-report requires a report path argument");
@@ -171,7 +190,7 @@ fn usage() {
     println!("experiments — S2S experiment harness and observability driver");
     println!();
     println!("USAGE:");
-    println!("  experiments                    run the full E1–E15 experiment suite");
+    println!("  experiments                    run the full E1–E16 experiment suite");
     println!("  experiments --trace            print span trees + JSONL for a healthy");
     println!("                                 and a degraded (breaker-open) query");
     println!("  experiments --metrics          print a Prometheus-style metrics");
@@ -199,6 +218,12 @@ fn usage() {
     println!("                                 planner on vs off; writes e15.json into");
     println!("                                 DIR; fails on mismatch or a wire-byte");
     println!("                                 reduction below 5x at 1% selectivity");
+    println!("  experiments --delta-smoke DIR");
+    println!("                                 E16 mutation-rate sweep with materialized");
+    println!("                                 views on vs invalidate-and-recompute;");
+    println!("                                 writes e16.json into DIR; fails on any");
+    println!("                                 divergence or a throughput advantage");
+    println!("                                 below 3x at a 10% mutation rate");
     println!("  experiments --validate-report FILE");
     println!("                                 schema-check one smoke artifact: well-");
     println!("                                 formed JSON declaring this binary's");
@@ -339,6 +364,7 @@ fn run_experiments() {
     e13();
     e14();
     e15();
+    e16();
 }
 
 /// A deployment where one of two sources is hard-down and the breaker
@@ -735,6 +761,129 @@ fn pushdown_smoke(dir: &str) -> Result<(), Vec<String>> {
         low.reduction(),
         vs_full,
         low.wire_bytes_saved,
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// E16 catalog size: small enough that re-extraction is wire-dominated
+/// rather than parse-dominated, so pacing controls the measured ratio.
+const E16_ROWS: usize = 30;
+/// E16 queries per point.
+const E16_STEPS: usize = 120;
+/// E16 pacing: heavy enough that a four-source WAN recompute costs
+/// milliseconds of real time, so the delta/recompute ratio reflects
+/// wire cost and not fixture compute.
+const E16_PACE: u64 = 60;
+/// Mutation rates swept, in mutations per hundred queries.
+const E16_RATES: [f64; 4] = [0.0, 5.0, 10.0, 25.0];
+
+/// The E16 mutation-rate sweep: per rate, the identical query stream
+/// and DB-price mutation schedule run on a views-enabled engine and on
+/// its invalidate-and-recompute twin.
+fn e16_sweep() -> DeltaReport {
+    let points =
+        E16_RATES.iter().map(|&pct| run_delta(E16_ROWS, 42, E16_STEPS, pct, E16_PACE)).collect();
+    DeltaReport { rows: E16_ROWS, points }
+}
+
+fn e16() {
+    header("E16", "incremental deltas: materialized views vs invalidate-and-recompute");
+    println!(
+        "{:>6} {:>5} {:>10} {:>10} {:>8} {:>11} {:>11} {:>6} {:>6} {:>11} {:>4}",
+        "mut%",
+        "muts",
+        "base-qps",
+        "delta-qps",
+        "speedup",
+        "base-wire",
+        "delta-wire",
+        "hits",
+        "refr",
+        "staleness",
+        "div"
+    );
+    let report = e16_sweep();
+    for p in &report.points {
+        assert_eq!(p.divergences, 0, "delta arm diverged at {}% mutation rate", p.mutation_pct);
+        println!(
+            "{:>6} {:>5} {:>10.0} {:>10.0} {:>7.1}x {:>10}B {:>10}B {:>6} {:>6} {:>9}µs {:>4}",
+            p.mutation_pct,
+            p.mutations,
+            p.baseline_qps,
+            p.delta_qps,
+            p.speedup(),
+            p.baseline_wire_bytes,
+            p.delta_wire_bytes,
+            p.view_hits,
+            p.view_refreshes,
+            p.max_staleness_us,
+            p.divergences,
+        );
+    }
+}
+
+/// The CI incremental-delta gate: at every swept mutation rate the
+/// delta-maintained answers must be identical to recompute, and at the
+/// 10% rate the views-enabled engine must sustain at least 3× the
+/// recompute twin's throughput while moving fewer wire bytes. Writes
+/// `e16.json` into `dir`.
+fn delta_smoke(dir: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let report = e16_sweep();
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create delta-smoke dir {dir}: {e}"));
+    let json_path = format!("{dir}/e16.json");
+    let json = report.to_json();
+    std::fs::write(&json_path, &json).expect("write e16.json");
+    check_schema_version(&json_path, &json, &mut violations);
+    if let Err(e) = validate_report(&json) {
+        violations.push(format!("e16.json fails its own schema check: {e}"));
+    }
+
+    for p in &report.points {
+        if p.divergences > 0 {
+            violations.push(format!(
+                "delta answers diverged from recompute {} time(s) at {}% mutation rate",
+                p.divergences, p.mutation_pct
+            ));
+        }
+        if p.view_full_refreshes > 0 {
+            violations.push(format!(
+                "{} feed-gap full refreshes at {}% mutation rate (retention too small \
+                 for the polling cadence)",
+                p.view_full_refreshes, p.mutation_pct
+            ));
+        }
+    }
+    let hot = report.points.iter().find(|p| p.mutation_pct == 10.0).expect("10% point");
+    if hot.speedup() < 3.0 {
+        violations.push(format!(
+            "delta sustained only {:.1}x recompute throughput at a 10% mutation rate (< 3x)",
+            hot.speedup()
+        ));
+    }
+    if hot.delta_wire_bytes >= hot.baseline_wire_bytes {
+        violations.push(format!(
+            "delta moved {} wire bytes vs {} for recompute at a 10% mutation rate",
+            hot.delta_wire_bytes, hot.baseline_wire_bytes
+        ));
+    }
+
+    println!(
+        "delta-smoke: {} rows, 10% mutation rate → {:.0} qps vs {:.0} recompute \
+         ({:.1}x), {}B vs {}B wire, {} divergences → {json_path}",
+        report.rows,
+        hot.delta_qps,
+        hot.baseline_qps,
+        hot.speedup(),
+        hot.delta_wire_bytes,
+        hot.baseline_wire_bytes,
+        hot.divergences,
     );
     if violations.is_empty() {
         Ok(())

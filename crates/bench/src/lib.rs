@@ -16,7 +16,7 @@ use s2s_core::mapping::{ExtractionRule, RecordScenario};
 use s2s_core::source::Connection;
 use s2s_core::{QueryOptions, S2s};
 use s2s_minidb::Database;
-use s2s_netsim::{AdmissionConfig, CostModel, FailureModel, SimDuration};
+use s2s_netsim::{AdmissionConfig, ChangeKind, CostModel, FailureModel, SimDuration};
 use s2s_owl::Ontology;
 use s2s_webdoc::WebStore;
 use s2s_xml::Document;
@@ -1038,6 +1038,198 @@ fn throughput_report(
 }
 
 // ---------------------------------------------------------------------
+// Incremental-delta harness (E16).
+// ---------------------------------------------------------------------
+
+/// One mutation-rate point of the E16 delta sweep: the same
+/// query stream with background source mutations run on a views-enabled
+/// engine and on its invalidate-and-recompute twin (result cache only —
+/// every mutation drops the affected answers and the next query
+/// re-extracts everything from the wire).
+#[derive(Debug, Clone)]
+pub struct DeltaPoint {
+    /// Mutations per hundred queries.
+    pub mutation_pct: f64,
+    /// Queries executed on each arm.
+    pub queries: usize,
+    /// Source mutations applied to each arm.
+    pub mutations: usize,
+    /// Steps where the two arms' answers disagreed.
+    pub divergences: usize,
+    /// Sustained throughput of the recompute arm, queries/sec.
+    pub baseline_qps: f64,
+    /// Sustained throughput of the delta arm, queries/sec.
+    pub delta_qps: f64,
+    /// 99th-percentile per-query wall latency, recompute arm, µs.
+    pub baseline_p99_us: u64,
+    /// 99th-percentile per-query wall latency, delta arm, µs.
+    pub delta_p99_us: u64,
+    /// Total wire bytes moved by the recompute arm.
+    pub baseline_wire_bytes: u64,
+    /// Total wire bytes moved by the delta arm (feed polls plus
+    /// re-extracted slices).
+    pub delta_wire_bytes: u64,
+    /// Slices served without re-extraction on the delta arm.
+    pub view_hits: u64,
+    /// Slices incrementally re-extracted on the delta arm.
+    pub view_refreshes: u64,
+    /// Slices rebuilt from scratch after a feed gap.
+    pub view_full_refreshes: u64,
+    /// Worst served-slice staleness observed on the delta arm,
+    /// simulated µs (the view was this far behind its last freshness
+    /// verification when served).
+    pub max_staleness_us: u64,
+}
+
+impl DeltaPoint {
+    /// Throughput advantage of delta maintenance at this point.
+    pub fn speedup(&self) -> f64 {
+        self.delta_qps / self.baseline_qps.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"mutation_pct\":{},\"queries\":{},\"mutations\":{},",
+                "\"divergences\":{},\"baseline_qps\":{:.1},\"delta_qps\":{:.1},",
+                "\"speedup\":{:.2},\"baseline_p99_us\":{},\"delta_p99_us\":{},",
+                "\"baseline_wire_bytes\":{},\"delta_wire_bytes\":{},",
+                "\"view_hits\":{},\"view_refreshes\":{},\"view_full_refreshes\":{},",
+                "\"max_staleness_us\":{}}}"
+            ),
+            self.mutation_pct,
+            self.queries,
+            self.mutations,
+            self.divergences,
+            self.baseline_qps,
+            self.delta_qps,
+            self.speedup(),
+            self.baseline_p99_us,
+            self.delta_p99_us,
+            self.baseline_wire_bytes,
+            self.delta_wire_bytes,
+            self.view_hits,
+            self.view_refreshes,
+            self.view_full_refreshes,
+            self.max_staleness_us,
+        )
+    }
+}
+
+/// The full E16 sweep (the `e16.json` smoke artifact).
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Catalog rows behind every source.
+    pub rows: usize,
+    /// One entry per swept mutation rate.
+    pub points: Vec<DeltaPoint>,
+}
+
+impl DeltaReport {
+    /// Renders the report as a single JSON object (no dependencies;
+    /// the smoke-artifact format).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(DeltaPoint::to_json).collect();
+        format!(
+            "{{\"schema_version\":{},\"rows\":{},\"points\":[{}]}}",
+            SCHEMA_VERSION,
+            self.rows,
+            points.join(",")
+        )
+    }
+}
+
+/// Runs one E16 point: a repeated-text query stream over the paced
+/// four-source WAN deployment, with the DB source's price column
+/// mutated at `mutation_pct` mutations per hundred queries (honest
+/// `fields = ["price"]` declarations on the change feed). The delta arm
+/// maintains materialized views; the baseline arm relies on the result
+/// cache alone, so every mutation forces it back onto the wire for all
+/// four sources. Both arms see the identical mutation schedule and
+/// every answer is compared step by step.
+pub fn run_delta(rows: usize, seed: u64, steps: usize, mutation_pct: f64, pace: u64) -> DeltaPoint {
+    let baseline = deploy_paced(rows, seed, pace, Strategy::Serial, true);
+    let delta = deploy_paced(rows, seed, pace, Strategy::Serial, true).with_views();
+    let mut recs = records(rows, seed);
+    let texts: Vec<String> =
+        [120, 220, 320, 420].iter().map(|t| format!("SELECT watch WHERE price < {t}")).collect();
+
+    let mut acc = 0.0f64;
+    let mut mutations = 0usize;
+    let mut divergences = 0usize;
+    let mut base_lat: Vec<u64> = Vec::with_capacity(steps);
+    let mut delta_lat: Vec<u64> = Vec::with_capacity(steps);
+    let (mut base_wire, mut delta_wire) = (0u64, 0u64);
+    let mut max_staleness_us = 0u64;
+    for step in 0..steps {
+        acc += mutation_pct / 100.0;
+        if acc >= 1.0 {
+            acc -= 1.0;
+            mutations += 1;
+            for r in recs.iter_mut() {
+                r.price += 1.0;
+            }
+            let db = Arc::new(catalog_db(&recs));
+            for engine in [&baseline, &delta] {
+                engine
+                    .mutate_source(
+                        "DB",
+                        Connection::Database { db: Arc::clone(&db) },
+                        ChangeKind::RowUpdate,
+                        vec!["price".into()],
+                    )
+                    .expect("DB is registered");
+            }
+        }
+        let text = &texts[step % texts.len()];
+        let (base_outcome, base_wall) = time(|| baseline.query(text).expect("baseline query"));
+        let (delta_outcome, delta_wall) = time(|| delta.query(text).expect("delta query"));
+        base_lat.push(base_wall.as_micros() as u64);
+        delta_lat.push(delta_wall.as_micros() as u64);
+        base_wire += base_outcome.stats.wire_bytes;
+        delta_wire += delta_outcome.stats.wire_bytes;
+        max_staleness_us = max_staleness_us.max(delta_outcome.stats.view_staleness.as_micros());
+        if result_key(&base_outcome) != result_key(&delta_outcome) {
+            divergences += 1;
+        }
+    }
+
+    let qps = |lat: &[u64]| -> f64 {
+        let total_us: u64 = lat.iter().sum();
+        if total_us == 0 {
+            0.0
+        } else {
+            lat.len() as f64 / (total_us as f64 / 1e6)
+        }
+    };
+    let p99 = |lat: &mut Vec<u64>| -> u64 {
+        lat.sort_unstable();
+        if lat.is_empty() {
+            0
+        } else {
+            lat[(lat.len() - 1) * 99 / 100]
+        }
+    };
+    let views = delta.view_stats();
+    DeltaPoint {
+        mutation_pct,
+        queries: steps,
+        mutations,
+        divergences,
+        baseline_qps: qps(&base_lat),
+        delta_qps: qps(&delta_lat),
+        baseline_p99_us: p99(&mut base_lat),
+        delta_p99_us: p99(&mut delta_lat),
+        baseline_wire_bytes: base_wire,
+        delta_wire_bytes: delta_wire,
+        view_hits: views.hits,
+        view_refreshes: views.refreshes,
+        view_full_refreshes: views.full_refreshes,
+        max_staleness_us,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Open-loop overload harness (E14).
 // ---------------------------------------------------------------------
 
@@ -1514,6 +1706,32 @@ mod tests {
             "pushed responses did not shrink: {point:?}"
         );
         assert!(point.reduction() > 1.0, "{point:?}");
+    }
+
+    #[test]
+    fn delta_maintenance_beats_recompute_and_never_diverges() {
+        let point = run_delta(24, 42, 60, 10.0, 40);
+        assert_eq!(point.divergences, 0, "delta arm diverged from recompute: {point:?}");
+        assert!(point.mutations >= 5, "accumulator schedule drifted: {point:?}");
+        assert!(point.view_hits > 0, "views never served a slice: {point:?}");
+        assert_eq!(point.view_full_refreshes, 0, "feed gap in a 6-mutation run: {point:?}");
+        assert!(
+            point.delta_wire_bytes < point.baseline_wire_bytes,
+            "delta moved no fewer wire bytes: {point:?}"
+        );
+        // The CI smoke gates the full >=3x claim under heavier pacing;
+        // this quick in-tree run just has to show a clear win.
+        assert!(point.speedup() > 1.5, "no delta speedup: {point:?}");
+    }
+
+    #[test]
+    fn delta_point_without_mutations_is_pure_cache_replay() {
+        let point = run_delta(24, 42, 12, 0.0, 0);
+        assert_eq!(point.mutations, 0);
+        assert_eq!(point.divergences, 0, "{point:?}");
+        assert_eq!(point.view_full_refreshes, 0, "{point:?}");
+        let report = DeltaReport { rows: 24, points: vec![point] };
+        validate_report(&report.to_json()).expect("fresh e16 report validates");
     }
 
     #[test]

@@ -33,6 +33,12 @@
 //!   like the post-filter path on both the batched and reactor
 //!   strategies, never inflates `wire_response_bytes`, never dials a
 //!   pruned source, and reproduces deterministically.
+//! * **Delta maintenance** — on fault-free scenarios, materialized
+//!   semantic views fed by the source change feeds answer
+//!   fingerprint-identical to a from-scratch recompute after every
+//!   fuzzed mutation round, replay unmutated repeat queries without
+//!   touching the wire, account every warm slice as a hit, refresh,
+//!   or full refresh, and reproduce deterministically.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -258,7 +264,192 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
     // --- Pushdown equivalence ---------------------------------------
     violations.extend(check_pushdown(scenario, &batched_outcome));
 
+    // --- Delta maintenance ------------------------------------------
+    violations.extend(check_delta(scenario, &batched_outcome));
+
     violations
+}
+
+/// Delta maintenance: materialized semantic views answering out of the
+/// source change feeds must be indistinguishable from recompute.
+///
+/// Gated to fault-free scenarios: a mutation changes how many wire
+/// calls each query issues, which would desync call-indexed fault
+/// schedules between the delta engine and the rebuilt reference.
+///
+/// The protocol runs one engine through a cold query, a warm repeat,
+/// and three mutation rounds. Rounds alternate between price-only
+/// mutations that honestly declare `fields = ["price"]` (exercising
+/// the untouched-slice fast path) and whole-catalog mutations that
+/// declare nothing (the conservative touches-everything path). Four
+/// invariants:
+///
+/// * **equality** — the cold delta answer matches the batched path;
+/// * **view replay** — the unmutated repeat is served entirely from
+///   views, with zero round trips;
+/// * **divergence-freedom** — after every mutation round the delta
+///   answer fingerprints identically to a freshly built engine over
+///   the mutated catalog;
+/// * **accounting + determinism** — every warm slice is accounted as
+///   hit, refresh, or full refresh, and a second protocol run
+///   reproduces the first exactly.
+fn check_delta(scenario: &Scenario, baseline: &QueryOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !scenario.fault_free() {
+        return violations;
+    }
+    let query = scenario.query_text();
+    let n_schemas = (scenario.sources.len() * crate::scenario::ATTRS.len()) as u64;
+
+    // (fingerprint, round_trips, view_hits, view_refreshes,
+    // view_full_refreshes) per protocol round.
+    let run_protocol = || -> Vec<(String, u64, u64, u64, u64)> {
+        let engine = scenario.build(&BuildConfig::delta());
+        let mut records = scenario.records();
+        let mut trace = Vec::new();
+        for round in 0..5 {
+            if round >= 2 {
+                mutate_catalog(&mut records, round);
+                let fields: Vec<String> =
+                    if round % 2 == 0 { vec!["price".into()] } else { Vec::new() };
+                for (i, spec) in scenario.sources.iter().enumerate() {
+                    engine
+                        .mutate_source(
+                            &format!("SRC_{i}"),
+                            crate::scenario::connection_for(spec.kind, &records),
+                            crate::scenario::change_kind_for(spec.kind),
+                            fields.clone(),
+                        )
+                        .expect("source registered by build");
+                }
+            }
+            let outcome = engine.query(&query).expect("parsed on the serial path");
+            trace.push((
+                fingerprint(&outcome),
+                outcome.stats.round_trips,
+                outcome.stats.view_hits,
+                outcome.stats.view_refreshes,
+                outcome.stats.view_full_refreshes,
+            ));
+        }
+        trace
+    };
+
+    let trace = run_protocol();
+    if trace[0].0 != fingerprint(baseline) {
+        violations.push(Violation::new(
+            "delta-equality",
+            format!(
+                "cold delta answer diverged from batched\nbatched:\n{}\ndelta:\n{}",
+                fingerprint(baseline),
+                trace[0].0
+            ),
+        ));
+    }
+    if trace[1].1 != 0 || trace[1].2 != n_schemas {
+        violations.push(Violation::new(
+            "delta-view-replay",
+            format!(
+                "unmutated repeat touched the wire: round_trips {} view_hits {} (schemas {})",
+                trace[1].1, trace[1].2, n_schemas
+            ),
+        ));
+    }
+    for (round, entry) in trace.iter().enumerate().skip(1) {
+        if entry.2 + entry.3 + entry.4 != n_schemas {
+            violations.push(Violation::new(
+                "delta-accounting",
+                format!(
+                    "round {round}: hits {} + refreshes {} + full refreshes {} != schemas \
+                     {n_schemas}",
+                    entry.2, entry.3, entry.4
+                ),
+            ));
+        }
+    }
+
+    let mut records = scenario.records();
+    for (round, entry) in trace.iter().enumerate().take(5).skip(2) {
+        mutate_catalog(&mut records, round);
+        let reference =
+            rebuilt_engine(scenario, &records).query(&query).expect("parsed on the serial path");
+        if entry.0 != fingerprint(&reference) {
+            violations.push(Violation::new(
+                "delta-divergence",
+                format!(
+                    "delta answer after mutation round {round} diverged from recompute\n\
+                     recompute:\n{}\ndelta:\n{}",
+                    fingerprint(&reference),
+                    entry.0
+                ),
+            ));
+        }
+    }
+
+    if run_protocol() != trace {
+        violations.push(Violation::new(
+            "delta-determinism",
+            "two identically seeded delta protocols disagreed".to_string(),
+        ));
+    }
+
+    violations
+}
+
+/// Advances the catalog one mutation round: every price moves; the
+/// declare-nothing rounds (odd) additionally rotate every brand, so the
+/// mutation really is confined to the declared fields on even rounds.
+fn mutate_catalog(records: &mut [crate::scenario::Record], round: usize) {
+    for r in records.iter_mut() {
+        r.price += 7 * (round as i64 + 1);
+        if round % 2 == 1 {
+            let i = crate::scenario::BRANDS.iter().position(|&b| b == r.brand).unwrap_or(0);
+            r.brand = crate::scenario::BRANDS[(i + 1) % crate::scenario::BRANDS.len()].to_string();
+        }
+    }
+}
+
+/// A fresh batched engine over an explicit (mutated) catalog — the
+/// recompute reference the delta engine is compared against.
+fn rebuilt_engine(scenario: &Scenario, records: &[crate::scenario::Record]) -> S2s {
+    use s2s_core::source::Connection;
+    use s2s_netsim::{CostModel, FailureModel, FaultSchedule};
+
+    let mut s2s = S2s::new(crate::scenario::ontology())
+        .with_strategy(Strategy::Serial)
+        .with_batching(true)
+        .with_resilience(
+            ResiliencePolicy::default()
+                .with_retry(RetryPolicy::attempts(crate::scenario::RETRY_ATTEMPTS)),
+        );
+    for (i, spec) in scenario.sources.iter().enumerate() {
+        let id = format!("SRC_{i}");
+        let connection: Connection = crate::scenario::connection_for(spec.kind, records);
+        s2s.register_remote_source_detailed(
+            &id,
+            connection,
+            CostModel::wan(),
+            FailureModel::reliable(),
+            Some(scenario.endpoint_seed(i)),
+            FaultSchedule::new(),
+        )
+        .expect("fresh id");
+        let record_scenario = if spec.single_record {
+            s2s_core::mapping::RecordScenario::SingleRecord
+        } else {
+            s2s_core::mapping::RecordScenario::MultiRecord
+        };
+        for a in 0..crate::scenario::ATTRS.len() {
+            s2s.register_attribute(
+                &format!("thing.product.watch.{}", crate::scenario::ATTRS[a]),
+                crate::scenario::rule_for(spec.kind, a),
+                &id,
+                record_scenario,
+            )
+            .expect("valid by construction");
+        }
+    }
+    s2s
 }
 
 /// Pushdown equivalence: the federated planner may rewrite rules,
@@ -869,6 +1060,47 @@ mod tests {
             pushed.stats.wire_response_bytes,
             baseline.stats.wire_response_bytes
         );
+        let violations = check_scenario(&scenario);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    /// A mapping edit must invalidate only the edited source's
+    /// materialized slices: the other source's views keep replaying
+    /// without touching the wire, and only the edited source is
+    /// re-dialled.
+    #[test]
+    fn mapping_edit_invalidation_is_scoped_to_the_edited_source() {
+        let scenario = crate::case::from_case(include_str!("../corpus/delta-mapping-edit.case"))
+            .expect("corpus case parses");
+        let query = scenario.query_text();
+        let mut engine = scenario.build(&BuildConfig::delta());
+        let first = engine.query(&query).unwrap();
+        assert_eq!(first.stats.completeness, 1.0);
+        let warm = engine.query(&query).unwrap();
+        assert_eq!(warm.stats.round_trips, 0, "warm views answer without the wire");
+        // Re-register SRC_0's brand mapping under an equivalent rule
+        // with different text — same values, different plan.
+        engine
+            .register_attribute(
+                "thing.product.watch.brand",
+                s2s_core::mapping::ExtractionRule::Sql {
+                    query: "SELECT brand, price FROM watches ORDER BY id".into(),
+                    column: "brand".into(),
+                },
+                "SRC_0",
+                s2s_core::mapping::RecordScenario::MultiRecord,
+            )
+            .expect("equivalent rule is valid");
+        let after = engine.query(&query).unwrap();
+        assert_eq!(
+            fingerprint(&after),
+            fingerprint(&first),
+            "the equivalent rule must not change the answer"
+        );
+        assert!(after.resilience.contains_key("SRC_0"), "edited source re-extracts");
+        assert!(!after.resilience.contains_key("SRC_1"), "untouched source replays from its views");
+        assert_eq!(after.stats.round_trips, 1, "one batched exchange, edited source only");
+        assert_eq!(after.stats.view_hits, 3, "the XML source's three slices replay");
         let violations = check_scenario(&scenario);
         assert!(violations.is_empty(), "{violations:#?}");
     }

@@ -16,7 +16,7 @@ use s2s_core::mapping::{ExtractionRule, RecordScenario};
 use s2s_core::source::Connection;
 use s2s_core::S2s;
 use s2s_minidb::Database;
-use s2s_netsim::{CostModel, FailureModel, FaultKind, FaultSchedule, RetryPolicy};
+use s2s_netsim::{ChangeKind, CostModel, FailureModel, FaultKind, FaultSchedule, RetryPolicy};
 use s2s_owl::Ontology;
 use s2s_webdoc::WebStore;
 
@@ -212,6 +212,9 @@ impl Scenario {
         if config.pushdown {
             s2s = s2s.with_pushdown();
         }
+        if config.views {
+            s2s = s2s.with_views();
+        }
         let source_order: Vec<usize> = match &config.source_order {
             Some(order) => order.clone(),
             None => (0..self.sources.len()).collect(),
@@ -324,6 +327,8 @@ pub struct BuildConfig {
     pub result_cache: bool,
     /// Enable the federated pushdown planner.
     pub pushdown: bool,
+    /// Enable materialized semantic views (delta maintenance).
+    pub views: bool,
     /// Source registration order override (indices into `sources`).
     pub source_order: Option<Vec<usize>>,
     /// Attribute registration order override (indices into [`ATTRS`]).
@@ -337,6 +342,7 @@ impl Default for BuildConfig {
             strategy: Strategy::Serial,
             result_cache: false,
             pushdown: false,
+            views: false,
             source_order: None,
             attr_order: None,
         }
@@ -382,6 +388,12 @@ impl BuildConfig {
     /// The event-reactor path with the pushdown planner enabled.
     pub fn pushdown_reactor(shards: usize) -> Self {
         BuildConfig { pushdown: true, ..BuildConfig::reactor(shards) }
+    }
+
+    /// The batched path with materialized semantic views (delta
+    /// maintenance against source change feeds).
+    pub fn delta() -> Self {
+        BuildConfig { views: true, ..BuildConfig::batched() }
     }
 }
 
@@ -500,6 +512,17 @@ pub(crate) fn connection_for(kind: SourceKindSpec, records: &[Record]) -> Connec
             store.register_text("file:///conform.txt", text);
             Connection::Text { store: Arc::new(store), url: "file:///conform.txt".into() }
         }
+    }
+}
+
+/// The change kind a data mutation of this source kind reports on its
+/// feed: row edits for relational sources, node edits for tree-shaped
+/// documents, whole-document replacement for flat text.
+pub(crate) fn change_kind_for(kind: SourceKindSpec) -> ChangeKind {
+    match kind {
+        SourceKindSpec::Db => ChangeKind::RowUpdate,
+        SourceKindSpec::Xml | SourceKindSpec::Web => ChangeKind::NodeEdit,
+        SourceKindSpec::Text => ChangeKind::DocReplace,
     }
 }
 

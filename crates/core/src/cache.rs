@@ -8,9 +8,11 @@
 //! with zero simulated network cost.
 //!
 //! Scope and invalidation: registered sources are immutable snapshots
-//! (`Arc`-shared), so entries never go stale within a deployment;
-//! [`ExtractionCache::clear`] supports explicit refresh when an operator
-//! swaps a source.
+//! (`Arc`-shared), so entries only go stale when a mutation swaps a
+//! source's snapshot. The mutation path drops exactly that source's
+//! entries ([`ExtractionCache::invalidate_source`] — the cache key
+//! leads with the source id); [`ExtractionCache::clear`] remains the
+//! blunt full refresh for operators.
 //!
 //! Bounding: a resident engine keeps its caches for the life of the
 //! process, so the map is LRU-bounded ([`ExtractionCache::with_capacity`],
@@ -158,9 +160,21 @@ impl ExtractionCache {
         self.entries.read().is_empty()
     }
 
-    /// Drops every entry (e.g. after swapping a source snapshot).
-    pub fn clear(&self) {
-        self.entries.write().clear();
+    /// Drops every entry, returning how many were dropped.
+    pub fn clear(&self) -> usize {
+        let mut entries = self.entries.write();
+        let n = entries.len();
+        entries.clear();
+        n
+    }
+
+    /// Drops exactly the entries extracted from `source`, returning how
+    /// many were dropped. Entries for other sources keep serving.
+    pub fn invalidate_source(&self, source: &str) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|k, _| k.source != source);
+        before - entries.len()
     }
 
     /// Counter snapshot.
@@ -243,12 +257,26 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties() {
+    fn clear_empties_and_reports_count() {
         let cache = ExtractionCache::new();
         cache.insert(&mapping("x", "S"), vec![]);
         assert!(!cache.is_empty());
-        cache.clear();
+        assert_eq!(cache.clear(), 1);
         assert!(cache.is_empty());
+        assert_eq!(cache.clear(), 0);
+    }
+
+    #[test]
+    fn invalidate_source_is_surgical() {
+        let cache = ExtractionCache::new();
+        cache.insert(&mapping("x", "S1"), vec!["1".into()]);
+        cache.insert(&mapping("y", "S1"), vec!["2".into()]);
+        cache.insert(&mapping("x", "S2"), vec!["3".into()]);
+        assert_eq!(cache.invalidate_source("S1"), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&mapping("x", "S2")).is_some());
+        assert_eq!(cache.invalidate_source("S1"), 0);
+        assert_eq!(cache.invalidate_source("unregistered"), 0);
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub enum S2sError {
         /// The id.
         id: String,
     },
+    /// A source mutation tried to swap the connection for one of a
+    /// different kind (e.g. replacing a database with a web page),
+    /// which would silently orphan every mapped extraction rule.
+    MutationKindMismatch {
+        /// The mutated source.
+        id: String,
+        /// The registered source kind.
+        expected: String,
+        /// The kind of the replacement connection.
+        actual: String,
+    },
     /// An attribute path has no mapping.
     UnmappedAttribute {
         /// The path text.
@@ -121,6 +132,9 @@ impl fmt::Display for S2sError {
         match self {
             S2sError::UnknownSource { id } => write!(f, "unknown data source `{id}`"),
             S2sError::DuplicateSource { id } => write!(f, "data source `{id}` already registered"),
+            S2sError::MutationKindMismatch { id, expected, actual } => {
+                write!(f, "mutation of `{id}` must keep kind {expected}, got {actual}")
+            }
             S2sError::UnmappedAttribute { attribute } => {
                 write!(f, "attribute `{attribute}` has no mapping")
             }

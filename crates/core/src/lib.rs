@@ -47,10 +47,12 @@ pub mod query;
 pub mod rules;
 pub mod source;
 pub mod spec;
+pub mod view;
 
-pub use engine::{PlanCache, QueryResultCache, ResultCacheConfig};
+pub use engine::{DependencySet, PlanCache, QueryResultCache, ResultCacheConfig};
 pub use error::{FailureClass, S2sError};
 pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};
-pub use middleware::{Priority, QueryOptions, S2s};
+pub use middleware::{MutationReceipt, Priority, QueryOptions, S2s};
 pub use planner::{plan_pushdown, PushdownPlan, SourcePlan};
 pub use rules::RuleCache;
+pub use view::{SemanticViews, ViewSlice, ViewStats};

@@ -99,6 +99,29 @@ impl ExtractionRule {
             ExtractionRule::TextRegex { .. } => "regex",
         }
     }
+
+    /// The single source-side field this rule reads, when that is
+    /// statically knowable: the SQL result column, or the element named
+    /// by a simple XPath step ending in `text()`. `None` means the rule
+    /// may read anything (WebL programs, regexes, complex XPaths) — the
+    /// incremental-maintenance layer then treats *every* change event
+    /// as touching it, which is conservative but sound.
+    pub fn touched_field(&self) -> Option<&str> {
+        match self {
+            ExtractionRule::Sql { column, .. } => Some(column),
+            ExtractionRule::XPath { path } => {
+                let mut steps: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+                if steps.last() == Some(&"text()") {
+                    steps.pop();
+                }
+                let last = steps.last()?;
+                let simple = !last.is_empty()
+                    && last.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+                simple.then_some(*last)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// One-record vs n-record source scenario (paper §2.3: "data sources
@@ -187,7 +210,10 @@ impl MappingModule {
     ///
     /// Several sources may map the same attribute — each registration is
     /// keyed by `(path, source)`; re-registering the same pair replaces
-    /// the rule.
+    /// the rule, and the displaced mapping is returned so callers can
+    /// distinguish a fresh registration (`None`) from an **edit**
+    /// (`Some(old)`) — edits drive targeted cache invalidation instead
+    /// of a wholesale clear.
     ///
     /// # Errors
     ///
@@ -200,7 +226,7 @@ impl MappingModule {
         rule: ExtractionRule,
         source: SourceId,
         scenario: RecordScenario,
-    ) -> Result<(), S2sError> {
+    ) -> Result<Option<AttributeMapping>, S2sError> {
         let resolved = path.resolve(ontology)?;
         // Key by (path, source): extend the path with a source marker in
         // the by_path map? Paths must stay clean; instead allow one rule
@@ -213,10 +239,11 @@ impl MappingModule {
             source,
             scenario,
         };
-        if self.by_path.insert(key, mapping).is_none() {
+        let displaced = self.by_path.insert(key, mapping);
+        if displaced.is_none() {
             self.by_class.entry(resolved.class).or_default().push(path);
         }
-        Ok(())
+        Ok(displaced)
     }
 
     /// All mappings for `path`, across sources.
@@ -385,6 +412,49 @@ mod tests {
         let watch = o.class_iri("Watch").unwrap();
         assert_eq!(m.mappings_for_class(&product).len(), 1);
         assert_eq!(m.mappings_for_class(&watch).len(), 1);
+    }
+
+    #[test]
+    fn re_registration_reports_displaced_mapping() {
+        let o = onto();
+        let mut m = MappingModule::new();
+        let fresh = m
+            .register(
+                &o,
+                path("thing.product.brand"),
+                ExtractionRule::TextRegex { pattern: "a".into(), group: 0 },
+                "S".into(),
+                RecordScenario::SingleRecord,
+            )
+            .unwrap();
+        assert!(fresh.is_none());
+        let displaced = m
+            .register(
+                &o,
+                path("thing.product.brand"),
+                ExtractionRule::TextRegex { pattern: "b".into(), group: 0 },
+                "S".into(),
+                RecordScenario::SingleRecord,
+            )
+            .unwrap();
+        assert_eq!(displaced.unwrap().rule().text(), "a");
+    }
+
+    #[test]
+    fn touched_field_extraction() {
+        let sql =
+            ExtractionRule::Sql { query: "SELECT brand FROM w".into(), column: "brand".into() };
+        assert_eq!(sql.touched_field(), Some("brand"));
+        let xp = ExtractionRule::XPath { path: "/catalog/watch/price/text()".into() };
+        assert_eq!(xp.touched_field(), Some("price"));
+        let xp2 = ExtractionRule::XPath { path: "//watch/case_m".into() };
+        assert_eq!(xp2.touched_field(), Some("case_m"));
+        let wild = ExtractionRule::XPath { path: "//watch/*/text()".into() };
+        assert_eq!(wild.touched_field(), None);
+        let webl = ExtractionRule::Webl { program: "1;".into() };
+        assert_eq!(webl.touched_field(), None);
+        let rx = ExtractionRule::TextRegex { pattern: "brand: (\\w+)".into(), group: 1 };
+        assert_eq!(rx.touched_field(), None);
     }
 
     #[test]

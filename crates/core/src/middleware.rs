@@ -9,14 +9,14 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use s2s_netsim::{
-    AdmissionConfig, AdmissionController, AdmissionStats, CostModel, FailureModel, PoolStats,
-    ShedReason, SimDuration, WorkerPool,
+    AdmissionConfig, AdmissionController, AdmissionStats, ChangeKind, CostModel, FailureModel,
+    PoolStats, ShedReason, SimDuration, WorkerPool,
 };
 use s2s_obs::{Span, SpanKind, SpanOutcome, Trace};
 use s2s_owl::{AttributePath, Ontology};
 
 use crate::cache::{CacheStats, ExtractionCache};
-use crate::engine::{PlanCache, QueryResultCache, ResultCacheConfig};
+use crate::engine::{DependencySet, PlanCache, QueryResultCache, ResultCacheConfig};
 use crate::error::S2sError;
 use crate::extract::{
     AttributeResult, ExtractionFailure, ExtractorManager, ResilienceContext, ResiliencePolicy,
@@ -26,7 +26,8 @@ use crate::instance::{self, GenerateOptions, Individual, InstanceSet, OutputForm
 use crate::mapping::{ExtractionRule, MappingModule, RecordScenario};
 use crate::query::{self, QueryPlan};
 use crate::rules::RuleCache;
-use crate::source::{Connection, SourceRegistry};
+use crate::source::{Connection, SourceId, SourceRegistry};
+use crate::view::{SemanticViews, ViewStats};
 
 /// Statistics of one query execution.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -98,6 +99,23 @@ pub struct QueryStats {
     /// predicates plus whole exchanges of pruned sources and
     /// projected-out schemas.
     pub wire_bytes_saved: u64,
+    /// Slices served from a materialized semantic view without
+    /// re-extraction (0 when views are disabled): fresh views plus
+    /// views cheaply advanced past change events that provably did not
+    /// touch their field.
+    pub view_hits: u64,
+    /// View slices incrementally re-extracted because a change event
+    /// touched their source-side field.
+    pub view_refreshes: u64,
+    /// View slices re-extracted from scratch because a feed gap made
+    /// the delta unsound.
+    pub view_full_refreshes: u64,
+    /// Change-feed polls this query issued against source endpoints
+    /// (their frames are counted in `wire_bytes`).
+    pub feed_polls: u64,
+    /// The widest staleness window among view-served slices: simulated
+    /// time between a slice's last refresh and this query reading it.
+    pub view_staleness: SimDuration,
 }
 
 /// Per-query execution options for the overload layer: deadline
@@ -153,6 +171,22 @@ pub enum Priority {
     /// Skips the estimated-wait shed check (still shed when the
     /// admission queue is full outright).
     High,
+}
+
+/// Receipt of one applied source mutation: the source's new data
+/// version and the surgical-invalidation blast radius. On a healthy
+/// deployment the dropped counts are bounded by the mutated source's
+/// dependent entries — entries for untouched sources keep serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReceipt {
+    /// The source's data version after the mutation (monotone, per
+    /// source).
+    pub version: u64,
+    /// Query-result-cache entries dropped because they read this
+    /// source at an older version.
+    pub dropped_results: usize,
+    /// Extraction-cache entries dropped for this source.
+    pub dropped_extraction: usize,
 }
 
 /// The outcome of an S2SQL query: the plan, the generated instances,
@@ -249,6 +283,7 @@ pub struct S2s {
     resilience: Arc<ResilienceContext>,
     admission: Option<Arc<AdmissionController>>,
     pushdown: bool,
+    views: Option<Arc<SemanticViews>>,
 }
 
 impl S2s {
@@ -271,7 +306,34 @@ impl S2s {
             resilience: Arc::new(ResilienceContext::default()),
             admission: None,
             pushdown: false,
+            views: None,
         }
+    }
+
+    /// Enables materialized semantic views ([`crate::view`]): every
+    /// extracted `(source, attribute)` slice is materialized with the
+    /// source data version it reflects, and repeat queries maintain it
+    /// incrementally against the source's change feed — serving fresh
+    /// slices with zero wire cost, advancing past events that provably
+    /// do not touch the slice's field for the price of a feed poll, and
+    /// re-extracting only touched slices. A feed gap falls back to a
+    /// full re-extract, so a view-served answer is always
+    /// fingerprint-identical to a recompute from scratch. Off by
+    /// default.
+    pub fn with_views(mut self) -> Self {
+        self.views = Some(Arc::new(SemanticViews::new()));
+        self
+    }
+
+    /// The materialized-view registry, when views are enabled.
+    pub fn views(&self) -> Option<&SemanticViews> {
+        self.views.as_deref()
+    }
+
+    /// Cumulative view-maintenance counters (zeros when views are
+    /// disabled).
+    pub fn view_stats(&self) -> ViewStats {
+        self.views.as_ref().map(|v| v.stats()).unwrap_or_default()
     }
 
     /// Enables the federated pushdown planner ([`crate::planner`]):
@@ -392,22 +454,74 @@ impl S2s {
         self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
-    /// Drops all cached extraction results *and* cached query answers
-    /// (no-ops for disabled layers); use after swapping a source
-    /// snapshot.
-    pub fn invalidate_cache(&self) {
-        if let Some(c) = &self.cache {
-            c.clear();
+    /// Drops all cached extraction results, cached query answers, and
+    /// materialized views (no-ops for disabled layers), returning how
+    /// many entries were dropped in total. This is the blunt operator
+    /// fallback; [`S2s::mutate_source`] invalidates surgically.
+    pub fn invalidate_cache(&self) -> usize {
+        let mut dropped = self.cache.as_ref().map(|c| c.clear()).unwrap_or(0);
+        dropped += self.invalidate_results();
+        dropped += self.views.as_ref().map(|v| v.clear()).unwrap_or(0);
+        if dropped > 0 && s2s_obs::enabled() {
+            s2s_obs::global()
+                .counter(s2s_obs::names::CACHE_INVALIDATED_ENTRIES_TOTAL)
+                .add(dropped as u64);
         }
-        self.invalidate_results();
+        dropped
     }
 
-    /// Drops every cached query answer. Called internally on any
-    /// source/mapping mutation so a stale answer is never served.
-    fn invalidate_results(&self) {
-        if let Some(r) = &self.results {
-            r.invalidate_all();
+    /// Drops every cached query answer, returning how many were
+    /// dropped. Called internally on mutations whose blast radius no
+    /// dependency set can bound (new source/attribute registrations).
+    fn invalidate_results(&self) -> usize {
+        match &self.results {
+            Some(r) => {
+                let n = r.len();
+                r.invalidate_all();
+                n
+            }
+            None => 0,
         }
+    }
+
+    /// Applies a data mutation to a registered source: swaps its
+    /// connection snapshot for `connection`, records a change event
+    /// (`kind`, touching `fields`; empty = potentially everything) on
+    /// the source's feed, and surgically invalidates exactly the cache
+    /// entries that depended on the source — raising the result cache's
+    /// per-source admission floor so an in-flight query that read the
+    /// pre-mutation snapshot can never publish a stale answer.
+    /// Materialized views are *not* dropped: they self-heal against the
+    /// feed on their next read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnknownSource`] for unregistered ids and
+    /// [`S2sError::MutationKindMismatch`] when `connection` is a
+    /// different source kind; failed mutations touch no cache.
+    pub fn mutate_source(
+        &self,
+        id: &str,
+        connection: Connection,
+        kind: ChangeKind,
+        fields: Vec<String>,
+    ) -> Result<MutationReceipt, S2sError> {
+        let sid: SourceId = id.into();
+        let version = self.registry.write().apply_mutation(&sid, connection, kind, fields)?;
+        let dropped_results =
+            self.results.as_ref().map(|r| r.invalidate_source(id, version)).unwrap_or(0);
+        let dropped_extraction = self.cache.as_ref().map(|c| c.invalidate_source(id)).unwrap_or(0);
+        if s2s_obs::enabled() {
+            s2s_obs::global().counter(s2s_obs::names::SOURCE_MUTATIONS_TOTAL).inc();
+        }
+        Ok(MutationReceipt { version, dropped_results, dropped_extraction })
+    }
+
+    /// The current data version of a registered source (`None` when
+    /// unregistered). A pristine source is version 0; each applied
+    /// mutation bumps it.
+    pub fn source_version(&self, id: &str) -> Option<u64> {
+        self.registry.read().version_of(&id.into())
     }
 
     /// Sets the mediation strategy (serial, parallel workers, or the
@@ -568,6 +682,15 @@ impl S2s {
     /// Registers an attribute mapping — the full 3-step workflow of
     /// Fig. 3: `attribute path = rule, source`.
     ///
+    /// Cache consequences depend on what the registration is. A *fresh*
+    /// `(path, source)` pair adds a data contributor existing answers
+    /// never saw, so every cached answer is cleared wholesale — no
+    /// dependency set can account for data an entry is missing. An
+    /// **edit** (re-registering an existing pair with a new rule)
+    /// invalidates surgically: only entries, plans, views, and
+    /// extraction results that depended on the edited source are
+    /// dropped; hot entries for untouched sources keep replaying.
+    ///
     /// # Errors
     ///
     /// Returns [`S2sError::Owl`] for unresolvable paths and
@@ -579,13 +702,28 @@ impl S2s {
         source: &str,
         scenario: RecordScenario,
     ) -> Result<(), S2sError> {
-        self.invalidate_results();
         let path: AttributePath = path.parse().map_err(S2sError::Owl)?;
         {
             let registry = self.registry.read();
             registry.require(&source.into())?;
         }
-        self.mappings.write().register(&self.ontology, path, rule, source.into(), scenario)
+        let displaced =
+            self.mappings.write().register(&self.ontology, path, rule, source.into(), scenario)?;
+        if displaced.is_some() {
+            if let Some(r) = &self.results {
+                r.invalidate_dependents(source);
+            }
+            self.plans.invalidate_source(source);
+            if let Some(c) = &self.cache {
+                c.invalidate_source(source);
+            }
+            if let Some(v) = &self.views {
+                v.remove_source(source);
+            }
+        } else {
+            self.invalidate_results();
+        }
+        Ok(())
     }
 
     /// Loads a mapping-specification document (see [`crate::spec`]) and
@@ -744,6 +882,109 @@ impl S2s {
             };
         let pushdown_wall = pushdown_started.elapsed();
 
+        // Record the (source, version) dependencies this query reads.
+        // The registry read lock is held through extraction, so these
+        // versions are *the* versions of everything the query touches;
+        // the result cache re-checks them against its per-source
+        // invalidation floor at insert time, closing the race where a
+        // mutation lands between extraction and publication.
+        let mut deps = DependencySet::new();
+        for s in &schemas {
+            if let Some(v) = registry.version_of(s.mapping.source()) {
+                deps.record(s.mapping.source().as_str(), v);
+            }
+        }
+
+        // View partition: materialized slices whose version matches the
+        // source are served directly; stale ones poll the change feed
+        // and are either advanced past untouching events (a hit for the
+        // price of the poll frames) or re-extracted below.
+        let now_virtual = self.resilience.virtual_now();
+        let mut view_results: Vec<AttributeResult> = Vec::new();
+        let (mut view_hits, mut view_refreshes, mut view_full_refreshes, mut feed_polls) =
+            (0u64, 0u64, 0u64, 0u64);
+        let mut feed_wire_bytes = 0u64;
+        let mut view_staleness = SimDuration::ZERO;
+        // One poll per distinct (source, since) per query: slices of the
+        // same source refreshed at the same version share the frames.
+        // `None` memoizes a feed gap — the delta is unsound and only a
+        // full re-extract is.
+        let mut poll_memo: std::collections::HashMap<
+            (String, u64),
+            Option<Vec<s2s_netsim::ChangeEvent>>,
+        > = std::collections::HashMap::new();
+        let schemas: Vec<_> = match &self.views {
+            Some(views) => schemas
+                .into_iter()
+                .filter(|s| {
+                    let sid = s.mapping.source();
+                    let current = deps.version_of(sid.as_str()).unwrap_or(0);
+                    let path = s.mapping.path().to_string();
+                    let rule_text = s.mapping.rule().text();
+                    let serve =
+                        |slice: crate::view::ViewSlice, view_results: &mut Vec<AttributeResult>| {
+                            view_results.push(AttributeResult {
+                                mapping: s.mapping.clone(),
+                                values: slice.values.as_ref().clone(),
+                                elapsed: SimDuration::ZERO,
+                            });
+                        };
+                    match views.lookup(sid.as_str(), &path, rule_text) {
+                        Some(slice) if slice.version >= current => {
+                            view_hits += 1;
+                            view_staleness =
+                                view_staleness.max(now_virtual.saturating_sub(slice.refreshed_at));
+                            serve(slice, &mut view_results);
+                            false
+                        }
+                        Some(slice) => {
+                            let events = poll_memo
+                                .entry((sid.as_str().to_string(), slice.version))
+                                .or_insert_with(|| {
+                                    feed_polls += 1;
+                                    match registry.poll_changes(sid, slice.version) {
+                                        Ok(Ok(events)) => {
+                                            feed_wire_bytes +=
+                                                s2s_netsim::feed::poll_exchange_size(&events)
+                                                    as u64;
+                                            Some(events)
+                                        }
+                                        _ => None,
+                                    }
+                                })
+                                .clone();
+                            match events {
+                                Some(events) => {
+                                    let touched = match s.mapping.rule().touched_field() {
+                                        Some(field) => events.iter().any(|e| e.touches(field)),
+                                        // The rule's footprint is not
+                                        // statically knowable: every
+                                        // event touches it.
+                                        None => true,
+                                    };
+                                    if touched {
+                                        view_refreshes += 1;
+                                        true
+                                    } else {
+                                        views.advance(sid.as_str(), &path, current, now_virtual);
+                                        view_hits += 1;
+                                        serve(slice, &mut view_results);
+                                        false
+                                    }
+                                }
+                                None => {
+                                    view_full_refreshes += 1;
+                                    true
+                                }
+                            }
+                        }
+                        None => true,
+                    }
+                })
+                .collect(),
+            None => schemas,
+        };
+
         // Cache partition: answered entries skip the mediator entirely.
         let mut cached_results: Vec<AttributeResult> = Vec::new();
         let schemas = match &self.cache {
@@ -818,7 +1059,25 @@ impl S2s {
                 cache.insert(&r.mapping, r.values.clone());
             }
         }
+        // Freshly extracted slices are (re)materialized at the version
+        // the registry reported while the read lock was held.
+        if let Some(views) = &self.views {
+            let refreshed_now = self.resilience.virtual_now();
+            for r in &report.results {
+                let sid = r.mapping.source().as_str();
+                views.store(
+                    sid,
+                    &r.mapping.path().to_string(),
+                    r.mapping.rule().text(),
+                    r.values.clone(),
+                    deps.version_of(sid).unwrap_or(0),
+                    refreshed_now,
+                );
+            }
+            views.tally(view_hits, view_refreshes, view_full_refreshes, feed_polls, view_staleness);
+        }
         report.results.extend(cached_results);
+        report.results.extend(view_results);
 
         let stats = QueryStats {
             tasks: report.results.len() + report.failures.len(),
@@ -842,10 +1101,15 @@ impl S2s {
             hedge_wins: report.resilience.values().map(|h| h.hedge_wins).sum(),
             pushed_predicates: pushdown_plan.as_ref().map_or(0, |p| p.pushed_predicates()),
             pruned_sources: pushdown_plan.as_ref().map_or(0, |p| p.pruned_sources()),
-            wire_bytes: report.wire_bytes,
+            wire_bytes: report.wire_bytes + feed_wire_bytes,
             wire_response_bytes: report.wire_response_bytes,
             wire_bytes_saved: report.wire_bytes_saved
                 + pushdown_plan.as_ref().map_or(0, |p| p.avoided_wire_bytes),
+            view_hits,
+            view_refreshes,
+            view_full_refreshes,
+            feed_polls,
+            view_staleness,
         };
         // Recalibrate admission's service estimate from what this query
         // actually cost (EWMA over completion events), so shed decisions
@@ -861,7 +1125,7 @@ impl S2s {
         // deadline does not get to publish cache entries, so overload
         // casualties cannot evict plans that healthy queries rely on.
         if fresh_plan && stats.deadline_hits == 0 {
-            self.plans.insert(key.clone(), Arc::clone(&plan));
+            self.plans.insert_with_deps(key.clone(), Arc::clone(&plan), deps.clone());
         }
         // Wire time per source comes from the resilience telemetry
         // (batched results share one exchange, so summing per-result
@@ -895,6 +1159,7 @@ impl S2s {
                     Arc::clone(&plan),
                     Arc::new(instances.clone()),
                     stats,
+                    deps,
                     self.resilience.virtual_now(),
                 );
             }
@@ -937,6 +1202,11 @@ impl S2s {
             if stats.hedges > 0 {
                 root.attr("hedges", stats.hedges.to_string());
                 root.attr("hedge_wins", stats.hedge_wins.to_string());
+            }
+            if stats.view_hits + stats.view_refreshes + stats.view_full_refreshes > 0 {
+                root.attr("view_hits", stats.view_hits.to_string());
+                root.attr("view_refreshes", stats.view_refreshes.to_string());
+                root.attr("view_full_refreshes", stats.view_full_refreshes.to_string());
             }
 
             let mut parse_span = Span::new(SpanKind::Parse, "s2sql");
@@ -1885,6 +2155,342 @@ mod tests {
                     "pushdown diverged under batching={batching}, {strategy:?}"
                 );
             }
+        }
+    }
+
+    /// Two classes, each mapped to its own database source, so the two
+    /// queries carry disjoint dependency sets — the fixture for
+    /// surgical-invalidation bounds.
+    fn two_class_ontology() -> Ontology {
+        Ontology::builder("http://example.org/schema#")
+            .class("Alpha", None)
+            .unwrap()
+            .class("Beta", None)
+            .unwrap()
+            .datatype_property("aval", "Alpha", xsd::STRING)
+            .unwrap()
+            .datatype_property("bval", "Beta", xsd::STRING)
+            .unwrap()
+            .datatype_property("ashadow", "Alpha", xsd::STRING)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn alpha_db(value: &str) -> Connection {
+        let mut db = Database::new("a");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, aval TEXT)").unwrap();
+        db.execute(&format!("INSERT INTO t VALUES (1, '{value}')")).unwrap();
+        Connection::Database { db: Arc::new(db) }
+    }
+
+    fn deploy_two_classes() -> S2s {
+        let mut db_b = Database::new("b");
+        db_b.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, bval TEXT)").unwrap();
+        db_b.execute("INSERT INTO t VALUES (1, 'b0')").unwrap();
+        let mut s2s = S2s::new(two_class_ontology()).with_cache().with_result_cache();
+        s2s.register_source("SRC_A", alpha_db("a0")).unwrap();
+        s2s.register_source("SRC_B", Connection::Database { db: Arc::new(db_b) }).unwrap();
+        s2s.register_attribute(
+            "thing.alpha.aval",
+            ExtractionRule::Sql {
+                query: "SELECT aval FROM t ORDER BY id".into(),
+                column: "aval".into(),
+            },
+            "SRC_A",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s.register_attribute(
+            "thing.beta.bval",
+            ExtractionRule::Sql {
+                query: "SELECT bval FROM t ORDER BY id".into(),
+                column: "bval".into(),
+            },
+            "SRC_B",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        s2s
+    }
+
+    fn sole_value(s2s: &S2s, outcome: &QueryOutcome, property: &str) -> String {
+        let iri = s2s.ontology().property_iri(property).unwrap();
+        outcome.individuals().iter().filter_map(|i| i.value(&iri)).collect::<Vec<_>>().join(",")
+    }
+
+    #[test]
+    fn mutation_invalidates_only_dependent_entries() {
+        let s2s = deploy_two_classes();
+        let a1 = s2s.query("SELECT alpha").unwrap();
+        assert_eq!(sole_value(&s2s, &a1, "aval"), "a0");
+        s2s.query("SELECT beta").unwrap();
+        assert_eq!(s2s.result_cache_len(), 2);
+
+        let receipt = s2s
+            .mutate_source("SRC_A", alpha_db("a1"), ChangeKind::RowUpdate, vec!["aval".into()])
+            .unwrap();
+        assert_eq!(receipt.version, 1);
+        // The blast radius is exactly SRC_A's dependents: one answer,
+        // one extraction entry. SRC_B's entry keeps serving.
+        assert_eq!(receipt.dropped_results, 1);
+        assert_eq!(receipt.dropped_extraction, 1);
+        assert_eq!(s2s.result_cache_len(), 1);
+
+        let b2 = s2s.query("SELECT beta").unwrap();
+        assert_eq!(b2.stats.result_cache.hits, 1, "untouched source replays from cache");
+        let a2 = s2s.query("SELECT alpha").unwrap();
+        assert_eq!(a2.stats.result_cache.hits, 0);
+        assert_eq!(sole_value(&s2s, &a2, "aval"), "a1", "the mutated value is served");
+    }
+
+    #[test]
+    fn mutation_of_unregistered_source_is_cache_noop() {
+        let s2s = deploy_two_classes();
+        s2s.query("SELECT alpha").unwrap();
+        s2s.query("SELECT beta").unwrap();
+        assert_eq!(s2s.result_cache_len(), 2);
+
+        let err = s2s.mutate_source("NOPE", alpha_db("x"), ChangeKind::RowInsert, vec![]);
+        assert!(matches!(err, Err(S2sError::UnknownSource { .. })));
+        // A kind swap on a registered source is refused the same way.
+        let mut web = WebStore::new();
+        web.register_text("http://x/t", "hi");
+        let swap = Connection::Text { store: Arc::new(web), url: "http://x/t".into() };
+        let err = s2s.mutate_source("SRC_A", swap, ChangeKind::DocReplace, vec![]);
+        assert!(matches!(err, Err(S2sError::MutationKindMismatch { .. })));
+
+        assert_eq!(s2s.result_cache_len(), 2, "failed mutations drop nothing");
+        assert_eq!(s2s.source_version("SRC_A"), Some(0), "failed mutations bump no version");
+        assert_eq!(s2s.query("SELECT alpha").unwrap().stats.result_cache.hits, 1);
+    }
+
+    #[test]
+    fn concurrent_mutation_and_queries_never_leave_stale_answers() {
+        // Whatever the interleaving of an in-flight query and a
+        // mutation, the next query must observe the mutated value: an
+        // old-snapshot answer is refused at cache admission by the
+        // per-source version floor.
+        let s2s = Arc::new(deploy_two_classes());
+        for round in 0..20 {
+            let engine = Arc::clone(&s2s);
+            let racer = std::thread::spawn(move || {
+                let _ = engine.query("SELECT alpha").unwrap();
+            });
+            let value = format!("a{}", round + 1);
+            s2s.mutate_source("SRC_A", alpha_db(&value), ChangeKind::RowUpdate, vec![]).unwrap();
+            racer.join().unwrap();
+            let out = s2s.query("SELECT alpha").unwrap();
+            assert_eq!(
+                sole_value(&s2s, &out, "aval"),
+                value,
+                "stale answer served (round {round})"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_edit_invalidates_only_dependent_entries() {
+        let mut s2s = deploy_two_classes();
+        s2s.query("SELECT alpha").unwrap();
+        s2s.query("SELECT beta").unwrap();
+        assert_eq!(s2s.result_cache_len(), 2);
+        assert_eq!(s2s.plan_cache_len(), 2);
+
+        // Editing SRC_A's existing mapping drops only SRC_A dependents.
+        s2s.register_attribute(
+            "thing.alpha.aval",
+            ExtractionRule::Sql {
+                query: "SELECT aval FROM t ORDER BY id DESC".into(),
+                column: "aval".into(),
+            },
+            "SRC_A",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        assert_eq!(s2s.result_cache_len(), 1);
+        assert_eq!(s2s.plan_cache_len(), 1);
+        assert_eq!(
+            s2s.query("SELECT beta").unwrap().stats.result_cache.hits,
+            1,
+            "the untouched source's hot entry replays"
+        );
+
+        // A *fresh* registration clears wholesale: existing answers may
+        // be missing data the newcomer would have contributed.
+        s2s.register_attribute(
+            "thing.alpha.ashadow",
+            ExtractionRule::Sql {
+                query: "SELECT aval FROM t ORDER BY id".into(),
+                column: "aval".into(),
+            },
+            "SRC_A",
+            RecordScenario::MultiRecord,
+        )
+        .unwrap();
+        assert_eq!(s2s.result_cache_len(), 0);
+    }
+
+    #[test]
+    fn invalidate_cache_reports_dropped_entries() {
+        let s2s = deploy_two_classes();
+        s2s.query("SELECT alpha").unwrap();
+        s2s.query("SELECT beta").unwrap();
+        // 2 extraction entries + 2 cached answers.
+        assert_eq!(s2s.invalidate_cache(), 4);
+        assert_eq!(s2s.invalidate_cache(), 0);
+    }
+
+    /// One remote database with two mapped attributes, views enabled —
+    /// the incremental-maintenance fixture.
+    fn deploy_views() -> S2s {
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
+        db.execute("INSERT INTO w VALUES (1, 'Seiko', 100), (2, 'Casio', 50)").unwrap();
+        let mut s2s = S2s::new(ontology()).with_views();
+        s2s.register_remote_source(
+            "DB",
+            Connection::Database { db: Arc::new(db) },
+            CostModel::wan(),
+            FailureModel::reliable(),
+        )
+        .unwrap();
+        for (attr, col) in [("brand", "brand"), ("price", "price")] {
+            s2s.register_attribute(
+                &format!("thing.product.watch.{attr}"),
+                ExtractionRule::Sql {
+                    query: format!("SELECT {col} FROM w ORDER BY id"),
+                    column: col.into(),
+                },
+                "DB",
+                RecordScenario::MultiRecord,
+            )
+            .unwrap();
+        }
+        s2s
+    }
+
+    fn watch_db(brand: &str, price: u32) -> Connection {
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, brand TEXT, price REAL)").unwrap();
+        db.execute(&format!("INSERT INTO w VALUES (1, '{brand}', {price}), (2, 'Casio', 50)"))
+            .unwrap();
+        Connection::Database { db: Arc::new(db) }
+    }
+
+    #[test]
+    fn views_serve_repeat_queries_without_wire_traffic() {
+        let s2s = deploy_views();
+        let first = s2s.query("SELECT watch").unwrap();
+        assert_eq!(first.stats.view_hits, 0);
+        assert!(first.stats.wire_bytes > 0);
+        let second = s2s.query("SELECT watch").unwrap();
+        assert_eq!(second.stats.view_hits, 2, "both slices are fresh views");
+        assert_eq!(second.stats.round_trips, 0);
+        assert_eq!(second.stats.wire_bytes, 0);
+        assert_eq!(second.stats.feed_polls, 0, "matching versions need no poll");
+        assert_eq!(fingerprint(&first), fingerprint(&second));
+        assert_eq!(s2s.view_stats().hits, 2);
+    }
+
+    #[test]
+    fn views_advance_past_untouching_mutations_without_reextraction() {
+        let s2s = deploy_views();
+        let first = s2s.query("SELECT watch").unwrap();
+        // The mutation touches only `price`; the brand slice is
+        // provably unaffected and advances for the price of a poll.
+        s2s.mutate_source("DB", watch_db("Seiko", 80), ChangeKind::RowUpdate, vec!["price".into()])
+            .unwrap();
+        let after = s2s.query("SELECT watch").unwrap();
+        assert_eq!(after.stats.view_hits, 1, "brand advanced without re-extraction");
+        assert_eq!(after.stats.view_refreshes, 1, "price re-extracted");
+        assert_eq!(after.stats.view_full_refreshes, 0);
+        assert_eq!(after.stats.feed_polls, 1, "slices of one source share the poll");
+        assert!(
+            after.stats.wire_response_bytes < first.stats.wire_response_bytes,
+            "delta maintenance shipped fewer response bytes ({}) than the cold extraction ({})",
+            after.stats.wire_response_bytes,
+            first.stats.wire_response_bytes,
+        );
+        let price = s2s.ontology().property_iri("price").unwrap();
+        assert!(
+            after.individuals().iter().filter_map(|i| i.value(&price)).any(|v| v == "80"),
+            "the mutated price is served"
+        );
+    }
+
+    #[test]
+    fn view_feed_gap_falls_back_to_full_refresh() {
+        let s2s = deploy_views();
+        s2s.query("SELECT watch").unwrap();
+        // Push the feed far past its retention so `since = 1` predates
+        // the retained history: the delta is unsound for both slices.
+        for i in 0..70 {
+            s2s.mutate_source(
+                "DB",
+                watch_db("Orient", 200 + i),
+                ChangeKind::RowUpdate,
+                vec!["price".into()],
+            )
+            .unwrap();
+        }
+        let after = s2s.query("SELECT watch").unwrap();
+        assert_eq!(after.stats.view_full_refreshes, 2);
+        assert_eq!(after.stats.view_hits, 0);
+        let brand = s2s.ontology().property_iri("brand").unwrap();
+        assert!(
+            after.individuals().iter().filter_map(|i| i.value(&brand)).any(|v| v == "Orient"),
+            "the full refresh serves current data"
+        );
+        // Views are re-materialized: the next query is all hits again.
+        assert_eq!(s2s.query("SELECT watch").unwrap().stats.view_hits, 2);
+    }
+
+    #[test]
+    fn view_answers_match_recompute_after_every_mutation() {
+        // The delta-soundness contract the conform oracle fuzzes:
+        // view-maintained answers are fingerprint-identical to a
+        // recompute from scratch, whatever the mutation pattern.
+        let s2s = deploy_views();
+        // Each step declares exactly the fields its connection swap
+        // really changes — the contract `mutate_source` callers owe.
+        let steps: [(&str, u32, &[&str]); 4] = [
+            ("Seiko", 61, &["price"]),
+            ("B1", 61, &["brand"]),
+            ("B2", 62, &[]),
+            ("B3", 63, &["brand", "price"]),
+        ];
+        for (i, (brand, price, touched)) in steps.iter().enumerate() {
+            s2s.query("SELECT watch").unwrap();
+            s2s.mutate_source(
+                "DB",
+                watch_db(brand, *price),
+                ChangeKind::RowUpdate,
+                touched.iter().map(|f| f.to_string()).collect(),
+            )
+            .unwrap();
+            let maintained = s2s.query("SELECT watch").unwrap();
+            let mut fresh = S2s::new(ontology());
+            fresh.register_source("DB", watch_db(brand, *price)).unwrap();
+            for (attr, col) in [("brand", "brand"), ("price", "price")] {
+                fresh
+                    .register_attribute(
+                        &format!("thing.product.watch.{attr}"),
+                        ExtractionRule::Sql {
+                            query: format!("SELECT {col} FROM w ORDER BY id"),
+                            column: col.into(),
+                        },
+                        "DB",
+                        RecordScenario::MultiRecord,
+                    )
+                    .unwrap();
+            }
+            let recomputed = fresh.query("SELECT watch").unwrap();
+            assert_eq!(
+                fingerprint(&maintained),
+                fingerprint(&recomputed),
+                "delta answer diverged after mutation {i} touching {touched:?}"
+            );
         }
     }
 }

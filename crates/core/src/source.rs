@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use s2s_minidb::Database;
+use s2s_netsim::feed::{ChangeEvent, ChangeFeed, ChangeKind, FeedGap};
 use s2s_netsim::{CostModel, Endpoint, FailureModel, FaultSchedule};
 use s2s_webdoc::WebStore;
 use s2s_xml::Document;
@@ -119,6 +120,7 @@ pub struct RegisteredSource {
     connection: Connection,
     endpoint: Arc<Endpoint>,
     replicas: Vec<Arc<Endpoint>>,
+    feed: ChangeFeed,
 }
 
 impl RegisteredSource {
@@ -150,6 +152,16 @@ impl RegisteredSource {
     /// The source kind.
     pub fn kind(&self) -> SourceKind {
         self.connection.kind()
+    }
+
+    /// The monotone data version of this source (0 = never mutated).
+    pub fn version(&self) -> u64 {
+        self.feed.version()
+    }
+
+    /// The source's mutation log (what changed since version N).
+    pub fn feed(&self) -> &ChangeFeed {
+        &self.feed
     }
 }
 
@@ -303,9 +315,68 @@ impl SourceRegistry {
         }
         self.sources.insert(
             id.clone(),
-            RegisteredSource { id, connection, endpoint, replicas: Vec::new() },
+            RegisteredSource {
+                id,
+                connection,
+                endpoint,
+                replicas: Vec::new(),
+                feed: ChangeFeed::new(),
+            },
         );
         Ok(())
+    }
+
+    /// Applies a data mutation: swaps the source's immutable connection
+    /// snapshot for the mutated one, bumps the monotone version, and
+    /// records a [`ChangeEvent`] on the source's feed. `fields` names
+    /// the source-side columns/elements the mutation touched (empty =
+    /// potentially everything). Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnknownSource`] if `id` is not registered and
+    /// [`S2sError::MutationKindMismatch`] if the replacement connection
+    /// has a different kind than the registered one.
+    pub fn apply_mutation(
+        &mut self,
+        id: &SourceId,
+        connection: Connection,
+        kind: ChangeKind,
+        fields: Vec<String>,
+    ) -> Result<u64, S2sError> {
+        let source = self
+            .sources
+            .get_mut(id)
+            .ok_or_else(|| S2sError::UnknownSource { id: id.as_str().to_string() })?;
+        if connection.kind() != source.connection.kind() {
+            return Err(S2sError::MutationKindMismatch {
+                id: id.as_str().to_string(),
+                expected: source.connection.kind().to_string(),
+                actual: connection.kind().to_string(),
+            });
+        }
+        source.connection = connection;
+        Ok(source.feed.record(kind, fields))
+    }
+
+    /// The current data version of a source, if registered.
+    pub fn version_of(&self, id: &SourceId) -> Option<u64> {
+        self.sources.get(id).map(|s| s.feed.version())
+    }
+
+    /// Polls a source's change feed: every event after `since`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnknownSource`] for unregistered ids; the
+    /// inner `Err(FeedGap)` means `since` predates retained history and
+    /// only a full refresh is sound.
+    pub fn poll_changes(
+        &self,
+        id: &SourceId,
+        since: u64,
+    ) -> Result<Result<Vec<ChangeEvent>, FeedGap>, S2sError> {
+        Ok(self.require(id)?.feed.poll_changes(since))
     }
 
     /// Looks up a source definition (paper §2.4.2 "Obtain Data Source
@@ -451,6 +522,44 @@ mod tests {
         assert_eq!(ep.schedule().len(), 1);
         assert!(ep.invoke(1, || ()).is_err(), "call 0 is scheduled to fail");
         assert!(ep.invoke(1, || ()).is_ok());
+    }
+
+    #[test]
+    fn mutation_bumps_version_and_feeds_events() {
+        let mut r = SourceRegistry::new();
+        r.register_local("DB", db_conn()).unwrap();
+        assert_eq!(r.version_of(&"DB".into()), Some(0));
+        let v = r
+            .apply_mutation(&"DB".into(), db_conn(), ChangeKind::RowUpdate, vec!["price".into()])
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(r.version_of(&"DB".into()), Some(1));
+        let events = r.poll_changes(&"DB".into(), 0).unwrap().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].touches("price"));
+        assert!(!events[0].touches("brand"));
+        assert!(r.poll_changes(&"DB".into(), 1).unwrap().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mutation_rejects_unknown_source_and_kind_swap() {
+        let mut r = SourceRegistry::new();
+        r.register_local("DB", db_conn()).unwrap();
+        assert!(matches!(
+            r.apply_mutation(&"nope".into(), db_conn(), ChangeKind::RowInsert, vec![]),
+            Err(S2sError::UnknownSource { .. })
+        ));
+        let doc = Arc::new(s2s_xml::parse("<a/>").unwrap());
+        assert!(matches!(
+            r.apply_mutation(
+                &"DB".into(),
+                Connection::Xml { document: doc },
+                ChangeKind::DocReplace,
+                vec![]
+            ),
+            Err(S2sError::MutationKindMismatch { .. })
+        ));
+        assert_eq!(r.version_of(&"DB".into()), Some(0), "failed mutations must not bump");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   cost model and failure injection (unreachable / timeout / flaky),
 //! * [`wire`] — length-prefixed request/response framing (the bytes that
 //!   "cross the network"),
+//! * [`feed`] — per-source mutation logs with monotone version counters
+//!   and a `poll_changes(since)` exchange over the wire framing, so the
+//!   mediator can maintain materialized views incrementally,
 //! * [`sched`] — makespan accounting: how long a set of remote calls
 //!   takes under serial vs k-worker parallel execution, and a real
 //!   crossbeam-based parallel executor for the actual work,
@@ -43,6 +46,7 @@ pub mod breaker;
 pub mod cost;
 pub mod endpoint;
 pub mod error;
+pub mod feed;
 pub mod pool;
 pub mod reactor;
 pub mod retry;
@@ -57,6 +61,7 @@ pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use cost::{defer_pacing, pace_sleep, CostModel, SimDuration};
 pub use endpoint::{Endpoint, EndpointStats, FailureModel, FaultKind, FaultSchedule, RemoteCall};
 pub use error::NetError;
+pub use feed::{ChangeEvent, ChangeFeed, ChangeKind, FeedGap};
 pub use pool::{PoolStats, WorkerPool};
 pub use reactor::{run_tasks, EventTask, Poll, Reactor, ReactorStats};
 pub use retry::{invoke_with_retry, RetryOutcome, RetryPolicy};

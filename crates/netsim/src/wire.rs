@@ -27,6 +27,11 @@ pub enum FrameKind {
     BatchRequest,
     /// The matching response: one result section per batched rule.
     BatchResponse,
+    /// A change-feed poll: "what changed since version N?" (the
+    /// incremental-maintenance path; payload is the 8-byte version).
+    ChangePoll,
+    /// The matching feed response: one section per change event.
+    ChangeFeed,
 }
 
 impl FrameKind {
@@ -37,6 +42,8 @@ impl FrameKind {
             FrameKind::Error => 3,
             FrameKind::BatchRequest => 4,
             FrameKind::BatchResponse => 5,
+            FrameKind::ChangePoll => 6,
+            FrameKind::ChangeFeed => 7,
         }
     }
 
@@ -47,6 +54,8 @@ impl FrameKind {
             3 => Some(FrameKind::Error),
             4 => Some(FrameKind::BatchRequest),
             5 => Some(FrameKind::BatchResponse),
+            6 => Some(FrameKind::ChangePoll),
+            7 => Some(FrameKind::ChangeFeed),
             _ => None,
         }
     }
@@ -181,6 +190,8 @@ mod tests {
             FrameKind::Error,
             FrameKind::BatchRequest,
             FrameKind::BatchResponse,
+            FrameKind::ChangePoll,
+            FrameKind::ChangeFeed,
         ] {
             let f = decode(encode(kind, b"hello")).unwrap();
             assert_eq!(f.kind, kind);

@@ -31,6 +31,31 @@ pub const PLAN_CACHE_HITS_TOTAL: &str = "s2s_plan_cache_hits_total";
 pub const PLAN_CACHE_MISSES_TOTAL: &str = "s2s_plan_cache_misses_total";
 /// Counter: plan-cache entries evicted by the LRU capacity bound.
 pub const PLAN_CACHE_EVICTIONS_TOTAL: &str = "s2s_plan_cache_evictions_total";
+/// Counter: plan-cache entries dropped by dependency-tracked
+/// invalidation (a mapping edit touched a source the plan named).
+pub const PLAN_CACHE_INVALIDATIONS_TOTAL: &str = "s2s_plan_cache_invalidations_total";
+
+/// Counter: data mutations applied to registered sources.
+pub const SOURCE_MUTATIONS_TOTAL: &str = "s2s_source_mutations_total";
+/// Counter: entries dropped by explicit full-cache invalidation
+/// (`S2s::invalidate_cache`), extraction + result entries combined.
+/// A high rate signals over-invalidation relative to the surgical path.
+pub const CACHE_INVALIDATED_ENTRIES_TOTAL: &str = "s2s_cache_invalidated_entries_total";
+
+/// Counter: (source, attribute) slices served from a fresh
+/// materialized semantic view — no wire exchange needed.
+pub const VIEW_HITS_TOTAL: &str = "s2s_view_hits_total";
+/// Counter: view slices incrementally re-extracted because the change
+/// feed showed their source-side field was touched.
+pub const VIEW_REFRESHES_TOTAL: &str = "s2s_view_refreshes_total";
+/// Counter: sources whose views fell back to a full refresh (feed gap
+/// or mapping change made the delta unsound).
+pub const VIEW_FULL_REFRESHES_TOTAL: &str = "s2s_view_full_refreshes_total";
+/// Counter: change-feed polls issued against source endpoints.
+pub const FEED_POLLS_TOTAL: &str = "s2s_feed_polls_total";
+/// Histogram: simulated microseconds between a served view's last
+/// refresh and the query that read it (the staleness window).
+pub const VIEW_STALENESS_US: &str = "s2s_view_staleness_us";
 
 /// Counter: extraction-cache entries evicted by the LRU capacity bound.
 pub const EXTRACTION_CACHE_EVICTIONS_TOTAL: &str = "s2s_extraction_cache_evictions_total";
@@ -91,6 +116,14 @@ mod tests {
             super::PLAN_CACHE_HITS_TOTAL,
             super::PLAN_CACHE_MISSES_TOTAL,
             super::PLAN_CACHE_EVICTIONS_TOTAL,
+            super::PLAN_CACHE_INVALIDATIONS_TOTAL,
+            super::SOURCE_MUTATIONS_TOTAL,
+            super::CACHE_INVALIDATED_ENTRIES_TOTAL,
+            super::VIEW_HITS_TOTAL,
+            super::VIEW_REFRESHES_TOTAL,
+            super::VIEW_FULL_REFRESHES_TOTAL,
+            super::FEED_POLLS_TOTAL,
+            super::VIEW_STALENESS_US,
             super::EXTRACTION_CACHE_EVICTIONS_TOTAL,
             super::RULE_CACHE_EVICTIONS_TOTAL,
             super::OVERLOAD_SHED_TOTAL,

@@ -17,6 +17,9 @@ pub trait Buf {
 
     /// Removes and returns the first four bytes as a big-endian `u32`.
     fn get_u32(&mut self) -> u32;
+
+    /// Removes and returns the first eight bytes as a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
 }
 
 /// Write access that appends bytes at the end of a buffer.
@@ -29,6 +32,9 @@ pub trait BufMut {
 
     /// Appends a `u32` in big-endian order.
     fn put_u32(&mut self, v: u32);
+
+    /// Appends a `u64` in big-endian order.
+    fn put_u64(&mut self, v: u64);
 
     /// Appends a slice.
     fn put_slice(&mut self, src: &[u8]);
@@ -162,6 +168,11 @@ impl Buf for Bytes {
         let s = self.take_front(4);
         u32::from_be_bytes([s[0], s[1], s[2], s[3]])
     }
+
+    fn get_u64(&mut self) -> u64 {
+        let s = self.take_front(8);
+        u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+    }
 }
 
 /// A growable byte buffer that freezes into [`Bytes`].
@@ -224,6 +235,10 @@ impl BufMut for BytesMut {
         self.data.extend_from_slice(&v.to_be_bytes());
     }
 
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
@@ -239,12 +254,14 @@ mod tests {
         b.put_u16(0x5253);
         b.put_u8(7);
         b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0102_0304_0506_0708);
         b.put_slice(b"xyz");
         let mut frozen = b.freeze();
-        assert_eq!(frozen.len(), 10);
+        assert_eq!(frozen.len(), 18);
         assert_eq!(frozen.get_u16(), 0x5253);
         assert_eq!(frozen.get_u8(), 7);
         assert_eq!(frozen.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(frozen.get_u64(), 0x0102_0304_0506_0708);
         assert_eq!(&frozen[..], b"xyz");
         assert_eq!(frozen.to_vec(), b"xyz".to_vec());
     }
