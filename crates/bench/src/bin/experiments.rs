@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p s2s-bench --bin experiments`
 //!
-//! Each section prints the id (E1–E16), the parameters swept, and the
+//! Each section prints the id (E1–E17), the parameters swept, and the
 //! measured values (wall-clock for CPU work, simulated time for network
 //! behaviour, plus counts/correctness indicators).
 //!
@@ -42,10 +42,17 @@
 //!   into `<dir>` and exits non-zero on any answer divergence or a
 //!   sustained-throughput advantage below 3× at a 10% mutation rate
 //!   (the CI incremental-delta gate).
+//! * `--bootstrap-smoke <dir>` — the E17 catalog-scale bootstrap: a
+//!   1000-source synthetic fleet registered entirely through the
+//!   automatic mapping bootstrap; writes `e17.json` into `<dir>` and
+//!   exits non-zero on any conflict, any candidate-set divergence on
+//!   re-bootstrap, a missing mapping, or a blown wall-clock bound (the
+//!   CI bootstrap gate).
 //! * `--validate-report <path>` — schema-check one uploaded smoke
-//!   artifact (`e13.json`, `e14.json`, `e15.json`, `e16.json`): the
-//!   file must be well-formed JSON and every `schema_version` in it
-//!   must match the binary's. Exits non-zero otherwise.
+//!   artifact (`e13.json`, `e14.json`, `e15.json`, `e16.json`,
+//!   `e17.json`): the file must be well-formed JSON and every
+//!   `schema_version` in it must match the binary's. Exits non-zero
+//!   otherwise.
 //! * `--conform-fuzz` — deterministic differential fuzzing: generated
 //!   scenarios run through the serial, batched, replay, pooled,
 //!   reactor, and pushdown execution paths and every oracle in
@@ -154,6 +161,19 @@ fn main() {
             }
             println!("delta-smoke OK");
         }
+        Some("--bootstrap-smoke") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--bootstrap-smoke requires an output directory argument");
+                std::process::exit(2);
+            });
+            if let Err(violations) = bootstrap_smoke(dir) {
+                for v in &violations {
+                    eprintln!("bootstrap-smoke FAIL: {v}");
+                }
+                std::process::exit(1);
+            }
+            println!("bootstrap-smoke OK");
+        }
         Some("--validate-report") => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| {
                 eprintln!("--validate-report requires a report path argument");
@@ -190,7 +210,7 @@ fn usage() {
     println!("experiments — S2S experiment harness and observability driver");
     println!();
     println!("USAGE:");
-    println!("  experiments                    run the full E1–E16 experiment suite");
+    println!("  experiments                    run the full E1–E17 experiment suite");
     println!("  experiments --trace            print span trees + JSONL for a healthy");
     println!("                                 and a degraded (breaker-open) query");
     println!("  experiments --metrics          print a Prometheus-style metrics");
@@ -224,6 +244,13 @@ fn usage() {
     println!("                                 writes e16.json into DIR; fails on any");
     println!("                                 divergence or a throughput advantage");
     println!("                                 below 3x at a 10% mutation rate");
+    println!("  experiments --bootstrap-smoke DIR");
+    println!("                                 E17: register a 1000-source synthetic");
+    println!("                                 fleet entirely through the automatic");
+    println!("                                 mapping bootstrap; writes e17.json into");
+    println!("                                 DIR; fails on any conflict, divergence,");
+    println!("                                 missing mapping, or a blown wall-clock");
+    println!("                                 bound");
     println!("  experiments --validate-report FILE");
     println!("                                 schema-check one smoke artifact: well-");
     println!("                                 formed JSON declaring this binary's");
@@ -365,6 +392,7 @@ fn run_experiments() {
     e14();
     e15();
     e16();
+    e17();
 }
 
 /// A deployment where one of two sources is hard-down and the breaker
@@ -823,6 +851,115 @@ fn e16() {
             p.max_staleness_us,
             p.divergences,
         );
+    }
+}
+
+/// E17 fleet shape: a 64-class × 4-property synthetic ontology, 4
+/// records per source.
+const E17_CLASSES: usize = 64;
+const E17_PROPS: usize = 4;
+const E17_ROWS: usize = 4;
+/// Fleet sizes swept by the experiment table; the smoke gate runs the
+/// largest.
+const E17_FLEETS: [usize; 4] = [100, 250, 500, 1000];
+
+fn e17() {
+    header("E17", "mapping bootstrap at catalog scale: schema → candidates → registration");
+    println!(
+        "{:>7} {:>9} {:>5} {:>12} {:>12} {:>10} {:>9} {:>5} {:>4}",
+        "sources", "mappings", "conf", "bootstrap", "register", "lookup", "query", "inds", "div"
+    );
+    for &sources in &E17_FLEETS {
+        let r = run_bootstrap_fleet(sources, E17_CLASSES, E17_PROPS, E17_ROWS);
+        assert_eq!(r.divergences, 0, "bootstrap non-deterministic at {sources} sources");
+        println!(
+            "{:>7} {:>9} {:>5} {:>10.1}ms {:>10.1}ms {:>8.0}ns {:>7.1}ms {:>5} {:>4}",
+            r.sources,
+            r.mappings,
+            r.conflicts,
+            r.bootstrap_wall.as_secs_f64() * 1e3,
+            r.register_wall.as_secs_f64() * 1e3,
+            r.lookup_ns_per_op,
+            r.query_wall.as_secs_f64() * 1e3,
+            r.query_individuals,
+            r.divergences,
+        );
+    }
+}
+
+/// The CI bootstrap gate: registering a 1000-source synthetic fleet
+/// entirely through the automatic mapping bootstrap must surface zero
+/// conflicts, produce exactly `sources × props` mappings, re-bootstrap
+/// to byte-identical candidate sets, answer an end-to-end query, and
+/// finish the bootstrap + registration phases inside a generous
+/// wall-clock bound. Writes `e17.json` into `dir`.
+fn bootstrap_smoke(dir: &str) -> Result<(), Vec<String>> {
+    /// Generous: the in-tree run takes well under a tenth of this even
+    /// on a loaded CI runner.
+    const MAX_WALL: std::time::Duration = std::time::Duration::from_secs(60);
+
+    let mut violations = Vec::new();
+    let sources = *E17_FLEETS.last().expect("non-empty sweep");
+    let report = run_bootstrap_fleet(sources, E17_CLASSES, E17_PROPS, E17_ROWS);
+
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create bootstrap-smoke dir {dir}: {e}"));
+    let json_path = format!("{dir}/e17.json");
+    let json = report.to_json();
+    std::fs::write(&json_path, &json).expect("write e17.json");
+    check_schema_version(&json_path, &json, &mut violations);
+    if let Err(e) = validate_report(&json) {
+        violations.push(format!("e17.json fails its own schema check: {e}"));
+    }
+
+    if report.mappings != sources * E17_PROPS {
+        violations.push(format!(
+            "bootstrap registered {} mappings, want {}",
+            report.mappings,
+            sources * E17_PROPS
+        ));
+    }
+    if report.conflicts != 0 {
+        violations.push(format!(
+            "{} conflicts on a fleet whose every field matches a property",
+            report.conflicts
+        ));
+    }
+    if report.divergences != 0 {
+        violations.push(format!(
+            "{} source(s) re-bootstrapped to a different candidate set",
+            report.divergences
+        ));
+    }
+    if report.query_individuals == 0 {
+        violations.push("end-to-end query over bootstrapped mappings produced nothing".into());
+    }
+    let wall = report.bootstrap_wall + report.register_wall;
+    if wall > MAX_WALL {
+        violations.push(format!(
+            "bootstrapping {} sources took {:.1}s (bound {:.0}s)",
+            sources,
+            wall.as_secs_f64(),
+            MAX_WALL.as_secs_f64()
+        ));
+    }
+
+    println!(
+        "bootstrap-smoke: {} sources × {} props → {} mappings in {:.1}ms bootstrap + \
+         {:.1}ms register, {:.0}ns/lookup, {} conflicts, {} divergences → {json_path}",
+        report.sources,
+        report.props_per_class,
+        report.mappings,
+        report.bootstrap_wall.as_secs_f64() * 1e3,
+        report.register_wall.as_secs_f64() * 1e3,
+        report.lookup_ns_per_op,
+        report.conflicts,
+        report.divergences,
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
     }
 }
 

@@ -188,15 +188,12 @@ pub fn map_web(s2s: &mut S2s, id: &str) {
         RecordScenario::MultiRecord,
     )
     .unwrap();
+    // `Str_Search` yields [group0, group1] per match and the
+    // list-to-text flattening concatenates the groups, so the price
+    // comes from its own tag (same convention as the conform catalog).
     s2s.register_attribute(
         "thing.product.watch.price",
-        ExtractionRule::Webl {
-            program: r#"
-                var ms = Str_Search(Text(PAGE), `class="price">([0-9.]+)`);
-                var out = ms;
-            "#
-            .into(),
-        },
+        ExtractionRule::Webl { program: "var p = TagTexts(Text(PAGE), \"span\");".into() },
         id,
         RecordScenario::MultiRecord,
     )
@@ -336,6 +333,265 @@ pub fn deploy_wide(
         }
     }
     s2s
+}
+
+// ---------------------------------------------------------------------
+// Bootstrap fleet (E17).
+
+/// Leaf classes (no children) of [`synthetic_ontology`]'s balanced
+/// class tree (`C{i}`'s parent is `C{(i-1)/2}`). Fleet sources expose
+/// properties of leaf classes only, so the bootstrap's
+/// most-specific-class selection lands exactly on the class whose
+/// properties the source carries.
+pub fn fleet_leaf_classes(classes: usize) -> Vec<usize> {
+    (0..classes).filter(|&i| 2 * i + 1 >= classes).collect()
+}
+
+/// The source kinds the fleet rotates through.
+pub const FLEET_KINDS: [&str; 4] = ["db", "xml", "web", "text"];
+
+/// Materializes one synthetic fleet source as `(class index, kind,
+/// connection)`. Source `i` exposes the `props` string properties of a
+/// leaf class `C{c}` as native fields named exactly like the
+/// properties (`p{c}_{j}`) over `rows` records — except web sources,
+/// whose HTML tag names use the hyphenated form (`<p{c}-{j}>`,
+/// underscores are not valid in tag names), exercising the bootstrap's
+/// normalized-match tier instead of the exact tier.
+pub fn fleet_source(
+    i: usize,
+    classes: usize,
+    props: usize,
+    rows: usize,
+) -> (usize, &'static str, Connection) {
+    let leaves = fleet_leaf_classes(classes);
+    let c = leaves[i % leaves.len()];
+    let kind = FLEET_KINDS[i % FLEET_KINDS.len()];
+    let value = |j: usize, r: usize| format!("v{i}-{j}-{r}");
+    let connection = match kind {
+        "db" => {
+            let mut db = Database::new(format!("fleet{i}"));
+            let cols: Vec<String> = (0..props).map(|j| format!("p{c}_{j} TEXT")).collect();
+            db.execute(&format!("CREATE TABLE t ({})", cols.join(", "))).unwrap();
+            for r in 0..rows {
+                let vals: Vec<String> = (0..props).map(|j| format!("'{}'", value(j, r))).collect();
+                db.execute(&format!("INSERT INTO t VALUES ({})", vals.join(", "))).unwrap();
+            }
+            Connection::Database { db: Arc::new(db) }
+        }
+        "xml" => {
+            let mut xml = String::from("<export>");
+            for r in 0..rows {
+                xml.push_str("<rec>");
+                for j in 0..props {
+                    xml.push_str(&format!("<p{c}_{j}>{}</p{c}_{j}>", value(j, r)));
+                }
+                xml.push_str("</rec>");
+            }
+            xml.push_str("</export>");
+            Connection::Xml { document: Arc::new(s2s_xml::parse(&xml).unwrap()) }
+        }
+        "web" => {
+            let mut html = String::from("<html><body>");
+            for r in 0..rows {
+                html.push_str("<div>");
+                for j in 0..props {
+                    html.push_str(&format!("<p{c}-{j}>{}</p{c}-{j}>", value(j, r)));
+                }
+                html.push_str("</div>");
+            }
+            html.push_str("</body></html>");
+            let mut store = WebStore::new();
+            let url = format!("http://fleet/{i}");
+            store.register_html(&url, html);
+            Connection::Web { store: Arc::new(store), url }
+        }
+        _ => {
+            let mut text = String::new();
+            for r in 0..rows {
+                let fields: Vec<String> =
+                    (0..props).map(|j| format!("p{c}_{j}: {}", value(j, r))).collect();
+                text.push_str(&fields.join(" | "));
+                text.push('\n');
+            }
+            let mut store = WebStore::new();
+            let url = format!("file:///fleet{i}.txt");
+            store.register_text(&url, text);
+            Connection::Text { store: Arc::new(store), url }
+        }
+    };
+    (c, kind, connection)
+}
+
+/// What one E17 bootstrap-at-catalog-scale run measured.
+#[derive(Debug, Clone)]
+pub struct E17Report {
+    /// Sources bootstrapped.
+    pub sources: usize,
+    /// Ontology size axis: classes in the synthetic tree.
+    pub classes: usize,
+    /// Ontology size axis: datatype properties per class.
+    pub props_per_class: usize,
+    /// Records per source.
+    pub rows: usize,
+    /// Accepted candidates registered as mappings (expected
+    /// `sources × props_per_class`).
+    pub mappings: usize,
+    /// Conflicts surfaced across the fleet (expected 0: every fleet
+    /// field matches its property at the exact or normalized tier).
+    pub conflicts: usize,
+    /// Wall clock of the introspection + candidate-generation phase.
+    pub bootstrap_wall: std::time::Duration,
+    /// Wall clock of registering every accepted candidate.
+    pub register_wall: std::time::Duration,
+    /// Mean path-lookup cost over the bootstrapped mapping table
+    /// (E4-style `mappings_for` probe), nanoseconds per op.
+    pub lookup_ns_per_op: f64,
+    /// Wall clock of one end-to-end query against a bootstrapped leaf
+    /// class.
+    pub query_wall: std::time::Duration,
+    /// Individuals the end-to-end query produced (> 0 proves the
+    /// generated mappings extract).
+    pub query_individuals: usize,
+    /// Sources whose re-bootstrap produced a different candidate set
+    /// (expected 0: bootstrap is deterministic).
+    pub divergences: usize,
+}
+
+impl E17Report {
+    /// Renders the report as a single JSON object (no dependencies; the
+    /// smoke-audit artifact format).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema_version\":{},",
+                "\"sources\":{},\"classes\":{},\"props_per_class\":{},\"rows\":{},",
+                "\"mappings\":{},\"conflicts\":{},",
+                "\"bootstrap_wall_us\":{},\"register_wall_us\":{},",
+                "\"lookup_ns_per_op\":{:.1},",
+                "\"query_wall_us\":{},\"query_individuals\":{},",
+                "\"divergences\":{}}}"
+            ),
+            SCHEMA_VERSION,
+            self.sources,
+            self.classes,
+            self.props_per_class,
+            self.rows,
+            self.mappings,
+            self.conflicts,
+            self.bootstrap_wall.as_micros(),
+            self.register_wall.as_micros(),
+            self.lookup_ns_per_op,
+            self.query_wall.as_micros(),
+            self.query_individuals,
+            self.divergences,
+        )
+    }
+}
+
+/// Candidate-set signature used by the E17 determinism check: applied
+/// state is excluded so a consumed report compares equal to a fresh
+/// re-bootstrap.
+fn candidate_signature(report: &s2s_core::BootstrapReport) -> String {
+    report
+        .candidates
+        .iter()
+        .map(|c| {
+            format!(
+                "{}|{}|{:?}|{:?}|{}|{}",
+                c.field, c.path, c.rule, c.scenario, c.confidence, c.accepted
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs the E17 bootstrap fleet: registers `sources` synthetic sources
+/// over a `classes × props` ontology, bootstraps every one through
+/// [`s2s_core::S2s::bootstrap_source`] / `apply_bootstrap`, then
+/// measures mapping-table lookup cost, one end-to-end query, and
+/// re-bootstrap determinism.
+pub fn run_bootstrap_fleet(sources: usize, classes: usize, props: usize, rows: usize) -> E17Report {
+    let ontology = synthetic_ontology(classes, props);
+    let mut s2s = S2s::new(ontology.clone());
+    let specs: Vec<(usize, &str)> = (0..sources)
+        .map(|i| {
+            let (c, kind, connection) = fleet_source(i, classes, props, rows);
+            s2s.register_source(&format!("F{i}"), connection).unwrap();
+            (c, kind)
+        })
+        .collect();
+
+    let (mut reports, bootstrap_wall) = time(|| {
+        (0..sources)
+            .map(|i| s2s.bootstrap_source(&format!("F{i}")).expect("fleet sources have schemas"))
+            .collect::<Vec<_>>()
+    });
+    let conflicts: usize = reports.iter().map(|r| r.conflicts.len()).sum();
+
+    let (mappings, register_wall) = time(|| {
+        reports
+            .iter_mut()
+            .map(|r| s2s.apply_bootstrap(r).expect("accepted candidates register"))
+            .sum::<usize>()
+    });
+
+    // E4-style lookup probe over an equivalent standalone mapping table.
+    let mut module = s2s_core::mapping::MappingModule::new();
+    let mut paths: Vec<s2s_owl::AttributePath> = Vec::new();
+    for (i, report) in reports.iter().enumerate() {
+        for c in report.candidates.iter().filter(|c| c.applied) {
+            let path: s2s_owl::AttributePath = c.path.parse().unwrap();
+            module
+                .register(
+                    &ontology,
+                    path.clone(),
+                    c.rule.clone(),
+                    format!("F{i}").as_str().into(),
+                    c.scenario,
+                )
+                .unwrap();
+            paths.push(path);
+        }
+    }
+    const LOOKUP_ITERS: usize = 1000;
+    let (hits, lookup_wall) = time(|| {
+        let mut hits = 0usize;
+        for k in 0..LOOKUP_ITERS {
+            let probe = &paths[k % paths.len()];
+            hits += module.mappings_for(probe).len();
+        }
+        hits
+    });
+    assert!(hits >= LOOKUP_ITERS, "every probe is a registered path");
+    let lookup_ns_per_op = lookup_wall.as_nanos() as f64 / LOOKUP_ITERS as f64;
+
+    // End-to-end: query the first source's leaf class.
+    let class = format!("c{}", specs[0].0);
+    let (outcome, query_wall) = time(|| s2s.query(&format!("SELECT {class}")).unwrap());
+
+    // Determinism: a second bootstrap of every source must reproduce
+    // the candidate set exactly.
+    let divergences = (0..sources)
+        .filter(|i| {
+            let fresh = s2s.bootstrap_source(&format!("F{i}")).expect("still registered");
+            candidate_signature(&fresh) != candidate_signature(&reports[*i])
+        })
+        .count();
+
+    E17Report {
+        sources,
+        classes,
+        props_per_class: props,
+        rows,
+        mappings,
+        conflicts,
+        bootstrap_wall,
+        register_wall,
+        lookup_ns_per_op,
+        query_wall,
+        query_individuals: outcome.instances.individuals.len(),
+        divergences,
+    }
 }
 
 /// Wall-clock helper for the experiments binary.
@@ -1732,6 +1988,72 @@ mod tests {
         assert_eq!(point.view_full_refreshes, 0, "{point:?}");
         let report = DeltaReport { rows: 24, points: vec![point] };
         validate_report(&report.to_json()).expect("fresh e16 report validates");
+    }
+
+    #[test]
+    fn bootstrap_twin_matches_handwritten_demo_deployment() {
+        // The acceptance bar for the bootstrap pass: on the demo
+        // catalog, accepted bootstrap output must produce byte-identical
+        // query fingerprints to the hand-written registrations.
+        let n = 40;
+        let seed = 42;
+        let handwritten = deploy_mixed(n, seed);
+
+        // Same sources, zero hand-written mappings.
+        let recs = records(n, seed);
+        let mut twin = S2s::new(ontology());
+        twin.register_source("DB", Connection::Database { db: Arc::new(catalog_db(&recs)) })
+            .unwrap();
+        twin.register_source("XML", Connection::Xml { document: Arc::new(catalog_xml(&recs)) })
+            .unwrap();
+        let mut web = WebStore::new();
+        web.register_html("http://shop/list", catalog_html(&recs));
+        web.register_text("file:///export.txt", catalog_text(&recs));
+        let web = Arc::new(web);
+        twin.register_source(
+            "WEB",
+            Connection::Web { store: web.clone(), url: "http://shop/list".into() },
+        )
+        .unwrap();
+        twin.register_source(
+            "TXT",
+            Connection::Text { store: web, url: "file:///export.txt".into() },
+        )
+        .unwrap();
+
+        for id in ["DB", "XML", "TXT"] {
+            let report = twin.register_bootstrapped(id).unwrap();
+            assert_eq!(
+                report.candidates.iter().filter(|c| c.applied).count(),
+                3,
+                "{id}: {report:?}"
+            );
+        }
+        // The bare <b>/<i> web tags carry no name signal; the operator
+        // resolves the surfaced conflicts, exactly as in the conform
+        // oracle arm.
+        let mut report = twin.bootstrap_source("WEB").unwrap();
+        report.resolve("b", "thing.product.watch.brand").unwrap();
+        report.resolve("i", "thing.product.watch.case").unwrap();
+        assert_eq!(twin.apply_bootstrap(&mut report).unwrap(), 3);
+
+        for query in
+            ["SELECT watch", "SELECT watch WHERE price < 300", "SELECT watch WHERE brand='Seiko'"]
+        {
+            let a = handwritten.query(query).unwrap();
+            let b = twin.query(query).unwrap();
+            assert_eq!(result_key(&a), result_key(&b), "diverged on {query}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_fleet_is_clean_and_deterministic() {
+        let report = run_bootstrap_fleet(24, 16, 3, 4);
+        assert_eq!(report.mappings, 24 * 3, "{report:?}");
+        assert_eq!(report.conflicts, 0, "{report:?}");
+        assert_eq!(report.divergences, 0, "{report:?}");
+        assert!(report.query_individuals > 0, "{report:?}");
+        validate_report(&report.to_json()).expect("fresh e17 report validates");
     }
 
     #[test]

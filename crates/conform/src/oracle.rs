@@ -39,6 +39,12 @@
 //!   fuzzed mutation round, replay unmutated repeat queries without
 //!   touching the wire, account every warm slice as a hit, refresh,
 //!   or full refresh, and reproduce deterministically.
+//! * **Bootstrap equivalence** — on fault-free scenarios, an engine
+//!   whose mappings come entirely from the automatic schema bootstrap
+//!   (`S2s::bootstrap_source` + `apply_bootstrap`, with the catalog's
+//!   two genuine operator interventions) answers fingerprint-identical
+//!   to the hand-written registration, covers every attribute of every
+//!   source, and re-bootstraps to byte-identical candidate sets.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -267,6 +273,9 @@ pub fn check_scenario(scenario: &Scenario) -> Vec<Violation> {
     // --- Delta maintenance ------------------------------------------
     violations.extend(check_delta(scenario, &batched_outcome));
 
+    // --- Bootstrap equivalence --------------------------------------
+    violations.extend(check_bootstrap(scenario, &batched_outcome));
+
     violations
 }
 
@@ -450,6 +459,133 @@ fn rebuilt_engine(scenario: &Scenario, records: &[crate::scenario::Record]) -> S
         }
     }
     s2s
+}
+
+/// Bootstrap equivalence: auto-generated mappings must be
+/// indistinguishable from the hand-written ones.
+///
+/// Gated to fault-free scenarios (bootstrap introspection does not
+/// touch the wire, but the comparison query does, and fault schedules
+/// are call-indexed). The protocol builds a twin engine whose sources
+/// are registered exactly like the scenario's, but whose mappings come
+/// entirely from `S2s::bootstrap_source` + `apply_bootstrap` — with
+/// the two operator interventions the conform catalog genuinely needs:
+/// the bare `<b>`/`<i>` web tags carry no name signal and surface as
+/// ambiguous-target conflicts (resolved to brand/case), and
+/// single-record sources override the shape-implied multi-record
+/// scenario. Three invariants:
+///
+/// * **coverage** — every source bootstraps exactly one accepted,
+///   applied candidate per attribute, with no unexpected leftovers;
+/// * **equality** — the bootstrapped engine's answer fingerprints
+///   identically to the hand-written batched path;
+/// * **determinism** — a second bootstrap run produces byte-identical
+///   candidate sets (field, path, rule, scenario, confidence) and the
+///   same answer.
+fn check_bootstrap(scenario: &Scenario, baseline: &QueryOutcome) -> Vec<Violation> {
+    use s2s_core::mapping::RecordScenario;
+    use s2s_netsim::RetryPolicy as Retry;
+
+    let mut violations = Vec::new();
+    if !scenario.fault_free() {
+        return violations;
+    }
+    let query = scenario.query_text();
+    let records = scenario.records();
+
+    // Candidate-set signature for the determinism check.
+    let signature = |report: &s2s_core::BootstrapReport| -> String {
+        report
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}|{}|{:?}|{:?}|{}|{}",
+                    c.field, c.path, c.rule, c.scenario, c.confidence, c.accepted
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let build = || -> Result<(S2s, Vec<String>), String> {
+        let mut s2s = S2s::new(crate::scenario::ontology())
+            .with_strategy(Strategy::Serial)
+            .with_batching(true)
+            .with_resilience(
+                ResiliencePolicy::default()
+                    .with_retry(Retry::attempts(crate::scenario::RETRY_ATTEMPTS)),
+            );
+        let mut signatures = Vec::new();
+        for (i, spec) in scenario.sources.iter().enumerate() {
+            scenario.register_source(&mut s2s, i, &records);
+            let id = format!("SRC_{i}");
+            let mut report = s2s.bootstrap_source(&id).map_err(|e| format!("{id}: {e}"))?;
+            if matches!(spec.kind, crate::scenario::SourceKindSpec::Web) {
+                report
+                    .resolve("b", "thing.product.watch.brand")
+                    .map_err(|e| format!("{id}: {e}"))?;
+                report
+                    .resolve("i", "thing.product.watch.case")
+                    .map_err(|e| format!("{id}: {e}"))?;
+            }
+            if spec.single_record {
+                report.override_scenario(RecordScenario::SingleRecord);
+            }
+            s2s.apply_bootstrap(&mut report).map_err(|e| format!("{id}: {e}"))?;
+            let applied = report.candidates.iter().filter(|c| c.applied).count();
+            if applied != crate::scenario::ATTRS.len() {
+                return Err(format!(
+                    "{id} ({:?}): {applied} mappings bootstrapped, want {}",
+                    spec.kind,
+                    crate::scenario::ATTRS.len()
+                ));
+            }
+            signatures.push(signature(&report));
+        }
+        Ok((s2s, signatures))
+    };
+
+    let (engine, signatures) = match build() {
+        Ok(pair) => pair,
+        Err(detail) => {
+            violations.push(Violation::new("bootstrap-coverage", detail));
+            return violations;
+        }
+    };
+    let outcome = engine.query(&query).expect("parsed on the serial path");
+    if fingerprint(&outcome) != fingerprint(baseline) {
+        violations.push(Violation::new(
+            "bootstrap-equality",
+            format!(
+                "bootstrapped answer diverged from hand-written\nhand-written:\n{}\nbootstrapped:\n{}",
+                fingerprint(baseline),
+                fingerprint(&outcome)
+            ),
+        ));
+    }
+
+    let (engine2, signatures2) = match build() {
+        Ok(pair) => pair,
+        Err(detail) => {
+            violations.push(Violation::new("bootstrap-determinism", detail));
+            return violations;
+        }
+    };
+    if signatures2 != signatures {
+        violations.push(Violation::new(
+            "bootstrap-determinism",
+            "re-bootstrap produced a different candidate set".to_string(),
+        ));
+    }
+    let outcome2 = engine2.query(&query).expect("parsed on the serial path");
+    if fingerprint(&outcome2) != fingerprint(&outcome) {
+        violations.push(Violation::new(
+            "bootstrap-determinism",
+            "re-bootstrapped engine answered differently".to_string(),
+        ));
+    }
+    violations
 }
 
 /// Pushdown equivalence: the federated planner may rewrite rules,

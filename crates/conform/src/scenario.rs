@@ -247,7 +247,7 @@ impl Scenario {
         s2s
     }
 
-    fn register_source(&self, s2s: &mut S2s, i: usize, records: &[Record]) {
+    pub(crate) fn register_source(&self, s2s: &mut S2s, i: usize, records: &[Record]) {
         let spec = &self.sources[i];
         let id = format!("SRC_{i}");
         let connection = connection_for(spec.kind, records);

@@ -106,6 +106,14 @@ pub enum S2sError {
         /// The source whose exchange exhausted the budget.
         source: String,
     },
+    /// Automatic mapping bootstrap failed for a source (empty schema,
+    /// non-HTML web page, resolving a field that has no conflict, …).
+    Bootstrap {
+        /// The source being bootstrapped.
+        source: String,
+        /// Description.
+        message: String,
+    },
 }
 
 impl S2sError {
@@ -123,6 +131,55 @@ impl S2sError {
             S2sError::Net(e) if e.is_transient() => FailureClass::Transient,
             S2sError::CircuitOpen { .. } => FailureClass::Transient,
             _ => FailureClass::Permanent,
+        }
+    }
+
+    /// A stable machine-readable diagnostic code, `s2s::` namespaced —
+    /// the miette `#[diagnostic(code(...))]` convention without the
+    /// dependency. Codes are part of the public contract: tools may
+    /// match on them, so they never change meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            S2sError::UnknownSource { .. } => "s2s::source::unknown",
+            S2sError::DuplicateSource { .. } => "s2s::source::duplicate",
+            S2sError::MutationKindMismatch { .. } => "s2s::source::kind_mismatch",
+            S2sError::UnmappedAttribute { .. } => "s2s::mapping::unmapped_attribute",
+            S2sError::RuleSourceMismatch { .. } => "s2s::mapping::rule_source_mismatch",
+            S2sError::QuerySyntax { .. } => "s2s::query::syntax",
+            S2sError::QuerySemantics { .. } => "s2s::query::semantics",
+            S2sError::Owl(_) => "s2s::owl",
+            S2sError::Rdf(_) => "s2s::rdf",
+            S2sError::Db(_) => "s2s::db",
+            S2sError::Xml(_) => "s2s::xml",
+            S2sError::Webdoc(_) => "s2s::webdoc",
+            S2sError::Net(_) => "s2s::net",
+            S2sError::CircuitOpen { .. } => "s2s::resilience::circuit_open",
+            S2sError::DeadlineExceeded { .. } => "s2s::resilience::deadline_exceeded",
+            S2sError::Bootstrap { .. } => "s2s::bootstrap::failed",
+        }
+    }
+
+    /// Actionable help text for the diagnostic, when the error has a
+    /// standard remedy — the miette `#[diagnostic(help(...))]`
+    /// convention without the dependency.
+    pub fn help(&self) -> Option<&'static str> {
+        match self {
+            S2sError::UnknownSource { .. } => {
+                Some("register the source first with S2s::register_source")
+            }
+            S2sError::UnmappedAttribute { .. } => Some(
+                "map the attribute with S2s::register_attribute, or bootstrap the source's \
+                 schema with S2s::register_bootstrapped",
+            ),
+            S2sError::RuleSourceMismatch { .. } => Some(
+                "match the rule kind to the source kind: Sql for databases, XPath/XQuery for \
+                 XML, Webl for web pages, TextRegex for text files",
+            ),
+            S2sError::Bootstrap { .. } => Some(
+                "inspect the BootstrapReport's conflicts; resolve ambiguous fields with \
+                 BootstrapReport::resolve or add mappings with BootstrapReport::add_override",
+            ),
+            _ => None,
         }
     }
 }
@@ -156,6 +213,9 @@ impl fmt::Display for S2sError {
             }
             S2sError::DeadlineExceeded { source } => {
                 write!(f, "deadline budget exhausted during exchange with source `{source}`")
+            }
+            S2sError::Bootstrap { source, message } => {
+                write!(f, "bootstrap failed for source `{source}`: {message}")
             }
         }
     }
@@ -235,5 +295,23 @@ mod tests {
         assert_eq!(unmapped.failure_class(), FailureClass::Permanent);
         let expired = S2sError::DeadlineExceeded { source: "x".into() };
         assert_eq!(expired.failure_class(), FailureClass::Permanent);
+        let bootstrap = S2sError::Bootstrap { source: "x".into(), message: "m".into() };
+        assert_eq!(bootstrap.failure_class(), FailureClass::Permanent);
+    }
+
+    #[test]
+    fn diagnostics_carry_stable_codes_and_help() {
+        let bootstrap = S2sError::Bootstrap { source: "DB".into(), message: "empty".into() };
+        assert_eq!(bootstrap.code(), "s2s::bootstrap::failed");
+        assert!(bootstrap.help().unwrap().contains("BootstrapReport::resolve"));
+
+        let unmapped = S2sError::UnmappedAttribute { attribute: "thing.x".into() };
+        assert_eq!(unmapped.code(), "s2s::mapping::unmapped_attribute");
+        assert!(unmapped.help().unwrap().contains("register_bootstrapped"));
+
+        // Errors without a standard remedy have a code but no help.
+        let net = S2sError::Net(NetError::BadFrame { message: "m".into() });
+        assert_eq!(net.code(), "s2s::net");
+        assert!(net.help().is_none());
     }
 }

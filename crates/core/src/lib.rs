@@ -35,6 +35,7 @@
 //!   implicit comparison system (experiment E8).
 
 pub mod baseline;
+pub mod bootstrap;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -49,6 +50,9 @@ pub mod source;
 pub mod spec;
 pub mod view;
 
+pub use bootstrap::{
+    BootstrapReport, ClassCandidate, Conflict, MappingCandidate, SchemaField, SchemaSummary,
+};
 pub use engine::{DependencySet, PlanCache, QueryResultCache, ResultCacheConfig};
 pub use error::{FailureClass, S2sError};
 pub use extract::{ResilienceContext, ResiliencePolicy, SourceHealth};

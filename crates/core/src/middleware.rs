@@ -747,6 +747,95 @@ impl S2s {
         Ok(n)
     }
 
+    /// Bootstraps a registered source: introspects its native schema
+    /// (`CREATE TABLE` metadata, XML shape, HTML tag survey, labeled
+    /// text headers) and derives candidate attribute mappings with
+    /// generated extraction rules, confidence scores, and an explicit
+    /// conflict list. Registers nothing — inspect, adjust
+    /// ([`crate::bootstrap::BootstrapReport::resolve`] /
+    /// [`crate::bootstrap::BootstrapReport::reject`]), then pass the
+    /// report to [`Self::apply_bootstrap`], or use
+    /// [`Self::register_bootstrapped`] for the one-shot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S2sError::UnknownSource`] for an unregistered id and
+    /// [`S2sError::Bootstrap`] when introspection finds no schema.
+    pub fn bootstrap_source(
+        &self,
+        id: &str,
+    ) -> Result<crate::bootstrap::BootstrapReport, S2sError> {
+        let registry = self.registry.read();
+        let source = registry.require(&id.into())?;
+        let report = crate::bootstrap::bootstrap(&self.ontology, id, source.connection())?;
+        if s2s_obs::enabled() {
+            let metrics = s2s_obs::global();
+            metrics.counter(s2s_obs::names::BOOTSTRAP_SOURCES_TOTAL).inc();
+            metrics
+                .counter(s2s_obs::names::BOOTSTRAP_CANDIDATES_TOTAL)
+                .add(report.candidates.len() as u64);
+            metrics
+                .counter(s2s_obs::names::BOOTSTRAP_CONFLICTS_TOTAL)
+                .add(report.conflicts.len() as u64);
+        }
+        Ok(report)
+    }
+
+    /// Registers every accepted, not-yet-applied candidate of a
+    /// bootstrap report through the regular
+    /// [`Self::register_attribute`] path — bootstrapped mappings flow
+    /// through rule compilation, caches, planner capability analysis,
+    /// and views exactly like hand-written ones. Applied candidates are
+    /// marked so a report can be re-applied incrementally after further
+    /// [`crate::bootstrap::BootstrapReport::resolve`] calls.
+    ///
+    /// Returns the number of mappings registered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::register_attribute`] errors; candidates
+    /// before the failing one remain registered (and marked applied).
+    pub fn apply_bootstrap(
+        &mut self,
+        report: &mut crate::bootstrap::BootstrapReport,
+    ) -> Result<usize, S2sError> {
+        let source = report.source.clone();
+        let mut applied = 0usize;
+        for i in 0..report.candidates.len() {
+            if !report.candidates[i].accepted || report.candidates[i].applied {
+                continue;
+            }
+            let (path, rule, scenario) = {
+                let c = &report.candidates[i];
+                (c.path.clone(), c.rule.clone(), c.scenario)
+            };
+            self.register_attribute(&path, rule, &source, scenario)?;
+            report.candidates[i].applied = true;
+            applied += 1;
+        }
+        if applied > 0 && s2s_obs::enabled() {
+            s2s_obs::global().counter(s2s_obs::names::BOOTSTRAP_APPLIED_TOTAL).add(applied as u64);
+        }
+        Ok(applied)
+    }
+
+    /// One-shot bootstrap: [`Self::bootstrap_source`] followed by
+    /// [`Self::apply_bootstrap`]. The returned report shows what was
+    /// registered (`applied` candidates) and what was left for the
+    /// caller (conflicts, proposals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates both phases' errors.
+    pub fn register_bootstrapped(
+        &mut self,
+        id: &str,
+    ) -> Result<crate::bootstrap::BootstrapReport, S2sError> {
+        let mut report = self.bootstrap_source(id)?;
+        self.apply_bootstrap(&mut report)?;
+        Ok(report)
+    }
+
     /// Number of registered sources.
     pub fn source_count(&self) -> usize {
         self.registry.read().len()
@@ -2492,5 +2581,89 @@ mod tests {
                 "delta answer diverged after mutation {i} touching {touched:?}"
             );
         }
+    }
+
+    #[test]
+    fn bootstrap_matches_handwritten_on_the_demo_database() {
+        // Bootstrap the demo DB source and compare against the
+        // hand-written deployment: same mappings, same query answer.
+        let handwritten = deploy();
+        let baseline = handwritten.query("SELECT watch WHERE brand=\"Seiko\"").unwrap();
+
+        let mut db = Database::new("catalog");
+        db.execute(
+            "CREATE TABLE watches (id INTEGER PRIMARY KEY, brand TEXT, price REAL, case_m TEXT)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO watches VALUES \
+             (1,'Seiko',129.99,'stainless-steel'), (2,'Casio',59.5,'resin')",
+        )
+        .unwrap();
+        let mut s2s = S2s::new(ontology());
+        s2s.register_source("DB_ID_45", Connection::Database { db: Arc::new(db) }).unwrap();
+        let report = s2s.register_bootstrapped("DB_ID_45").unwrap();
+        assert_eq!(report.candidates.iter().filter(|c| c.applied).count(), 3);
+        assert_eq!(s2s.mapping_count(), 3);
+
+        let bootstrapped = s2s.query("SELECT watch WHERE brand=\"Seiko\"").unwrap();
+        let values = |o: &QueryOutcome| {
+            let mut v: Vec<(String, String, String)> = o
+                .instances
+                .individuals
+                .iter()
+                .flat_map(|i| {
+                    i.values.iter().flat_map(|(p, vals)| {
+                        vals.iter().map(|val| (i.class.to_string(), p.to_string(), val.clone()))
+                    })
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        // The hand-written deployment integrates four sources; restrict
+        // the comparison to what the DB contributed.
+        let from_db: Vec<_> = values(&baseline)
+            .into_iter()
+            .filter(|(_, _, v)| ["Seiko", "129.99", "stainless-steel"].contains(&v.as_str()))
+            .collect();
+        assert!(!from_db.is_empty());
+        for entry in &from_db {
+            assert!(values(&bootstrapped).contains(entry), "missing {entry:?}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_conflicts_surface_and_override_round_trips() {
+        // A source whose schema has a name collision (`price` and
+        // `price_usd` both hit the `price` property) and an unmappable
+        // primary-key column must surface both conflicts and register
+        // nothing until the caller resolves the winner.
+        let mut db = Database::new("feed");
+        db.execute("CREATE TABLE prices (id INTEGER PRIMARY KEY, price REAL, price_usd REAL)")
+            .unwrap();
+        db.execute("INSERT INTO prices VALUES (1, 129.99, 142.5)").unwrap();
+        let mut s2s = S2s::new(ontology());
+        s2s.register_source("FEED", Connection::Database { db: Arc::new(db) }).unwrap();
+
+        let mut report = s2s.register_bootstrapped("FEED").unwrap();
+        let kinds: Vec<&str> =
+            report.conflicts.iter().map(crate::bootstrap::Conflict::kind).collect();
+        assert!(kinds.contains(&"name-collision"), "{kinds:?}");
+        assert!(kinds.contains(&"unmappable"), "{kinds:?}");
+        assert_eq!(s2s.mapping_count(), 0);
+
+        // The override round-trips: resolve → apply → queryable.
+        report.resolve("price", "thing.product.watch.price").unwrap();
+        assert_eq!(s2s.apply_bootstrap(&mut report).unwrap(), 1);
+        assert_eq!(s2s.mapping_count(), 1);
+        let outcome = s2s.query("SELECT watch").unwrap();
+        assert!(outcome.instances.individuals.iter().any(|i| i
+            .values
+            .values()
+            .flatten()
+            .any(|v| v == "129.99")));
+        // Re-applying is a no-op: the candidate is marked applied.
+        assert_eq!(s2s.apply_bootstrap(&mut report).unwrap(), 0);
     }
 }

@@ -97,6 +97,13 @@ impl Database {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
+    /// The schema of every table, in table-name order — the
+    /// introspection surface the semantic bootstrap pass reads to
+    /// derive candidate mappings from `CREATE TABLE` metadata.
+    pub fn schemas(&self) -> impl Iterator<Item = &crate::schema::TableSchema> {
+        self.tables.values().map(Table::schema)
+    }
+
     /// Executes any statement; returns rows affected (0 for SELECT — use
     /// [`Database::query`] for results).
     ///

@@ -91,6 +91,15 @@ pub const REACTOR_TASKS_TOTAL: &str = "s2s_reactor_tasks_total";
 /// perfectly balanced).
 pub const REACTOR_SHARD_BALANCE: &str = "s2s_reactor_shard_balance";
 
+/// Counter: sources run through the mapping bootstrap pass.
+pub const BOOTSTRAP_SOURCES_TOTAL: &str = "s2s_bootstrap_sources_total";
+/// Counter: mapping candidates generated by bootstrap.
+pub const BOOTSTRAP_CANDIDATES_TOTAL: &str = "s2s_bootstrap_candidates_total";
+/// Counter: conflicts surfaced by bootstrap (not auto-registered).
+pub const BOOTSTRAP_CONFLICTS_TOTAL: &str = "s2s_bootstrap_conflicts_total";
+/// Counter: accepted bootstrap candidates registered as mappings.
+pub const BOOTSTRAP_APPLIED_TOTAL: &str = "s2s_bootstrap_applied_total";
+
 /// Gauge name for one tenant's admission backlog.
 ///
 /// Per-tenant series share the `s2s_admission_tenant_backlog_` prefix;
@@ -137,6 +146,10 @@ mod tests {
             super::REACTOR_EVENTS_TOTAL,
             super::REACTOR_TASKS_TOTAL,
             super::REACTOR_SHARD_BALANCE,
+            super::BOOTSTRAP_SOURCES_TOTAL,
+            super::BOOTSTRAP_CANDIDATES_TOTAL,
+            super::BOOTSTRAP_CONFLICTS_TOTAL,
+            super::BOOTSTRAP_APPLIED_TOTAL,
         ];
         let unique: std::collections::BTreeSet<_> = all.iter().collect();
         assert_eq!(unique.len(), all.len());

@@ -36,10 +36,12 @@ pub mod ast;
 pub mod compiler;
 pub mod constraint;
 pub mod error;
+pub mod sniff;
 pub mod vm;
 
 pub use constraint::{like_match, Constraint, ConstraintOp};
 pub use error::RegexError;
+pub use sniff::{sniff_labeled_fields, LabeledField};
 
 use compiler::Program;
 

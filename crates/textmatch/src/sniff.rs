@@ -1,0 +1,93 @@
+//! Labeled-field sniffing for plain-text exports.
+//!
+//! The semantic bootstrap pass (see `s2s-core`) needs a schema for
+//! text-file sources, whose only "schema" is the convention of the
+//! export itself. The common shape — and the one the S2S demo and
+//! conformance catalogs use — is line-oriented records of
+//! `label: value` fields separated by `|`:
+//!
+//! ```text
+//! brand: seiko | price: 120 | case: steel
+//! ```
+//!
+//! [`sniff_labeled_fields`] recovers the labels (the "text-rule
+//! headers") and a few value samples per label, without interpreting
+//! the values.
+
+/// Cap on retained value samples per label.
+const MAX_SAMPLES: usize = 8;
+
+/// One discovered labeled field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledField {
+    /// The label text before the colon, trimmed.
+    pub label: String,
+    /// Up to eight observed values, in document order.
+    pub samples: Vec<String>,
+    /// How many times the label appeared.
+    pub count: usize,
+}
+
+/// Scans `text` line by line, splitting each line on `|`, and collects
+/// every `label: value` field. Labels are returned in first-appearance
+/// order. Lines or segments without a colon are ignored. Labels are
+/// restricted to word characters (`[A-Za-z0-9_-]`) so prose containing
+/// an incidental colon does not masquerade as a field.
+pub fn sniff_labeled_fields(text: &str) -> Vec<LabeledField> {
+    let mut fields: Vec<LabeledField> = Vec::new();
+    for line in text.lines() {
+        for segment in line.split('|') {
+            let Some((label, value)) = segment.split_once(':') else {
+                continue;
+            };
+            let label = label.trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                continue;
+            }
+            let value = value.trim();
+            let field = match fields.iter_mut().find(|f| f.label == label) {
+                Some(f) => f,
+                None => {
+                    fields.push(LabeledField {
+                        label: label.to_string(),
+                        samples: Vec::new(),
+                        count: 0,
+                    });
+                    fields.last_mut().expect("just pushed")
+                }
+            };
+            field.count += 1;
+            if !value.is_empty() && field.samples.len() < MAX_SAMPLES {
+                field.samples.push(value.to_string());
+            }
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_separated_labels_discovered() {
+        let fields = sniff_labeled_fields(
+            "brand: seiko | price: 120 | case: steel\nbrand: casio | price: 80 | case: resin\n",
+        );
+        let labels: Vec<&str> = fields.iter().map(|f| f.label.as_str()).collect();
+        assert_eq!(labels, vec!["brand", "price", "case"]);
+        assert_eq!(fields[0].samples, vec!["seiko", "casio"]);
+        assert_eq!(fields[1].count, 2);
+    }
+
+    #[test]
+    fn prose_colons_ignored() {
+        let fields = sniff_labeled_fields("note: the ratio a:b is 2:1 | total price: 3\n");
+        let labels: Vec<&str> = fields.iter().map(|f| f.label.as_str()).collect();
+        // `note` is a clean word label; "total price" contains a space
+        // and "the ratio a" is not a word, so both are dropped.
+        assert_eq!(labels, vec!["note"]);
+    }
+}

@@ -38,6 +38,19 @@ pub enum HtmlToken {
     Text(String),
 }
 
+/// Shape statistics for one tag name — see [`HtmlDocument::tag_survey`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagStat {
+    /// Lowercased tag name.
+    pub name: String,
+    /// Number of occurrences.
+    pub count: usize,
+    /// Distinct `class` attribute values, in first-appearance order.
+    pub classes: Vec<String>,
+    /// Up to eight non-empty direct text contents, in document order.
+    pub samples: Vec<String>,
+}
+
 impl HtmlDocument {
     /// Parses HTML. Never fails: malformed constructs degrade to text or
     /// are skipped.
@@ -117,6 +130,63 @@ impl HtmlDocument {
             }
         }
         out
+    }
+
+    /// Surveys the tag shape of the page: one [`TagStat`] per distinct
+    /// tag name, in first-appearance order, with occurrence count, the
+    /// distinct `class` attribute values seen, and up to eight direct
+    /// text samples. This is the introspection surface the semantic
+    /// bootstrap pass reads: repeated leaf tags are candidate record
+    /// fields, and a consistent `class` value is a name hint (e.g.
+    /// `<span class="price">` → the `price` attribute).
+    pub fn tag_survey(&self) -> Vec<TagStat> {
+        const MAX_SAMPLES: usize = 8;
+        let mut stats: Vec<TagStat> = Vec::new();
+        let mut open: Vec<(String, String)> = Vec::new();
+        for t in &self.tokens {
+            match t {
+                HtmlToken::Open { name, attributes, self_closing } => {
+                    let stat = match stats.iter_mut().find(|s| s.name == *name) {
+                        Some(s) => s,
+                        None => {
+                            stats.push(TagStat {
+                                name: name.clone(),
+                                count: 0,
+                                classes: Vec::new(),
+                                samples: Vec::new(),
+                            });
+                            stats.last_mut().expect("just pushed")
+                        }
+                    };
+                    stat.count += 1;
+                    if let Some(class) = attributes.get("class") {
+                        if !stat.classes.iter().any(|c| c == class) {
+                            stat.classes.push(class.clone());
+                        }
+                    }
+                    if !self_closing {
+                        open.push((name.clone(), String::new()));
+                    }
+                }
+                HtmlToken::Close(name) => {
+                    if let Some(at) = open.iter().rposition(|(n, _)| n == name) {
+                        let (_, buf) = open.remove(at);
+                        if let Some(stat) = stats.iter_mut().find(|s| s.name == *name) {
+                            let trimmed = buf.trim();
+                            if !trimmed.is_empty() && stat.samples.len() < MAX_SAMPLES {
+                                stat.samples.push(trimmed.to_string());
+                            }
+                        }
+                    }
+                }
+                HtmlToken::Text(text) => {
+                    if let Some((_, buf)) = open.last_mut() {
+                        buf.push_str(text);
+                    }
+                }
+            }
+        }
+        stats
     }
 
     /// The value of `attribute` on every `<name>` tag, in document order.

@@ -48,6 +48,6 @@ pub mod store;
 pub mod webl;
 
 pub use error::WebdocError;
-pub use html::HtmlDocument;
+pub use html::{HtmlDocument, TagStat};
 pub use store::{WebDocument, WebStore};
 pub use webl::{with_guard, with_guards, GuardSpec, WeblProgram, WeblValue};

@@ -26,6 +26,7 @@
 pub mod dom;
 pub mod error;
 pub mod parser;
+pub mod shape;
 pub mod writer;
 pub mod xpath;
 pub mod xquery;
@@ -33,5 +34,6 @@ pub mod xquery;
 pub use dom::{Document, Element, Node};
 pub use error::XmlError;
 pub use parser::parse;
+pub use shape::{document_shape, DocumentShape, XmlField};
 pub use writer::{serialize, serialize_element};
 pub use xpath::push_child_predicate;
